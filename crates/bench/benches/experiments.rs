@@ -1,0 +1,115 @@
+//! Criterion wrappers over the experiment harnesses, so `cargo bench`
+//! exercises every table/figure pipeline end to end at reduced scale. The
+//! full-scale runs live in the `repro` binary
+//! (`cargo run -p pmrace-bench --release --bin repro -- all`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pmrace_bench::{figs, tables, Budget};
+use pmrace_core::checkpoint::Checkpoint;
+use pmrace_core::{run_campaign, CampaignConfig, OpMutator, Seed};
+use pmrace_targets::{target_spec, Op};
+
+fn tiny_budget() -> Budget {
+    Budget {
+        campaigns: 6,
+        wall: Duration::from_secs(8),
+        workers: 2,
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let spec = target_spec("P-CLHT").unwrap();
+    let cp = Checkpoint::create(&spec).unwrap();
+    let mut m = OpMutator::new(3, 4, 16);
+    let seed = m.generate();
+    let cfg = CampaignConfig {
+        threads: 4,
+        deadline: Duration::from_millis(400),
+        capture_images: true,
+        max_images: 8,
+        eadr: false,
+        eviction_interval_us: 0,
+        extra_whitelist: Vec::new(),
+    };
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("campaign_pclht", |b| {
+        b.iter(|| black_box(run_campaign(&spec, &seed, &cfg, None, Some(&cp)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_campaign_no_checkpoint(c: &mut Criterion) {
+    // The Fig. 10 contrast, as a pair of benchmarks: the same campaign
+    // paying heavy pool init per run vs. restoring the checkpoint.
+    let spec = target_spec("CCEH").unwrap();
+    let cp = Checkpoint::create(&spec).unwrap();
+    let seed = Seed::from_flat(
+        &(1..=16u64).map(|k| Op::Insert { key: k, value: k }).collect::<Vec<_>>(),
+        2,
+    );
+    let cfg = CampaignConfig {
+        threads: 2,
+        deadline: Duration::from_millis(400),
+        capture_images: false,
+        max_images: 0,
+        eadr: false,
+        eviction_interval_us: 0,
+        extra_whitelist: Vec::new(),
+    };
+    let mut g = c.benchmark_group("fig10_pair");
+    g.sample_size(10);
+    g.bench_function("cceh_with_checkpoint", |b| {
+        b.iter(|| black_box(run_campaign(&spec, &seed, &cfg, None, Some(&cp)).unwrap()))
+    });
+    g.bench_function("cceh_without_checkpoint", |b| {
+        b.iter(|| black_box(run_campaign(&spec, &seed, &cfg, None, None).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table4_generators", |b| {
+        b.iter(|| black_box(tables::table4(21, 5)))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig10_sweep", |b| b.iter(|| black_box(figs::fig10(1, 3))));
+    g.finish();
+}
+
+fn bench_fuzz_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fuzz_clevel_tiny", |b| {
+        b.iter(|| {
+            black_box(pmrace_bench::sweep::fuzz_target(
+                "clevel",
+                tiny_budget(),
+                pmrace_core::StrategyKind::Pmrace,
+                9,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign,
+    bench_campaign_no_checkpoint,
+    bench_table4,
+    bench_fig10,
+    bench_fuzz_sweep,
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `repro`: regenerate the tables and figures of the PMRace evaluation.
+//!
+//! ```text
+//! repro [--quick] [--seed N] <experiments...>
+//! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10 all
+//! ```
+//!
+//! `table2/3/5/6` share one fuzzing sweep and are emitted together when any
+//! of them is requested.
+
+use pmrace_bench::{figs, tables, Budget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xC0FFEE);
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "table1", "table2", "table4", "fig8", "fig9", "fig10", "eadr",
+        ];
+    }
+    let budget = if quick { Budget::quick() } else { Budget::full() };
+    let sweep_needed = wanted
+        .iter()
+        .any(|w| matches!(*w, "table2" | "table3" | "table5" | "table6"));
+
+    println!("# PMRace evaluation reproduction (seed={seed}, {} budget)\n",
+        if quick { "quick" } else { "full" });
+
+    if wanted.contains(&"table1") {
+        println!("{}", tables::table1());
+    }
+    if sweep_needed {
+        eprintln!("[repro] running the shared fuzzing sweep over all 5 targets...");
+        let (_reports, out) = tables::bug_tables(budget, seed);
+        println!("{out}");
+    }
+    if wanted.contains(&"table4") {
+        eprintln!("[repro] running the input-generator coverage comparison...");
+        println!("{}", tables::table4(21, if quick { 20 } else { 100 }));
+    }
+    if wanted.contains(&"fig8") {
+        eprintln!("[repro] running the interleaving-exploration comparison (fig 8)...");
+        println!("{}", figs::fig8(budget, seed));
+    }
+    if wanted.contains(&"fig9") {
+        eprintln!("[repro] running the exploration-tier ablation (fig 9)...");
+        let fig9_budget = Budget {
+            workers: 1,
+            ..budget
+        };
+        println!("{}", figs::fig9(fig9_budget, seed));
+    }
+    if wanted.contains(&"fig10") {
+        eprintln!("[repro] measuring checkpoint impact (fig 10)...");
+        println!("{}", figs::fig10(if quick { 10 } else { 40 }, seed));
+    }
+    if wanted.contains(&"eadr") {
+        eprintln!("[repro] running the ADR vs eADR ablation (§6.6)...");
+        println!("{}", figs::eadr_ablation(budget, seed));
+    }
+}

@@ -1,0 +1,69 @@
+//! Benchmark harness regenerating every table and figure of the PMRace
+//! evaluation (§6).
+//!
+//! The `repro` binary drives the experiments:
+//!
+//! ```text
+//! cargo run -p pmrace-bench --release --bin repro -- all
+//! cargo run -p pmrace-bench --release --bin repro -- table2 fig8 --quick
+//! ```
+//!
+//! | command | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — evaluated systems |
+//! | `table2` | Table 2 — the 14 unique bugs |
+//! | `table3` | Table 3 — detection/false-positive breakdown |
+//! | `table4` | Table 4 — mutator code coverage on memcached commands |
+//! | `table5` | Table 5 — unique bugs summary |
+//! | `table6` | Table 6 — inconsistency/FP summary |
+//! | `fig8`   | Fig. 8 — time to find inter-thread inconsistencies |
+//! | `fig9`   | Fig. 9 — runtime/coverage ablation on P-CLHT |
+//! | `fig10`  | Fig. 10 — in-memory checkpoint impact on fuzzing speed |
+//!
+//! Absolute numbers differ from the paper (software PM, scaled waits); the
+//! *shape* — which tool finds inconsistencies first, which false positives
+//! get filtered, where checkpoints pay off — is the reproduction target.
+//! See `EXPERIMENTS.md` at the repository root for paper-vs-measured notes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+pub mod render;
+pub mod sweep;
+pub mod tables;
+
+use std::time::Duration;
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Max campaigns per fuzzing run.
+    pub campaigns: usize,
+    /// Wall-clock cap per fuzzing run.
+    pub wall: Duration,
+    /// Concurrent fuzzing workers.
+    pub workers: usize,
+}
+
+impl Budget {
+    /// Full experiment sizing (a few minutes per experiment).
+    #[must_use]
+    pub fn full() -> Self {
+        Budget {
+            campaigns: 600,
+            wall: Duration::from_secs(75),
+            workers: 8,
+        }
+    }
+
+    /// Quick sizing for smoke runs and CI.
+    #[must_use]
+    pub fn quick() -> Self {
+        Budget {
+            campaigns: 80,
+            wall: Duration::from_secs(15),
+            workers: 4,
+        }
+    }
+}

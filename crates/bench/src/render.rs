@@ -1,0 +1,94 @@
+//! Plain-text table rendering for experiment output.
+
+/// Render a fixed-width text table with a header rule.
+#[must_use]
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a simple `(x, y...)` series block for figures.
+#[must_use]
+pub fn series(title: &str, headers: &[&str], points: &[Vec<String>]) -> String {
+    table(title, headers, points)
+}
+
+/// Render a unicode sparkline of a numeric series (for figure output).
+#[must_use]
+pub fn sparkline(values: &[usize]) -> String {
+    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}',
+                             '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let (min, max) = values
+        .iter()
+        .fold((usize::MAX, 0usize), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if values.is_empty() {
+        return String::new();
+    }
+    let span = (max - min).max(1);
+    values
+        .iter()
+        .map(|&v| BARS[((v - min) * (BARS.len() - 1)) / span])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0, 5, 10]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '\u{2581}');
+        assert_eq!(chars[2], '\u{2588}');
+        assert!(chars[1] > chars[0] && chars[1] < chars[2]);
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[7, 7]), "\u{2581}\u{2581}");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            "T",
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
+        );
+        assert!(out.contains("long-header"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and rows share the first column width.
+        let col = lines[1].find("long-header").unwrap();
+        assert_eq!(lines[3].find('1').unwrap(), col);
+    }
+}

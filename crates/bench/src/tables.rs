@@ -1,0 +1,442 @@
+//! Regeneration of Tables 1–6 of the evaluation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmrace_core::textgen::{ByteMutator, CommandGen};
+use pmrace_core::{BugKind, FuzzReport};
+use pmrace_pmem::{Pool, ThreadId};
+use pmrace_runtime::{Session, SessionConfig};
+use pmrace_targets::memkv::proto::{classify, CmdFamily};
+use pmrace_targets::memkv::MemKv;
+
+use crate::render::table;
+use crate::sweep::fuzz_all_targets;
+use crate::Budget;
+
+/// How a paper bug is recognized in a fuzz report.
+#[derive(Debug, Clone, Copy)]
+pub enum Matcher {
+    /// Match a bug-verdict `(write, read, effect)` triple by substrings
+    /// (empty substring matches anything).
+    Triple {
+        /// Substring of the write-site label.
+        write: &'static str,
+        /// Substring of the read-site label.
+        read: &'static str,
+        /// Substring of the effect-site label.
+        effect: &'static str,
+    },
+    /// Match a candidate pair that never grew a side effect (the paper's
+    /// "inconsistency candidate" findings).
+    Candidate {
+        /// Substring of the write-site label.
+        write: &'static str,
+        /// Substring of the read-site label.
+        read: &'static str,
+    },
+    /// Match a synchronization bug by variable name substring.
+    SyncVar(&'static str),
+    /// Match a hang finding.
+    Hang,
+}
+
+/// One Table 2 row: a known bug and how to recognize its rediscovery.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperBug {
+    /// Bug number in Table 2.
+    pub id: u32,
+    /// Target system.
+    pub system: &'static str,
+    /// Type column.
+    pub kind: &'static str,
+    /// New-bug flag.
+    pub new: bool,
+    /// Write code (paper coordinates).
+    pub write_code: &'static str,
+    /// Read code (paper coordinates).
+    pub read_code: &'static str,
+    /// Description.
+    pub description: &'static str,
+    /// Consequence.
+    pub consequence: &'static str,
+    /// Recognition rule.
+    pub matcher: Matcher,
+}
+
+/// The 14 unique bugs of Table 2 with their recognition rules.
+#[must_use]
+pub fn paper_bugs() -> Vec<PaperBug> {
+    vec![
+        PaperBug { id: 1, system: "P-CLHT", kind: "Inter", new: true,
+            write_code: "clht_lb_res.c:785", read_code: "clht_lb_res.c:417",
+            description: "read unflushed table pointer and insert items", consequence: "data loss",
+            matcher: Matcher::Triple { write: "785", read: "417", effect: "" } },
+        PaperBug { id: 2, system: "P-CLHT", kind: "Sync", new: true,
+            write_code: "clht_lb_res.c:429", read_code: "",
+            description: "do not initialize bucket locks after restarts", consequence: "hang",
+            matcher: Matcher::SyncVar("clht.bucket_lock") },
+        PaperBug { id: 3, system: "P-CLHT", kind: "Intra", new: true,
+            write_code: "clht_lb_res.c:789", read_code: "clht_gc.c:190",
+            description: "read unflushed table pointer and perform GC", consequence: "PM leakage",
+            matcher: Matcher::Triple { write: "789", read: "clht_gc.c:190", effect: "gc_log" } },
+        PaperBug { id: 4, system: "P-CLHT", kind: "Other", new: true,
+            write_code: "clht_lb_res.c:321", read_code: "clht_lb_res.c:616",
+            description: "read unflushed keys", consequence: "redundant PM writes",
+            matcher: Matcher::Candidate { write: "321", read: "616" } },
+        PaperBug { id: 5, system: "P-CLHT", kind: "Other", new: true,
+            write_code: "clht_lb_res.c:526", read_code: "",
+            description: "do not release bucket locks in update", consequence: "hang",
+            matcher: Matcher::Hang },
+        PaperBug { id: 6, system: "CCEH", kind: "Sync", new: true,
+            write_code: "CCEH.h:86", read_code: "",
+            description: "do not release segment locks after restarts", consequence: "hang",
+            matcher: Matcher::SyncVar("cceh.segment_lock") },
+        PaperBug { id: 7, system: "CCEH", kind: "Intra", new: true,
+            write_code: "CCEH.h:165", read_code: "CCEH.cpp:171",
+            description: "read unflushed capacity and allocate segments", consequence: "PM leakage",
+            matcher: Matcher::Triple { write: "CCEH.h:165", read: "171", effect: "" } },
+        PaperBug { id: 8, system: "FAST-FAIR", kind: "Inter", new: true,
+            write_code: "btree.h:560", read_code: "btree.h:876",
+            description: "read unflushed pointer and insert data", consequence: "data loss",
+            matcher: Matcher::Triple { write: "560", read: "876", effect: "" } },
+        PaperBug { id: 9, system: "memcached-pmem", kind: "Inter", new: true,
+            write_code: "memcached.c:4292", read_code: "memcached.c:2805",
+            description: "read unflushed value and write value", consequence: "inconsistent data",
+            matcher: Matcher::Triple { write: "", read: "2805", effect: "4292" } },
+        PaperBug { id: 10, system: "memcached-pmem", kind: "Inter", new: true,
+            write_code: "memcached.c:4293", read_code: "memcached.c:2805",
+            description: "read unflushed value and write value length", consequence: "inconsistent data",
+            matcher: Matcher::Triple { write: "", read: "2805", effect: "4293" } },
+        PaperBug { id: 11, system: "memcached-pmem", kind: "Inter", new: false,
+            write_code: "items.c:423", read_code: "items.c:464",
+            description: "read unflushed 'prev' and write 'slabs_clsid'", consequence: "inconsistent index",
+            matcher: Matcher::Triple { write: "", read: "items.c:464", effect: "items.c:464.store_clsid" } },
+        PaperBug { id: 12, system: "memcached-pmem", kind: "Inter", new: false,
+            write_code: "slabs.c:549", read_code: "slabs.c:412",
+            description: "read unflushed 'next' and write 'it_flags' or value", consequence: "inconsistent index",
+            matcher: Matcher::Triple { write: "", read: "slabs.c:412", effect: "store_it_flags" } },
+        PaperBug { id: 13, system: "memcached-pmem", kind: "Inter", new: false,
+            write_code: "items.c:1096", read_code: "memcached.c:2824",
+            description: "read unflushed 'it_flags' and write value", consequence: "inconsistent data",
+            matcher: Matcher::Triple { write: "", read: "2824", effect: "store_value_header" } },
+        PaperBug { id: 14, system: "memcached-pmem", kind: "Inter", new: false,
+            write_code: "items.c:627", read_code: "items.c:623",
+            description: "read unflushed 'slabs_clsid' and write 'slabs_clsid'", consequence: "inconsistent index",
+            matcher: Matcher::Triple { write: "", read: "items.c:623", effect: "items.c:627" } },
+    ]
+}
+
+/// Did this fuzz report rediscover the given paper bug?
+#[must_use]
+pub fn bug_found(report: &FuzzReport, bug: &PaperBug) -> bool {
+    if report.target != bug.system {
+        return false;
+    }
+    match bug.matcher {
+        Matcher::Triple { write, read, effect } => report
+            .bug_triples
+            .iter()
+            .any(|(w, r, e)| w.contains(write) && r.contains(read) && e.contains(effect)),
+        Matcher::Candidate { write, read } => report
+            .candidate_only
+            .iter()
+            .any(|(w, r)| w.contains(write) && r.contains(read)),
+        Matcher::SyncVar(name) => report
+            .bugs
+            .iter()
+            .any(|b| b.kind == BugKind::Sync && b.write_label.contains(name)),
+        Matcher::Hang => report.bugs.iter().any(|b| b.kind == BugKind::Hang),
+    }
+}
+
+/// Table 1: the evaluated systems.
+#[must_use]
+pub fn table1() -> String {
+    let rows = vec![
+        vec!["P-CLHT".into(), "70bf21c".into(), "Static hashing".into(), "Lock-based".into()],
+        vec!["clevel hashing".into(), "cae716f".into(), "PM-optimized hashing".into(), "Lock-free".into()],
+        vec!["CCEH".into(), "46771e3".into(), "Extendible hashing".into(), "Lock-based".into()],
+        vec!["FAST-FAIR".into(), "0f047e8".into(), "B+-Tree".into(), "Lock-based".into()],
+        vec!["memcached-pmem".into(), "8f121f6".into(), "Key-value store".into(), "Lock-based".into()],
+    ];
+    table(
+        "Table 1: The concurrent PM programs tested by PMRace.",
+        &["Systems", "Version", "Scope", "Concurrency"],
+        &rows,
+    )
+}
+
+/// Table 2: unique bugs, with a Found column recording rediscovery.
+#[must_use]
+pub fn table2(reports: &[FuzzReport]) -> String {
+    let by_target: HashMap<&str, &FuzzReport> =
+        reports.iter().map(|r| (r.target, r)).collect();
+    let rows: Vec<Vec<String>> = paper_bugs()
+        .iter()
+        .map(|b| {
+            let found = by_target
+                .get(b.system)
+                .is_some_and(|r| bug_found(r, b));
+            vec![
+                b.system.to_owned(),
+                b.id.to_string(),
+                b.kind.to_owned(),
+                if b.new { "yes" } else { "no" }.to_owned(),
+                b.write_code.to_owned(),
+                b.read_code.to_owned(),
+                b.description.to_owned(),
+                b.consequence.to_owned(),
+                if found { "FOUND" } else { "-" }.to_owned(),
+            ]
+        })
+        .collect();
+    table(
+        "Table 2: The unique bugs found by PMRace (Found = rediscovered in this run).",
+        &["Systems", "#", "Type", "New", "Write code", "Read code", "Description", "Consequence", "Found"],
+        &rows,
+    )
+}
+
+/// Table 3: detection and false-positive breakdown.
+#[must_use]
+pub fn table3(reports: &[FuzzReport]) -> String {
+    let mut rows = Vec::new();
+    let mut tot = [0usize; 9];
+    for r in reports {
+        let s = r.stats;
+        let counts = r
+            .bugs
+            .iter()
+            .filter(|b| b.kind == BugKind::Inter)
+            .count();
+        let sync_bugs = r.bugs.iter().filter(|b| b.kind == BugKind::Sync).count();
+        let cells = [
+            s.inter_candidates,
+            s.inter,
+            s.validated_fp,
+            s.whitelisted_fp,
+            counts,
+            s.annotations,
+            s.sync,
+            s.sync_validated_fp,
+            sync_bugs,
+        ];
+        for (t, c) in tot.iter_mut().zip(cells) {
+            *t += c;
+        }
+        let mut row = vec![r.target.to_owned()];
+        row.extend(cells.iter().map(ToString::to_string));
+        rows.push(row);
+    }
+    let mut total_row = vec!["Total".to_owned()];
+    total_row.extend(tot.iter().map(ToString::to_string));
+    rows.push(total_row);
+    table(
+        "Table 3: The results of PM concurrency bug detection.",
+        &["Systems", "Inter-Cand", "Inter", "Validated FP", "Whitelisted FP", "Bug",
+          "Annotation", "Sync", "Sync Validated FP", "Sync Bug"],
+        &rows,
+    )
+}
+
+/// Table 5: unique-bug summary per type ("found | paper" per cell).
+#[must_use]
+pub fn table5(reports: &[FuzzReport]) -> String {
+    // Paper counts per system per type for the "n|m" style comparison.
+    let paper: HashMap<(&str, &str), usize> = paper_bugs()
+        .iter()
+        .map(|b| (b.system, b.kind))
+        .fold(HashMap::new(), |mut m, k| {
+            *m.entry(k).or_insert(0) += 1;
+            m
+        });
+    let bugs = paper_bugs();
+    let mut rows = Vec::new();
+    for r in reports {
+        let found_of = |kind: &str| -> usize {
+            bugs.iter()
+                .filter(|b| b.system == r.target && b.kind == kind && bug_found(r, b))
+                .count()
+        };
+        let cell = |kind: &str| -> String {
+            let p = paper.get(&(r.target, kind)).copied().unwrap_or(0);
+            if p == 0 {
+                "-".to_owned()
+            } else {
+                format!("{}|{}", found_of(kind), p)
+            }
+        };
+        let total_found: usize = ["Inter", "Sync", "Intra", "Other"]
+            .iter()
+            .map(|k| found_of(k))
+            .sum();
+        let total_paper: usize = ["Inter", "Sync", "Intra", "Other"]
+            .iter()
+            .map(|k| paper.get(&(r.target, *k)).copied().unwrap_or(0))
+            .sum();
+        rows.push(vec![
+            r.target.to_owned(),
+            cell("Inter"),
+            cell("Sync"),
+            cell("Intra"),
+            cell("Other"),
+            format!("{total_found}|{total_paper}"),
+        ]);
+    }
+    table(
+        "Table 5: The number of unique bugs found (found|paper per cell).",
+        &["Systems", "Inter", "Sync", "Intra", "Other", "Total"],
+        &rows,
+    )
+}
+
+/// Table 6: inconsistency / false-positive summary (condensed Table 3).
+#[must_use]
+pub fn table6(reports: &[FuzzReport]) -> String {
+    let mut rows = Vec::new();
+    let mut tot = [0usize; 6];
+    for r in reports {
+        let s = r.stats;
+        let bugs = r
+            .bugs
+            .iter()
+            .filter(|b| matches!(b.kind, BugKind::Inter | BugKind::Sync))
+            .count();
+        let cells = [
+            s.inter_candidates,
+            s.inter,
+            s.sync,
+            s.validated_fp + s.whitelisted_fp,
+            s.sync_validated_fp,
+            bugs,
+        ];
+        for (t, c) in tot.iter_mut().zip(cells) {
+            *t += c;
+        }
+        let mut row = vec![r.target.to_owned()];
+        row.extend(cells.iter().map(ToString::to_string));
+        rows.push(row);
+    }
+    let mut total_row = vec!["Total".to_owned()];
+    total_row.extend(tot.iter().map(ToString::to_string));
+    rows.push(total_row);
+    table(
+        "Table 6: Detected inconsistencies and filtered false positives.",
+        &["Systems", "Inter-Cand", "Inter", "Sync", "FP (Inter)", "FP (Sync)", "Bug"],
+        &rows,
+    )
+}
+
+/// Run the shared sweep and render Tables 2, 3, 5, 6.
+#[must_use]
+pub fn bug_tables(budget: Budget, rng_seed: u64) -> (Vec<FuzzReport>, String) {
+    let reports = fuzz_all_targets(budget, rng_seed);
+    let mut out = String::new();
+    out.push_str(&table2(&reports));
+    out.push('\n');
+    out.push_str(&table3(&reports));
+    out.push('\n');
+    out.push_str(&table5(&reports));
+    out.push('\n');
+    out.push_str(&table6(&reports));
+    (reports, out)
+}
+
+/// Table 4: code coverage of memcached commands per mutator.
+///
+/// For each generator, feeds ~2100 commands (100 seeds of 21 commands) into
+/// `process_command` and attributes newly covered branches to the family of
+/// the command that reached them.
+#[must_use]
+pub fn table4(commands_per_seed: usize, seeds: usize) -> String {
+    let families = [
+        CmdFamily::Get,
+        CmdFamily::Update,
+        CmdFamily::Incr,
+        CmdFamily::Decr,
+        CmdFamily::Delete,
+        CmdFamily::Error,
+    ];
+    let run = |lines: Vec<String>| -> (HashMap<CmdFamily, usize>, usize, usize) {
+        let session = Session::new(
+            Arc::new(Pool::new(pmrace_pmem::PoolOpts::small())),
+            SessionConfig {
+                capture_crash_images: false,
+                ..SessionConfig::default()
+            },
+        );
+        let kv = MemKv::init(&session).expect("memkv init");
+        let view = session.view(ThreadId(0));
+        let mut per_family: HashMap<CmdFamily, usize> = HashMap::new();
+        let mut prev = session.coverage_counts().1;
+        let mut errors = 0;
+        for line in &lines {
+            let family = classify(line);
+            if family == CmdFamily::Error {
+                errors += 1;
+            }
+            let _ = kv.process_command(&view, line);
+            let now = session.coverage_counts().1;
+            *per_family.entry(family).or_insert(0) += now - prev;
+            prev = now;
+        }
+        (per_family, prev, errors)
+    };
+
+    let total_cmds = commands_per_seed * seeds;
+    let mut afl = ByteMutator::new(4242);
+    let (afl_cov, afl_total, afl_errors) = run(afl.batch(total_cmds));
+    let mut pmr = CommandGen::new(4242);
+    let (pmr_cov, pmr_total, pmr_errors) = run(pmr.batch(total_cmds));
+
+    let mut rows = Vec::new();
+    for (name, cov, total, errors) in [
+        ("AFL++", &afl_cov, afl_total, afl_errors),
+        ("PMRace", &pmr_cov, pmr_total, pmr_errors),
+    ] {
+        let mut row = vec![name.to_owned()];
+        for f in families {
+            row.push(cov.get(&f).copied().unwrap_or(0).to_string());
+        }
+        row.push(total.to_string());
+        row.push(format!("{errors}/{total_cmds}"));
+        rows.push(row);
+    }
+    table(
+        "Table 4: Branch coverage of memcached-pmem commands per input generator.",
+        &["Schemes", "Get*", "Update*", "incr", "decr", "delete", "Error", "Total", "Invalid cmds"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bug_list_matches_table2() {
+        let bugs = paper_bugs();
+        assert_eq!(bugs.len(), 14);
+        assert_eq!(bugs.iter().filter(|b| b.new).count(), 10);
+        assert_eq!(bugs.iter().filter(|b| b.system == "memcached-pmem").count(), 6);
+        assert_eq!(bugs.iter().filter(|b| b.kind == "Inter").count(), 8);
+        assert_eq!(bugs.iter().filter(|b| b.kind == "Sync").count(), 2);
+    }
+
+    #[test]
+    fn table1_lists_all_systems() {
+        let t = table1();
+        for name in ["P-CLHT", "clevel", "CCEH", "FAST-FAIR", "memcached-pmem"] {
+            assert!(t.contains(name), "{name} missing:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table4_pmrace_beats_afl_on_valid_coverage() {
+        let t = table4(21, 20); // scaled down for test speed
+        // The PMRace row must exist and the AFL row must show invalid cmds.
+        assert!(t.contains("PMRace"));
+        assert!(t.contains("AFL++"));
+    }
+}

@@ -1,0 +1,435 @@
+//! Unique-bug deduplication and evaluation statistics (§6.2, §6.3).
+//!
+//! A *unique bug* groups detections by the store instruction that wrote the
+//! non-persisted data (inter/intra) or by the synchronization variable
+//! (sync), as in the paper. The [`Ledger`] ingests campaign results,
+//! validates each new detection once (post-failure), and accumulates every
+//! number Tables 2/3/5/6 report plus the Fig. 8 detection timeline.
+
+use std::collections::{BTreeMap, HashSet};
+use std::time::Duration;
+
+use pmrace_runtime::report::CandidateKind;
+use pmrace_runtime::site_label;
+use pmrace_targets::TargetSpec;
+
+use crate::campaign::CampaignResult;
+use crate::validate::{validate_inconsistency, validate_sync, Verdict};
+
+/// Bug classification, matching Table 2's "Type" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BugKind {
+    /// PM Inter-thread Inconsistency (PM Interleaving Concurrency Bug).
+    Inter,
+    /// PM Synchronization Inconsistency (PM Execution Context Bug).
+    Sync,
+    /// PM Intra-thread Inconsistency.
+    Intra,
+    /// Hang observed during fuzzing (DRAM-style concurrency bug).
+    Hang,
+    /// Performance issue from an extension checker.
+    Perf,
+}
+
+impl std::fmt::Display for BugKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BugKind::Inter => "Inter",
+            BugKind::Sync => "Sync",
+            BugKind::Intra => "Intra",
+            BugKind::Hang => "Hang",
+            BugKind::Perf => "Perf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One deduplicated bug with its report fields (Table 2 row).
+#[derive(Debug, Clone)]
+pub struct UniqueBug {
+    /// Classification.
+    pub kind: BugKind,
+    /// Target system name.
+    pub target: &'static str,
+    /// "Write code": label of the store that produced non-persisted data
+    /// (or the sync variable / hang site).
+    pub write_label: String,
+    /// "Read code": label of the racy read (empty for sync/hang).
+    pub read_label: String,
+    /// Durable-side-effect site label (empty for sync/hang).
+    pub effect_label: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Post-failure verdict that promoted this to a bug.
+    pub verdict: Verdict,
+    /// Fuzzing time at first detection.
+    pub found_after: Duration,
+    /// The seed of the campaign that first exposed the bug (rendered with
+    /// [`Seed::to_text`](crate::Seed::to_text)), attached to reports so the
+    /// finding can be replayed.
+    pub seed_text: Option<String>,
+    /// Recent PM access history at the detection point (rendered), the
+    /// report's stack-trace analog. Empty when unavailable.
+    pub trace_text: String,
+}
+
+impl std::fmt::Display for UniqueBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}][{}] {} (write: {}, read: {}, effect: {}; {:?} after {:?})",
+            self.target,
+            self.kind,
+            self.description,
+            self.write_label,
+            self.read_label,
+            self.effect_label,
+            self.verdict,
+            self.found_after,
+        )
+    }
+}
+
+/// Aggregate detection statistics — the raw material of Tables 3 and 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Unique PM Inter-thread Inconsistency Candidates.
+    pub inter_candidates: usize,
+    /// Unique PM Intra-thread Inconsistency Candidates.
+    pub intra_candidates: usize,
+    /// Unique PM Inter-thread Inconsistencies (pre-failure detections).
+    pub inter: usize,
+    /// Unique PM Intra-thread Inconsistencies.
+    pub intra: usize,
+    /// Inter/intra false positives filtered by post-failure validation.
+    pub validated_fp: usize,
+    /// Inter/intra false positives filtered by the whitelist.
+    pub whitelisted_fp: usize,
+    /// Sync-var annotations present on the target.
+    pub annotations: usize,
+    /// Unique PM Synchronization Inconsistencies detected.
+    pub sync: usize,
+    /// Sync false positives filtered by post-failure validation.
+    pub sync_validated_fp: usize,
+    /// Campaigns that ended in a hang.
+    pub hangs: usize,
+    /// Extension-checker performance issues (unique).
+    pub perf_issues: usize,
+    /// Campaigns ingested.
+    pub campaigns: usize,
+}
+
+/// Deduplicating bug ledger for one target.
+#[derive(Debug)]
+pub struct Ledger {
+    spec: TargetSpec,
+    stats: DetectionStats,
+    cand_index: HashSet<(String, String, CandidateKind)>,
+    incons_index: HashSet<(String, String, String)>,
+    sync_index: HashSet<String>,
+    perf_index: HashSet<(String, String)>,
+    hang_seen: bool,
+    bugs: BTreeMap<String, UniqueBug>,
+    inter_times: Vec<Duration>,
+    bug_triples: Vec<(String, String, String)>,
+}
+
+impl Ledger {
+    /// Empty ledger for a target.
+    #[must_use]
+    pub fn new(spec: TargetSpec) -> Self {
+        Ledger {
+            spec,
+            stats: DetectionStats::default(),
+            cand_index: HashSet::new(),
+            incons_index: HashSet::new(),
+            sync_index: HashSet::new(),
+            perf_index: HashSet::new(),
+            hang_seen: false,
+            bugs: BTreeMap::new(),
+            inter_times: Vec::new(),
+            bug_triples: Vec::new(),
+        }
+    }
+
+    /// The target this ledger tracks.
+    #[must_use]
+    pub fn target(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// Ingest one campaign's findings: dedupe, validate new detections,
+    /// update statistics. `elapsed` is total fuzzing time at campaign end
+    /// (for the Fig. 8 timeline).
+    pub fn ingest(&mut self, result: &CampaignResult, elapsed: Duration) {
+        self.ingest_with_seed(result, elapsed, None);
+    }
+
+    /// [`Ledger::ingest`] with the campaign's seed attached: new unique
+    /// bugs carry it in their reports for replay.
+    pub fn ingest_with_seed(
+        &mut self,
+        result: &CampaignResult,
+        elapsed: Duration,
+        seed: Option<&crate::Seed>,
+    ) {
+        let seed_text = seed.map(crate::Seed::to_text);
+        self.stats.campaigns += 1;
+        self.stats.annotations = self.stats.annotations.max(result.annotations.len());
+
+        for cand in &result.findings.candidates {
+            let key = (
+                site_label(cand.write_site).to_owned(),
+                site_label(cand.read_site).to_owned(),
+                cand.kind,
+            );
+            if self.cand_index.insert(key) {
+                match cand.kind {
+                    CandidateKind::Inter => self.stats.inter_candidates += 1,
+                    CandidateKind::Intra => self.stats.intra_candidates += 1,
+                }
+            }
+        }
+
+        for rec in &result.findings.inconsistencies {
+            let w = site_label(rec.candidate.write_site).to_owned();
+            let r = site_label(rec.candidate.read_site).to_owned();
+            let e = site_label(rec.effect_site).to_owned();
+            if !self.incons_index.insert((w.clone(), r.clone(), e.clone())) {
+                continue;
+            }
+            match rec.candidate.kind {
+                CandidateKind::Inter => {
+                    self.stats.inter += 1;
+                    self.inter_times.push(elapsed);
+                }
+                CandidateKind::Intra => self.stats.intra += 1,
+            }
+            let verdict = validate_inconsistency(&self.spec, rec);
+            match verdict {
+                Verdict::ValidatedFp => self.stats.validated_fp += 1,
+                Verdict::WhitelistedFp => self.stats.whitelisted_fp += 1,
+                Verdict::Bug | Verdict::Unvalidated => {
+                    self.bug_triples.push((w.clone(), r.clone(), e.clone()));
+                    let kind = match rec.candidate.kind {
+                        CandidateKind::Inter => BugKind::Inter,
+                        CandidateKind::Intra => BugKind::Intra,
+                    };
+                    // Unique bugs group by the writing store instruction.
+                    let bug_key = format!("{kind}:{w}");
+                    let trace_text = pmrace_runtime::trace::render_trace(&rec.trace);
+                    self.bugs.entry(bug_key).or_insert_with(|| UniqueBug {
+                        kind,
+                        target: self.spec.name,
+                        write_label: w.clone(),
+                        read_label: r.clone(),
+                        effect_label: e.clone(),
+                        description: format!(
+                            "read non-persisted data written at {w}, durable side effect ({}) at {e}",
+                            rec.kind
+                        ),
+                        verdict,
+                        found_after: elapsed,
+                        seed_text: seed_text.clone(),
+                        trace_text,
+                    });
+                }
+            }
+        }
+
+        for upd in &result.findings.sync_updates {
+            if !self.sync_index.insert(upd.var_name.clone()) {
+                continue;
+            }
+            self.stats.sync += 1;
+            let verdict = validate_sync(&self.spec, upd);
+            match verdict {
+                Verdict::ValidatedFp => self.stats.sync_validated_fp += 1,
+                Verdict::WhitelistedFp => self.stats.sync_validated_fp += 1,
+                Verdict::Bug | Verdict::Unvalidated => {
+                    let bug_key = format!("Sync:{}", upd.var_name);
+                    let desc = format!(
+                        "persistent sync var '{}' not restored to {} after recovery",
+                        upd.var_name, upd.expected_init
+                    );
+                    self.bugs.entry(bug_key).or_insert_with(|| UniqueBug {
+                        kind: BugKind::Sync,
+                        target: self.spec.name,
+                        write_label: upd.var_name.clone(),
+                        read_label: String::new(),
+                        effect_label: site_label(upd.store_site).to_owned(),
+                        description: desc,
+                        verdict,
+                        found_after: elapsed,
+                        seed_text: seed_text.clone(),
+                        trace_text: String::new(),
+                    });
+                }
+            }
+        }
+
+        for issue in &result.findings.perf_issues {
+            let key = (issue.checker.to_owned(), site_label(issue.site).to_owned());
+            if self.perf_index.insert(key) {
+                self.stats.perf_issues += 1;
+                let bug_key = format!("Perf:{}:{}", issue.checker, site_label(issue.site));
+                self.bugs.entry(bug_key).or_insert_with(|| UniqueBug {
+                    kind: BugKind::Perf,
+                    target: self.spec.name,
+                    write_label: site_label(issue.site).to_owned(),
+                    read_label: String::new(),
+                    effect_label: String::new(),
+                    description: issue.what.clone(),
+                    verdict: Verdict::Bug,
+                    found_after: elapsed,
+                    seed_text: seed_text.clone(),
+                    trace_text: String::new(),
+                });
+            }
+        }
+
+        if result.findings.hang {
+            self.stats.hangs += 1;
+            if !self.hang_seen {
+                self.hang_seen = true;
+                self.bugs.insert(
+                    "Hang".to_owned(),
+                    UniqueBug {
+                        kind: BugKind::Hang,
+                        target: self.spec.name,
+                        write_label: String::new(),
+                        read_label: String::new(),
+                        effect_label: String::new(),
+                        description: "campaign hang: threads blocked past the deadline \
+                                      (lock leak or missing signal)"
+                            .to_owned(),
+                        verdict: Verdict::Bug,
+                        found_after: elapsed,
+                        seed_text: seed_text.clone(),
+                        trace_text: String::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> DetectionStats {
+        self.stats
+    }
+
+    /// All unique bugs, ordered by dedup key.
+    #[must_use]
+    pub fn bugs(&self) -> Vec<&UniqueBug> {
+        self.bugs.values().collect()
+    }
+
+    /// Unique-bug count per kind (Table 5 columns).
+    #[must_use]
+    pub fn bug_counts(&self) -> BTreeMap<BugKind, usize> {
+        let mut out = BTreeMap::new();
+        for b in self.bugs.values() {
+            *out.entry(b.kind).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Unique candidate pairs `(write label, read label)` that never grew a
+    /// durable side effect — the pool the paper's "Other" findings (e.g.
+    /// P-CLHT's redundant PM write) are drawn from.
+    #[must_use]
+    pub fn candidate_only_pairs(&self) -> Vec<(String, String)> {
+        self.cand_index
+            .iter()
+            .filter(|(w, r, _)| {
+                !self
+                    .incons_index
+                    .iter()
+                    .any(|(iw, ir, _)| iw == w && ir == r)
+            })
+            .map(|(w, r, _)| (w.clone(), r.clone()))
+            .collect()
+    }
+
+    /// Fuzzing times at which each new unique inter-thread inconsistency
+    /// was first identified (Fig. 8 series).
+    #[must_use]
+    pub fn inter_detection_times(&self) -> &[Duration] {
+        &self.inter_times
+    }
+
+    /// All `(write, read, effect)` label triples that survived validation
+    /// as bugs — the raw material for mapping findings onto the paper's
+    /// Table 2 rows.
+    #[must_use]
+    pub fn bug_triples(&self) -> &[(String, String, String)] {
+        &self.bug_triples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use crate::seed::Seed;
+    use pmrace_targets::{target_spec, Op};
+
+    #[test]
+    fn ledger_dedups_across_campaigns() {
+        let spec = target_spec("clevel").unwrap();
+        let mut ledger = Ledger::new(spec);
+        let seed = Seed::from_flat(&[Op::Insert { key: 1, value: 1 }], 1);
+        for i in 0..3 {
+            let res = run_campaign(&spec, &seed, &CampaignConfig::default(), None, None).unwrap();
+            ledger.ingest(&res, Duration::from_millis(i * 10));
+        }
+        let s = ledger.stats();
+        assert_eq!(s.campaigns, 3);
+        // Construction inconsistencies are whitelisted and counted once.
+        assert!(s.whitelisted_fp >= 1);
+        assert!(ledger.bugs().is_empty(), "clevel has no bugs: {:?}", ledger.bugs());
+    }
+
+    #[test]
+    fn pclht_resize_workload_yields_intra_bug_and_sync_split() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let mut ledger = Ledger::new(spec);
+        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let seed = Seed::from_flat(&ops, 1);
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(&spec, &seed, &cfg, None, None).unwrap();
+        ledger.ingest(&res, Duration::from_secs(1));
+        let s = ledger.stats();
+        assert_eq!(s.annotations, 4);
+        assert!(s.sync >= 2, "resize path touches several sync vars: {s:?}");
+        assert!(s.sync_validated_fp >= 1, "global locks reinit: {s:?}");
+        let counts = ledger.bug_counts();
+        assert!(counts.get(&BugKind::Intra).copied().unwrap_or(0) >= 1, "{counts:?}");
+        assert!(counts.get(&BugKind::Sync).copied().unwrap_or(0) >= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn candidate_only_pairs_exclude_inconsistent_ones() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let mut ledger = Ledger::new(spec);
+        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(&spec, &Seed::from_flat(&ops, 1), &cfg, None, None).unwrap();
+        ledger.ingest(&res, Duration::ZERO);
+        for (w, r) in ledger.candidate_only_pairs() {
+            assert!(
+                !ledger.incons_index.contains(&(w.clone(), r.clone(), String::new())),
+                "pair ({w}, {r}) leaked"
+            );
+        }
+    }
+}

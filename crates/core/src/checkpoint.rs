@@ -1,0 +1,110 @@
+//! In-memory pool checkpoints (§5, Fig. 10).
+//!
+//! `libpmemobj` pool initialization is expensive; PMRace initializes the
+//! pool once, keeps one in-memory copy, and starts every campaign from that
+//! copy — the AFL++ fork-server idea without the fork. Campaigns restored
+//! from a checkpoint reopen the target through its recovery path (the
+//! process-side state is rebuilt, as a forked child would rebuild it).
+
+use std::sync::Arc;
+
+use pmrace_pmem::{Pool, PoolOpts, PoolSnapshot};
+use pmrace_runtime::{RtError, Session, SessionConfig};
+use pmrace_targets::TargetSpec;
+
+/// A reusable snapshot of a freshly initialized target pool.
+#[derive(Debug)]
+pub struct Checkpoint {
+    snapshot: PoolSnapshot,
+}
+
+impl Checkpoint {
+    /// Pay the pool + target initialization cost once and capture the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target initialization errors.
+    pub fn create(spec: &TargetSpec) -> Result<Self, RtError> {
+        let pool = Arc::new(Pool::new((spec.pool)()));
+        let session = Session::new(
+            pool,
+            SessionConfig {
+                capture_crash_images: false,
+                ..SessionConfig::default()
+            },
+        );
+        let _target = (spec.init)(&session)?;
+        Ok(Checkpoint {
+            snapshot: session.pool().snapshot(),
+        })
+    }
+
+    /// Materialize a fresh pool from the checkpoint (cheap: one copy, no
+    /// heavy initialization).
+    #[must_use]
+    pub fn restore(&self) -> Arc<Pool> {
+        let pool = Pool::new(PoolOpts::with_size(self.snapshot.volatile().len()));
+        pool.restore(&self.snapshot)
+            .expect("checkpoint snapshot matches its own pool size");
+        Arc::new(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::ThreadId;
+    use pmrace_targets::{target_spec, Op, OpResult};
+
+    #[test]
+    fn checkpoint_restores_a_working_target() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let cp = Checkpoint::create(&spec).unwrap();
+        for round in 0..3 {
+            let pool = cp.restore();
+            let session = Session::new(pool, SessionConfig::default());
+            let target = (spec.recover)(&session).unwrap();
+            let v = session.view(ThreadId(0));
+            let key = 10 + round;
+            assert_eq!(
+                target.exec(&v, &Op::Insert { key, value: round }).unwrap(),
+                OpResult::Done
+            );
+            assert_eq!(
+                target.exec(&v, &Op::Get { key }).unwrap(),
+                OpResult::Found(round)
+            );
+            // Each restore starts empty: prior rounds' keys are absent.
+            if round > 0 {
+                assert_eq!(
+                    target.exec(&v, &Op::Get { key: 10 }).unwrap(),
+                    OpResult::Missing
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_work_for_every_target() {
+        for spec in pmrace_targets::all_targets() {
+            let cp = Checkpoint::create(&spec).unwrap();
+            let pool = cp.restore();
+            let session = Session::new(pool, SessionConfig::default());
+            let target = (spec.recover)(&session).unwrap();
+            let v = session.view(ThreadId(0));
+            assert_eq!(
+                target.exec(&v, &Op::Insert { key: 3, value: 5 }).unwrap(),
+                OpResult::Done,
+                "target {}",
+                spec.name
+            );
+            assert_eq!(
+                target.exec(&v, &Op::Get { key: 3 }).unwrap(),
+                OpResult::Found(5),
+                "target {}",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! On-disk seed corpus (the AFL-style queue directory).
+//!
+//! Coverage-improving seeds are written as replayable text files; a later
+//! run (or another machine, for the paper's concurrent fuzzing with seed
+//! dispatching) can start from them instead of from scratch.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+
+use crate::seed::Seed;
+
+/// A directory of seed files.
+#[derive(Debug, Clone)]
+pub struct CorpusDir {
+    dir: PathBuf,
+}
+
+impl CorpusDir {
+    /// Open (creating if needed) a corpus directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CorpusDir { dir })
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_for(&self, seed: &Seed) -> PathBuf {
+        let mut h = DefaultHasher::new();
+        seed.hash(&mut h);
+        self.dir.join(format!("seed-{:016x}.txt", h.finish()))
+    }
+
+    /// Persist a seed (idempotent: content-hashed file names). Returns the
+    /// path, or `None` if an identical seed was already stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, seed: &Seed) -> std::io::Result<Option<PathBuf>> {
+        let path = self.file_for(seed);
+        if path.exists() {
+            return Ok(None);
+        }
+        std::fs::write(&path, seed.to_text())?;
+        Ok(Some(path))
+    }
+
+    /// Load every parsable seed in the directory (unparsable files are
+    /// skipped; a corpus survives format drift).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing errors.
+    pub fn load_all(&self) -> std::io::Result<Vec<Seed>> {
+        let mut out = Vec::new();
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(seed) = Seed::parse(&text) {
+                    out.push(seed);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of stored seed files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing errors.
+    pub fn len(&self) -> std::io::Result<usize> {
+        Ok(std::fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "txt"))
+            .count())
+    }
+
+    /// `true` when no seeds are stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing errors.
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutator::OpMutator;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pmrace-corpus-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_seeds() {
+        let dir = tmpdir("roundtrip");
+        let corpus = CorpusDir::open(&dir).unwrap();
+        let mut m = OpMutator::new(3, 4, 8);
+        let seeds: Vec<_> = (0..5).map(|_| m.generate()).collect();
+        for s in &seeds {
+            assert!(corpus.save(s).unwrap().is_some());
+        }
+        assert_eq!(corpus.len().unwrap(), 5);
+        let loaded = corpus.load_all().unwrap();
+        assert_eq!(loaded.len(), 5);
+        for s in &seeds {
+            assert!(loaded.contains(s), "seed missing after reload");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saving_a_duplicate_is_a_noop() {
+        let dir = tmpdir("dup");
+        let corpus = CorpusDir::open(&dir).unwrap();
+        let seed = OpMutator::new(3, 2, 4).generate();
+        assert!(corpus.save(&seed).unwrap().is_some());
+        assert!(corpus.save(&seed).unwrap().is_none());
+        assert_eq!(corpus.len().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unparsable_files_are_skipped() {
+        let dir = tmpdir("junk");
+        let corpus = CorpusDir::open(&dir).unwrap();
+        std::fs::write(dir.join("junk.txt"), "not a seed").unwrap();
+        let seed = OpMutator::new(3, 2, 4).generate();
+        corpus.save(&seed).unwrap();
+        assert_eq!(corpus.load_all().unwrap().len(), 1);
+        assert!(!corpus.is_empty().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,400 @@
+//! The three exploration tiers (§4.2.3).
+//!
+//! - **Execution tier** — rerun the same seed + interleaving plan while
+//!   coverage grows (interleavings are nondeterministic; repeats pay off).
+//! - **Interleaving tier** — when executions stop helping, fetch the next
+//!   entry from the shared-access priority queue and force that
+//!   interleaving with the Fig. 6 scheduler.
+//! - **Seed tier** — when no interleaving helps either, evolve a new seed
+//!   with the operation mutator and rebuild the queue.
+//!
+//! Ablation flags disable the interleaving tier (*w/o IE*) or the seed tier
+//! (*w/o SE*) for the Fig. 9 experiment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pmrace_runtime::coverage::CoverageMap;
+use pmrace_runtime::strategy::InterleaveStrategy;
+use pmrace_runtime::RtError;
+use pmrace_sched::{
+    AccessQueue, DelayStrategy, PmraceStrategy, SkipStore, SyncPlan, SyncTuning,
+    SystematicStrategy,
+};
+use pmrace_targets::TargetSpec;
+
+use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyKind};
+use crate::checkpoint::Checkpoint;
+use crate::mutator::OpMutator;
+use crate::seed::Seed;
+
+/// Which tier produced a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Re-execution of the current seed/interleaving.
+    Execution,
+    /// A freshly fetched interleaving plan.
+    Interleaving,
+    /// A freshly evolved seed.
+    Seed,
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Interleaving scheme.
+    pub strategy: StrategyKind,
+    /// Enable the interleaving tier (disable for *w/o IE*).
+    pub enable_interleaving_tier: bool,
+    /// Enable the seed tier (disable for *w/o SE*).
+    pub enable_seed_tier: bool,
+    /// Executions per interleaving plan before fetching the next.
+    pub execs_per_interleaving: usize,
+    /// Interleaving plans per seed before evolving a new seed.
+    pub interleavings_per_seed: usize,
+    /// Campaign execution parameters.
+    pub campaign: CampaignConfig,
+    /// Start campaigns from an in-memory checkpoint.
+    pub use_checkpoint: bool,
+    /// Fig. 6 scheduler timing knobs.
+    pub tuning: SyncTuning,
+    /// Operations each driver thread issues per campaign.
+    pub ops_per_thread: usize,
+    /// Extra seeds to start the corpus from (e.g. loaded from a
+    /// [`CorpusDir`](crate::corpus::CorpusDir)).
+    pub initial_corpus: Vec<Seed>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            strategy: StrategyKind::Pmrace,
+            enable_interleaving_tier: true,
+            enable_seed_tier: true,
+            execs_per_interleaving: 2,
+            interleavings_per_seed: 6,
+            campaign: CampaignConfig::default(),
+            use_checkpoint: true,
+            tuning: SyncTuning::default(),
+            ops_per_thread: 24,
+            initial_corpus: Vec::new(),
+        }
+    }
+}
+
+/// Result of one exploration step.
+#[derive(Debug)]
+pub struct StepOutcome {
+    /// The campaign's findings and coverage.
+    pub result: CampaignResult,
+    /// The seed the campaign executed (attached to bug reports).
+    pub seed: Seed,
+    /// The tier that produced it.
+    pub tier: Tier,
+    /// New PM alias pairs contributed to this explorer's coverage.
+    pub new_alias: usize,
+    /// New branches contributed.
+    pub new_branch: usize,
+}
+
+/// Stateful three-tier explorer for one target.
+pub struct Explorer {
+    spec: TargetSpec,
+    cfg: ExploreConfig,
+    mutator: OpMutator,
+    corpus: Vec<Seed>,
+    seed: Seed,
+    queue: AccessQueue,
+    skip_store: Arc<SkipStore>,
+    plan: Option<SyncPlan>,
+    execs_on_plan: usize,
+    plans_on_seed: usize,
+    coverage: CoverageMap,
+    checkpoint: Option<Checkpoint>,
+    rng: StdRng,
+    campaigns: usize,
+    stalled_seeds: usize,
+    populate_done: bool,
+}
+
+impl std::fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("target", &self.spec.name)
+            .field("campaigns", &self.campaigns)
+            .field("corpus", &self.corpus.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Explorer {
+    /// Create an explorer with a fresh mutator-generated seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint-creation (target init) errors.
+    pub fn new(spec: TargetSpec, cfg: ExploreConfig, rng_seed: u64) -> Result<Self, RtError> {
+        let mut mutator = OpMutator::new(rng_seed, cfg.campaign.threads, cfg.ops_per_thread);
+        let seed = mutator.generate();
+        // The corpus starts with a populate seed too: the insert flood that
+        // triggers resize/split mechanisms (§4.5) — plus any seeds carried
+        // over from a previous run's corpus directory.
+        let mut corpus = vec![seed.clone(), mutator.populate()];
+        corpus.extend(cfg.initial_corpus.iter().cloned());
+        let checkpoint = if cfg.use_checkpoint {
+            Some(Checkpoint::create(&spec)?)
+        } else {
+            None
+        };
+        Ok(Explorer {
+            spec,
+            cfg,
+            mutator,
+            corpus,
+            seed,
+            queue: AccessQueue::new(),
+            skip_store: Arc::new(SkipStore::new()),
+            plan: None,
+            execs_on_plan: 0,
+            plans_on_seed: 0,
+            coverage: CoverageMap::new(),
+            checkpoint,
+            rng: StdRng::seed_from_u64(rng_seed ^ 0xABCD),
+            campaigns: 0,
+            stalled_seeds: 0,
+            populate_done: false,
+        })
+    }
+
+    /// Campaigns run so far.
+    #[must_use]
+    pub fn campaigns(&self) -> usize {
+        self.campaigns
+    }
+
+    /// Coverage counters `(alias_pairs, branches)` accumulated by this
+    /// explorer.
+    #[must_use]
+    pub fn coverage_counts(&self) -> (usize, usize) {
+        (self.coverage.alias_pairs(), self.coverage.branches())
+    }
+
+    fn next_seed(&mut self) {
+        if !self.populate_done || self.stalled_seeds >= 2 {
+            // The first seed switch (and any coverage stall) runs the
+            // populate phase (§4.5): an insert flood with spread keys that
+            // reliably drives resize/split/doubling/eviction mechanisms.
+            self.populate_done = true;
+            self.seed = self.mutator.populate();
+            self.stalled_seeds = 0;
+        } else if self.rng.random_ratio(1, 3) {
+            // Fresh generator seeds keep diversity up: pure corpus
+            // evolution orbits its ancestors and can miss behaviours none
+            // of them trigger.
+            self.seed = self.mutator.generate();
+        } else {
+            let (seed, _strategy) = self.mutator.evolve(&self.corpus);
+            self.seed = seed;
+        }
+        self.queue.reset_explored();
+        self.skip_store = Arc::new(SkipStore::new());
+        self.plan = None;
+        self.execs_on_plan = 0;
+        self.plans_on_seed = 0;
+    }
+
+    fn build_strategy(&mut self) -> (Option<Arc<dyn InterleaveStrategy>>, Tier) {
+        match self.cfg.strategy {
+            StrategyKind::None => (None, Tier::Execution),
+            StrategyKind::Delay { max_delay_us } => (
+                Some(Arc::new(DelayStrategy::new(
+                    Duration::from_micros(max_delay_us),
+                    self.rng.random(),
+                ))),
+                Tier::Execution,
+            ),
+            StrategyKind::Systematic => (
+                Some(Arc::new(SystematicStrategy::new(
+                    self.cfg.campaign.threads,
+                    4,
+                    self.rng.random(),
+                ))),
+                Tier::Execution,
+            ),
+            StrategyKind::Pmrace => {
+                if !self.cfg.enable_interleaving_tier {
+                    return (None, Tier::Execution);
+                }
+                let mut tier = Tier::Execution;
+                if self.plan.is_none() || self.execs_on_plan >= self.cfg.execs_per_interleaving {
+                    if let Some(entry) = self.queue.pop_unexplored() {
+                        self.plan = Some(SyncPlan::from(&entry));
+                        self.execs_on_plan = 0;
+                        self.plans_on_seed += 1;
+                        tier = Tier::Interleaving;
+                    } else {
+                        self.plan = None;
+                    }
+                }
+                match &self.plan {
+                    Some(plan) => {
+                        let strategy = PmraceStrategy::new(
+                            plan.clone(),
+                            self.cfg.campaign.threads,
+                            Arc::clone(&self.skip_store),
+                            self.cfg.tuning,
+                            self.rng.random(),
+                        );
+                        (Some(Arc::new(strategy)), tier)
+                    }
+                    None => (None, Tier::Execution),
+                }
+            }
+        }
+    }
+
+    /// Run one exploration step (one campaign).
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-construction errors from the campaign.
+    pub fn step(&mut self) -> Result<StepOutcome, RtError> {
+        // Seed-tier switch when the current seed is exhausted: its
+        // interleaving budget is spent (the priority queue rarely drains —
+        // every campaign contributes fresh shared addresses — so the budget,
+        // not queue emptiness, bounds the time spent per seed).
+        let seed_exhausted = match self.cfg.strategy {
+            StrategyKind::Pmrace if self.cfg.enable_interleaving_tier => {
+                self.plans_on_seed >= self.cfg.interleavings_per_seed
+            }
+            _ => {
+                self.campaigns > 0
+                    && self.campaigns
+                        % (self.cfg.execs_per_interleaving * self.cfg.interleavings_per_seed)
+                        == 0
+            }
+        };
+        let mut tier = Tier::Execution;
+        if seed_exhausted && self.cfg.enable_seed_tier {
+            self.next_seed();
+            tier = Tier::Seed;
+        }
+
+        let (strategy, strategy_tier) = self.build_strategy();
+        if tier == Tier::Execution {
+            tier = strategy_tier;
+        }
+        self.execs_on_plan += 1;
+
+        // The very first campaign runs without the checkpoint so the
+        // target's *construction* path executes under the checkers once
+        // (clevel's Fig. 7 inconsistencies live there).
+        let checkpoint = if self.campaigns == 0 {
+            None
+        } else {
+            self.checkpoint.as_ref()
+        };
+        let result = run_campaign(&self.spec, &self.seed, &self.cfg.campaign, strategy, checkpoint)?;
+        self.campaigns += 1;
+        self.queue.merge(&result.shared);
+        let (new_alias, new_branch) = self.coverage.merge_from(&result.coverage);
+        if new_alias + new_branch > 0 {
+            self.stalled_seeds = 0;
+            if !self.corpus.contains(&self.seed) {
+                self.corpus.push(self.seed.clone());
+                if self.corpus.len() > 16 {
+                    self.corpus.remove(0);
+                }
+            }
+        } else if tier == Tier::Seed {
+            self.stalled_seeds += 1;
+        }
+        // Expire the plan early when it stopped contributing.
+        if new_alias == 0 && self.execs_on_plan >= 2 {
+            self.execs_on_plan = self.cfg.execs_per_interleaving;
+        }
+        Ok(StepOutcome {
+            result,
+            seed: self.seed.clone(),
+            tier,
+            new_alias,
+            new_branch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_targets::target_spec;
+
+    fn fast_cfg(strategy: StrategyKind) -> ExploreConfig {
+        ExploreConfig {
+            strategy,
+            campaign: CampaignConfig {
+                threads: 2,
+                deadline: Duration::from_millis(250),
+                ..CampaignConfig::default()
+            },
+            execs_per_interleaving: 2,
+            interleavings_per_seed: 2,
+            use_checkpoint: true,
+            tuning: SyncTuning {
+                reader_poll: Duration::from_micros(50),
+                writer_wait: Duration::from_micros(500),
+                all_block_iters: 10,
+                disable_iters: 100,
+                skip_jitter: 2,
+            },
+            ..ExploreConfig::default()
+        }
+    }
+
+    #[test]
+    fn explorer_accumulates_coverage_over_steps() {
+        let spec = target_spec("CCEH").unwrap();
+        let mut ex = Explorer::new(spec, fast_cfg(StrategyKind::Pmrace), 11).unwrap();
+        let mut saw_interleaving = false;
+        for _ in 0..6 {
+            let out = ex.step().unwrap();
+            if out.tier == Tier::Interleaving {
+                saw_interleaving = true;
+            }
+        }
+        let (_, branches) = ex.coverage_counts();
+        assert!(branches > 0);
+        assert_eq!(ex.campaigns(), 6);
+        assert!(saw_interleaving, "pmrace strategy must reach the interleaving tier");
+    }
+
+    #[test]
+    fn delay_strategy_never_uses_interleaving_tier() {
+        let spec = target_spec("clevel").unwrap();
+        let mut ex = Explorer::new(
+            spec,
+            fast_cfg(StrategyKind::Delay { max_delay_us: 50 }),
+            12,
+        )
+        .unwrap();
+        for _ in 0..4 {
+            let out = ex.step().unwrap();
+            assert_ne!(out.tier, Tier::Interleaving);
+        }
+    }
+
+    #[test]
+    fn seed_tier_can_be_disabled() {
+        let spec = target_spec("clevel").unwrap();
+        let mut cfg = fast_cfg(StrategyKind::None);
+        cfg.enable_seed_tier = false;
+        let mut ex = Explorer::new(spec, cfg, 13).unwrap();
+        let first_seed = ex.seed.clone();
+        for _ in 0..5 {
+            let _ = ex.step().unwrap();
+        }
+        assert_eq!(ex.seed, first_seed, "w/o SE must keep the initial seed");
+    }
+}

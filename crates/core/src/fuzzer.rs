@@ -1,0 +1,307 @@
+//! The top-level fuzzer: exploration workers, shared ledger, timelines.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pmrace_runtime::coverage::CoverageMap;
+use pmrace_runtime::RtError;
+use pmrace_sched::SyncTuning;
+use pmrace_targets::{target_spec, TargetSpec};
+
+use crate::bugs::{DetectionStats, Ledger, UniqueBug};
+use crate::campaign::{CampaignConfig, StrategyKind};
+use crate::corpus::CorpusDir;
+use crate::explore::{ExploreConfig, Explorer};
+
+/// Fuzzer configuration (defaults follow §6.1 scaled to simulator time).
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Target system name (Table 1).
+    pub target: String,
+    /// Interleaving-exploration scheme.
+    pub strategy: StrategyKind,
+    /// Driver threads per campaign (paper: 4).
+    pub threads: usize,
+    /// Operations each driver thread issues per campaign.
+    pub ops_per_thread: usize,
+    /// Stop after this many campaigns.
+    pub max_campaigns: usize,
+    /// Stop after this much wall-clock time.
+    pub wall_budget: Duration,
+    /// Concurrent fuzzing worker threads (paper: 13).
+    pub workers: usize,
+    /// Use in-memory pool checkpoints (§5).
+    pub use_checkpoint: bool,
+    /// Enable the interleaving tier (disable for *w/o IE*).
+    pub enable_interleaving_tier: bool,
+    /// Enable the seed tier (disable for *w/o SE*).
+    pub enable_seed_tier: bool,
+    /// Per-campaign deadline (hang detection).
+    pub campaign_deadline: Duration,
+    /// Scheduler timing knobs.
+    pub tuning: SyncTuning,
+    /// Run under the eADR failure model (§6.6). Disables checkpoints.
+    pub eadr: bool,
+    /// Persist coverage-improving seeds here and reload them on the next
+    /// run (AFL-style queue directory).
+    pub corpus_dir: Option<std::path::PathBuf>,
+    /// Extra whitelist rules (§4.4) beyond the default PMDK/checksum ones.
+    pub extra_whitelist: Vec<String>,
+    /// Cache-eviction agitator interval in µs (0 = off); see
+    /// [`CampaignConfig::eviction_interval_us`].
+    pub eviction_interval_us: u64,
+    /// RNG seed for deterministic runs.
+    pub rng_seed: u64,
+}
+
+impl FuzzConfig {
+    /// Sensible fast defaults for `target`.
+    #[must_use]
+    pub fn new(target: &str) -> Self {
+        FuzzConfig {
+            target: target.to_owned(),
+            strategy: StrategyKind::Pmrace,
+            threads: 4,
+            ops_per_thread: 24,
+            max_campaigns: 60,
+            wall_budget: Duration::from_secs(30),
+            workers: 1,
+            use_checkpoint: true,
+            enable_interleaving_tier: true,
+            enable_seed_tier: true,
+            campaign_deadline: Duration::from_millis(600),
+            tuning: SyncTuning::default(),
+            eadr: false,
+            corpus_dir: None,
+            extra_whitelist: Vec::new(),
+            eviction_interval_us: 0,
+            rng_seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One sample of the coverage timeline (Fig. 9 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageSample {
+    /// Fuzzing time of the sample.
+    pub at: Duration,
+    /// Cumulative PM alias pairs.
+    pub alias_pairs: usize,
+    /// Cumulative branches.
+    pub branches: usize,
+}
+
+/// Final report of a fuzzing run.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Target name.
+    pub target: &'static str,
+    /// Detection statistics (Tables 3/6 raw material).
+    pub stats: DetectionStats,
+    /// Unique bugs found (Table 2/5 raw material).
+    pub bugs: Vec<UniqueBug>,
+    /// Candidate pairs that never grew side effects ("Other" pool).
+    pub candidate_only: Vec<(String, String)>,
+    /// Bug-verdict `(write, read, effect)` triples for Table 2 mapping.
+    pub bug_triples: Vec<(String, String, String)>,
+    /// Campaigns executed.
+    pub campaigns: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Campaigns per second (Fig. 10 metric).
+    pub execs_per_sec: f64,
+    /// Coverage over time (Fig. 9 series).
+    pub coverage_timeline: Vec<CoverageSample>,
+    /// Times at which new unique inter-thread inconsistencies were found
+    /// (Fig. 8 series).
+    pub inter_times: Vec<Duration>,
+    /// Final global alias-pair count.
+    pub alias_pairs: usize,
+    /// Final global branch count.
+    pub branches: usize,
+}
+
+/// PM-aware coverage-guided fuzzer (the `pmrace` entry point).
+#[derive(Debug)]
+pub struct Fuzzer {
+    cfg: FuzzConfig,
+    spec: TargetSpec,
+}
+
+impl Fuzzer {
+    /// Build a fuzzer for the configured target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::Halted`] if the target name is unknown.
+    pub fn new(cfg: FuzzConfig) -> Result<Self, RtError> {
+        let spec = target_spec(&cfg.target).ok_or(RtError::Halted)?;
+        Ok(Fuzzer { cfg, spec })
+    }
+
+    fn explore_config(&self) -> ExploreConfig {
+        ExploreConfig {
+            strategy: self.cfg.strategy,
+            enable_interleaving_tier: self.cfg.enable_interleaving_tier,
+            enable_seed_tier: self.cfg.enable_seed_tier,
+            execs_per_interleaving: 2,
+            interleavings_per_seed: 6,
+            campaign: CampaignConfig {
+                threads: self.cfg.threads,
+                deadline: self.cfg.campaign_deadline,
+                eadr: self.cfg.eadr,
+                extra_whitelist: self.cfg.extra_whitelist.clone(),
+                eviction_interval_us: self.cfg.eviction_interval_us,
+                ..CampaignConfig::default()
+            },
+            use_checkpoint: self.cfg.use_checkpoint && !self.cfg.eadr,
+            tuning: self.cfg.tuning,
+            ops_per_thread: self.cfg.ops_per_thread,
+            initial_corpus: Vec::new(),
+        }
+    }
+
+    /// Run to budget exhaustion and report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-construction failures from workers.
+    pub fn run(&self) -> Result<FuzzReport, RtError> {
+        let start = Instant::now();
+        let corpus_dir = match &self.cfg.corpus_dir {
+            Some(dir) => Some(CorpusDir::open(dir).map_err(|_| RtError::Halted)?),
+            None => None,
+        };
+        let loaded_corpus = match &corpus_dir {
+            Some(c) => c.load_all().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        let ledger = Mutex::new(Ledger::new(self.spec));
+        let global_cov = Mutex::new(CoverageMap::new());
+        let timeline = Mutex::new(Vec::<CoverageSample>::new());
+        let campaigns = AtomicUsize::new(0);
+        let first_err = Mutex::new(None::<RtError>);
+
+        std::thread::scope(|scope| {
+            for w in 0..self.cfg.workers.max(1) {
+                let ledger = &ledger;
+                let global_cov = &global_cov;
+                let timeline = &timeline;
+                let campaigns = &campaigns;
+                let first_err = &first_err;
+                let mut cfg = self.explore_config();
+                cfg.initial_corpus = loaded_corpus.clone();
+                let corpus_dir = &corpus_dir;
+                let spec = self.spec;
+                let rng_seed = self.cfg.rng_seed ^ (w as u64).wrapping_mul(0x9E37_79B9);
+                let max_campaigns = self.cfg.max_campaigns;
+                let wall_budget = self.cfg.wall_budget;
+                scope.spawn(move || {
+                    let mut explorer = match Explorer::new(spec, cfg, rng_seed) {
+                        Ok(e) => e,
+                        Err(e) => {
+                            *first_err.lock() = Some(e);
+                            return;
+                        }
+                    };
+                    loop {
+                        if campaigns.load(Ordering::Relaxed) >= max_campaigns
+                            || start.elapsed() >= wall_budget
+                        {
+                            return;
+                        }
+                        match explorer.step() {
+                            Ok(out) => {
+                                campaigns.fetch_add(1, Ordering::Relaxed);
+                                let elapsed = start.elapsed();
+                                let (alias, branches) = {
+                                    let mut cov = global_cov.lock();
+                                    cov.merge_from(&out.result.coverage);
+                                    (cov.alias_pairs(), cov.branches())
+                                };
+                                ledger
+                                    .lock()
+                                    .ingest_with_seed(&out.result, elapsed, Some(&out.seed));
+                                if out.new_alias + out.new_branch > 0 {
+                                    if let Some(corpus) = &corpus_dir {
+                                        let _ = corpus.save(&out.seed);
+                                    }
+                                }
+                                timeline.lock().push(CoverageSample {
+                                    at: elapsed,
+                                    alias_pairs: alias,
+                                    branches,
+                                });
+                            }
+                            Err(e) => {
+                                *first_err.lock() = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
+        let elapsed = start.elapsed();
+        let ledger = ledger.into_inner();
+        let cov = global_cov.into_inner();
+        let total = campaigns.load(Ordering::Relaxed);
+        Ok(FuzzReport {
+            target: self.spec.name,
+            stats: ledger.stats(),
+            bugs: ledger.bugs().into_iter().cloned().collect(),
+            candidate_only: ledger.candidate_only_pairs(),
+            bug_triples: ledger.bug_triples().to_vec(),
+            campaigns: total,
+            elapsed,
+            execs_per_sec: total as f64 / elapsed.as_secs_f64().max(1e-9),
+            coverage_timeline: timeline.into_inner(),
+            inter_times: ledger.inter_detection_times().to_vec(),
+            alias_pairs: cov.alias_pairs(),
+            branches: cov.branches(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_target_is_rejected() {
+        assert!(Fuzzer::new(FuzzConfig::new("nope")).is_err());
+    }
+
+    #[test]
+    fn short_run_produces_a_report() {
+        let mut cfg = FuzzConfig::new("clevel");
+        cfg.max_campaigns = 4;
+        cfg.wall_budget = Duration::from_secs(20);
+        cfg.campaign_deadline = Duration::from_millis(200);
+        cfg.threads = 2;
+        let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+        assert_eq!(report.target, "clevel");
+        assert!(report.campaigns >= 1);
+        assert!(report.branches > 0);
+        assert_eq!(report.coverage_timeline.len(), report.campaigns);
+        assert!(report.execs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn concurrent_workers_share_the_ledger() {
+        let mut cfg = FuzzConfig::new("clevel");
+        cfg.max_campaigns = 6;
+        cfg.workers = 3;
+        cfg.threads = 2;
+        cfg.wall_budget = Duration::from_secs(30);
+        cfg.campaign_deadline = Duration::from_millis(200);
+        let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+        assert!(report.campaigns >= 3, "campaigns {}", report.campaigns);
+        assert!(report.stats.campaigns >= 3);
+    }
+}

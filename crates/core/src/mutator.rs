@@ -1,0 +1,289 @@
+//! The PM operation mutator (§4.5).
+//!
+//! Evolution strategies over structured seeds, after Krace, plus PMRace's
+//! two additions: *similar keys are prioritized* (to raise shared-address
+//! accesses and PM alias pairs) and a *populate* fallback that floods the
+//! target with inserts when coverage stalls (to trigger resize paths).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use pmrace_targets::Op;
+
+use crate::seed::Seed;
+
+/// Which evolution strategy produced a seed (telemetry for experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Evolution {
+    /// Parameter of a random operation changed to another valid value.
+    Mutation,
+    /// Operation added at an arbitrary position.
+    Addition,
+    /// Arbitrary operation deleted.
+    Deletion,
+    /// Operations shuffled and redistributed to threads.
+    Shuffling,
+    /// Two existing seeds merged.
+    Merging,
+    /// Insert-flood fallback (coverage stalled).
+    Populate,
+}
+
+/// Structured-seed generator and mutator.
+#[derive(Debug)]
+pub struct OpMutator {
+    rng: StdRng,
+    /// Small hot key range: similar keys collide on shared PM addresses.
+    key_range: u64,
+    threads: usize,
+    ops_per_thread: usize,
+}
+
+impl OpMutator {
+    /// Create a mutator for seeds with `threads` driver threads of
+    /// `ops_per_thread` operations, deterministic under `rng_seed`.
+    #[must_use]
+    pub fn new(rng_seed: u64, threads: usize, ops_per_thread: usize) -> Self {
+        OpMutator {
+            rng: StdRng::seed_from_u64(rng_seed),
+            key_range: 24,
+            threads: threads.max(1),
+            ops_per_thread: ops_per_thread.max(1),
+        }
+    }
+
+    fn key(&mut self) -> u64 {
+        // Zipf-ish: half the draws land on the 4 hottest keys.
+        if self.rng.random_bool(0.5) {
+            self.rng.random_range(1..=4)
+        } else {
+            self.rng.random_range(1..=self.key_range)
+        }
+    }
+
+    fn op(&mut self) -> Op {
+        let key = self.key();
+        match self.rng.random_range(0..100u32) {
+            0..48 => Op::Insert {
+                key,
+                value: self.rng.random_range(1..32),
+            },
+            48..68 => Op::Get { key },
+            // Updates are rare: in P-CLHT a successful update leaks its
+            // bucket lock (seeded Bug 5) and hangs the rest of the
+            // campaign, so update-heavy seeds explore very little.
+            68..73 => Op::Update {
+                key,
+                value: self.rng.random_range(1..32),
+            },
+            73..82 => Op::Delete { key },
+            82..92 => Op::Incr {
+                key,
+                by: self.rng.random_range(1..16),
+            },
+            _ => Op::Decr {
+                key,
+                by: self.rng.random_range(1..16),
+            },
+        }
+    }
+
+    /// Generate a fresh random seed.
+    pub fn generate(&mut self) -> Seed {
+        let total = self.threads * self.ops_per_thread;
+        let ops: Vec<Op> = (0..total).map(|_| self.op()).collect();
+        Seed::from_flat(&ops, self.threads)
+    }
+
+    /// An insert-heavy seed with spread keys: the load phase that triggers
+    /// resizing mechanisms (§4.5).
+    pub fn populate(&mut self) -> Seed {
+        let total = self.threads * self.ops_per_thread * 2;
+        let ops: Vec<Op> = (0..total)
+            .map(|i| Op::Insert {
+                key: (i as u64 % (self.key_range * 4)) + 1,
+                value: self.rng.random_range(1..32),
+            })
+            .collect();
+        Seed::from_flat(&ops, self.threads)
+    }
+
+    /// Evolve a new seed from the corpus, returning it with the strategy
+    /// used. Falls back to generation on an empty corpus.
+    pub fn evolve(&mut self, corpus: &[Seed]) -> (Seed, Evolution) {
+        let Some(base) = corpus.choose(&mut self.rng).cloned() else {
+            return (self.generate(), Evolution::Mutation);
+        };
+        let strategy = match self.rng.random_range(0..5u32) {
+            0 => Evolution::Mutation,
+            1 => Evolution::Addition,
+            2 => Evolution::Deletion,
+            3 => Evolution::Shuffling,
+            _ => Evolution::Merging,
+        };
+        let seed = match strategy {
+            Evolution::Mutation => self.mutate_param(&base),
+            Evolution::Addition => self.add_op(&base),
+            Evolution::Deletion => self.delete_op(&base),
+            Evolution::Shuffling => self.shuffle(&base),
+            Evolution::Merging => {
+                let other = corpus.choose(&mut self.rng).cloned().unwrap_or_else(|| base.clone());
+                self.merge(&base, &other)
+            }
+            Evolution::Populate => unreachable!(),
+        };
+        (seed, strategy)
+    }
+
+    fn mutate_param(&mut self, base: &Seed) -> Seed {
+        let mut ops = base.flatten();
+        if ops.is_empty() {
+            return self.generate();
+        }
+        let i = self.rng.random_range(0..ops.len());
+        let new_key = self.key();
+        ops[i] = match ops[i] {
+            Op::Insert { .. } => Op::Insert {
+                key: new_key,
+                value: self.rng.random_range(1..32),
+            },
+            Op::Update { .. } => Op::Update {
+                key: new_key,
+                value: self.rng.random_range(1..32),
+            },
+            Op::Delete { .. } => Op::Delete { key: new_key },
+            Op::Get { .. } => Op::Get { key: new_key },
+            Op::Incr { .. } => Op::Incr {
+                key: new_key,
+                by: self.rng.random_range(1..16),
+            },
+            Op::Decr { .. } => Op::Decr {
+                key: new_key,
+                by: self.rng.random_range(1..16),
+            },
+        };
+        Seed::from_flat(&ops, base.num_threads())
+    }
+
+    fn add_op(&mut self, base: &Seed) -> Seed {
+        let mut ops = base.flatten();
+        let pos = self.rng.random_range(0..=ops.len());
+        let op = self.op();
+        ops.insert(pos, op);
+        Seed::from_flat(&ops, base.num_threads())
+    }
+
+    fn delete_op(&mut self, base: &Seed) -> Seed {
+        let mut ops = base.flatten();
+        if ops.len() <= 1 {
+            return self.generate();
+        }
+        let pos = self.rng.random_range(0..ops.len());
+        ops.remove(pos);
+        Seed::from_flat(&ops, base.num_threads())
+    }
+
+    fn shuffle(&mut self, base: &Seed) -> Seed {
+        let mut ops = base.flatten();
+        // Fisher–Yates with the seeded RNG.
+        for i in (1..ops.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            ops.swap(i, j);
+        }
+        Seed::from_flat(&ops, base.num_threads())
+    }
+
+    fn merge(&mut self, a: &Seed, b: &Seed) -> Seed {
+        let mut ops = a.flatten();
+        let b_ops = b.flatten();
+        let keep = self.rng.random_range(0..=b_ops.len());
+        ops.extend_from_slice(&b_ops[..keep]);
+        let cap = self.threads * self.ops_per_thread * 3;
+        ops.truncate(cap.max(1));
+        Seed::from_flat(&ops, a.num_threads().max(b.num_threads()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mutator() -> OpMutator {
+        OpMutator::new(42, 4, 8)
+    }
+
+    #[test]
+    fn generate_is_deterministic_under_seed() {
+        let a = OpMutator::new(7, 4, 8).generate();
+        let b = OpMutator::new(7, 4, 8).generate();
+        assert_eq!(a, b);
+        let c = OpMutator::new(8, 4, 8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_seeds_have_requested_shape() {
+        let s = mutator().generate();
+        assert_eq!(s.num_threads(), 4);
+        assert_eq!(s.num_ops(), 32);
+    }
+
+    #[test]
+    fn keys_are_hot_and_small() {
+        let mut m = mutator();
+        let s = m.generate();
+        for op in s.flatten() {
+            assert!(op.key() >= 1 && op.key() <= 24, "key {}", op.key());
+        }
+        // Similar-key prioritization: hottest 4 keys dominate.
+        let hot = s.flatten().iter().filter(|o| o.key() <= 4).count();
+        assert!(hot * 3 >= s.num_ops(), "hot {hot} of {}", s.num_ops());
+    }
+
+    #[test]
+    fn populate_is_insert_only_and_bigger() {
+        let mut m = mutator();
+        let s = m.populate();
+        assert!(s.num_ops() > 32);
+        assert!(s.flatten().iter().all(|o| matches!(o, Op::Insert { .. })));
+    }
+
+    #[test]
+    fn evolution_strategies_preserve_validity() {
+        let mut m = mutator();
+        let base = m.generate();
+        let mut corpus = vec![base];
+        for _ in 0..50 {
+            let (next, _strategy) = m.evolve(&corpus);
+            assert!(next.num_ops() >= 1);
+            assert!(next.num_threads() >= 1);
+            for op in next.flatten() {
+                assert!(op.key() <= 96); // populate uses up to key_range*4
+            }
+            corpus.push(next);
+            if corpus.len() > 8 {
+                corpus.remove(0);
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_shrinks_addition_grows() {
+        let mut m = mutator();
+        let base = m.generate();
+        let grown = m.add_op(&base);
+        assert_eq!(grown.num_ops(), base.num_ops() + 1);
+        let shrunk = m.delete_op(&base);
+        assert_eq!(shrunk.num_ops(), base.num_ops() - 1);
+    }
+
+    #[test]
+    fn merge_caps_size() {
+        let mut m = mutator();
+        let a = m.populate();
+        let b = m.populate();
+        let merged = m.merge(&a, &b);
+        assert!(merged.num_ops() <= 4 * 8 * 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Structured fuzzing seeds: operation sequences per driver thread (§4.5).
+
+use pmrace_targets::Op;
+
+/// One seed: for each driver thread, the sequence of operations it issues.
+///
+/// Seeds are *structured* inputs — already-valid operations rather than raw
+/// bytes — which is the core idea of PMRace's operation mutator: byte-level
+/// mutation (AFL++ default) mostly produces inputs that die in parsing and
+/// never reach the PM logic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Seed {
+    threads: Vec<Vec<Op>>,
+}
+
+impl Seed {
+    /// Build a seed from per-thread op sequences.
+    #[must_use]
+    pub fn new(threads: Vec<Vec<Op>>) -> Self {
+        Seed { threads }
+    }
+
+    /// Per-thread op sequences.
+    #[must_use]
+    pub fn threads(&self) -> &[Vec<Op>] {
+        &self.threads
+    }
+
+    /// Number of driver threads.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total operation count across threads.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// All operations flattened (thread-major), for mutation.
+    #[must_use]
+    pub fn flatten(&self) -> Vec<Op> {
+        self.threads.iter().flatten().copied().collect()
+    }
+
+    /// Distribute a flat op list round-robin over `n` threads.
+    #[must_use]
+    pub fn from_flat(ops: &[Op], n: usize) -> Self {
+        let n = n.max(1);
+        let mut threads = vec![Vec::new(); n];
+        for (i, op) in ops.iter().enumerate() {
+            threads[i % n].push(*op);
+        }
+        Seed { threads }
+    }
+
+    /// Parse the format produced by [`Seed::to_text`] (one `tN: op; op`
+    /// line per thread). Used to replay seeds attached to bug reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line or operation.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut threads = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let (_label, body) = line
+                .split_once(':')
+                .ok_or_else(|| format!("missing thread label in {line:?}"))?;
+            let mut ops = Vec::new();
+            for raw in body.split(';') {
+                let raw = raw.trim();
+                if raw.is_empty() {
+                    continue;
+                }
+                ops.push(parse_op(raw)?);
+            }
+            threads.push(ops);
+        }
+        if threads.is_empty() {
+            return Err("no thread lines".to_owned());
+        }
+        Ok(Seed { threads })
+    }
+
+    /// Render as the text attached to bug reports (one line per thread).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(t, ops)| {
+                let body: Vec<String> = ops.iter().map(ToString::to_string).collect();
+                format!("t{t}: {}", body.join("; "))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn parse_op(raw: &str) -> Result<Op, String> {
+    let (verb, rest) = raw
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed op {raw:?}"))?;
+    let num = |s: &str| -> Result<u64, String> {
+        s.trim().parse().map_err(|_| format!("bad number in {raw:?}"))
+    };
+    match verb {
+        "insert" | "update" => {
+            let (k, v) = rest
+                .split_once('=')
+                .ok_or_else(|| format!("missing '=' in {raw:?}"))?;
+            let (key, value) = (num(k)?, num(v)?);
+            Ok(if verb == "insert" {
+                Op::Insert { key, value }
+            } else {
+                Op::Update { key, value }
+            })
+        }
+        "delete" => Ok(Op::Delete { key: num(rest)? }),
+        "get" => Ok(Op::Get { key: num(rest)? }),
+        "incr" => {
+            let (k, b) = rest
+                .split_once('+')
+                .ok_or_else(|| format!("missing '+' in {raw:?}"))?;
+            Ok(Op::Incr { key: num(k)?, by: num(b)? })
+        }
+        "decr" => {
+            let (k, b) = rest
+                .split_once('-')
+                .ok_or_else(|| format!("missing '-' in {raw:?}"))?;
+            Ok(Op::Decr { key: num(k)?, by: num(b)? })
+        }
+        _ => Err(format!("unknown op {verb:?}")),
+    }
+}
+
+impl std::fmt::Display for Seed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed[{} threads, {} ops]", self.num_threads(), self.num_ops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_redistribute() {
+        let ops = vec![
+            Op::Insert { key: 1, value: 1 },
+            Op::Get { key: 1 },
+            Op::Delete { key: 1 },
+            Op::Insert { key: 2, value: 2 },
+            Op::Get { key: 2 },
+        ];
+        let seed = Seed::from_flat(&ops, 2);
+        assert_eq!(seed.num_threads(), 2);
+        assert_eq!(seed.num_ops(), 5);
+        assert_eq!(seed.threads()[0].len(), 3);
+        assert_eq!(seed.threads()[1].len(), 2);
+        let flat = seed.flatten();
+        assert_eq!(flat.len(), 5);
+    }
+
+    #[test]
+    fn text_rendering_names_threads() {
+        let seed = Seed::new(vec![
+            vec![Op::Insert { key: 1, value: 9 }],
+            vec![Op::Get { key: 1 }],
+        ]);
+        let text = seed.to_text();
+        assert!(text.contains("t0: insert 1=9"));
+        assert!(text.contains("t1: get 1"));
+    }
+
+    #[test]
+    fn from_flat_handles_zero_threads() {
+        let seed = Seed::from_flat(&[Op::Get { key: 1 }], 0);
+        assert_eq!(seed.num_threads(), 1);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_every_op_kind() {
+        let seed = Seed::new(vec![
+            vec![
+                Op::Insert { key: 1, value: 2 },
+                Op::Update { key: 3, value: 4 },
+                Op::Delete { key: 5 },
+            ],
+            vec![
+                Op::Get { key: 6 },
+                Op::Incr { key: 7, by: 8 },
+                Op::Decr { key: 9, by: 10 },
+            ],
+        ]);
+        let parsed = Seed::parse(&seed.to_text()).unwrap();
+        assert_eq!(parsed, seed);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Seed::parse("").is_err());
+        assert!(Seed::parse("no colon here").is_err());
+        assert!(Seed::parse("t0: frobnicate 5").is_err());
+        assert!(Seed::parse("t0: insert 5").is_err());
+        assert!(Seed::parse("t0: incr 5*3").is_err());
+        assert!(Seed::parse("t0: get abc").is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_blank_lines_and_spacing() {
+        let parsed = Seed::parse("\nt0:  insert 1=2 ;  get 1 \n\n t1: delete 2\n").unwrap();
+        assert_eq!(parsed.num_threads(), 2);
+        assert_eq!(parsed.num_ops(), 3);
+    }
+}

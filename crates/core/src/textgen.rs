@@ -1,0 +1,206 @@
+//! Text-command generators for the memcached input-generation experiment
+//! (Table 4): PMRace's semantic command generator vs. an AFL++-style byte
+//! mutator.
+//!
+//! The byte mutator applies AFL havoc-style transformations (bit flips,
+//! random byte replacement, insertion, deletion, splicing) to example
+//! command lines; most of its outputs fail memcached's command parsing and
+//! die in the `Error` branch — the effect Table 4 quantifies. The semantic
+//! generator always emits syntactically valid commands, reaching the
+//! "deeper" code behind the parser.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Example seed corpus of valid command lines (what a user would hand
+/// AFL++ as initial test cases).
+#[must_use]
+pub fn example_corpus() -> Vec<String> {
+    vec![
+        "set key1 0 0 8 42".to_owned(),
+        "get key1".to_owned(),
+        "add key2 0 0 8 7".to_owned(),
+        "replace key1 0 0 8 9".to_owned(),
+        "append key1 0 0 8 1".to_owned(),
+        "incr key1 3".to_owned(),
+        "decr key1 2".to_owned(),
+        "delete key2".to_owned(),
+        "bget key1".to_owned(),
+    ]
+}
+
+/// PMRace's semantic command generator: valid commands with similar keys.
+#[derive(Debug)]
+pub struct CommandGen {
+    rng: StdRng,
+}
+
+impl CommandGen {
+    /// Deterministic generator under `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CommandGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn key(&mut self) -> String {
+        format!("key{}", self.rng.random_range(1..=16u32))
+    }
+
+    /// One valid command line. Includes boundary-but-well-formed inputs
+    /// (oversized objects, misses) so semantic generation also reaches the
+    /// server-side validation branches, not just the happy paths.
+    pub fn command(&mut self) -> String {
+        let key = self.key();
+        match self.rng.random_range(0..22u32) {
+            0..3 => format!("get {key}"),
+            3 => {
+                let key2 = self.key();
+                format!("get {key} {key2}")
+            }
+            4 => format!("bget {key}"),
+            5 => format!("get missing{}", self.rng.random_range(100..999u32)),
+            6..8 => format!("set {key} 0 0 8 {}", self.rng.random_range(1..1000u32)),
+            8 => format!("set {key} 0 0 {} {}", self.rng.random_range(2000..9000u32),
+                         self.rng.random_range(1..1000u32)),
+            9..11 => format!("add {key} 0 0 8 {}", self.rng.random_range(1..1000u32)),
+            11..13 => format!("replace {key} 0 0 8 {}", self.rng.random_range(1..1000u32)),
+            13 => format!("append {key} 0 0 8 {}", self.rng.random_range(1..100u32)),
+            14 => format!("prepend {key} 0 0 8 {}", self.rng.random_range(1..100u32)),
+            15..17 => format!("incr {key} {}", self.rng.random_range(1..50u32)),
+            17..19 => format!("decr {key} {}", self.rng.random_range(1..50u32)),
+            19 => format!("delete {key}"),
+            20 => format!("cas {key} 0 0 8 {} {}", self.rng.random_range(1..1000u32),
+                          self.rng.random_range(1..1000u32)),
+            _ => format!("gets {key}"),
+        }
+    }
+
+    /// A batch of `n` valid commands.
+    pub fn batch(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.command()).collect()
+    }
+}
+
+/// AFL++-style havoc byte mutator over command lines.
+#[derive(Debug)]
+pub struct ByteMutator {
+    rng: StdRng,
+    corpus: Vec<String>,
+}
+
+impl ByteMutator {
+    /// Deterministic mutator over the example corpus.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ByteMutator {
+            rng: StdRng::seed_from_u64(seed),
+            corpus: example_corpus(),
+        }
+    }
+
+    /// Produce one mutated command line (several stacked havoc steps).
+    pub fn mutate(&mut self) -> String {
+        let base = self
+            .corpus
+            .choose(&mut self.rng)
+            .cloned()
+            .unwrap_or_default();
+        let mut bytes: Vec<u8> = base.into_bytes();
+        let steps = self.rng.random_range(1..=6u32);
+        for _ in 0..steps {
+            if bytes.is_empty() {
+                bytes.push(self.rng.random());
+                continue;
+            }
+            match self.rng.random_range(0..5u32) {
+                0 => {
+                    // Bit flip.
+                    let i = self.rng.random_range(0..bytes.len());
+                    let bit = self.rng.random_range(0..8u32);
+                    bytes[i] ^= 1 << bit;
+                }
+                1 => {
+                    // Random byte replacement.
+                    let i = self.rng.random_range(0..bytes.len());
+                    bytes[i] = self.rng.random();
+                }
+                2 => {
+                    // Insertion.
+                    let i = self.rng.random_range(0..=bytes.len());
+                    bytes.insert(i, self.rng.random());
+                }
+                3 => {
+                    // Deletion.
+                    let i = self.rng.random_range(0..bytes.len());
+                    bytes.remove(i);
+                }
+                _ => {
+                    // Splice with another corpus line.
+                    if let Some(other) = self.corpus.choose(&mut self.rng) {
+                        let cut = self.rng.random_range(0..=bytes.len());
+                        let ocut = self.rng.random_range(0..=other.len());
+                        bytes.truncate(cut);
+                        bytes.extend_from_slice(&other.as_bytes()[..ocut]);
+                    }
+                }
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// A batch of `n` mutated lines.
+    pub fn batch(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.mutate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_targets::memkv::proto::{classify, CmdFamily};
+
+    #[test]
+    fn semantic_generator_emits_only_valid_families() {
+        let mut g = CommandGen::new(5);
+        for line in g.batch(200) {
+            assert_ne!(classify(&line), CmdFamily::Error, "invalid: {line}");
+        }
+    }
+
+    #[test]
+    fn semantic_generator_covers_all_families() {
+        let mut g = CommandGen::new(5);
+        let lines = g.batch(300);
+        for family in [
+            CmdFamily::Get,
+            CmdFamily::Update,
+            CmdFamily::Incr,
+            CmdFamily::Decr,
+            CmdFamily::Delete,
+        ] {
+            assert!(
+                lines.iter().any(|l| classify(l) == family),
+                "family {family} never generated"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_mutator_produces_many_parse_errors() {
+        let mut m = ByteMutator::new(5);
+        let lines = m.batch(300);
+        let errors = lines.iter().filter(|l| classify(l) == CmdFamily::Error).count();
+        // The paper observes about 1/3 of AFL++ inputs aborting as invalid
+        // commands; havoc mutation must at least produce a sizable share.
+        assert!(errors > 50, "only {errors}/300 invalid");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(CommandGen::new(9).batch(10), CommandGen::new(9).batch(10));
+        assert_eq!(ByteMutator::new(9).batch(10), ByteMutator::new(9).batch(10));
+    }
+}

@@ -1,0 +1,234 @@
+//! Post-failure validation (§4.4).
+//!
+//! Each detected inconsistency carries a crash image capturing its crash
+//! point: the durable side effect persisted, the dependent non-persisted
+//! data lost. Validation restarts the target on that image, runs its
+//! recovery code under a fresh session, and checks whether recovery healed
+//! the state:
+//!
+//! - *Inter/intra inconsistency*: benign iff **all** bytes of the recorded
+//!   durable side effect were overwritten during recovery (e.g. memcached's
+//!   index rebuild rewriting `next`/`prev`).
+//! - *Sync inconsistency*: benign iff the annotated variable was restored
+//!   to its annotated initial value.
+//!
+//! Whitelisted detections (PMDK transactional allocation, checksum-guarded
+//! regions) are classified without running recovery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pmrace_pmem::Pool;
+use pmrace_runtime::report::{InconsistencyRecord, SyncUpdateRecord};
+use pmrace_runtime::whitelist::Whitelist;
+use pmrace_runtime::{RtError, Session, SessionConfig};
+use pmrace_targets::TargetSpec;
+
+/// Classification of a detected inconsistency after validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Survived validation: reported as a bug.
+    Bug,
+    /// Recovery healed the state: false positive (automatically filtered).
+    ValidatedFp,
+    /// A whitelist rule matched: false positive by declaration.
+    WhitelistedFp,
+    /// No crash image was captured (budget); cannot be validated.
+    Unvalidated,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Verdict::Bug => "bug",
+            Verdict::ValidatedFp => "validated false positive",
+            Verdict::WhitelistedFp => "whitelisted false positive",
+            Verdict::Unvalidated => "unvalidated",
+        };
+        f.write_str(s)
+    }
+}
+
+fn recovery_session(pool: Arc<Pool>) -> Arc<Session> {
+    Session::new(
+        pool,
+        SessionConfig {
+            deadline: Duration::from_millis(500),
+            capture_crash_images: false,
+            max_crash_images: 0,
+            whitelist: Whitelist::empty(),
+            trace_depth: 0,
+        },
+    )
+}
+
+/// Validate one inter-/intra-thread inconsistency.
+#[must_use]
+pub fn validate_inconsistency(spec: &TargetSpec, rec: &InconsistencyRecord) -> Verdict {
+    if rec.whitelisted {
+        return Verdict::WhitelistedFp;
+    }
+    let Some(img) = rec.crash_image.as_deref() else {
+        return Verdict::Unvalidated;
+    };
+    if rec.effect_len == 0 {
+        // External output: nothing recovery could overwrite.
+        return Verdict::Bug;
+    }
+    let Ok(pool) = Pool::from_crash_image(img) else {
+        return Verdict::Unvalidated;
+    };
+    let session = recovery_session(Arc::new(pool));
+    match (spec.recover)(&session) {
+        Ok(_) => {}
+        Err(RtError::Timeout | RtError::Halted) => return Verdict::Bug, // recovery hangs
+        Err(_) => return Verdict::Bug, // recovery cannot proceed from this image
+    }
+    let stored = session.stored_granules();
+    let first = rec.effect_off / 8 * 8;
+    let last = (rec.effect_off + rec.effect_len as u64 - 1) / 8 * 8;
+    let mut g = first;
+    while g <= last {
+        if !stored.contains(&g) {
+            return Verdict::Bug;
+        }
+        g += 8;
+    }
+    Verdict::ValidatedFp
+}
+
+/// Validate one synchronization inconsistency.
+#[must_use]
+pub fn validate_sync(spec: &TargetSpec, rec: &SyncUpdateRecord) -> Verdict {
+    let Some(img) = rec.crash_image.as_deref() else {
+        return Verdict::Unvalidated;
+    };
+    let Ok(pool) = Pool::from_crash_image(img) else {
+        return Verdict::Unvalidated;
+    };
+    let pool = Arc::new(pool);
+    let session = recovery_session(Arc::clone(&pool));
+    match (spec.recover)(&session) {
+        Ok(_) => {}
+        Err(RtError::Timeout | RtError::Halted) => return Verdict::Bug,
+        Err(_) => return Verdict::Bug,
+    }
+    match pool.load_u64(rec.var_off) {
+        Ok((v, _)) if v == rec.expected_init => Verdict::ValidatedFp,
+        Ok(_) => Verdict::Bug,
+        Err(_) => Verdict::Unvalidated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use crate::seed::Seed;
+    use pmrace_targets::{target_spec, Op};
+
+    /// P-CLHT resize produces the Bug 3 intra inconsistency; its durable
+    /// side effect (the GC log) is not overwritten during recovery.
+    #[test]
+    fn pclht_gc_log_inconsistency_is_a_bug() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let seed = Seed::from_flat(&ops, 1);
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(&spec, &seed, &cfg, None, None).unwrap();
+        let rec = res
+            .findings
+            .inconsistencies
+            .iter()
+            .find(|i| pmrace_runtime::site_label(i.effect_site).contains("gc_log"))
+            .expect("bug 3 must be detected by a resize-heavy workload");
+        assert_eq!(validate_inconsistency(&spec, rec), Verdict::Bug);
+    }
+
+    /// P-CLHT's resize_lock is reinitialized by recovery: validated FP.
+    /// The bucket lock is not: bug 2.
+    #[test]
+    fn pclht_sync_validation_separates_fp_from_bug() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let seed = Seed::from_flat(&ops, 1);
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(&spec, &seed, &cfg, None, None).unwrap();
+        let resize = res
+            .findings
+            .sync_updates
+            .iter()
+            .find(|u| u.var_name == "clht.resize_lock")
+            .expect("resize lock update recorded");
+        assert_eq!(validate_sync(&spec, resize), Verdict::ValidatedFp);
+        let bucket = res
+            .findings
+            .sync_updates
+            .iter()
+            .find(|u| u.var_name == "clht.bucket_lock")
+            .expect("bucket lock update recorded");
+        assert_eq!(validate_sync(&spec, bucket), Verdict::Bug);
+    }
+
+    /// memcached's recovery rebuilds LRU links, validating link-field
+    /// inconsistencies as false positives.
+    #[test]
+    fn memkv_link_field_effects_are_validated_fps() {
+        let spec = target_spec("memcached-pmem").unwrap();
+        // Interleave hot-key sets and gets over 4 threads so LRU link
+        // stores race with link reads.
+        let ops: Vec<Op> = (0..60)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Op::Insert { key: 1 + i % 5, value: i }
+                } else {
+                    Op::Get { key: 1 + i % 5 }
+                }
+            })
+            .collect();
+        let seed = Seed::from_flat(&ops, 4);
+        let mut fp = 0;
+        let mut checked = 0;
+        for round in 0..8 {
+            let _ = round;
+            let res = run_campaign(&spec, &seed, &CampaignConfig::default(), None, None).unwrap();
+            for rec in &res.findings.inconsistencies {
+                let label = pmrace_runtime::site_label(rec.effect_site);
+                if label.contains("store_p_next") || label.contains("store_n_prev") {
+                    checked += 1;
+                    if validate_inconsistency(&spec, rec) == Verdict::ValidatedFp {
+                        fp += 1;
+                    }
+                }
+            }
+            if checked > 0 {
+                break;
+            }
+        }
+        if checked > 0 {
+            assert!(fp > 0, "at least one link-field inconsistency validates as FP");
+        }
+    }
+
+    #[test]
+    fn whitelisted_records_skip_recovery() {
+        let spec = target_spec("clevel").unwrap();
+        let seed = Seed::from_flat(&[Op::Insert { key: 1, value: 1 }], 1);
+        let res = run_campaign(&spec, &seed, &CampaignConfig::default(), None, None).unwrap();
+        let rec = res
+            .findings
+            .inconsistencies
+            .iter()
+            .find(|i| i.whitelisted)
+            .expect("clevel construction raises whitelisted inconsistencies");
+        assert_eq!(validate_inconsistency(&spec, rec), Verdict::WhitelistedFp);
+    }
+}

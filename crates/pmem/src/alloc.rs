@@ -1,0 +1,415 @@
+//! A crash-consistent persistent allocator over a [`Pool`].
+//!
+//! Models the slice of PMDK's `libpmemobj` the evaluated systems rely on:
+//!
+//! - a pool **root offset** (like `pmemobj_root`),
+//! - bump allocation with a persistent heap cursor (updated with
+//!   non-temporal stores, so allocator metadata itself is always
+//!   crash-consistent),
+//! - **transactional allocation** with a persistent log: an allocation made
+//!   inside an uncommitted transaction is rolled back by
+//!   [`PmAllocator::open`] during recovery — the behaviour PMRace's default
+//!   whitelist treats as benign (§4.4),
+//! - volatile free lists for reuse (frees are not durable across crashes,
+//!   like `libvmmalloc`'s non-crash-consistent recycling the paper calls
+//!   out).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{PmemError, Pool, SiteTag, ThreadId};
+
+const MAGIC: u64 = 0x504d_5241_4345_3144; // "PMRACE1D"
+const OFF_MAGIC: u64 = 0;
+const OFF_ROOT: u64 = 8;
+const OFF_CURSOR: u64 = 16;
+const OFF_TX_ACTIVE: u64 = 24;
+const OFF_TX_SAVED_CURSOR: u64 = 32;
+/// First byte available to the heap; everything below is allocator metadata.
+pub(crate) const HEAP_START: u64 = 4096;
+
+/// Reserved site tag for allocator-internal stores, distinguishable from
+/// target instruction sites in reports.
+const ALLOC_TAG: SiteTag = SiteTag(0xFFFF_FF00);
+
+/// Aggregate allocator statistics, used by leak-oriented assertions in tests
+/// and by the PM-leakage bug reports (bugs 3 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes handed out and still live (not freed).
+    pub live_bytes: usize,
+    /// Number of live allocations.
+    pub live_allocs: usize,
+    /// Total heap bytes consumed from the pool (high-water mark).
+    pub heap_used: usize,
+}
+
+#[derive(Debug, Default)]
+struct Volatile {
+    /// Size-class free lists (volatile: lost on crash, like libvmmalloc).
+    free: HashMap<usize, Vec<u64>>,
+    /// Live allocation table `off -> size`.
+    live: HashMap<u64, usize>,
+}
+
+/// Persistent allocator handle. Clone-cheap (`Arc` inside); all methods take
+/// `&self`.
+#[derive(Debug, Clone)]
+pub struct PmAllocator {
+    pool: Arc<Pool>,
+    vol: Arc<Mutex<Volatile>>,
+}
+
+impl PmAllocator {
+    /// Format a fresh pool: write the allocator header and an empty root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool access errors (pool smaller than the allocator's
+    /// metadata region).
+    pub fn format(pool: Arc<Pool>, tid: ThreadId) -> Result<Self, PmemError> {
+        pool.ntstore_u64(OFF_CURSOR, HEAP_START, tid, ALLOC_TAG)?;
+        pool.ntstore_u64(OFF_ROOT, 0, tid, ALLOC_TAG)?;
+        pool.ntstore_u64(OFF_TX_ACTIVE, 0, tid, ALLOC_TAG)?;
+        pool.ntstore_u64(OFF_TX_SAVED_CURSOR, 0, tid, ALLOC_TAG)?;
+        pool.ntstore_u64(OFF_MAGIC, MAGIC, tid, ALLOC_TAG)?;
+        Ok(PmAllocator {
+            pool,
+            vol: Arc::new(Mutex::new(Volatile::default())),
+        })
+    }
+
+    /// Open an existing (possibly crashed) pool: validate the header and
+    /// roll back any allocation transaction that did not commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::BadAllocHeader`] if the magic value is missing.
+    pub fn open(pool: Arc<Pool>, tid: ThreadId) -> Result<Self, PmemError> {
+        let (magic, _) = pool.load_u64(OFF_MAGIC)?;
+        if magic != MAGIC {
+            return Err(PmemError::BadAllocHeader {
+                reason: "bad magic (pool not formatted)",
+            });
+        }
+        let (active, _) = pool.load_u64(OFF_TX_ACTIVE)?;
+        if active != 0 {
+            // Uncommitted allocation transaction: roll the cursor back,
+            // reclaiming everything it allocated (PMDK-style recovery).
+            let (saved, _) = pool.load_u64(OFF_TX_SAVED_CURSOR)?;
+            pool.ntstore_u64(OFF_CURSOR, saved, tid, ALLOC_TAG)?;
+            pool.ntstore_u64(OFF_TX_ACTIVE, 0, tid, ALLOC_TAG)?;
+        }
+        Ok(PmAllocator {
+            pool,
+            vol: Arc::new(Mutex::new(Volatile::default())),
+        })
+    }
+
+    /// The pool this allocator manages.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Offset of the root object (0 = unset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool access errors.
+    pub fn root(&self) -> Result<u64, PmemError> {
+        Ok(self.pool.load_u64(OFF_ROOT)?.0)
+    }
+
+    /// Durably set the root object offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool access errors.
+    pub fn set_root(&self, off: u64, tid: ThreadId) -> Result<(), PmemError> {
+        self.pool.ntstore_u64(OFF_ROOT, off, tid, ALLOC_TAG)?;
+        Ok(())
+    }
+
+    fn size_class(size: usize) -> usize {
+        size.next_power_of_two().max(64)
+    }
+
+    /// Allocate `size` bytes (64-byte aligned), durably advancing the heap
+    /// cursor. The returned memory is zeroed on a fresh pool but may hold
+    /// stale bytes when recycled from the free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc(&self, size: usize, tid: ThreadId) -> Result<u64, PmemError> {
+        let class = Self::size_class(size);
+        {
+            let mut vol = self.vol.lock();
+            if let Some(off) = vol.free.get_mut(&class).and_then(Vec::pop) {
+                vol.live.insert(off, class);
+                return Ok(off);
+            }
+        }
+        let mut vol = self.vol.lock();
+        let (cursor, _) = self.pool.load_u64(OFF_CURSOR)?;
+        let aligned = (cursor + 63) / 64 * 64;
+        let new_cursor = aligned + class as u64;
+        if new_cursor > self.pool.size() as u64 {
+            return Err(PmemError::OutOfMemory { requested: size });
+        }
+        self.pool.ntstore_u64(OFF_CURSOR, new_cursor, tid, ALLOC_TAG)?;
+        vol.live.insert(aligned, class);
+        Ok(aligned)
+    }
+
+    /// Return an allocation to the (volatile) free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::BadFree`] if `off` is not a live allocation.
+    pub fn free(&self, off: u64, _tid: ThreadId) -> Result<(), PmemError> {
+        let mut vol = self.vol.lock();
+        let class = vol.live.remove(&off).ok_or(PmemError::BadFree { off })?;
+        vol.free.entry(class).or_default().push(off);
+        Ok(())
+    }
+
+    /// Begin a transactional allocation scope (PMDK `TX_BEGIN` analog for
+    /// allocation). Allocations made through the returned handle are rolled
+    /// back by recovery unless [`TxAllocHandle::commit`] runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool access errors.
+    pub fn begin_tx(&self, tid: ThreadId) -> Result<TxAllocHandle<'_>, PmemError> {
+        let (cursor, _) = self.pool.load_u64(OFF_CURSOR)?;
+        self.pool
+            .ntstore_u64(OFF_TX_SAVED_CURSOR, cursor, tid, ALLOC_TAG)?;
+        self.pool.ntstore_u64(OFF_TX_ACTIVE, 1, tid, ALLOC_TAG)?;
+        Ok(TxAllocHandle {
+            alloc: self,
+            tid,
+            open: true,
+        })
+    }
+
+    /// Statistics over live allocations and heap usage.
+    #[must_use]
+    pub fn stats(&self) -> AllocStats {
+        let vol = self.vol.lock();
+        let live_bytes = vol.live.values().sum();
+        let heap_used = self
+            .pool
+            .load_u64(OFF_CURSOR)
+            .map(|(c, _)| (c.saturating_sub(HEAP_START)) as usize)
+            .unwrap_or(0);
+        AllocStats {
+            live_bytes,
+            live_allocs: vol.live.len(),
+            heap_used,
+        }
+    }
+
+    /// Offsets of all live allocations (volatile view), for leak analysis.
+    #[must_use]
+    pub fn live_offsets(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.vol.lock().live.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Open transactional-allocation scope; see [`PmAllocator::begin_tx`].
+///
+/// Dropping the handle without committing leaves the persistent transaction
+/// flag set, so a crash (or recovery) rolls the allocations back — exactly
+/// the PMDK behaviour behind the clevel-hashing benign inconsistency (Fig. 7).
+#[derive(Debug)]
+pub struct TxAllocHandle<'a> {
+    alloc: &'a PmAllocator,
+    tid: ThreadId,
+    open: bool,
+}
+
+impl TxAllocHandle<'_> {
+    /// Allocate inside the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::TxClosed`] after commit/abort, otherwise as
+    /// [`PmAllocator::alloc`].
+    pub fn alloc(&self, size: usize) -> Result<u64, PmemError> {
+        if !self.open {
+            return Err(PmemError::TxClosed);
+        }
+        self.alloc.alloc(size, self.tid)
+    }
+
+    /// Durably commit: allocations survive crashes from here on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::TxClosed`] if already closed.
+    pub fn commit(mut self) -> Result<(), PmemError> {
+        if !self.open {
+            return Err(PmemError::TxClosed);
+        }
+        self.open = false;
+        self.alloc
+            .pool
+            .ntstore_u64(OFF_TX_ACTIVE, 0, self.tid, ALLOC_TAG)?;
+        Ok(())
+    }
+
+    /// Abort explicitly (equivalent to dropping, but immediate and durable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::TxClosed`] if already closed.
+    pub fn abort(mut self) -> Result<(), PmemError> {
+        if !self.open {
+            return Err(PmemError::TxClosed);
+        }
+        self.open = false;
+        let (saved, _) = self.alloc.pool.load_u64(OFF_TX_SAVED_CURSOR)?;
+        self.alloc
+            .pool
+            .ntstore_u64(OFF_CURSOR, saved, self.tid, ALLOC_TAG)?;
+        self.alloc
+            .pool
+            .ntstore_u64(OFF_TX_ACTIVE, 0, self.tid, ALLOC_TAG)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolOpts;
+
+    const T0: ThreadId = ThreadId(0);
+
+    fn fresh() -> PmAllocator {
+        PmAllocator::format(Arc::new(Pool::new(PoolOpts::small())), T0).unwrap()
+    }
+
+    #[test]
+    fn format_then_open() {
+        let a = fresh();
+        let pool = Arc::clone(a.pool());
+        drop(a);
+        let a2 = PmAllocator::open(pool, T0).unwrap();
+        assert_eq!(a2.root().unwrap(), 0);
+    }
+
+    #[test]
+    fn open_unformatted_pool_fails() {
+        let pool = Arc::new(Pool::new(PoolOpts::small()));
+        assert!(matches!(
+            PmAllocator::open(pool, T0).unwrap_err(),
+            PmemError::BadAllocHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let a = fresh();
+        let x = a.alloc(100, T0).unwrap();
+        let y = a.alloc(100, T0).unwrap();
+        assert_eq!(x % 64, 0);
+        assert_eq!(y % 64, 0);
+        assert!(y >= x + 128); // size class of 100 is 128
+        assert!(x >= HEAP_START);
+    }
+
+    #[test]
+    fn free_then_realloc_recycles() {
+        let a = fresh();
+        let x = a.alloc(64, T0).unwrap();
+        a.free(x, T0).unwrap();
+        let y = a.alloc(64, T0).unwrap();
+        assert_eq!(x, y);
+        assert!(matches!(
+            a.free(12345, T0).unwrap_err(),
+            PmemError::BadFree { .. }
+        ));
+    }
+
+    #[test]
+    fn cursor_survives_crash() {
+        let a = fresh();
+        let _ = a.alloc(64, T0).unwrap();
+        let img = a.pool().crash_image().unwrap();
+        let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let a2 = PmAllocator::open(Arc::clone(&pool2), T0).unwrap();
+        // New allocation must not overlap the pre-crash one.
+        let z = a2.alloc(64, T0).unwrap();
+        assert!(z >= HEAP_START + 64);
+    }
+
+    #[test]
+    fn uncommitted_tx_alloc_is_rolled_back_on_recovery() {
+        let a = fresh();
+        let before = a.pool().load_u64(OFF_CURSOR).unwrap().0;
+        let tx = a.begin_tx(T0).unwrap();
+        let _ = tx.alloc(256).unwrap();
+        // Crash without commit.
+        let img = a.pool().crash_image().unwrap();
+        let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let a2 = PmAllocator::open(Arc::clone(&pool2), T0).unwrap();
+        assert_eq!(pool2.load_u64(OFF_CURSOR).unwrap().0, before);
+        drop(a2);
+    }
+
+    #[test]
+    fn committed_tx_alloc_survives_recovery() {
+        let a = fresh();
+        let tx = a.begin_tx(T0).unwrap();
+        let off = tx.alloc(256).unwrap();
+        tx.commit().unwrap();
+        let img = a.pool().crash_image().unwrap();
+        let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let a2 = PmAllocator::open(Arc::clone(&pool2), T0).unwrap();
+        let next = a2.alloc(64, T0).unwrap();
+        assert!(next > off);
+    }
+
+    #[test]
+    fn tx_abort_rolls_back_immediately() {
+        let a = fresh();
+        let before = a.pool().load_u64(OFF_CURSOR).unwrap().0;
+        let tx = a.begin_tx(T0).unwrap();
+        let _ = tx.alloc(512).unwrap();
+        tx.abort().unwrap();
+        assert_eq!(a.pool().load_u64(OFF_CURSOR).unwrap().0, before);
+    }
+
+    #[test]
+    fn stats_track_live_allocations() {
+        let a = fresh();
+        let x = a.alloc(64, T0).unwrap();
+        let _y = a.alloc(64, T0).unwrap();
+        let s = a.stats();
+        assert_eq!(s.live_allocs, 2);
+        assert_eq!(s.live_bytes, 128);
+        assert!(s.heap_used >= 128);
+        a.free(x, T0).unwrap();
+        assert_eq!(a.stats().live_allocs, 1);
+        assert_eq!(a.live_offsets().len(), 1);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let pool = Arc::new(Pool::new(PoolOpts::with_size(8192)));
+        let a = PmAllocator::format(pool, T0).unwrap();
+        // Heap is 8192 - 4096 = 4096 bytes.
+        assert!(a.alloc(2048, T0).is_ok());
+        assert!(matches!(
+            a.alloc(4096, T0).unwrap_err(),
+            PmemError::OutOfMemory { .. }
+        ));
+    }
+}

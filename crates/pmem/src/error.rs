@@ -1,0 +1,112 @@
+//! Error type for the PM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Pool`](crate::Pool) and
+/// [`PmAllocator`](crate::PmAllocator) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmemError {
+    /// An access touched bytes outside the pool.
+    OutOfBounds {
+        /// Start offset of the offending access.
+        off: u64,
+        /// Length of the offending access in bytes.
+        len: usize,
+        /// Total pool size in bytes.
+        pool_size: usize,
+    },
+    /// An access required alignment the offset does not satisfy.
+    Misaligned {
+        /// Offending offset.
+        off: u64,
+        /// Required alignment in bytes.
+        align: usize,
+    },
+    /// The persistent allocator ran out of space.
+    OutOfMemory {
+        /// Allocation size that failed.
+        requested: usize,
+    },
+    /// The allocator header in the pool is corrupt or not initialized.
+    BadAllocHeader {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// `free` was called on an offset that is not a live allocation.
+    BadFree {
+        /// Offending offset.
+        off: u64,
+    },
+    /// A transactional allocation handle was used after commit/abort.
+    TxClosed,
+    /// A pool image had an unexpected size or magic value.
+    InvalidImage {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfBounds {
+                off,
+                len,
+                pool_size,
+            } => write!(
+                f,
+                "access [{off:#x}, {:#x}) outside pool of {pool_size} bytes",
+                off + *len as u64
+            ),
+            PmemError::Misaligned { off, align } => {
+                write!(f, "offset {off:#x} is not {align}-byte aligned")
+            }
+            PmemError::OutOfMemory { requested } => {
+                write!(f, "persistent allocator out of memory ({requested} bytes requested)")
+            }
+            PmemError::BadAllocHeader { reason } => {
+                write!(f, "allocator header invalid: {reason}")
+            }
+            PmemError::BadFree { off } => write!(f, "free of non-allocated offset {off:#x}"),
+            PmemError::TxClosed => write!(f, "transactional allocation handle already closed"),
+            PmemError::InvalidImage { reason } => write!(f, "invalid pool image: {reason}"),
+        }
+    }
+}
+
+impl Error for PmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let samples: Vec<PmemError> = vec![
+            PmemError::OutOfBounds {
+                off: 8,
+                len: 16,
+                pool_size: 4,
+            },
+            PmemError::Misaligned { off: 3, align: 8 },
+            PmemError::OutOfMemory { requested: 64 },
+            PmemError::BadAllocHeader { reason: "magic" },
+            PmemError::BadFree { off: 9 },
+            PmemError::TxClosed,
+            PmemError::InvalidImage { reason: "size" },
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmemError>();
+    }
+}

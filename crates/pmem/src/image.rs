@@ -1,0 +1,171 @@
+//! Byte images and per-granule persistency metadata.
+
+use std::collections::HashMap;
+
+use crate::{SiteTag, ThreadId};
+
+/// Size in bytes of a persistency-tracking granule (one machine word).
+///
+/// The paper's runtime records persistency states in a hash table keyed by
+/// address; we track at 8-byte granularity, which matches the word-sized PM
+/// stores all evaluated systems use for their racy metadata.
+pub const GRANULE: usize = 8;
+
+/// Size in bytes of a cache line; `clwb` affects a whole line.
+pub const CACHE_LINE: usize = 64;
+
+/// Persistency state of one granule (the paper's `PM_DIRTY` / `PM_CLEAN`
+/// plus the intermediate write-back-queued state between `clwb` and
+/// `sfence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PersistState {
+    /// Volatile and persistent images agree; a crash loses nothing here.
+    #[default]
+    Clean,
+    /// A store reached the volatile image but no write-back is queued.
+    /// Loading this granule from another thread is a *PM Inter-thread
+    /// Inconsistency Candidate*.
+    Dirty,
+    /// `clwb` captured the granule; the capture persists at the next
+    /// `sfence`. Still lost on a crash before the fence.
+    Flushing,
+}
+
+impl PersistState {
+    /// `true` when a crash right now would lose the latest store to this
+    /// granule (`Dirty` or `Flushing`).
+    #[must_use]
+    pub fn is_unpersisted(self) -> bool {
+        !matches!(self, PersistState::Clean)
+    }
+}
+
+impl std::fmt::Display for PersistState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PersistState::Clean => "PM_CLEAN",
+            PersistState::Dirty => "PM_DIRTY",
+            PersistState::Flushing => "PM_FLUSHING",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata attached to a granule by the most recent store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GranuleMeta {
+    /// Persistency state of the granule.
+    pub state: PersistState,
+    /// Thread that issued the most recent store.
+    pub writer: ThreadId,
+    /// Instruction-site tag of the most recent store.
+    pub tag: SiteTag,
+    /// Monotonic sequence number of the most recent store (pool-wide).
+    pub seq: u64,
+}
+
+/// Dense byte image plus sparse granule metadata. Interior piece of
+/// [`Pool`](crate::Pool); all synchronization lives in the pool.
+#[derive(Debug)]
+pub(crate) struct Image {
+    pub(crate) volatile: Vec<u8>,
+    pub(crate) persistent: Vec<u8>,
+    /// Sparse per-granule metadata, keyed by granule index (offset / 8).
+    pub(crate) meta: HashMap<u64, GranuleMeta>,
+    /// Write-backs queued by `clwb` (keyed by granule, tagged with the
+    /// issuing thread), applied to `persistent` at that thread's `sfence`.
+    pub(crate) pending: HashMap<u64, (ThreadId, [u8; GRANULE])>,
+    /// Pool-wide store sequence counter.
+    pub(crate) seq: u64,
+}
+
+impl Image {
+    pub(crate) fn new(size: usize) -> Self {
+        Image {
+            volatile: vec![0; size],
+            persistent: vec![0; size],
+            meta: HashMap::new(),
+            pending: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    pub(crate) fn granule_of(off: u64) -> u64 {
+        off / GRANULE as u64
+    }
+
+    /// Granule indices overlapped by `[off, off+len)`.
+    pub(crate) fn granules(off: u64, len: usize) -> std::ops::RangeInclusive<u64> {
+        if len == 0 {
+            // An empty range; the caller filters these out.
+            return 1..=0;
+        }
+        Self::granule_of(off)..=Self::granule_of(off + len as u64 - 1)
+    }
+
+    pub(crate) fn meta_of(&self, g: u64) -> GranuleMeta {
+        self.meta.get(&g).copied().unwrap_or_default()
+    }
+
+    /// Apply one queued write-back (granule `g`) to the persistent image.
+    pub(crate) fn apply_pending(&mut self, g: u64, bytes: [u8; GRANULE]) {
+        let start = g as usize * GRANULE;
+        let end = (start + GRANULE).min(self.persistent.len());
+        self.persistent[start..end].copy_from_slice(&bytes[..end - start]);
+    }
+
+    /// Capture the current volatile content of granule `g`.
+    pub(crate) fn capture(&self, g: u64) -> [u8; GRANULE] {
+        let start = g as usize * GRANULE;
+        let end = (start + GRANULE).min(self.volatile.len());
+        let mut out = [0u8; GRANULE];
+        out[..end - start].copy_from_slice(&self.volatile[start..end]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granule_math() {
+        assert_eq!(Image::granule_of(0), 0);
+        assert_eq!(Image::granule_of(7), 0);
+        assert_eq!(Image::granule_of(8), 1);
+        let r = Image::granules(6, 4); // bytes 6..10 span granules 0 and 1
+        assert_eq!(r, 0..=1);
+        let r = Image::granules(8, 8);
+        assert_eq!(r, 1..=1);
+        assert!(Image::granules(16, 0).is_empty());
+    }
+
+    #[test]
+    fn persist_state_default_is_clean() {
+        assert_eq!(PersistState::default(), PersistState::Clean);
+        assert!(!PersistState::Clean.is_unpersisted());
+        assert!(PersistState::Dirty.is_unpersisted());
+        assert!(PersistState::Flushing.is_unpersisted());
+    }
+
+    #[test]
+    fn capture_and_apply_roundtrip() {
+        let mut img = Image::new(32);
+        img.volatile[8..16].copy_from_slice(&7u64.to_le_bytes());
+        let cap = img.capture(1);
+        assert_eq!(u64::from_le_bytes(cap), 7);
+        img.apply_pending(1, cap);
+        assert_eq!(&img.persistent[8..16], &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn capture_at_pool_tail_is_truncated() {
+        let mut img = Image::new(12); // last granule is only 4 bytes
+        img.volatile[8..12].copy_from_slice(&[1, 2, 3, 4]);
+        let cap = img.capture(1);
+        assert_eq!(&cap[..4], &[1, 2, 3, 4]);
+        assert_eq!(&cap[4..], &[0; 4]);
+        img.apply_pending(1, cap);
+        assert_eq!(&img.persistent[8..12], &[1, 2, 3, 4]);
+    }
+}

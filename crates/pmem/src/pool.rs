@@ -1,0 +1,854 @@
+//! The [`Pool`]: a software PM device with volatile-cache semantics.
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::image::{Image, GRANULE};
+use crate::snapshot::{CrashImage, PoolSnapshot};
+use crate::{GranuleMeta, PersistState, PmemError, SiteTag, ThreadId};
+
+/// How much work opening/initializing the pool performs.
+///
+/// Models the difference the paper measures in Fig. 10: `libpmemobj` pool
+/// initialization is expensive (metadata formatting, allocator bootstrap),
+/// while `pmem_map_file` from `libpmem` is a thin `mmap` wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitCost {
+    /// Thin mapping, near-zero setup (memcached-pmem's `pmem_map_file`).
+    #[default]
+    Light,
+    /// `libpmemobj`-like initialization: several full passes over the pool
+    /// (formatting, checksumming, allocator bootstrap).
+    Heavy,
+}
+
+/// Construction options for a [`Pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolOpts {
+    /// Pool size in bytes.
+    pub size: usize,
+    /// Simulated initialization cost.
+    pub init_cost: InitCost,
+    /// Model an eADR platform (§6.6): CPU caches are inside the persistent
+    /// domain, so every store is immediately durable and flushes are
+    /// no-ops. *PM Inter-thread Inconsistency* cannot occur; unreleased
+    /// persistent locks (*PM Synchronization Inconsistency*) still can.
+    pub eadr: bool,
+}
+
+impl PoolOpts {
+    /// A 1 MiB pool with light initialization — right for unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        PoolOpts {
+            size: 1 << 20,
+            init_cost: InitCost::Light,
+            eadr: false,
+        }
+    }
+
+    /// A pool of `size` bytes with light initialization.
+    #[must_use]
+    pub fn with_size(size: usize) -> Self {
+        PoolOpts {
+            size,
+            init_cost: InitCost::Light,
+            eadr: false,
+        }
+    }
+
+    /// Switch to `libpmemobj`-like heavy initialization.
+    #[must_use]
+    pub fn heavy(mut self) -> Self {
+        self.init_cost = InitCost::Heavy;
+        self
+    }
+
+    /// Switch to the eADR failure model (persistent CPU caches).
+    #[must_use]
+    pub fn eadr(mut self) -> Self {
+        self.eadr = true;
+        self
+    }
+}
+
+impl Default for PoolOpts {
+    fn default() -> Self {
+        PoolOpts::small()
+    }
+}
+
+/// Result of a store: sequencing and whether it overwrote not-yet-persisted
+/// data (useful to checkers hunting lost updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Pool-wide sequence number assigned to this store.
+    pub seq: u64,
+    /// `true` if any overwritten granule was still `Dirty`/`Flushing`.
+    pub overwrote_unpersisted: bool,
+}
+
+/// Persistency facts about the bytes a load observed.
+///
+/// For multi-granule loads the `writer`/`tag`/`seq` fields describe the most
+/// recent unpersisted store among the overlapped granules (highest `seq`),
+/// which is the store a crash would lose first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadInfo {
+    /// `true` if any loaded byte came from a store not yet persisted.
+    pub unpersisted: bool,
+    /// Writer of the most recent unpersisted store (valid iff `unpersisted`).
+    pub writer: ThreadId,
+    /// Site tag of that store (valid iff `unpersisted`).
+    pub tag: SiteTag,
+    /// Sequence number of that store (valid iff `unpersisted`).
+    pub seq: u64,
+    /// Persistency state summarizing the loaded range: `Dirty` dominates
+    /// `Flushing` dominates `Clean`.
+    pub state: PersistState,
+}
+
+/// A software PM pool: dense byte space, word-granular persistency tracking,
+/// crash snapshots.
+///
+/// All methods take `&self`; the pool is internally synchronized and is meant
+/// to be shared across target threads via `Arc`. See the
+/// [crate docs](crate) for the memory model.
+#[derive(Debug)]
+pub struct Pool {
+    inner: Mutex<Image>,
+    size: usize,
+    opts: PoolOpts,
+}
+
+impl Pool {
+    /// Create a zeroed pool, paying the configured initialization cost.
+    #[must_use]
+    pub fn new(opts: PoolOpts) -> Self {
+        let pool = Pool {
+            inner: Mutex::new(Image::new(opts.size)),
+            size: opts.size,
+            opts,
+        };
+        pool.run_init_cost();
+        pool
+    }
+
+    /// Rebuild a pool from a crash image, as the recovery process would see
+    /// it: both images equal the surviving bytes, all granules `Clean`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidImage`] if the image is empty.
+    pub fn from_crash_image(img: &CrashImage) -> Result<Self, PmemError> {
+        if img.bytes().is_empty() {
+            return Err(PmemError::InvalidImage {
+                reason: "empty crash image",
+            });
+        }
+        let size = img.bytes().len();
+        let mut inner = Image::new(size);
+        inner.volatile.copy_from_slice(img.bytes());
+        inner.persistent.copy_from_slice(img.bytes());
+        Ok(Pool {
+            inner: Mutex::new(inner),
+            size,
+            opts: PoolOpts::with_size(size),
+        })
+    }
+
+    /// Pool size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Options this pool was created with.
+    #[must_use]
+    pub fn opts(&self) -> PoolOpts {
+        self.opts
+    }
+
+    fn run_init_cost(&self) {
+        if self.opts.init_cost == InitCost::Heavy {
+            // Simulate libpmemobj pool formatting: several full passes that
+            // read, checksum, and rewrite the image. The result is still a
+            // zeroed pool; only the cost matters (Fig. 10).
+            let mut inner = self.inner.lock();
+            let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+            for _pass in 0..4 {
+                for chunk in inner.volatile.chunks(8) {
+                    let mut w = [0u8; 8];
+                    w[..chunk.len()].copy_from_slice(chunk);
+                    acc = (acc ^ u64::from_le_bytes(w)).wrapping_mul(0x1000_0000_01b3);
+                }
+                for b in inner.persistent.iter_mut() {
+                    *b = (acc as u8).wrapping_add(*b);
+                    *b = 0;
+                }
+            }
+            std::hint::black_box(acc);
+        }
+    }
+
+    fn check(&self, off: u64, len: usize) -> Result<(), PmemError> {
+        let end = off.checked_add(len as u64);
+        match end {
+            Some(end) if end <= self.size as u64 => Ok(()),
+            _ => Err(PmemError::OutOfBounds {
+                off,
+                len,
+                pool_size: self.size,
+            }),
+        }
+    }
+
+    /// Regular (cached) store: updates the volatile image and marks granules
+    /// `Dirty` with this writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] for accesses past the pool end.
+    pub fn store(
+        &self,
+        off: u64,
+        bytes: &[u8],
+        tid: ThreadId,
+        tag: SiteTag,
+    ) -> Result<StoreInfo, PmemError> {
+        if self.opts.eadr {
+            // Persistent caches: every store is immediately durable.
+            return self.ntstore(off, bytes, tid, tag);
+        }
+        self.check(off, bytes.len())?;
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        inner.volatile[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
+        let mut overwrote = false;
+        for g in Image::granules(off, bytes.len()) {
+            let prev = inner.meta_of(g);
+            overwrote |= prev.state.is_unpersisted();
+            inner.meta.insert(
+                g,
+                GranuleMeta {
+                    state: PersistState::Dirty,
+                    writer: tid,
+                    tag,
+                    seq,
+                },
+            );
+        }
+        Ok(StoreInfo {
+            seq,
+            overwrote_unpersisted: overwrote,
+        })
+    }
+
+    /// Non-temporal store: bypasses the cache, updating both images and
+    /// leaving the granules `Clean` (the paper's `movnt64` treatment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] for accesses past the pool end.
+    pub fn ntstore(
+        &self,
+        off: u64,
+        bytes: &[u8],
+        tid: ThreadId,
+        tag: SiteTag,
+    ) -> Result<StoreInfo, PmemError> {
+        self.check(off, bytes.len())?;
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let (start, end) = (off as usize, off as usize + bytes.len());
+        inner.volatile[start..end].copy_from_slice(bytes);
+        inner.persistent[start..end].copy_from_slice(bytes);
+        let mut overwrote = false;
+        for g in Image::granules(off, bytes.len()) {
+            let prev = inner.meta_of(g);
+            overwrote |= prev.state.is_unpersisted();
+            inner.pending.remove(&g);
+            inner.meta.insert(
+                g,
+                GranuleMeta {
+                    state: PersistState::Clean,
+                    writer: tid,
+                    tag,
+                    seq,
+                },
+            );
+        }
+        Ok(StoreInfo {
+            seq,
+            overwrote_unpersisted: overwrote,
+        })
+    }
+
+    /// Load `buf.len()` bytes from the volatile image, reporting persistency
+    /// facts about what was read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] for accesses past the pool end.
+    pub fn load(&self, off: u64, buf: &mut [u8]) -> Result<LoadInfo, PmemError> {
+        self.check(off, buf.len())?;
+        let inner = self.inner.lock();
+        buf.copy_from_slice(&inner.volatile[off as usize..off as usize + buf.len()]);
+        let mut info = LoadInfo::default();
+        for g in Image::granules(off, buf.len()) {
+            let m = inner.meta_of(g);
+            if m.state.is_unpersisted() {
+                if !info.unpersisted || m.seq > info.seq {
+                    info.writer = m.writer;
+                    info.tag = m.tag;
+                    info.seq = m.seq;
+                }
+                info.unpersisted = true;
+                if m.state == PersistState::Dirty || info.state == PersistState::Clean {
+                    info.state = if info.state == PersistState::Dirty {
+                        PersistState::Dirty
+                    } else {
+                        m.state
+                    };
+                }
+            }
+        }
+        Ok(info)
+    }
+
+    /// Queue write-backs (`clwb`) for every granule overlapping
+    /// `[off, off+len)`, rounded out to cache-line boundaries as real `clwb`
+    /// flushes whole lines. Captures current volatile content; it persists at
+    /// this thread's next [`sfence`](Pool::sfence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] for accesses past the pool end.
+    pub fn clwb(&self, off: u64, len: usize, tid: ThreadId) -> Result<(), PmemError> {
+        self.check(off, len.max(1))?;
+        let line = crate::CACHE_LINE as u64;
+        let start = off / line * line;
+        let end = ((off + len.max(1) as u64 + line - 1) / line * line).min(self.size as u64);
+        let mut inner = self.inner.lock();
+        for g in Image::granules(start, (end - start) as usize) {
+            let m = inner.meta_of(g);
+            if m.state == PersistState::Dirty {
+                let cap = inner.capture(g);
+                inner.pending.insert(g, (tid, cap));
+                let mut m2 = m;
+                m2.state = PersistState::Flushing;
+                inner.meta.insert(g, m2);
+            }
+        }
+        Ok(())
+    }
+
+    /// Store fence: completes every write-back this thread queued with
+    /// `clwb`, making those captures persistent and the granules `Clean`
+    /// (unless re-dirtied after the capture).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for API stability.
+    pub fn sfence(&self, tid: ThreadId) -> Result<(), PmemError> {
+        let mut inner = self.inner.lock();
+        let drained: Vec<(u64, [u8; GRANULE])> = inner
+            .pending
+            .iter()
+            .filter(|(_, (t, _))| *t == tid)
+            .map(|(g, (_, b))| (*g, *b))
+            .collect();
+        for (g, bytes) in drained {
+            inner.pending.remove(&g);
+            inner.apply_pending(g, bytes);
+            let m = inner.meta_of(g);
+            if m.state == PersistState::Flushing {
+                let mut m2 = m;
+                m2.state = PersistState::Clean;
+                inner.meta.insert(g, m2);
+            }
+            // If the granule was re-dirtied after the capture it stays Dirty:
+            // the old capture persisted but the newest store is still at risk.
+        }
+        Ok(())
+    }
+
+    /// Convenience: `clwb` + `sfence` over a range (the common persist
+    /// idiom).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Pool::clwb`] errors.
+    pub fn persist(&self, off: u64, len: usize, tid: ThreadId) -> Result<(), PmemError> {
+        self.clwb(off, len, tid)?;
+        self.sfence(tid)
+    }
+
+    /// Atomic compare-and-swap on an aligned `u64` in the volatile image.
+    /// On success the granule becomes `Dirty` like a regular store.
+    /// Returns `(swapped, observed_value, load_info)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] or [`PmemError::Misaligned`].
+    pub fn cas_u64(
+        &self,
+        off: u64,
+        expected: u64,
+        new: u64,
+        tid: ThreadId,
+        tag: SiteTag,
+    ) -> Result<(bool, u64, LoadInfo), PmemError> {
+        self.check(off, 8)?;
+        if off % 8 != 0 {
+            return Err(PmemError::Misaligned { off, align: 8 });
+        }
+        let mut inner = self.inner.lock();
+        let cur = u64::from_le_bytes(
+            inner.volatile[off as usize..off as usize + 8]
+                .try_into()
+                .expect("8-byte slice"),
+        );
+        let g = Image::granule_of(off);
+        let m = inner.meta_of(g);
+        let info = LoadInfo {
+            unpersisted: m.state.is_unpersisted(),
+            writer: m.writer,
+            tag: m.tag,
+            seq: m.seq,
+            state: m.state,
+        };
+        if cur != expected {
+            return Ok((false, cur, info));
+        }
+        inner.seq += 1;
+        let seq = inner.seq;
+        inner.volatile[off as usize..off as usize + 8].copy_from_slice(&new.to_le_bytes());
+        if self.opts.eadr {
+            inner.persistent[off as usize..off as usize + 8]
+                .copy_from_slice(&new.to_le_bytes());
+        }
+        inner.meta.insert(
+            g,
+            GranuleMeta {
+                state: if self.opts.eadr {
+                    PersistState::Clean
+                } else {
+                    PersistState::Dirty
+                },
+                writer: tid,
+                tag,
+                seq,
+            },
+        );
+        Ok((true, cur, info))
+    }
+
+    /// Store an aligned little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pool::store`].
+    pub fn store_u64(
+        &self,
+        off: u64,
+        val: u64,
+        tid: ThreadId,
+        tag: SiteTag,
+    ) -> Result<StoreInfo, PmemError> {
+        self.store(off, &val.to_le_bytes(), tid, tag)
+    }
+
+    /// Non-temporal store of an aligned little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pool::ntstore`].
+    pub fn ntstore_u64(
+        &self,
+        off: u64,
+        val: u64,
+        tid: ThreadId,
+        tag: SiteTag,
+    ) -> Result<StoreInfo, PmemError> {
+        self.ntstore(off, &val.to_le_bytes(), tid, tag)
+    }
+
+    /// Load a little-endian `u64` along with its [`LoadInfo`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pool::load`].
+    pub fn load_u64(&self, off: u64) -> Result<(u64, LoadInfo), PmemError> {
+        let mut buf = [0u8; 8];
+        let info = self.load(off, &mut buf)?;
+        Ok((u64::from_le_bytes(buf), info))
+    }
+
+    /// Persistency metadata of the granule containing `off`.
+    #[must_use]
+    pub fn meta_at(&self, off: u64) -> GranuleMeta {
+        let inner = self.inner.lock();
+        inner.meta_of(Image::granule_of(off))
+    }
+
+    /// Number of granules currently unpersisted (`Dirty` or `Flushing`).
+    #[must_use]
+    pub fn unpersisted_granules(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .meta
+            .values()
+            .filter(|m| m.state.is_unpersisted())
+            .count()
+    }
+
+    /// All currently unpersisted granules with their metadata, sorted by
+    /// offset — the end-of-execution dirty set a missing-flush checker
+    /// inspects.
+    #[must_use]
+    pub fn unpersisted_regions(&self) -> Vec<(u64, GranuleMeta)> {
+        let inner = self.inner.lock();
+        let mut v: Vec<(u64, GranuleMeta)> = inner
+            .meta
+            .iter()
+            .filter(|(_, m)| m.state.is_unpersisted())
+            .map(|(&g, &m)| (g * GRANULE as u64, m))
+            .collect();
+        v.sort_unstable_by_key(|&(off, _)| off);
+        v
+    }
+
+    /// Model hardware cache eviction: persist one random `Dirty` granule's
+    /// current content and mark it `Clean`. Returns the evicted granule's
+    /// byte offset, or `None` if nothing is dirty.
+    pub fn evict_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        let dirty: Vec<u64> = inner
+            .meta
+            .iter()
+            .filter(|(_, m)| m.state == PersistState::Dirty)
+            .map(|(g, _)| *g)
+            .collect();
+        if dirty.is_empty() {
+            return None;
+        }
+        let g = dirty[rng.random_range(0..dirty.len())];
+        let cap = inner.capture(g);
+        inner.apply_pending(g, cap);
+        let m = inner.meta_of(g);
+        let mut m2 = m;
+        m2.state = PersistState::Clean;
+        inner.meta.insert(g, m2);
+        inner.pending.remove(&g);
+        Some(g * GRANULE as u64)
+    }
+
+    /// Snapshot of what survives a crash *right now*: the persistent image
+    /// only. Queued-but-unfenced write-backs are conservatively lost.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for API stability.
+    pub fn crash_image(&self) -> Result<CrashImage, PmemError> {
+        let inner = self.inner.lock();
+        Ok(CrashImage::from_bytes(inner.persistent.clone()))
+    }
+
+    /// Crash snapshot in which the given volatile byte ranges are forced
+    /// persistent first.
+    ///
+    /// This realizes the crash point the checker reasons about (Fig. 3): the
+    /// durable side effect *did* reach PM, the dependent store did not. The
+    /// post-failure validator recovers from exactly this image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if a range exceeds the pool.
+    pub fn crash_image_persisting(
+        &self,
+        ranges: &[(u64, usize)],
+    ) -> Result<CrashImage, PmemError> {
+        for &(off, len) in ranges {
+            self.check(off, len)?;
+        }
+        let inner = self.inner.lock();
+        let mut bytes = inner.persistent.clone();
+        for &(off, len) in ranges {
+            let (s, e) = (off as usize, off as usize + len);
+            bytes[s..e].copy_from_slice(&inner.volatile[s..e]);
+        }
+        Ok(CrashImage::from_bytes(bytes))
+    }
+
+    /// Full checkpoint of pool state (both images + metadata), used by the
+    /// fuzzer's in-memory checkpoints (§5).
+    #[must_use]
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let inner = self.inner.lock();
+        PoolSnapshot::new(
+            inner.volatile.clone(),
+            inner.persistent.clone(),
+            inner.meta.clone(),
+            inner.seq,
+        )
+    }
+
+    /// Restore pool state from a checkpoint taken with [`Pool::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidImage`] if the snapshot size differs from
+    /// this pool's size.
+    pub fn restore(&self, snap: &PoolSnapshot) -> Result<(), PmemError> {
+        if snap.volatile().len() != self.size {
+            return Err(PmemError::InvalidImage {
+                reason: "snapshot size mismatch",
+            });
+        }
+        let mut inner = self.inner.lock();
+        inner.volatile.copy_from_slice(snap.volatile());
+        inner.persistent.copy_from_slice(snap.persistent());
+        inner.meta = snap.meta().clone();
+        inner.pending.clear();
+        inner.seq = snap.seq();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const TAG: SiteTag = SiteTag(7);
+
+    fn pool() -> Pool {
+        Pool::new(PoolOpts::small())
+    }
+
+    #[test]
+    fn store_is_visible_but_not_persistent() {
+        let p = pool();
+        p.store_u64(128, 99, T0, TAG).unwrap();
+        assert_eq!(p.load_u64(128).unwrap().0, 99);
+        assert_eq!(p.crash_image().unwrap().load_u64(128).unwrap(), 0);
+        assert_eq!(p.meta_at(128).state, PersistState::Dirty);
+    }
+
+    #[test]
+    fn clwb_alone_does_not_persist() {
+        let p = pool();
+        p.store_u64(128, 99, T0, TAG).unwrap();
+        p.clwb(128, 8, T0).unwrap();
+        assert_eq!(p.meta_at(128).state, PersistState::Flushing);
+        assert_eq!(p.crash_image().unwrap().load_u64(128).unwrap(), 0);
+    }
+
+    #[test]
+    fn clwb_sfence_persists() {
+        let p = pool();
+        p.store_u64(128, 99, T0, TAG).unwrap();
+        p.persist(128, 8, T0).unwrap();
+        assert_eq!(p.meta_at(128).state, PersistState::Clean);
+        assert_eq!(p.crash_image().unwrap().load_u64(128).unwrap(), 99);
+    }
+
+    #[test]
+    fn sfence_only_drains_own_threads_flushes() {
+        let p = pool();
+        p.store_u64(128, 1, T0, TAG).unwrap();
+        p.clwb(128, 8, T0).unwrap();
+        p.sfence(T1).unwrap(); // other thread's fence: no effect
+        assert_eq!(p.crash_image().unwrap().load_u64(128).unwrap(), 0);
+        p.sfence(T0).unwrap();
+        assert_eq!(p.crash_image().unwrap().load_u64(128).unwrap(), 1);
+    }
+
+    #[test]
+    fn redirty_after_clwb_persists_capture_not_new_value() {
+        let p = pool();
+        p.store_u64(128, 1, T0, TAG).unwrap();
+        p.clwb(128, 8, T0).unwrap();
+        p.store_u64(128, 2, T0, TAG).unwrap(); // re-dirty after capture
+        p.sfence(T0).unwrap();
+        // Old capture persisted; newest store still volatile-only.
+        assert_eq!(p.crash_image().unwrap().load_u64(128).unwrap(), 1);
+        assert_eq!(p.meta_at(128).state, PersistState::Dirty);
+        assert_eq!(p.load_u64(128).unwrap().0, 2);
+    }
+
+    #[test]
+    fn ntstore_is_immediately_persistent_and_clean() {
+        let p = pool();
+        p.ntstore_u64(256, 77, T0, TAG).unwrap();
+        assert_eq!(p.meta_at(256).state, PersistState::Clean);
+        assert_eq!(p.crash_image().unwrap().load_u64(256).unwrap(), 77);
+    }
+
+    #[test]
+    fn load_reports_cross_thread_writer() {
+        let p = pool();
+        p.store_u64(64, 5, T1, SiteTag(42)).unwrap();
+        let (v, info) = p.load_u64(64).unwrap();
+        assert_eq!(v, 5);
+        assert!(info.unpersisted);
+        assert_eq!(info.writer, T1);
+        assert_eq!(info.tag, SiteTag(42));
+    }
+
+    #[test]
+    fn load_of_clean_data_reports_persisted() {
+        let p = pool();
+        p.store_u64(64, 5, T1, TAG).unwrap();
+        p.persist(64, 8, T1).unwrap();
+        let (_, info) = p.load_u64(64).unwrap();
+        assert!(!info.unpersisted);
+        assert_eq!(info.state, PersistState::Clean);
+    }
+
+    #[test]
+    fn clwb_flushes_whole_cache_line() {
+        let p = pool();
+        p.store_u64(0, 1, T0, TAG).unwrap();
+        p.store_u64(56, 2, T0, TAG).unwrap(); // same 64-byte line
+        p.clwb(0, 1, T0).unwrap();
+        p.sfence(T0).unwrap();
+        let img = p.crash_image().unwrap();
+        assert_eq!(img.load_u64(0).unwrap(), 1);
+        assert_eq!(img.load_u64(56).unwrap(), 2);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let p = pool();
+        p.ntstore_u64(64, 10, T0, TAG).unwrap();
+        let (ok, observed, _) = p.cas_u64(64, 10, 11, T1, TAG).unwrap();
+        assert!(ok);
+        assert_eq!(observed, 10);
+        let (ok, observed, info) = p.cas_u64(64, 10, 12, T0, TAG).unwrap();
+        assert!(!ok);
+        assert_eq!(observed, 11);
+        assert!(info.unpersisted); // CAS store by T1 not yet flushed
+        assert_eq!(info.writer, T1);
+    }
+
+    #[test]
+    fn cas_requires_alignment() {
+        let p = pool();
+        assert_eq!(
+            p.cas_u64(3, 0, 1, T0, TAG).unwrap_err(),
+            PmemError::Misaligned { off: 3, align: 8 }
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let p = Pool::new(PoolOpts::with_size(64));
+        assert!(matches!(
+            p.store_u64(60, 1, T0, TAG).unwrap_err(),
+            PmemError::OutOfBounds { .. }
+        ));
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            p.load(63, &mut buf).unwrap_err(),
+            PmemError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn crash_image_persisting_forces_ranges() {
+        let p = pool();
+        p.store_u64(64, 1, T0, TAG).unwrap(); // dependent data, unflushed
+        p.store_u64(128, 2, T1, TAG).unwrap(); // durable side effect
+        let img = p.crash_image_persisting(&[(128, 8)]).unwrap();
+        assert_eq!(img.load_u64(64).unwrap(), 0); // lost
+        assert_eq!(img.load_u64(128).unwrap(), 2); // forced persistent
+    }
+
+    #[test]
+    fn eviction_persists_a_dirty_granule() {
+        let p = pool();
+        p.store_u64(64, 9, T0, TAG).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let off = p.evict_random(&mut rng).unwrap();
+        assert_eq!(off, 64);
+        assert_eq!(p.meta_at(64).state, PersistState::Clean);
+        assert_eq!(p.crash_image().unwrap().load_u64(64).unwrap(), 9);
+        assert!(p.evict_random(&mut rng).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let p = pool();
+        p.store_u64(64, 1, T0, TAG).unwrap();
+        p.persist(64, 8, T0).unwrap();
+        p.store_u64(72, 2, T0, TAG).unwrap();
+        let snap = p.snapshot();
+        p.ntstore_u64(64, 100, T0, TAG).unwrap();
+        p.ntstore_u64(72, 100, T0, TAG).unwrap();
+        p.restore(&snap).unwrap();
+        assert_eq!(p.load_u64(64).unwrap().0, 1);
+        assert_eq!(p.load_u64(72).unwrap().0, 2);
+        assert_eq!(p.meta_at(72).state, PersistState::Dirty);
+        assert_eq!(p.crash_image().unwrap().load_u64(72).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_rejects_size_mismatch() {
+        let p = Pool::new(PoolOpts::with_size(64));
+        let other = Pool::new(PoolOpts::with_size(128));
+        let snap = other.snapshot();
+        assert!(matches!(
+            p.restore(&snap).unwrap_err(),
+            PmemError::InvalidImage { .. }
+        ));
+    }
+
+    #[test]
+    fn recovery_pool_sees_only_persistent_bytes() {
+        let p = pool();
+        p.ntstore_u64(64, 5, T0, TAG).unwrap();
+        p.store_u64(72, 6, T0, TAG).unwrap(); // never flushed
+        let img = p.crash_image().unwrap();
+        let rec = Pool::from_crash_image(&img).unwrap();
+        assert_eq!(rec.load_u64(64).unwrap().0, 5);
+        assert_eq!(rec.load_u64(72).unwrap().0, 0);
+        assert_eq!(rec.meta_at(64).state, PersistState::Clean);
+    }
+
+    #[test]
+    fn eadr_stores_are_immediately_durable() {
+        let p = Pool::new(PoolOpts::small().eadr());
+        p.store_u64(128, 9, T0, TAG).unwrap();
+        assert_eq!(p.meta_at(128).state, PersistState::Clean);
+        assert_eq!(p.crash_image().unwrap().load_u64(128).unwrap(), 9);
+        let (_, info) = p.load_u64(128).unwrap();
+        assert!(!info.unpersisted, "eADR never exposes unpersisted data");
+        // CAS is durable too (the unreleased-lock scenario of §6.6).
+        let (ok, _, _) = p.cas_u64(256, 0, 1, T1, TAG).unwrap();
+        assert!(ok);
+        assert_eq!(p.crash_image().unwrap().load_u64(256).unwrap(), 1);
+        assert_eq!(p.meta_at(256).state, PersistState::Clean);
+    }
+
+    #[test]
+    fn eadr_flushes_are_harmless_noops() {
+        let p = Pool::new(PoolOpts::small().eadr());
+        p.store_u64(64, 5, T0, TAG).unwrap();
+        p.persist(64, 8, T0).unwrap();
+        assert_eq!(p.load_u64(64).unwrap().0, 5);
+        assert_eq!(p.crash_image().unwrap().load_u64(64).unwrap(), 5);
+    }
+
+    #[test]
+    fn heavy_init_produces_zeroed_pool() {
+        let p = Pool::new(PoolOpts::with_size(4096).heavy());
+        assert_eq!(p.load_u64(0).unwrap().0, 0);
+        assert_eq!(p.load_u64(4088).unwrap().0, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Crash images and full pool checkpoints.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::{GranuleMeta, PmemError};
+
+/// The bytes that survive a crash: a copy of the persistent image.
+///
+/// PMRace duplicates the mmapped pool file at each detected crash point
+/// (§4.4); a `CrashImage` is that duplicate. Recovery code runs against a
+/// [`Pool`](crate::Pool) rebuilt from it via
+/// [`Pool::from_crash_image`](crate::Pool::from_crash_image).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashImage {
+    bytes: Vec<u8>,
+}
+
+impl CrashImage {
+    /// Wrap raw persistent bytes as a crash image.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        CrashImage { bytes }
+    }
+
+    /// The surviving bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Read a little-endian `u64` at `off`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] past the image end.
+    pub fn load_u64(&self, off: u64) -> Result<u64, PmemError> {
+        let start = off as usize;
+        let end = start.checked_add(8).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => Ok(u64::from_le_bytes(
+                self.bytes[start..end].try_into().expect("8-byte slice"),
+            )),
+            None => Err(PmemError::OutOfBounds {
+                off,
+                len: 8,
+                pool_size: self.bytes.len(),
+            }),
+        }
+    }
+
+    /// Read `len` bytes at `off`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] past the image end.
+    pub fn read(&self, off: u64, len: usize) -> Result<&[u8], PmemError> {
+        let start = off as usize;
+        let end = start.checked_add(len).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => Ok(&self.bytes[start..end]),
+            None => Err(PmemError::OutOfBounds {
+                off,
+                len,
+                pool_size: self.bytes.len(),
+            }),
+        }
+    }
+
+    /// Persist the image to a file (the paper's duplicated pool file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.bytes)
+    }
+
+    /// Load an image previously written with [`CrashImage::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(CrashImage {
+            bytes: std::fs::read(path)?,
+        })
+    }
+}
+
+/// Full checkpoint of pool state: both images, granule metadata, and the
+/// store sequence counter. Used for the fuzzer's in-memory checkpoints of an
+/// initialized pool (the AFL++ fork-server substitute, §5).
+#[derive(Debug, Clone)]
+pub struct PoolSnapshot {
+    volatile: Vec<u8>,
+    persistent: Vec<u8>,
+    meta: HashMap<u64, GranuleMeta>,
+    seq: u64,
+}
+
+impl PoolSnapshot {
+    pub(crate) fn new(
+        volatile: Vec<u8>,
+        persistent: Vec<u8>,
+        meta: HashMap<u64, GranuleMeta>,
+        seq: u64,
+    ) -> Self {
+        PoolSnapshot {
+            volatile,
+            persistent,
+            meta,
+            seq,
+        }
+    }
+
+    /// Cache-visible bytes at checkpoint time.
+    #[must_use]
+    pub fn volatile(&self) -> &[u8] {
+        &self.volatile
+    }
+
+    /// Persistent bytes at checkpoint time.
+    #[must_use]
+    pub fn persistent(&self) -> &[u8] {
+        &self.persistent
+    }
+
+    /// Granule metadata at checkpoint time.
+    #[must_use]
+    pub fn meta(&self) -> &HashMap<u64, GranuleMeta> {
+        &self.meta
+    }
+
+    /// Store sequence counter at checkpoint time.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_image_reads() {
+        let mut b = vec![0u8; 32];
+        b[8..16].copy_from_slice(&12345u64.to_le_bytes());
+        let img = CrashImage::from_bytes(b);
+        assert_eq!(img.load_u64(8).unwrap(), 12345);
+        assert_eq!(img.read(8, 8).unwrap(), &12345u64.to_le_bytes());
+        assert!(img.load_u64(32).is_err());
+        assert!(img.read(30, 4).is_err());
+    }
+
+    #[test]
+    fn save_open_roundtrip() {
+        let img = CrashImage::from_bytes(vec![9u8; 64]);
+        let dir = std::env::temp_dir().join("pmrace-pmem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("img-{}.pool", std::process::id()));
+        img.save(&path).unwrap();
+        let back = CrashImage::open(&path).unwrap();
+        assert_eq!(img, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

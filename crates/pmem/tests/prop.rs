@@ -1,0 +1,153 @@
+//! Property-based tests for the PM substrate's crash-consistency invariants.
+
+use std::sync::Arc;
+
+use pmrace_pmem::{PersistState, PmAllocator, Pool, PoolOpts, SiteTag, ThreadId};
+use proptest::prelude::*;
+
+const POOL: usize = 1 << 16;
+const T0: ThreadId = ThreadId(0);
+const T1: ThreadId = ThreadId(1);
+
+/// One step of an arbitrary PM instruction stream.
+#[derive(Debug, Clone)]
+enum Op {
+    Store { off: u64, val: u64, tid: u8 },
+    Nt { off: u64, val: u64, tid: u8 },
+    Clwb { off: u64, tid: u8 },
+    Sfence { tid: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let off = (0u64..(POOL as u64 / 8 - 1)).prop_map(|g| g * 8);
+    prop_oneof![
+        (off.clone(), any::<u64>(), 0u8..2).prop_map(|(off, val, tid)| Op::Store { off, val, tid }),
+        (off.clone(), any::<u64>(), 0u8..2).prop_map(|(off, val, tid)| Op::Nt { off, val, tid }),
+        (off, 0u8..2).prop_map(|(off, tid)| Op::Clwb { off, tid }),
+        (0u8..2).prop_map(|tid| Op::Sfence { tid }),
+    ]
+}
+
+fn tid(t: u8) -> ThreadId {
+    if t == 0 {
+        T0
+    } else {
+        T1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The volatile image always reflects the program order of stores: a
+    /// load returns the latest store to that word, regardless of flushes.
+    #[test]
+    fn volatile_image_is_store_order(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let pool = Pool::new(PoolOpts::with_size(POOL));
+        let mut model = std::collections::HashMap::<u64, u64>::new();
+        for op in &ops {
+            match *op {
+                Op::Store { off, val, tid: t } => {
+                    pool.store_u64(off, val, tid(t), SiteTag(1)).unwrap();
+                    model.insert(off, val);
+                }
+                Op::Nt { off, val, tid: t } => {
+                    pool.ntstore_u64(off, val, tid(t), SiteTag(1)).unwrap();
+                    model.insert(off, val);
+                }
+                Op::Clwb { off, tid: t } => pool.clwb(off, 8, tid(t)).unwrap(),
+                Op::Sfence { tid: t } => pool.sfence(tid(t)).unwrap(),
+            }
+        }
+        for (&off, &val) in &model {
+            prop_assert_eq!(pool.load_u64(off).unwrap().0, val);
+        }
+    }
+
+    /// Crash images only ever contain values that were present in the
+    /// volatile image at some point (no invented bytes), and every granule
+    /// that was persisted via clwb+sfence or ntstore holds a value at least
+    /// as old as that persist point.
+    #[test]
+    fn crash_image_holds_only_written_values(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let pool = Pool::new(PoolOpts::with_size(POOL));
+        // All values ever stored per word (including initial zero).
+        let mut history = std::collections::HashMap::<u64, Vec<u64>>::new();
+        for op in &ops {
+            match *op {
+                Op::Store { off, val, tid: t } => {
+                    pool.store_u64(off, val, tid(t), SiteTag(1)).unwrap();
+                    history.entry(off).or_default().push(val);
+                }
+                Op::Nt { off, val, tid: t } => {
+                    pool.ntstore_u64(off, val, tid(t), SiteTag(1)).unwrap();
+                    history.entry(off).or_default().push(val);
+                }
+                Op::Clwb { off, tid: t } => pool.clwb(off, 8, tid(t)).unwrap(),
+                Op::Sfence { tid: t } => pool.sfence(tid(t)).unwrap(),
+            }
+        }
+        let img = pool.crash_image().unwrap();
+        for (&off, vals) in &history {
+            let surviving = img.load_u64(off).unwrap();
+            prop_assert!(
+                surviving == 0 || vals.contains(&surviving),
+                "granule {off:#x} survived with {surviving}, never stored"
+            );
+        }
+    }
+
+    /// A granule reported `Clean` always agrees between the volatile and
+    /// persistent images; `Dirty`/`Flushing` granules may disagree.
+    #[test]
+    fn clean_granules_agree_across_images(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let pool = Pool::new(PoolOpts::with_size(POOL));
+        let mut touched = std::collections::HashSet::new();
+        for op in &ops {
+            match *op {
+                Op::Store { off, val, tid: t } => {
+                    pool.store_u64(off, val, tid(t), SiteTag(1)).unwrap();
+                    touched.insert(off);
+                }
+                Op::Nt { off, val, tid: t } => {
+                    pool.ntstore_u64(off, val, tid(t), SiteTag(1)).unwrap();
+                    touched.insert(off);
+                }
+                Op::Clwb { off, tid: t } => pool.clwb(off, 8, tid(t)).unwrap(),
+                Op::Sfence { tid: t } => pool.sfence(tid(t)).unwrap(),
+            }
+        }
+        let img = pool.crash_image().unwrap();
+        for &off in &touched {
+            if pool.meta_at(off).state == PersistState::Clean {
+                prop_assert_eq!(
+                    pool.load_u64(off).unwrap().0,
+                    img.load_u64(off).unwrap(),
+                    "clean granule {:#x} disagrees",
+                    off
+                );
+            }
+        }
+    }
+
+    /// Allocations never overlap, regardless of the alloc/free sequence.
+    #[test]
+    fn allocations_never_overlap(sizes in prop::collection::vec(1usize..512, 1..40),
+                                 free_mask in prop::collection::vec(any::<bool>(), 1..40)) {
+        let pool = Arc::new(Pool::new(PoolOpts::with_size(1 << 20)));
+        let alloc = PmAllocator::format(pool, T0).unwrap();
+        let mut live: Vec<(u64, usize)> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let off = alloc.alloc(size, T0).unwrap();
+            for &(o, s) in &live {
+                let disjoint = off + size as u64 <= o || o + s as u64 <= off;
+                prop_assert!(disjoint, "alloc [{off:#x};{size}] overlaps [{o:#x};{s}]");
+            }
+            live.push((off, size));
+            if free_mask.get(i).copied().unwrap_or(false) && !live.is_empty() {
+                let (o, _) = live.swap_remove(0);
+                alloc.free(o, T0).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Extensible PM checkers.
+//!
+//! The built-in candidate/inconsistency/sync detection is wired directly
+//! into the [`Session`](crate::Session) hot path; this module is the
+//! *extension* mechanism the paper describes ("PMRace's framework is
+//! easy-to-use and extensible for other bug patterns by adding new PM
+//! checkers"): implement [`Checker`] and register it with
+//! [`Session::add_checker`](crate::Session::add_checker).
+//!
+//! [`RedundantFlushChecker`] is the worked example from §4.3 — flagging
+//! cache-line flushes whose data is already entirely clean (a performance
+//! bug; the paper's Bug 4 in P-CLHT is of this flavor).
+
+use pmrace_pmem::{PersistState, ThreadId};
+
+use crate::report::PerfIssueRecord;
+use crate::Site;
+
+/// Facts about a PM access offered to extension checkers.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessEvent {
+    /// Pool offset.
+    pub off: u64,
+    /// Length in bytes.
+    pub len: usize,
+    /// Instruction site.
+    pub site: Site,
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Summarized persistency state of the range *before* the access.
+    pub state_before: PersistState,
+}
+
+/// An extension checker: receives access events, may emit issues.
+///
+/// Implementations must be `Send + Sync`; events arrive from multiple
+/// target threads concurrently (serialized per event by the session lock).
+pub trait Checker: Send + Sync {
+    /// Checker name, used in issue records.
+    fn name(&self) -> &'static str;
+
+    /// A PM load executed.
+    fn on_load(&self, ev: &AccessEvent, out: &mut Vec<PerfIssueRecord>) {
+        let _ = (ev, out);
+    }
+
+    /// A PM store executed.
+    fn on_store(&self, ev: &AccessEvent, out: &mut Vec<PerfIssueRecord>) {
+        let _ = (ev, out);
+    }
+
+    /// A `clwb` executed over the given range.
+    fn on_clwb(&self, ev: &AccessEvent, out: &mut Vec<PerfIssueRecord>) {
+        let _ = (ev, out);
+    }
+
+    /// An `sfence` executed.
+    fn on_sfence(&self, tid: ThreadId, out: &mut Vec<PerfIssueRecord>) {
+        let _ = (tid, out);
+    }
+
+    /// The campaign ended; `dirty` lists every granule still unpersisted
+    /// (offset + metadata of the last store). Missing-flush checkers
+    /// report here.
+    fn on_campaign_end(&self, dirty: &[(u64, pmrace_pmem::GranuleMeta)], out: &mut Vec<PerfIssueRecord>) {
+        let _ = (dirty, out);
+    }
+}
+
+/// Flags `clwb` calls whose whole range is already `Clean`: the write-back
+/// is unnecessary and costs PM bandwidth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RedundantFlushChecker;
+
+impl Checker for RedundantFlushChecker {
+    fn name(&self) -> &'static str {
+        "redundant-flush"
+    }
+
+    fn on_clwb(&self, ev: &AccessEvent, out: &mut Vec<PerfIssueRecord>) {
+        if ev.state_before == PersistState::Clean {
+            out.push(PerfIssueRecord {
+                checker: self.name(),
+                site: ev.site,
+                off: ev.off,
+                len: ev.len,
+                what: "flush of already-persisted data (redundant clwb)".to_owned(),
+            });
+        }
+    }
+}
+
+/// Reports PM data still unpersisted when the campaign ends, grouped by
+/// the store instruction that wrote it — the classic *missing flush*
+/// sequential crash-consistency checker (the PMDebugger/AGAMOTTO bug class
+/// §6.6 names as complementary to PMRace's concurrency checkers).
+///
+/// One issue is emitted per distinct writing site, with the count and the
+/// first offset of the granules it left dirty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MissingFlushChecker;
+
+impl Checker for MissingFlushChecker {
+    fn name(&self) -> &'static str {
+        "missing-flush"
+    }
+
+    fn on_campaign_end(
+        &self,
+        dirty: &[(u64, pmrace_pmem::GranuleMeta)],
+        out: &mut Vec<PerfIssueRecord>,
+    ) {
+        let mut by_site: std::collections::BTreeMap<u32, (u64, usize)> =
+            std::collections::BTreeMap::new();
+        for &(off, meta) in dirty {
+            let entry = by_site.entry(meta.tag.0).or_insert((off, 0));
+            entry.1 += 1;
+        }
+        for (site_id, (first_off, count)) in by_site {
+            let site = Site::from_id(site_id);
+            out.push(PerfIssueRecord {
+                checker: self.name(),
+                site,
+                off: first_off,
+                len: count * 8,
+                what: format!(
+                    "{count} granule(s) written at {} never flushed before the end of execution",
+                    crate::site_label(site)
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    fn ev(state: PersistState) -> AccessEvent {
+        AccessEvent {
+            off: 0x40,
+            len: 8,
+            site: site!("flush"),
+            tid: ThreadId(0),
+            state_before: state,
+        }
+    }
+
+    #[test]
+    fn redundant_flush_fires_only_on_clean() {
+        let c = RedundantFlushChecker;
+        let mut out = Vec::new();
+        c.on_clwb(&ev(PersistState::Dirty), &mut out);
+        assert!(out.is_empty());
+        c.on_clwb(&ev(PersistState::Clean), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].checker, "redundant-flush");
+        assert!(out[0].to_string().contains("redundant"));
+    }
+
+    #[test]
+    fn missing_flush_groups_by_writing_site() {
+        use pmrace_pmem::{GranuleMeta, PersistState, SiteTag};
+        let c = MissingFlushChecker;
+        let s1 = crate::site::register_site("t:1", "writer_a");
+        let s2 = crate::site::register_site("t:2", "writer_b");
+        let meta = |tag: u32| GranuleMeta {
+            state: PersistState::Dirty,
+            writer: ThreadId(0),
+            tag: SiteTag(tag),
+            seq: 1,
+        };
+        let dirty = vec![
+            (64, meta(s1.id())),
+            (72, meta(s1.id())),
+            (128, meta(s2.id())),
+        ];
+        let mut out = Vec::new();
+        c.on_campaign_end(&dirty, &mut out);
+        assert_eq!(out.len(), 2);
+        let a = out.iter().find(|i| i.what.contains("writer_a")).unwrap();
+        assert_eq!(a.len, 16);
+        assert_eq!(a.off, 64);
+        let b = out.iter().find(|i| i.what.contains("writer_b")).unwrap();
+        assert_eq!(b.len, 8);
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        struct Named;
+        impl Checker for Named {
+            fn name(&self) -> &'static str {
+                "named"
+            }
+        }
+        let c = Named;
+        let mut out = Vec::new();
+        c.on_load(&ev(PersistState::Clean), &mut out);
+        c.on_store(&ev(PersistState::Clean), &mut out);
+        c.on_sfence(ThreadId(0), &mut out);
+        assert!(out.is_empty());
+    }
+}

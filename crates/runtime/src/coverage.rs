@@ -1,0 +1,260 @@
+//! Coverage metrics: PM alias-pair coverage (§4.2.1) and branch coverage.
+//!
+//! A *PM alias pair* is two back-to-back accesses to the same PM address by
+//! different threads, identified by `(instruction, persistency-state)` of
+//! both sides. New pairs indicate unexplored PM-relevant interleavings and
+//! are the fuzzer's primary feedback signal; conventional branch coverage is
+//! the secondary signal (§4.2.3).
+
+use std::collections::HashMap;
+
+use pmrace_pmem::ThreadId;
+
+use crate::Site;
+
+/// Number of bits in each coverage bitmap (the paper keeps the bitmap in
+/// shared memory; 64 Ki entries matches AFL-style maps).
+pub const MAP_BITS: usize = 1 << 16;
+
+/// Whether an access observed persisted or unpersisted data — the
+/// persistency component `P` of the paper's access tuple `(I, P, T)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Persistency {
+    /// All bytes clean.
+    Persisted,
+    /// Some byte dirty or queued.
+    Unpersisted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LastAccess {
+    site: Site,
+    tid: ThreadId,
+    persistency: Persistency,
+}
+
+/// Per-campaign (and, merged, global) coverage state.
+#[derive(Debug, Clone)]
+pub struct CoverageMap {
+    alias: Vec<u8>,
+    branch: Vec<u8>,
+    alias_count: usize,
+    branch_count: usize,
+    last: HashMap<u64, LastAccess>,
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        CoverageMap::new()
+    }
+}
+
+impl CoverageMap {
+    /// Fresh, empty coverage state.
+    #[must_use]
+    pub fn new() -> Self {
+        CoverageMap {
+            alias: vec![0; MAP_BITS / 8],
+            branch: vec![0; MAP_BITS / 8],
+            alias_count: 0,
+            branch_count: 0,
+            last: HashMap::new(),
+        }
+    }
+
+    fn mix(a: u32, b: u32, c: u32, d: u32) -> usize {
+        let mut h = 0x9e37_79b9u64;
+        for v in [a, b, c, d] {
+            h ^= u64::from(v).wrapping_add(0x9e37_79b9).wrapping_add(h << 6) ^ (h >> 2);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h as usize) % MAP_BITS
+    }
+
+    fn set_bit(map: &mut [u8], idx: usize) -> bool {
+        let (byte, bit) = (idx / 8, idx % 8);
+        let mask = 1u8 << bit;
+        let new = map[byte] & mask == 0;
+        map[byte] |= mask;
+        new
+    }
+
+    fn get_bit(map: &[u8], idx: usize) -> bool {
+        map[idx / 8] & (1 << (idx % 8)) != 0
+    }
+
+    /// Record a PM access to `granule`; returns `true` when it completes a
+    /// *new* PM alias pair (same address, different thread than the previous
+    /// access, pair shape unseen so far).
+    pub fn record_access(
+        &mut self,
+        granule: u64,
+        site: Site,
+        tid: ThreadId,
+        persistency: Persistency,
+    ) -> bool {
+        let prev = self.last.insert(
+            granule,
+            LastAccess {
+                site,
+                tid,
+                persistency,
+            },
+        );
+        let Some(prev) = prev else { return false };
+        if prev.tid == tid {
+            return false;
+        }
+        let idx = Self::mix(
+            prev.site.id(),
+            prev.persistency as u32,
+            site.id(),
+            persistency as u32,
+        );
+        let new = Self::set_bit(&mut self.alias, idx);
+        if new {
+            self.alias_count += 1;
+        }
+        new
+    }
+
+    /// Record a branch/basic-block execution; returns `true` when new.
+    pub fn record_branch(&mut self, site: Site) -> bool {
+        let idx = Self::mix(site.id(), 0, 0, 1);
+        let new = Self::set_bit(&mut self.branch, idx);
+        if new {
+            self.branch_count += 1;
+        }
+        new
+    }
+
+    /// Number of distinct PM alias pairs observed.
+    #[must_use]
+    pub fn alias_pairs(&self) -> usize {
+        self.alias_count
+    }
+
+    /// Number of distinct branches observed.
+    #[must_use]
+    pub fn branches(&self) -> usize {
+        self.branch_count
+    }
+
+    /// Merge another map into this one (fuzzer's global accumulation).
+    /// Returns `(new_alias_bits, new_branch_bits)` contributed by `other`.
+    pub fn merge_from(&mut self, other: &CoverageMap) -> (usize, usize) {
+        let mut new_alias = 0;
+        let mut new_branch = 0;
+        for idx in 0..MAP_BITS {
+            if Self::get_bit(&other.alias, idx) && Self::set_bit(&mut self.alias, idx) {
+                new_alias += 1;
+            }
+            if Self::get_bit(&other.branch, idx) && Self::set_bit(&mut self.branch, idx) {
+                new_branch += 1;
+            }
+        }
+        self.alias_count += new_alias;
+        self.branch_count += new_branch;
+        (new_alias, new_branch)
+    }
+
+    /// Forget per-address last-access state (campaign boundary) while
+    /// keeping accumulated bitmaps.
+    pub fn reset_last_access(&mut self) {
+        self.last.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    #[test]
+    fn same_thread_back_to_back_is_not_a_pair() {
+        let mut cov = CoverageMap::new();
+        let s = site!("a");
+        assert!(!cov.record_access(1, s, T0, Persistency::Persisted));
+        assert!(!cov.record_access(1, s, T0, Persistency::Persisted));
+        assert_eq!(cov.alias_pairs(), 0);
+    }
+
+    #[test]
+    fn cross_thread_pair_counts_once() {
+        let mut cov = CoverageMap::new();
+        let (w, r) = (site!("w"), site!("r"));
+        assert!(!cov.record_access(1, w, T0, Persistency::Unpersisted));
+        assert!(cov.record_access(1, r, T1, Persistency::Unpersisted));
+        assert_eq!(cov.alias_pairs(), 1);
+        // Alternating again: the reverse pair (r -> w) is new once, then
+        // both shapes are saturated.
+        assert!(cov.record_access(1, w, T0, Persistency::Unpersisted));
+        assert!(!cov.record_access(1, r, T1, Persistency::Unpersisted));
+        assert!(!cov.record_access(1, w, T0, Persistency::Unpersisted));
+        assert_eq!(cov.alias_pairs(), 2);
+    }
+
+    #[test]
+    fn persistency_state_distinguishes_pairs() {
+        let mut cov = CoverageMap::new();
+        let (w, r) = (site!("w2"), site!("r2"));
+        cov.record_access(1, w, T0, Persistency::Unpersisted);
+        assert!(cov.record_access(1, r, T1, Persistency::Unpersisted)); // (w,U)->(r,U)
+        cov.record_access(1, w, T0, Persistency::Persisted); // (r,U)->(w,P)
+        assert!(
+            cov.record_access(1, r, T1, Persistency::Persisted), // (w,P)->(r,P)
+            "same instructions, different persistency: new pair"
+        );
+        assert_eq!(cov.alias_pairs(), 3);
+    }
+
+    #[test]
+    fn different_addresses_are_independent() {
+        let mut cov = CoverageMap::new();
+        let (w, r) = (site!("w3"), site!("r3"));
+        cov.record_access(1, w, T0, Persistency::Unpersisted);
+        cov.record_access(2, r, T1, Persistency::Unpersisted); // first access to granule 2
+        assert_eq!(cov.alias_pairs(), 0);
+    }
+
+    #[test]
+    fn branch_coverage_counts_distinct_sites() {
+        let mut cov = CoverageMap::new();
+        let (a, b) = (site!("bb1"), site!("bb2"));
+        assert!(cov.record_branch(a));
+        assert!(!cov.record_branch(a));
+        assert!(cov.record_branch(b));
+        assert_eq!(cov.branches(), 2);
+    }
+
+    #[test]
+    fn merge_reports_only_new_bits() {
+        let mut global = CoverageMap::new();
+        let mut s1 = CoverageMap::new();
+        let (w, r) = (site!("w4"), site!("r4"));
+        s1.record_access(1, w, T0, Persistency::Unpersisted);
+        s1.record_access(1, r, T1, Persistency::Unpersisted);
+        s1.record_branch(w);
+        let (na, nb) = global.merge_from(&s1);
+        assert_eq!((na, nb), (1, 1));
+        let (na, nb) = global.merge_from(&s1);
+        assert_eq!((na, nb), (0, 0));
+        assert_eq!(global.alias_pairs(), 1);
+        assert_eq!(global.branches(), 1);
+    }
+
+    #[test]
+    fn reset_last_access_keeps_bitmaps() {
+        let mut cov = CoverageMap::new();
+        let (w, r) = (site!("w5"), site!("r5"));
+        cov.record_access(1, w, T0, Persistency::Unpersisted);
+        cov.record_access(1, r, T1, Persistency::Unpersisted);
+        cov.reset_last_access();
+        assert_eq!(cov.alias_pairs(), 1);
+        // After reset, the first access is "first touch" again.
+        assert!(!cov.record_access(1, r, T1, Persistency::Unpersisted));
+    }
+}

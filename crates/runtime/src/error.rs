@@ -1,0 +1,59 @@
+//! Runtime error type.
+
+use std::error::Error;
+use std::fmt;
+
+use pmrace_pmem::PmemError;
+
+/// Errors surfaced to instrumented target code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtError {
+    /// Underlying PM substrate error.
+    Pmem(PmemError),
+    /// The campaign deadline elapsed; the executing thread must unwind.
+    /// This is how the harness breaks targets out of spin loops when a
+    /// seeded bug (e.g. a never-released persistent lock) causes a hang.
+    Timeout,
+    /// The session was cancelled (another thread hit a fatal condition).
+    Halted,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Pmem(e) => write!(f, "pm substrate error: {e}"),
+            RtError::Timeout => write!(f, "campaign deadline elapsed"),
+            RtError::Halted => write!(f, "session halted"),
+        }
+    }
+}
+
+impl Error for RtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RtError::Pmem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmemError> for RtError {
+    fn from(e: PmemError) -> Self {
+        RtError::Pmem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_source() {
+        let e: RtError = PmemError::TxClosed.into();
+        assert!(matches!(e, RtError::Pmem(_)));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&RtError::Timeout).is_none());
+        assert!(!RtError::Halted.to_string().is_empty());
+    }
+}

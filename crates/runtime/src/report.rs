@@ -1,0 +1,314 @@
+//! Raw finding records produced by the runtime checkers.
+//!
+//! These are the *pre-failure* detections (§4.3). The fuzzer crate runs
+//! post-failure validation over them and promotes the survivors to bug
+//! reports.
+
+use std::sync::Arc;
+
+use pmrace_pmem::{CrashImage, ThreadId};
+
+use crate::trace::TraceEvent;
+use crate::{site_label, Site};
+
+/// Whether a candidate crosses threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidateKind {
+    /// Reader and writer are different threads (Definition 1).
+    Inter,
+    /// A thread read its own non-persisted write.
+    Intra,
+}
+
+impl std::fmt::Display for CandidateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CandidateKind::Inter => f.write_str("inter-thread"),
+            CandidateKind::Intra => f.write_str("intra-thread"),
+        }
+    }
+}
+
+/// A *PM Inconsistency Candidate*: a load that observed non-persisted data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Session-local id; doubles as the taint label.
+    pub id: u32,
+    /// Inter- vs intra-thread.
+    pub kind: CandidateKind,
+    /// Store instruction that produced the non-persisted data.
+    pub write_site: Site,
+    /// Thread that issued that store.
+    pub write_tid: ThreadId,
+    /// Load instruction that observed it.
+    pub read_site: Site,
+    /// Thread that issued the load.
+    pub read_tid: ThreadId,
+    /// Pool offset of the observed word.
+    pub off: u64,
+}
+
+impl std::fmt::Display for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} candidate c{}: {} read non-persisted data at {:#x} written by {} at {}",
+            self.kind,
+            self.id,
+            site_label(self.read_site),
+            self.off,
+            self.write_tid,
+            site_label(self.write_site),
+        )
+    }
+}
+
+/// How a durable side effect depends on non-persisted data (§4.3's two data
+/// flows, plus external output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectKind {
+    /// The stored *contents* are computed from non-persisted data.
+    Value,
+    /// The store *address* is computed from non-persisted data (the P-CLHT
+    /// data-loss shape).
+    Address,
+    /// Data derived from non-persisted values left the program (reply to a
+    /// client, write to disk).
+    Output,
+}
+
+impl std::fmt::Display for EffectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EffectKind::Value => f.write_str("tainted value"),
+            EffectKind::Address => f.write_str("tainted address"),
+            EffectKind::Output => f.write_str("external output"),
+        }
+    }
+}
+
+/// A confirmed *PM Inter-/Intra-thread Inconsistency*: candidate + durable
+/// side effect (Definition 2).
+#[derive(Debug, Clone)]
+pub struct InconsistencyRecord {
+    /// The candidate this side effect depends on.
+    pub candidate: Candidate,
+    /// Instruction performing the durable side effect.
+    pub effect_site: Site,
+    /// Pool offset of the side effect (0 for [`EffectKind::Output`]).
+    pub effect_off: u64,
+    /// Byte length of the side effect.
+    pub effect_len: usize,
+    /// Data-flow class.
+    pub kind: EffectKind,
+    /// `true` if a whitelist rule matched one of the involved sites; such
+    /// records are counted as whitelisted false positives, not bugs.
+    pub whitelisted: bool,
+    /// Recent PM access history at the detection point (the report's
+    /// stack-trace analog; empty when tracing is disabled).
+    pub trace: Vec<TraceEvent>,
+    /// Crash image at the detection point (side effect persisted, dependent
+    /// data lost) for post-failure validation. `None` when capture was
+    /// disabled or budget-limited.
+    pub crash_image: Option<Arc<CrashImage>>,
+}
+
+impl InconsistencyRecord {
+    /// Stable identity for deduplication: (write site, read site, effect
+    /// site). The paper groups unique bugs by the store instruction of the
+    /// non-persisted data.
+    #[must_use]
+    pub fn triple(&self) -> (u32, u32, u32) {
+        (
+            self.candidate.write_site.id(),
+            self.candidate.read_site.id(),
+            self.effect_site.id(),
+        )
+    }
+}
+
+impl std::fmt::Display for InconsistencyRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} inconsistency: {} -> durable side effect ({}) by {} at {:#x}+{}{}",
+            self.candidate.kind,
+            self.candidate,
+            self.kind,
+            site_label(self.effect_site),
+            self.effect_off,
+            self.effect_len,
+            if self.whitelisted { " [whitelisted]" } else { "" },
+        )
+    }
+}
+
+/// One recorded update of an annotated synchronization variable
+/// (*PM Synchronization Inconsistency*, Definition 3).
+#[derive(Debug, Clone)]
+pub struct SyncUpdateRecord {
+    /// Name of the annotated variable.
+    pub var_name: String,
+    /// Pool offset of the variable.
+    pub var_off: u64,
+    /// Variable size in bytes.
+    pub var_size: usize,
+    /// Expected value after a correct recovery (from the annotation).
+    pub expected_init: u64,
+    /// Store instruction that updated the variable.
+    pub store_site: Site,
+    /// Value written.
+    pub new_value: u64,
+    /// Thread performing the update.
+    pub tid: ThreadId,
+    /// Crash image right after the update persists.
+    pub crash_image: Option<Arc<CrashImage>>,
+}
+
+impl std::fmt::Display for SyncUpdateRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sync inconsistency: {} updated persistent sync var '{}' at {:#x} to {} (expected {} after recovery) at {}",
+            self.tid, self.var_name, self.var_off, self.new_value, self.expected_init,
+            site_label(self.store_site),
+        )
+    }
+}
+
+/// A performance-class issue raised by an extension checker (e.g. redundant
+/// flush of clean data — the paper's Bug 4 class).
+#[derive(Debug, Clone)]
+pub struct PerfIssueRecord {
+    /// Checker that raised the issue.
+    pub checker: &'static str,
+    /// Instruction site involved.
+    pub site: Site,
+    /// Pool offset involved.
+    pub off: u64,
+    /// Byte length involved.
+    pub len: usize,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl std::fmt::Display for PerfIssueRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {} ({:#x}+{})",
+            self.checker,
+            self.what,
+            site_label(self.site),
+            self.off,
+            self.len
+        )
+    }
+}
+
+/// Everything a campaign produced, handed to the fuzzer at campaign end.
+#[derive(Debug, Clone, Default)]
+pub struct Findings {
+    /// All candidates (deduplicated per campaign by write/read site pair).
+    pub candidates: Vec<Candidate>,
+    /// Confirmed inconsistencies (deduplicated per campaign by triple).
+    pub inconsistencies: Vec<InconsistencyRecord>,
+    /// Sync-variable updates (deduplicated by variable + store site).
+    pub sync_updates: Vec<SyncUpdateRecord>,
+    /// Extension-checker issues.
+    pub perf_issues: Vec<PerfIssueRecord>,
+    /// `true` if the campaign ended by deadline (possible hang bug).
+    pub hang: bool,
+}
+
+impl Findings {
+    /// Candidates of a given kind.
+    #[must_use]
+    pub fn candidates_of(&self, kind: CandidateKind) -> usize {
+        self.candidates.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// Inconsistencies of a given kind (non-whitelisted only when `strict`).
+    #[must_use]
+    pub fn inconsistencies_of(&self, kind: CandidateKind, strict: bool) -> usize {
+        self.inconsistencies
+            .iter()
+            .filter(|i| i.candidate.kind == kind && (!strict || !i.whitelisted))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    fn cand(kind: CandidateKind) -> Candidate {
+        Candidate {
+            id: 1,
+            kind,
+            write_site: site!("w"),
+            write_tid: ThreadId(0),
+            read_site: site!("r"),
+            read_tid: ThreadId(1),
+            off: 0x40,
+        }
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let c = cand(CandidateKind::Inter);
+        assert!(c.to_string().contains("non-persisted"));
+        let rec = InconsistencyRecord {
+            candidate: c,
+            effect_site: site!("e"),
+            effect_off: 0x80,
+            effect_len: 8,
+            kind: EffectKind::Address,
+            whitelisted: true,
+            trace: Vec::new(),
+            crash_image: None,
+        };
+        let s = rec.to_string();
+        assert!(s.contains("tainted address"));
+        assert!(s.contains("[whitelisted]"));
+    }
+
+    #[test]
+    fn findings_counters_filter_kind_and_whitelist() {
+        let mut f = Findings::default();
+        f.candidates.push(cand(CandidateKind::Inter));
+        f.candidates.push(cand(CandidateKind::Intra));
+        f.inconsistencies.push(InconsistencyRecord {
+            candidate: cand(CandidateKind::Inter),
+            effect_site: site!("e2"),
+            effect_off: 0,
+            effect_len: 8,
+            kind: EffectKind::Value,
+            whitelisted: true,
+            trace: Vec::new(),
+            crash_image: None,
+        });
+        assert_eq!(f.candidates_of(CandidateKind::Inter), 1);
+        assert_eq!(f.inconsistencies_of(CandidateKind::Inter, false), 1);
+        assert_eq!(f.inconsistencies_of(CandidateKind::Inter, true), 0);
+    }
+
+    #[test]
+    fn triple_is_site_based() {
+        let rec = InconsistencyRecord {
+            candidate: cand(CandidateKind::Inter),
+            effect_site: site!("e3"),
+            effect_off: 0,
+            effect_len: 1,
+            kind: EffectKind::Value,
+            whitelisted: false,
+            trace: Vec::new(),
+            crash_image: None,
+        };
+        let (w, r, e) = rec.triple();
+        assert_eq!(w, rec.candidate.write_site.id());
+        assert_eq!(r, rec.candidate.read_site.id());
+        assert_eq!(e, rec.effect_site.id());
+    }
+}

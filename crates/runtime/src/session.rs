@@ -1,0 +1,716 @@
+//! Per-campaign session state: checkers, coverage, taint shadow memory,
+//! annotations, deadline, and findings.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use pmrace_pmem::{LoadInfo, PersistState, Pool, ThreadId};
+
+use crate::checker::{AccessEvent, Checker};
+use crate::trace::{TraceKind, TraceRing};
+use crate::coverage::{CoverageMap, Persistency};
+use crate::report::{
+    Candidate, CandidateKind, EffectKind, Findings, InconsistencyRecord, SyncUpdateRecord,
+};
+use crate::strategy::{InterleaveStrategy, NoopStrategy};
+use crate::taint::TaintSet;
+use crate::whitelist::Whitelist;
+use crate::{site_label, PmView, RtError, Site};
+
+/// Annotation of a persistent synchronization variable (§5): its location
+/// and the value recovery must restore it to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncVarAnnotation {
+    /// Variable name for reports (e.g. `"bucket_lock"`).
+    pub name: String,
+    /// Pool offset of the variable.
+    pub off: u64,
+    /// Size in bytes (locks are word-sized in all evaluated systems).
+    pub size: usize,
+    /// Expected (re)initialized value after recovery — `pm_sync_var_hint`'s
+    /// `init_val`.
+    pub init_val: u64,
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Wall-clock budget for one campaign; spin loops and the scheduler
+    /// observe it, turning seeded hang bugs into [`RtError::Timeout`].
+    pub deadline: Duration,
+    /// Capture crash images at detection points (needed for post-failure
+    /// validation; disable for pure coverage runs).
+    pub capture_crash_images: bool,
+    /// Budget of crash images per campaign (each is a pool-sized copy).
+    pub max_crash_images: usize,
+    /// Benign-read whitelist (§4.4).
+    pub whitelist: Whitelist,
+    /// Depth of the PM access-trace ring attached to bug reports
+    /// (0 disables tracing).
+    pub trace_depth: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            deadline: Duration::from_secs(2),
+            capture_crash_images: true,
+            max_crash_images: 64,
+            whitelist: Whitelist::default_rules(),
+            trace_depth: 128,
+        }
+    }
+}
+
+/// Per-granule access statistics backing the scheduler's priority queue of
+/// shared PM accesses (§4.2.2).
+#[derive(Debug, Clone, Default)]
+struct AccessStats {
+    loads: HashMap<Site, u32>,
+    stores: HashMap<Site, u32>,
+    threads: HashSet<ThreadId>,
+}
+
+/// One entry of the shared-access summary: a PM address with the load and
+/// store instructions that touched it and how often.
+#[derive(Debug, Clone)]
+pub struct SharedAccessEntry {
+    /// Byte offset of the granule.
+    pub off: u64,
+    /// Load sites with execution counts.
+    pub load_sites: Vec<(Site, u32)>,
+    /// Store sites with execution counts.
+    pub store_sites: Vec<(Site, u32)>,
+    /// Total accesses (priority key; hot shared data first).
+    pub total: u32,
+    /// Distinct threads that touched the granule.
+    pub threads: usize,
+}
+
+struct SessionState {
+    trace: TraceRing,
+    coverage: CoverageMap,
+    mem_taint: HashMap<u64, TaintSet>,
+    candidates: Vec<Candidate>,
+    candidate_index: HashMap<(u32, u32, CandidateKind), u32>,
+    inconsistencies: Vec<InconsistencyRecord>,
+    incons_index: HashSet<(u32, u32, u32)>,
+    sync_updates: Vec<SyncUpdateRecord>,
+    sync_index: HashSet<(String, u32)>,
+    perf_issues: Vec<crate::report::PerfIssueRecord>,
+    annotations: Vec<SyncVarAnnotation>,
+    access_stats: HashMap<u64, AccessStats>,
+    images_captured: usize,
+    hang: bool,
+}
+
+impl SessionState {
+    fn new(trace_depth: usize) -> Self {
+        SessionState {
+            trace: TraceRing::new(trace_depth),
+            coverage: CoverageMap::new(),
+            mem_taint: HashMap::new(),
+            candidates: Vec::new(),
+            candidate_index: HashMap::new(),
+            inconsistencies: Vec::new(),
+            incons_index: HashSet::new(),
+            sync_updates: Vec::new(),
+            sync_index: HashSet::new(),
+            perf_issues: Vec::new(),
+            annotations: Vec::new(),
+            access_stats: HashMap::new(),
+            images_captured: 0,
+            hang: false,
+        }
+    }
+}
+
+/// A fuzz-campaign session: owns all checker state for one execution of the
+/// target. Create per-thread [`PmView`]s with [`Session::view`].
+pub struct Session {
+    pool: Arc<Pool>,
+    cfg: SessionConfig,
+    start: Instant,
+    state: Mutex<SessionState>,
+    strategy: RwLock<Arc<dyn InterleaveStrategy>>,
+    checkers: RwLock<Vec<Arc<dyn Checker>>>,
+    halted: AtomicBool,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("pool_size", &self.pool.size())
+            .field("elapsed", &self.start.elapsed())
+            .field("halted", &self.halted.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Create a session over `pool` with the given configuration.
+    #[must_use]
+    pub fn new(pool: Arc<Pool>, cfg: SessionConfig) -> Arc<Self> {
+        let trace_depth = cfg.trace_depth;
+        Arc::new(Session {
+            pool,
+            cfg,
+            start: Instant::now(),
+            state: Mutex::new(SessionState::new(trace_depth)),
+            strategy: RwLock::new(Arc::new(NoopStrategy)),
+            checkers: RwLock::new(Vec::new()),
+            halted: AtomicBool::new(false),
+        })
+    }
+
+    /// The pool under test.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// The session configuration.
+    #[must_use]
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Install the interleaving-exploration strategy for this campaign.
+    pub fn set_strategy(&self, strategy: Arc<dyn InterleaveStrategy>) {
+        *self.strategy.write() = strategy;
+    }
+
+    /// Register an extension checker.
+    pub fn add_checker(&self, checker: Arc<dyn Checker>) {
+        self.checkers.write().push(checker);
+    }
+
+    /// Annotate a persistent synchronization variable (the
+    /// `pm_sync_var_hint(size, init_val)` macro of §5).
+    pub fn annotate_sync_var(&self, ann: SyncVarAnnotation) {
+        self.state.lock().annotations.push(ann);
+    }
+
+    /// All registered annotations.
+    #[must_use]
+    pub fn annotations(&self) -> Vec<SyncVarAnnotation> {
+        self.state.lock().annotations.clone()
+    }
+
+    /// Create the instrumented access handle for a target thread.
+    #[must_use]
+    pub fn view(self: &Arc<Self>, tid: ThreadId) -> PmView {
+        PmView::new(Arc::clone(self), tid)
+    }
+
+    /// Abort the campaign: all threads fail their next [`PmView::check`].
+    pub fn halt(&self) {
+        self.halted.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once halted or past the deadline.
+    #[must_use]
+    pub fn cancelled(&self) -> bool {
+        self.halted.load(Ordering::Relaxed) || self.start.elapsed() >= self.cfg.deadline
+    }
+
+    /// Deadline/halt check; flags the campaign as hung when the deadline
+    /// passes.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] past the deadline, [`RtError::Halted`] after
+    /// [`Session::halt`].
+    pub fn check(&self) -> Result<(), RtError> {
+        if self.halted.load(Ordering::Relaxed) {
+            return Err(RtError::Halted);
+        }
+        if self.start.elapsed() >= self.cfg.deadline {
+            self.state.lock().hang = true;
+            return Err(RtError::Timeout);
+        }
+        Ok(())
+    }
+
+    /// Time since session creation.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    pub(crate) fn strategy(&self) -> Arc<dyn InterleaveStrategy> {
+        Arc::clone(&self.strategy.read())
+    }
+
+    /// Notify the strategy that a driver thread finished its operation
+    /// sequence (feeds the scheduler's live-thread accounting).
+    pub fn thread_done(&self, tid: ThreadId) {
+        self.strategy().thread_done(tid);
+    }
+
+    fn run_checkers<F: Fn(&dyn Checker, &mut Vec<crate::report::PerfIssueRecord>)>(&self, f: F) {
+        let checkers = self.checkers.read();
+        if checkers.is_empty() {
+            return;
+        }
+        let mut out = Vec::new();
+        for c in checkers.iter() {
+            f(c.as_ref(), &mut out);
+        }
+        if !out.is_empty() {
+            self.state.lock().perf_issues.extend(out);
+        }
+    }
+
+    /// Load hook: update coverage/stats, mint candidates, return the taint
+    /// the loaded value carries.
+    ///
+    /// `gateable` is false for the load half of read-modify-write
+    /// instructions (CAS): they still mint candidates and coverage, but the
+    /// scheduler cannot inject `cond_wait` before them, so they must not
+    /// enter the priority queue as sync points.
+    pub(crate) fn on_load(
+        &self,
+        off: u64,
+        len: usize,
+        site: Site,
+        tid: ThreadId,
+        info: &LoadInfo,
+        gateable: bool,
+    ) -> TaintSet {
+        let persistency = if info.unpersisted {
+            Persistency::Unpersisted
+        } else {
+            Persistency::Persisted
+        };
+        let mut state = self.state.lock();
+        state.trace.push(tid, TraceKind::Load, site, off, len);
+        let mut taint = TaintSet::empty();
+        for g in granules(off, len) {
+            state.coverage.record_access(g, site, tid, persistency);
+            if let Some(t) = state.mem_taint.get(&g) {
+                let t = t.clone();
+                taint.union_with(&t);
+            }
+            let st = state.access_stats.entry(g).or_default();
+            if gateable {
+                *st.loads.entry(site).or_insert(0) += 1;
+            }
+            st.threads.insert(tid);
+        }
+        if info.unpersisted {
+            let kind = if info.writer == tid {
+                CandidateKind::Intra
+            } else {
+                CandidateKind::Inter
+            };
+            let key = (info.tag.0, site.id(), kind);
+            let id = match state.candidate_index.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = u32::try_from(state.candidates.len()).expect("candidate overflow");
+                    state.candidate_index.insert(key, id);
+                    state.candidates.push(Candidate {
+                        id,
+                        kind,
+                        write_site: Site::from_id(info.tag.0),
+                        write_tid: info.writer,
+                        read_site: site,
+                        read_tid: tid,
+                        off,
+                    });
+                    id
+                }
+            };
+            taint.insert(id);
+        }
+        drop(state);
+        self.run_checkers(|c, out| {
+            c.on_load(
+                &AccessEvent {
+                    off,
+                    len,
+                    site,
+                    tid,
+                    state_before: info.state,
+                },
+                out,
+            );
+        });
+        taint
+    }
+
+    /// Store hook (after the pool store landed): coverage/stats, durable
+    /// side-effect detection, shadow-taint update, sync-var updates.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_store(
+        &self,
+        off: u64,
+        len: usize,
+        site: Site,
+        tid: ThreadId,
+        value_taint: &TaintSet,
+        addr_taint: &TaintSet,
+        non_temporal: bool,
+        state_before: PersistState,
+    ) {
+        let persistency = if non_temporal {
+            Persistency::Persisted
+        } else {
+            Persistency::Unpersisted
+        };
+        let mut state = self.state.lock();
+        state.trace.push(
+            tid,
+            if non_temporal { TraceKind::NtStore } else { TraceKind::Store },
+            site,
+            off,
+            len,
+        );
+        for g in granules(off, len) {
+            state.coverage.record_access(g, site, tid, persistency);
+            let st = state.access_stats.entry(g).or_default();
+            *st.stores.entry(site).or_insert(0) += 1;
+            st.threads.insert(tid);
+            if value_taint.is_empty() {
+                state.mem_taint.remove(&g);
+            } else {
+                state.mem_taint.insert(g, value_taint.clone());
+            }
+        }
+
+        // Durable side effect? Ignore labels whose own dependent data is
+        // what this store (re)writes — per Definition 2, rewriting the
+        // non-persisted data itself is not a side effect of it.
+        let mut effect_labels: Vec<(u32, EffectKind)> = Vec::new();
+        for l in addr_taint.iter() {
+            effect_labels.push((l, EffectKind::Address));
+        }
+        for l in value_taint.iter() {
+            if !addr_taint.contains(l) {
+                effect_labels.push((l, EffectKind::Value));
+            }
+        }
+        let mut new_records: Vec<InconsistencyRecord> = Vec::new();
+        for (label, kind) in effect_labels {
+            let Some(cand) = state.candidates.get(label as usize).cloned() else {
+                continue;
+            };
+            if kind == EffectKind::Value && overlaps(cand.off, 8, off, len) {
+                continue; // rewriting the dependent word itself
+            }
+            let triple = (cand.write_site.id(), cand.read_site.id(), site.id());
+            if !state.incons_index.insert(triple) {
+                continue;
+            }
+            let whitelisted = self.cfg.whitelist.matches_any([
+                site_label(cand.write_site),
+                site_label(cand.read_site),
+                site_label(site),
+            ]);
+            let capture = self.cfg.capture_crash_images
+                && state.images_captured < self.cfg.max_crash_images;
+            if capture {
+                state.images_captured += 1;
+            }
+            new_records.push(InconsistencyRecord {
+                candidate: cand,
+                effect_site: site,
+                effect_off: off,
+                effect_len: len,
+                kind,
+                whitelisted,
+                trace: state.trace.snapshot(24),
+                crash_image: if capture {
+                    // Crash point: side effect persisted, dependent data
+                    // (everything else unflushed) lost.
+                    self.pool
+                        .crash_image_persisting(&[(off, len)])
+                        .ok()
+                        .map(Arc::new)
+                } else {
+                    None
+                },
+            });
+        }
+        state.inconsistencies.extend(new_records);
+
+        // PM Synchronization Inconsistency: store into an annotated region.
+        let anns: Vec<SyncVarAnnotation> = state
+            .annotations
+            .iter()
+            .filter(|a| overlaps(a.off, a.size, off, len))
+            .cloned()
+            .collect();
+        for ann in anns {
+            let new_value = self.pool.load_u64(ann.off).map(|(v, _)| v).unwrap_or(0);
+            if new_value == ann.init_val {
+                // Restoring the annotated initial value (e.g. a lock
+                // release) is not an inconsistency risk.
+                continue;
+            }
+            if !state.sync_index.insert((ann.name.clone(), 0)) {
+                continue; // each sync variable's update type checked once (§4.3)
+            }
+            let capture = self.cfg.capture_crash_images
+                && state.images_captured < self.cfg.max_crash_images;
+            if capture {
+                state.images_captured += 1;
+            }
+            state.sync_updates.push(SyncUpdateRecord {
+                var_name: ann.name.clone(),
+                var_off: ann.off,
+                var_size: ann.size,
+                expected_init: ann.init_val,
+                store_site: site,
+                new_value,
+                tid,
+                crash_image: if capture {
+                    // Crash right after the sync update persists (Fig. 1's
+                    // "crash after thread-2 persists the lock g").
+                    self.pool
+                        .crash_image_persisting(&[(ann.off, ann.size)])
+                        .ok()
+                        .map(Arc::new)
+                } else {
+                    None
+                },
+            });
+        }
+        drop(state);
+        self.run_checkers(|c, out| {
+            c.on_store(
+                &AccessEvent {
+                    off,
+                    len,
+                    site,
+                    tid,
+                    state_before,
+                },
+                out,
+            );
+        });
+    }
+
+    /// External durable side effect (reply to a client, disk write) based on
+    /// possibly-tainted data.
+    pub(crate) fn on_extern_output(&self, taint: &TaintSet, site: Site, _tid: ThreadId) {
+        if taint.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock();
+        let mut new_records = Vec::new();
+        for label in taint.iter() {
+            let Some(cand) = state.candidates.get(label as usize).cloned() else {
+                continue;
+            };
+            let triple = (cand.write_site.id(), cand.read_site.id(), site.id());
+            if !state.incons_index.insert(triple) {
+                continue;
+            }
+            let whitelisted = self.cfg.whitelist.matches_any([
+                site_label(cand.write_site),
+                site_label(cand.read_site),
+                site_label(site),
+            ]);
+            new_records.push(InconsistencyRecord {
+                candidate: cand,
+                effect_site: site,
+                effect_off: 0,
+                effect_len: 0,
+                kind: EffectKind::Output,
+                whitelisted,
+                trace: state.trace.snapshot(24),
+                crash_image: None,
+            });
+        }
+        state.inconsistencies.extend(new_records);
+    }
+
+    pub(crate) fn on_clwb(&self, off: u64, len: usize, site: Site, tid: ThreadId) {
+        self.state.lock().trace.push(tid, TraceKind::Clwb, site, off, len);
+        let state_before = self.range_state(off, len);
+        self.run_checkers(|c, out| {
+            c.on_clwb(
+                &AccessEvent {
+                    off,
+                    len,
+                    site,
+                    tid,
+                    state_before,
+                },
+                out,
+            );
+        });
+    }
+
+    pub(crate) fn on_sfence(&self, tid: ThreadId) {
+        self.run_checkers(|c, out| c.on_sfence(tid, out));
+    }
+
+    /// Summarized persistency state over a byte range (`Dirty` dominates).
+    #[must_use]
+    pub fn range_state(&self, off: u64, len: usize) -> PersistState {
+        let mut worst = PersistState::Clean;
+        for g in granules(off, len) {
+            match self.pool.meta_at(g * 8).state {
+                PersistState::Dirty => return PersistState::Dirty,
+                PersistState::Flushing => worst = PersistState::Flushing,
+                PersistState::Clean => {}
+            }
+        }
+        worst
+    }
+
+    /// Record a branch/basic-block hit for branch coverage.
+    pub fn record_branch(&self, site: Site) {
+        self.state.lock().coverage.record_branch(site);
+    }
+
+    /// Coverage counters `(alias_pairs, branches)` so far.
+    #[must_use]
+    pub fn coverage_counts(&self) -> (usize, usize) {
+        let state = self.state.lock();
+        (state.coverage.alias_pairs(), state.coverage.branches())
+    }
+
+    /// Clone the session coverage map (for merging into a global map).
+    #[must_use]
+    pub fn coverage_snapshot(&self) -> CoverageMap {
+        self.state.lock().coverage.clone()
+    }
+
+    /// Shared-PM-access summary for the scheduler's priority queue: granules
+    /// touched by several threads with both loads and stores, hottest first.
+    #[must_use]
+    pub fn shared_accesses(&self) -> Vec<SharedAccessEntry> {
+        let state = self.state.lock();
+        let mut out: Vec<SharedAccessEntry> = state
+            .access_stats
+            .iter()
+            .filter(|(_, st)| st.threads.len() >= 2 && !st.loads.is_empty() && !st.stores.is_empty())
+            .map(|(&g, st)| {
+                let mut load_sites: Vec<(Site, u32)> =
+                    st.loads.iter().map(|(&s, &c)| (s, c)).collect();
+                let mut store_sites: Vec<(Site, u32)> =
+                    st.stores.iter().map(|(&s, &c)| (s, c)).collect();
+                load_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
+                store_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
+                let total = st.loads.values().sum::<u32>() + st.stores.values().sum::<u32>();
+                SharedAccessEntry {
+                    off: g * 8,
+                    load_sites,
+                    store_sites,
+                    total,
+                    threads: st.threads.len(),
+                }
+            })
+            .collect();
+        out.sort_by_key(|e| (std::cmp::Reverse(e.total), e.off));
+        out
+    }
+
+    /// Granules (by byte offset) that received at least one store during
+    /// this session. Post-failure validation uses this over a *recovery*
+    /// session to decide whether recorded side effects were overwritten
+    /// (§4.4): if recovery rewrote every byte of a durable side effect, the
+    /// inconsistency is benign.
+    #[must_use]
+    pub fn stored_granules(&self) -> std::collections::HashSet<u64> {
+        let state = self.state.lock();
+        state
+            .access_stats
+            .iter()
+            .filter(|(_, st)| !st.stores.is_empty())
+            .map(|(&g, _)| g * 8)
+            .collect()
+    }
+
+    /// End the campaign: notify the strategy, give end-of-campaign checkers
+    /// (e.g. missing-flush) their pass over the still-dirty granules, and
+    /// extract all findings.
+    #[must_use]
+    pub fn finish(&self) -> Findings {
+        self.strategy().campaign_end();
+        if !self.checkers.read().is_empty() {
+            let dirty = self.pool.unpersisted_regions();
+            self.run_checkers(|c, out| c.on_campaign_end(&dirty, out));
+        }
+        let mut state = self.state.lock();
+        Findings {
+            candidates: std::mem::take(&mut state.candidates),
+            inconsistencies: std::mem::take(&mut state.inconsistencies),
+            sync_updates: std::mem::take(&mut state.sync_updates),
+            perf_issues: std::mem::take(&mut state.perf_issues),
+            hang: state.hang,
+        }
+    }
+}
+
+fn granules(off: u64, len: usize) -> std::ops::RangeInclusive<u64> {
+    if len == 0 {
+        return 1..=0;
+    }
+    (off / 8)..=((off + len as u64 - 1) / 8)
+}
+
+fn overlaps(a_off: u64, a_len: usize, b_off: u64, b_len: usize) -> bool {
+    a_len > 0 && b_len > 0 && a_off < b_off + b_len as u64 && b_off < a_off + a_len as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::PoolOpts;
+
+    fn session() -> Arc<Session> {
+        Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default())
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        assert!(overlaps(0, 8, 4, 8));
+        assert!(!overlaps(0, 8, 8, 8));
+        assert!(overlaps(8, 8, 0, 9));
+        assert!(!overlaps(8, 0, 0, 100)); // empty range never overlaps
+    }
+
+    #[test]
+    fn deadline_marks_hang() {
+        let pool = Arc::new(Pool::new(PoolOpts::small()));
+        let s = Session::new(
+            pool,
+            SessionConfig {
+                deadline: Duration::from_millis(0),
+                ..SessionConfig::default()
+            },
+        );
+        assert_eq!(s.check().unwrap_err(), RtError::Timeout);
+        assert!(s.finish().hang);
+    }
+
+    #[test]
+    fn halt_cancels() {
+        let s = session();
+        assert!(s.check().is_ok());
+        s.halt();
+        assert_eq!(s.check().unwrap_err(), RtError::Halted);
+        assert!(s.cancelled());
+    }
+
+    #[test]
+    fn annotations_roundtrip() {
+        let s = session();
+        s.annotate_sync_var(SyncVarAnnotation {
+            name: "lock".into(),
+            off: 64,
+            size: 8,
+            init_val: 0,
+        });
+        assert_eq!(s.annotations().len(), 1);
+        assert_eq!(s.annotations()[0].name, "lock");
+    }
+}

@@ -1,0 +1,186 @@
+//! Access-trace recording: the event history attached to bug reports.
+//!
+//! The paper's reports carry stack traces; since our instruction sites are
+//! already symbolic, the equivalent diagnostic is the *recent PM event
+//! history* around a detection — which thread did what, in which order,
+//! right before the inconsistency. The session keeps a bounded ring of
+//! [`TraceEvent`]s and snapshots it into each
+//! [`InconsistencyRecord`](crate::report::InconsistencyRecord).
+
+use std::collections::VecDeque;
+
+use pmrace_pmem::ThreadId;
+
+use crate::{site_label, Site};
+
+/// Kind of PM access in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Regular load.
+    Load,
+    /// Regular (cached) store.
+    Store,
+    /// Non-temporal store.
+    NtStore,
+    /// Cache-line write-back.
+    Clwb,
+    /// Store fence.
+    Sfence,
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TraceKind::Load => "load",
+            TraceKind::Store => "store",
+            TraceKind::NtStore => "ntstore",
+            TraceKind::Clwb => "clwb",
+            TraceKind::Sfence => "sfence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded PM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic index within the session.
+    pub seq: u64,
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Access kind.
+    pub kind: TraceKind,
+    /// Instruction site.
+    pub site: Site,
+    /// Pool offset (0 for `sfence`).
+    pub off: u64,
+    /// Access length in bytes (0 for `sfence`).
+    pub len: usize,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#{:<5} {} {:<7} {:#08x}+{:<3} {}",
+            self.seq,
+            self.tid,
+            self.kind,
+            self.off,
+            self.len,
+            site_label(self.site),
+        )
+    }
+}
+
+/// Bounded ring of recent PM events.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl TraceRing {
+    /// Ring holding at most `capacity` events (0 disables recording).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// `true` when recording is disabled.
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Record one event (dropping the oldest beyond capacity).
+    pub fn push(&mut self, tid: ThreadId, kind: TraceKind, site: Site, off: u64, len: usize) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(TraceEvent {
+            seq: self.next_seq,
+            tid,
+            kind,
+            site,
+            off,
+            len,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Snapshot the most recent `n` events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self, n: usize) -> Vec<TraceEvent> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).copied().collect()
+    }
+
+    /// Total events recorded (including dropped ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Render a snapshot as the report block.
+#[must_use]
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    if events.is_empty() {
+        return "<no trace recorded>".to_owned();
+    }
+    events
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut ring = TraceRing::new(4);
+        let s = site!("trace.test");
+        for i in 0..10u64 {
+            ring.push(ThreadId(0), TraceKind::Store, s, i * 8, 8);
+        }
+        assert_eq!(ring.recorded(), 10);
+        let snap = ring.snapshot(8);
+        assert_eq!(snap.len(), 4, "bounded by capacity");
+        assert_eq!(snap[0].seq, 6);
+        assert_eq!(snap[3].seq, 9);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let mut ring = TraceRing::new(0);
+        assert!(ring.is_disabled());
+        ring.push(ThreadId(0), TraceKind::Load, site!("t2"), 0, 8);
+        assert_eq!(ring.recorded(), 0);
+        assert!(ring.snapshot(5).is_empty());
+    }
+
+    #[test]
+    fn render_shows_thread_kind_and_site() {
+        let mut ring = TraceRing::new(4);
+        ring.push(ThreadId(2), TraceKind::NtStore, site!("trace.render"), 0x40, 8);
+        let text = render_trace(&ring.snapshot(4));
+        assert!(text.contains("t2"));
+        assert!(text.contains("ntstore"));
+        assert!(text.contains("trace.render"));
+        assert_eq!(render_trace(&[]), "<no trace recorded>");
+    }
+}

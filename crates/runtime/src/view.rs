@@ -1,0 +1,568 @@
+//! [`PmView`]: the instrumented PM access layer target systems program
+//! against. Every method is one hooked instruction of the paper's LLVM pass.
+
+use std::sync::Arc;
+
+use pmrace_pmem::{SiteTag, ThreadId};
+
+use crate::strategy::AccessCtx;
+use crate::taint::{TBytes, TaintSet, TU64};
+use crate::{RtError, Session, Site};
+
+/// Per-thread instrumented handle over the session's pool.
+///
+/// Cheap to clone is not needed — create one per target thread via
+/// [`Session::view`]. All PM traffic of a target must flow through a view;
+/// direct [`Pool`](pmrace_pmem::Pool) access would be invisible to the
+/// checkers (like code the pass failed to instrument).
+#[derive(Debug)]
+pub struct PmView {
+    session: Arc<Session>,
+    tid: ThreadId,
+}
+
+impl PmView {
+    pub(crate) fn new(session: Arc<Session>, tid: ThreadId) -> Self {
+        PmView { session, tid }
+    }
+
+    /// This view's thread id.
+    #[must_use]
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The owning session.
+    #[must_use]
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Deadline/halt check; call inside loops that may spin.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] or [`RtError::Halted`].
+    pub fn check(&self) -> Result<(), RtError> {
+        self.session.check()
+    }
+
+    /// Cooperative spin-wait step: deadline check + thread yield.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] or [`RtError::Halted`].
+    pub fn spin_yield(&self) -> Result<(), RtError> {
+        self.check()?;
+        std::thread::yield_now();
+        Ok(())
+    }
+
+    fn ctx<'a>(&self, off: u64, len: usize, site: Site, cancelled: &'a dyn Fn() -> bool) -> AccessCtx<'a> {
+        AccessCtx {
+            off,
+            len,
+            site,
+            tid: self.tid,
+            cancelled,
+        }
+    }
+
+    /// Instrumented 8-byte load. The returned value carries taint: the ids
+    /// of any inconsistency candidates it depends on (fresh candidate when
+    /// the word is unpersisted, plus shadow taint left by earlier tainted
+    /// stores, plus the address taint of `off`).
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn load_u64(&self, off: impl Into<TU64>, site: Site) -> Result<TU64, RtError> {
+        self.check()?;
+        let off = off.into();
+        let cancelled = || self.session.cancelled();
+        self.session
+            .strategy()
+            .before_load(&self.ctx(off.value(), 8, site, &cancelled));
+        let (val, info) = self.session.pool().load_u64(off.value())?;
+        let mut taint = self.session.on_load(off.value(), 8, site, self.tid, &info, true);
+        taint.union_with(off.taint());
+        Ok(TU64::with_taint(val, taint))
+    }
+
+    /// Instrumented byte-range load; see [`PmView::load_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn load_bytes(&self, off: impl Into<TU64>, len: usize, site: Site) -> Result<TBytes, RtError> {
+        self.check()?;
+        let off = off.into();
+        let cancelled = || self.session.cancelled();
+        self.session
+            .strategy()
+            .before_load(&self.ctx(off.value(), len, site, &cancelled));
+        let mut buf = vec![0u8; len];
+        let info = self.session.pool().load(off.value(), &mut buf)?;
+        let mut taint = self.session.on_load(off.value(), len, site, self.tid, &info, true);
+        taint.union_with(off.taint());
+        Ok(TBytes::with_taint(buf, taint))
+    }
+
+    fn store_common(
+        &self,
+        off: TU64,
+        bytes: &[u8],
+        value_taint: &TaintSet,
+        site: Site,
+        non_temporal: bool,
+    ) -> Result<(), RtError> {
+        self.check()?;
+        let cancelled = || self.session.cancelled();
+        let ctx = self.ctx(off.value(), bytes.len(), site, &cancelled);
+        let strategy = self.session.strategy();
+        strategy.before_store(&ctx);
+        let state_before = self.session.range_state(off.value(), bytes.len());
+        let tag = SiteTag(site.id());
+        if non_temporal {
+            self.session
+                .pool()
+                .ntstore(off.value(), bytes, self.tid, tag)?;
+        } else {
+            self.session
+                .pool()
+                .store(off.value(), bytes, self.tid, tag)?;
+        }
+        self.session.on_store(
+            off.value(),
+            bytes.len(),
+            site,
+            self.tid,
+            value_taint,
+            off.taint(),
+            non_temporal,
+            state_before,
+        );
+        // Fires cond_signal and stalls the writer *before* its flush (§4.2.2).
+        strategy.after_store(&ctx);
+        Ok(())
+    }
+
+    /// Instrumented 8-byte store. Tainted contents or a tainted address make
+    /// this a durable side effect and raise a PM inconsistency.
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn store_u64(
+        &self,
+        off: impl Into<TU64>,
+        val: impl Into<TU64>,
+        site: Site,
+    ) -> Result<(), RtError> {
+        let val = val.into();
+        self.store_common(
+            off.into(),
+            &val.value().to_le_bytes(),
+            val.taint(),
+            site,
+            false,
+        )
+    }
+
+    /// Instrumented non-temporal 8-byte store (`movnt64`): persists
+    /// immediately, still a durable side effect when tainted.
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn ntstore_u64(
+        &self,
+        off: impl Into<TU64>,
+        val: impl Into<TU64>,
+        site: Site,
+    ) -> Result<(), RtError> {
+        let val = val.into();
+        self.store_common(
+            off.into(),
+            &val.value().to_le_bytes(),
+            val.taint(),
+            site,
+            true,
+        )
+    }
+
+    /// Instrumented byte-range store.
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn store_bytes(
+        &self,
+        off: impl Into<TU64>,
+        data: &TBytes,
+        site: Site,
+    ) -> Result<(), RtError> {
+        self.store_common(off.into(), data.bytes(), data.taint(), site, false)
+    }
+
+    /// Instrumented non-temporal byte-range store.
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn ntstore_bytes(
+        &self,
+        off: impl Into<TU64>,
+        data: &TBytes,
+        site: Site,
+    ) -> Result<(), RtError> {
+        self.store_common(off.into(), data.bytes(), data.taint(), site, true)
+    }
+
+    /// Instrumented compare-and-swap on an aligned word. Returns
+    /// `(swapped, observed)`; the observed value carries taint like a load.
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn cas_u64(
+        &self,
+        off: impl Into<TU64>,
+        expected: u64,
+        new: impl Into<TU64>,
+        site: Site,
+    ) -> Result<(bool, TU64), RtError> {
+        self.check()?;
+        let off = off.into();
+        let new = new.into();
+        let cancelled = || self.session.cancelled();
+        let ctx = self.ctx(off.value(), 8, site, &cancelled);
+        let strategy = self.session.strategy();
+        strategy.before_store(&ctx);
+        let state_before = self.session.range_state(off.value(), 8);
+        let (swapped, observed, info) = self.session.pool().cas_u64(
+            off.value(),
+            expected,
+            new.value(),
+            self.tid,
+            SiteTag(site.id()),
+        )?;
+        let mut taint = self.session.on_load(off.value(), 8, site, self.tid, &info, false);
+        taint.union_with(off.taint());
+        if swapped {
+            self.session.on_store(
+                off.value(),
+                8,
+                site,
+                self.tid,
+                new.taint(),
+                off.taint(),
+                false,
+                state_before,
+            );
+            strategy.after_store(&ctx);
+        }
+        Ok((swapped, TU64::with_taint(observed, taint)))
+    }
+
+    /// Instrumented `clwb` over a byte range.
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn clwb(&self, off: impl Into<TU64>, len: usize, site: Site) -> Result<(), RtError> {
+        self.check()?;
+        let off = off.into();
+        self.session.on_clwb(off.value(), len, site, self.tid);
+        self.session.pool().clwb(off.value(), len, self.tid)?;
+        Ok(())
+    }
+
+    /// Instrumented `sfence`.
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn sfence(&self) -> Result<(), RtError> {
+        self.check()?;
+        self.session.on_sfence(self.tid);
+        self.session.pool().sfence(self.tid)?;
+        Ok(())
+    }
+
+    /// `clwb` + `sfence` (the persist idiom).
+    ///
+    /// # Errors
+    ///
+    /// Deadline/halt errors and PM substrate errors.
+    pub fn persist(&self, off: impl Into<TU64>, len: usize, site: Site) -> Result<(), RtError> {
+        let off = off.into();
+        self.clwb(off.clone(), len, site)?;
+        self.sfence()
+    }
+
+    /// Record a branch/basic-block execution for branch coverage.
+    pub fn branch(&self, site: Site) {
+        self.session.record_branch(site);
+    }
+
+    /// Declare that `data` left the program (client reply, disk write): an
+    /// external durable side effect if tainted.
+    pub fn output(&self, data: &TBytes, site: Site) {
+        self.session.on_extern_output(data.taint(), site, self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::RedundantFlushChecker;
+    use crate::report::{CandidateKind, EffectKind};
+    use crate::session::{SessionConfig, SyncVarAnnotation};
+    use crate::site;
+    use pmrace_pmem::{Pool, PoolOpts};
+
+    fn session() -> Arc<Session> {
+        Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default())
+    }
+
+    #[test]
+    fn clean_load_is_untainted() {
+        let s = session();
+        let v = s.view(ThreadId(0));
+        v.ntstore_u64(64u64, 5, site!("w")).unwrap();
+        let x = v.load_u64(64u64, site!("r")).unwrap();
+        assert_eq!(x, 5u64);
+        assert!(!x.is_tainted());
+        assert!(s.finish().candidates.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_dirty_read_mints_inter_candidate() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 7, site!("writer")).unwrap();
+        let x = r.load_u64(64u64, site!("reader")).unwrap();
+        assert!(x.is_tainted());
+        let f = s.finish();
+        assert_eq!(f.candidates.len(), 1);
+        assert_eq!(f.candidates[0].kind, CandidateKind::Inter);
+        assert!(f.inconsistencies.is_empty(), "no side effect yet");
+    }
+
+    #[test]
+    fn own_dirty_read_mints_intra_candidate() {
+        let s = session();
+        let v = s.view(ThreadId(0));
+        v.store_u64(64u64, 7, site!("w-intra")).unwrap();
+        let x = v.load_u64(64u64, site!("r-intra")).unwrap();
+        assert!(x.is_tainted());
+        let f = s.finish();
+        assert_eq!(f.candidates[0].kind, CandidateKind::Intra);
+    }
+
+    #[test]
+    fn tainted_value_store_is_inconsistency() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 7, site!("w1")).unwrap();
+        let x = r.load_u64(64u64, site!("r1")).unwrap();
+        r.store_u64(128u64, x + 1u64, site!("effect1")).unwrap();
+        let f = s.finish();
+        assert_eq!(f.inconsistencies.len(), 1);
+        let rec = &f.inconsistencies[0];
+        assert_eq!(rec.kind, EffectKind::Value);
+        assert_eq!(rec.effect_off, 128);
+        assert!(rec.crash_image.is_some());
+        // The crash image holds the side effect but not the dependent data.
+        let img = rec.crash_image.as_ref().unwrap();
+        assert_eq!(img.load_u64(128).unwrap(), 8);
+        assert_eq!(img.load_u64(64).unwrap(), 0);
+    }
+
+    #[test]
+    fn tainted_address_store_is_inconsistency() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 256, site!("w2")).unwrap(); // a "pointer"
+        let ptr = r.load_u64(64u64, site!("r2")).unwrap();
+        r.ntstore_u64(ptr, 42, site!("effect2")).unwrap(); // store *via* it
+        let f = s.finish();
+        assert_eq!(f.inconsistencies.len(), 1);
+        assert_eq!(f.inconsistencies[0].kind, EffectKind::Address);
+        assert_eq!(f.inconsistencies[0].effect_off, 256);
+    }
+
+    #[test]
+    fn rewriting_dependent_word_is_not_side_effect() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 7, site!("w3")).unwrap();
+        let x = r.load_u64(64u64, site!("r3")).unwrap();
+        r.store_u64(64u64, x, site!("rewrite")).unwrap();
+        let f = s.finish();
+        assert!(f.inconsistencies.is_empty());
+    }
+
+    #[test]
+    fn persisted_then_read_is_no_candidate() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 7, site!("w4")).unwrap();
+        w.persist(64u64, 8, site!("flush4")).unwrap();
+        let x = r.load_u64(64u64, site!("r4")).unwrap();
+        assert!(!x.is_tainted());
+        assert!(s.finish().candidates.is_empty());
+    }
+
+    #[test]
+    fn shadow_taint_flows_through_memory() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 7, site!("w5")).unwrap();
+        let x = r.load_u64(64u64, site!("r5")).unwrap();
+        // Store tainted value, persist it, load it back: taint must survive
+        // because the *source* is still unpersisted.
+        r.store_u64(200u64, x, site!("mid")).unwrap();
+        r.persist(200u64, 8, site!("flush5")).unwrap();
+        let y = r.load_u64(200u64, site!("r5b")).unwrap();
+        assert!(y.is_tainted());
+        r.store_u64(300u64, y, site!("effect5")).unwrap();
+        let f = s.finish();
+        // Two inconsistencies: the tainted store at `mid` and at `effect5`.
+        assert_eq!(f.inconsistencies.len(), 2);
+    }
+
+    #[test]
+    fn sync_var_update_is_recorded_once_per_site() {
+        let s = session();
+        s.annotate_sync_var(SyncVarAnnotation {
+            name: "lock".into(),
+            off: 512,
+            size: 8,
+            init_val: 0,
+        });
+        let v = s.view(ThreadId(0));
+        let lock_site = site!("lock_acquire");
+        v.store_u64(512u64, 1, lock_site).unwrap();
+        v.store_u64(512u64, 1, lock_site).unwrap(); // same shape: deduped
+        let f = s.finish();
+        assert_eq!(f.sync_updates.len(), 1);
+        let u = &f.sync_updates[0];
+        assert_eq!(u.var_name, "lock");
+        assert_eq!(u.new_value, 1);
+        assert_eq!(u.expected_init, 0);
+        assert!(u.crash_image.is_some());
+        assert_eq!(u.crash_image.as_ref().unwrap().load_u64(512).unwrap(), 1);
+    }
+
+    #[test]
+    fn cas_acquires_record_sync_updates_and_candidates() {
+        let s = session();
+        s.annotate_sync_var(SyncVarAnnotation {
+            name: "seg_lock".into(),
+            off: 1024,
+            size: 8,
+            init_val: 0,
+        });
+        let a = s.view(ThreadId(0));
+        let b = s.view(ThreadId(1));
+        let (ok, _) = a.cas_u64(1024u64, 0, 1, site!("cas_acquire")).unwrap();
+        assert!(ok);
+        // b observes a's unpersisted lock word.
+        let (ok2, observed) = b.cas_u64(1024u64, 0, 1, site!("cas_acquire_b")).unwrap();
+        assert!(!ok2);
+        assert_eq!(observed, 1u64);
+        assert!(observed.is_tainted());
+        let f = s.finish();
+        assert_eq!(f.sync_updates.len(), 1);
+        assert!(!f.candidates.is_empty());
+    }
+
+    #[test]
+    fn whitelisted_sites_are_marked() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 7, site!("clevel.pmdk_tx_alloc.meta")).unwrap();
+        let x = r.load_u64(64u64, site!("r6")).unwrap();
+        r.store_u64(128u64, x, site!("e6")).unwrap();
+        let f = s.finish();
+        assert_eq!(f.inconsistencies.len(), 1);
+        assert!(f.inconsistencies[0].whitelisted);
+    }
+
+    #[test]
+    fn extern_output_of_tainted_data_is_inconsistency() {
+        let s = session();
+        let w = s.view(ThreadId(0));
+        let r = s.view(ThreadId(1));
+        w.store_u64(64u64, 7, site!("w7")).unwrap();
+        let x = r.load_bytes(64u64, 8, site!("r7")).unwrap();
+        r.output(&x, site!("reply"));
+        let f = s.finish();
+        assert_eq!(f.inconsistencies.len(), 1);
+        assert_eq!(f.inconsistencies[0].kind, EffectKind::Output);
+    }
+
+    #[test]
+    fn redundant_flush_checker_integration() {
+        let s = session();
+        s.add_checker(Arc::new(RedundantFlushChecker));
+        let v = s.view(ThreadId(0));
+        v.store_u64(64u64, 1, site!("w8")).unwrap();
+        v.persist(64u64, 8, site!("flush8")).unwrap();
+        v.persist(64u64, 8, site!("flush8-again")).unwrap(); // redundant
+        let f = s.finish();
+        assert_eq!(f.perf_issues.len(), 1);
+        assert_eq!(f.perf_issues[0].checker, "redundant-flush");
+    }
+
+    #[test]
+    fn shared_access_summary_ranks_hot_granules() {
+        let s = session();
+        let a = s.view(ThreadId(0));
+        let b = s.view(ThreadId(1));
+        for _ in 0..5 {
+            a.store_u64(64u64, 1, site!("hot-w")).unwrap();
+            let _ = b.load_u64(64u64, site!("hot-r")).unwrap();
+        }
+        a.store_u64(128u64, 1, site!("cold-w")).unwrap();
+        let _ = b.load_u64(128u64, site!("cold-r")).unwrap();
+        let shared = s.session().shared_accesses();
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared[0].off, 64);
+        assert!(shared[0].total > shared[1].total);
+        assert_eq!(shared[0].threads, 2);
+    }
+
+    trait SessionExt {
+        fn session(&self) -> &Arc<Session>;
+    }
+    impl SessionExt for Arc<Session> {
+        fn session(&self) -> &Arc<Session> {
+            self
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_accesses() {
+        let pool = Arc::new(Pool::new(PoolOpts::small()));
+        let s = Session::new(
+            pool,
+            SessionConfig {
+                deadline: std::time::Duration::ZERO,
+                ..SessionConfig::default()
+            },
+        );
+        let v = s.view(ThreadId(0));
+        assert_eq!(v.store_u64(64u64, 1, site!("w9")).unwrap_err(), RtError::Timeout);
+        assert_eq!(v.spin_yield().unwrap_err(), RtError::Timeout);
+    }
+}

@@ -1,0 +1,93 @@
+//! Whitelist of known-benign non-persisted reads (§4.4).
+//!
+//! Post-failure validation cannot see through application-specific
+//! tolerance mechanisms (lazy recovery, checksums, redo logging), so PMRace
+//! lets developers list code locations whose non-persisted reads are safe.
+//! Rules match substrings of site labels — the analog of the paper matching
+//! stack-trace entries.
+
+/// A set of label-substring rules; an inconsistency is whitelisted when any
+/// rule matches the label of its read, write, or effect site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Whitelist {
+    rules: Vec<String>,
+}
+
+impl Whitelist {
+    /// Empty whitelist (every detection is reported).
+    #[must_use]
+    pub fn empty() -> Self {
+        Whitelist { rules: Vec::new() }
+    }
+
+    /// The default whitelist the paper ships: PMDK's redo-logged
+    /// transactional allocations, plus checksum-guarded regions (used by
+    /// memcached-pmem).
+    #[must_use]
+    pub fn default_rules() -> Self {
+        Whitelist {
+            rules: vec!["pmdk_tx_alloc".to_owned(), "checksum_guard".to_owned()],
+        }
+    }
+
+    /// Add a rule (label substring).
+    pub fn add(&mut self, rule: impl Into<String>) {
+        self.rules.push(rule.into());
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rules are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Does any rule match this site label?
+    #[must_use]
+    pub fn matches_label(&self, label: &str) -> bool {
+        self.rules.iter().any(|r| label.contains(r.as_str()))
+    }
+
+    /// Does any rule match any of the given labels?
+    #[must_use]
+    pub fn matches_any<'a, I: IntoIterator<Item = &'a str>>(&self, labels: I) -> bool {
+        labels.into_iter().any(|l| self.matches_label(l))
+    }
+}
+
+impl Default for Whitelist {
+    fn default() -> Self {
+        Whitelist::default_rules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_covers_pmdk_tx_alloc() {
+        let w = Whitelist::default_rules();
+        assert!(w.matches_label("clevel.pmdk_tx_alloc.first_level"));
+        assert!(w.matches_label("memkv.checksum_guard.read_value"));
+        assert!(!w.matches_label("clht.resize.swap_ptr"));
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn custom_rules_extend_matching() {
+        let mut w = Whitelist::empty();
+        assert!(w.is_empty());
+        assert!(!w.matches_label("fastfair.lazy_fix"));
+        w.add("lazy_fix");
+        assert!(w.matches_label("fastfair.lazy_fix"));
+        assert!(w.matches_any(["nope", "fastfair.lazy_fix"]));
+        assert!(!w.matches_any(["nope", "still nope"]));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the instrumentation runtime: taint algebra,
+//! coverage-map laws, and the candidate-minting invariant.
+
+use std::sync::Arc;
+
+use pmrace_pmem::{Pool, PoolOpts, ThreadId};
+use pmrace_runtime::coverage::{CoverageMap, Persistency};
+use pmrace_runtime::{site, Session, SessionConfig, TaintSet, TU64};
+use proptest::prelude::*;
+
+fn taint_strategy() -> impl Strategy<Value = TaintSet> {
+    prop::collection::vec(0u32..64, 0..8).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Union is commutative, associative, and idempotent.
+    #[test]
+    fn taint_union_laws(a in taint_strategy(), b in taint_strategy(), c in taint_strategy()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.union(&TaintSet::empty()), a.clone());
+    }
+
+    /// Union contains exactly the members of both sides.
+    #[test]
+    fn taint_union_membership(a in taint_strategy(), b in taint_strategy()) {
+        let u = a.union(&b);
+        for l in 0u32..64 {
+            prop_assert_eq!(u.contains(l), a.contains(l) || b.contains(l));
+        }
+    }
+
+    /// TU64 arithmetic matches u64 arithmetic on the value while the taint
+    /// is always the union of the operands' taint.
+    #[test]
+    fn tu64_arithmetic_is_value_faithful(
+        x in any::<u64>(), y in 1u64..1_000_000,
+        ta in taint_strategy(), tb in taint_strategy(),
+    ) {
+        let a = TU64::with_taint(x, ta.clone());
+        let b = TU64::with_taint(y, tb.clone());
+        let cases: Vec<(TU64, u64)> = vec![
+            (a.clone() + b.clone(), x.wrapping_add(y)),
+            (a.clone() ^ b.clone(), x ^ y),
+            (a.clone() | b.clone(), x | y),
+            (a.clone() & b.clone(), x & y),
+            (a.clone() % b.clone(), x % y),
+        ];
+        for (got, want) in cases {
+            prop_assert_eq!(got.value(), want);
+            prop_assert_eq!(got.taint(), &ta.union(&tb));
+        }
+    }
+
+    /// Merging a coverage map into an empty one reproduces its counts, and
+    /// re-merging adds nothing (idempotence).
+    #[test]
+    fn coverage_merge_laws(accesses in prop::collection::vec(
+        (0u64..32, 0u8..2, any::<bool>()), 1..60)) {
+        let mut src = CoverageMap::new();
+        let s0 = site!("prop.a");
+        let s1 = site!("prop.b");
+        for (g, t, unp) in &accesses {
+            let site = if *t == 0 { s0 } else { s1 };
+            let p = if *unp { Persistency::Unpersisted } else { Persistency::Persisted };
+            src.record_access(*g, site, ThreadId(u32::from(*t)), p);
+        }
+        src.record_branch(s0);
+        let mut dst = CoverageMap::new();
+        let (a1, b1) = dst.merge_from(&src);
+        prop_assert_eq!(a1, src.alias_pairs());
+        prop_assert_eq!(b1, src.branches());
+        let (a2, b2) = dst.merge_from(&src);
+        prop_assert_eq!((a2, b2), (0, 0));
+        prop_assert_eq!(dst.alias_pairs(), src.alias_pairs());
+    }
+
+    /// Candidate-minting invariant: a load mints taint iff some overlapped
+    /// granule is unpersisted — checked against an independent model of
+    /// dirty words driven by the same operation stream.
+    #[test]
+    fn candidates_track_dirtiness_model(ops in prop::collection::vec(
+        (0u64..16, 0u8..3, any::<bool>()), 1..80)) {
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig { capture_crash_images: false, ..SessionConfig::default() },
+        );
+        let v0 = session.view(ThreadId(0));
+        let v1 = session.view(ThreadId(1));
+        let mut dirty = std::collections::HashSet::new();
+        let (sw, sr, sf) = (site!("prop.w"), site!("prop.r"), site!("prop.f"));
+        for (word, action, second_thread) in ops {
+            let off = 4096 + word * 8;
+            let view = if second_thread { &v1 } else { &v0 };
+            match action {
+                0 => {
+                    view.store_u64(off, 1u64, sw).unwrap();
+                    dirty.insert(word);
+                }
+                1 => {
+                    view.persist(off, 8, sf).unwrap();
+                    // clwb covers the whole 64-byte line.
+                    let line = word / 8 * 8;
+                    for w in line..line + 8 {
+                        dirty.remove(&w);
+                    }
+                }
+                _ => {
+                    let got = view.load_u64(off, sr).unwrap();
+                    prop_assert_eq!(
+                        got.is_tainted(),
+                        dirty.contains(&word),
+                        "word {} dirty-model mismatch", word
+                    );
+                }
+            }
+        }
+    }
+}

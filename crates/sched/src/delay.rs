@@ -1,0 +1,105 @@
+//! Random delay-injection baseline (*Delay Inj* in §6.1).
+//!
+//! Before each PM access, inject a uniformly distributed random delay. This
+//! is the conventional interleaving-exploration technique PMRace is compared
+//! against in Fig. 8; it is PM-oblivious, so it spends its delays on all
+//! accesses equally instead of steering readers onto unflushed data.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pmrace_runtime::strategy::{AccessCtx, InterleaveStrategy};
+
+/// Uniform-random delay before every PM load and store.
+#[derive(Debug)]
+pub struct DelayStrategy {
+    max_delay: Duration,
+    rng: Mutex<StdRng>,
+}
+
+impl DelayStrategy {
+    /// Delays drawn uniformly from `[0, max_delay]`. The paper uses at most
+    /// 1 ms; scaled-down values keep campaigns fast in tests.
+    #[must_use]
+    pub fn new(max_delay: Duration, seed: u64) -> Self {
+        DelayStrategy {
+            max_delay,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    fn delay(&self) {
+        let max = self.max_delay.as_micros() as u64;
+        if max == 0 {
+            return;
+        }
+        let us = self.rng.lock().random_range(0..=max);
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+}
+
+impl InterleaveStrategy for DelayStrategy {
+    fn name(&self) -> &'static str {
+        "delay-injection"
+    }
+
+    fn before_load(&self, _ctx: &AccessCtx<'_>) {
+        self.delay();
+    }
+
+    fn before_store(&self, _ctx: &AccessCtx<'_>) {
+        self.delay();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::ThreadId;
+    use pmrace_runtime::site;
+    use std::time::Instant;
+
+    #[test]
+    fn delays_are_bounded() {
+        let s = DelayStrategy::new(Duration::from_micros(100), 42);
+        let cancelled = || false;
+        let ctx = AccessCtx {
+            off: 0,
+            len: 8,
+            site: site!("x"),
+            tid: ThreadId(0),
+            cancelled: &cancelled,
+        };
+        let start = Instant::now();
+        for _ in 0..20 {
+            s.before_load(&ctx);
+            s.before_store(&ctx);
+        }
+        // 40 delays of at most 100µs each, plus generous scheduling slack.
+        assert!(start.elapsed() < Duration::from_millis(500));
+        assert_eq!(s.name(), "delay-injection");
+    }
+
+    #[test]
+    fn zero_max_delay_never_sleeps() {
+        let s = DelayStrategy::new(Duration::ZERO, 1);
+        let cancelled = || false;
+        let ctx = AccessCtx {
+            off: 0,
+            len: 8,
+            site: site!("y"),
+            tid: ThreadId(0),
+            cancelled: &cancelled,
+        };
+        let start = Instant::now();
+        for _ in 0..1000 {
+            s.before_load(&ctx);
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+}

@@ -1,0 +1,467 @@
+//! The PMRace conditional-wait scheduler (paper Fig. 6).
+//!
+//! Given one entry from the shared-access priority queue, loads of that
+//! address (*sync points*) wait on a condition; the matching store signals
+//! it and then stalls the writer before its flush, steering the execution
+//! into reading non-persisted data.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pmrace_pmem::ThreadId;
+use pmrace_runtime::strategy::{AccessCtx, InterleaveStrategy};
+
+use crate::{QueueEntry, SkipStore};
+
+/// Timing and hang-detection knobs of the Fig. 6 algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncTuning {
+    /// Poll interval inside `cond_wait` (the paper's `usleep(100)`).
+    pub reader_poll: Duration,
+    /// How long the writer stalls after `cond_signal` (the paper's
+    /// `writerWaiting`, set to the typical total execution time of the
+    /// original program).
+    pub writer_wait: Duration,
+    /// Poll iterations after which, if *all* worker threads are blocked, a
+    /// privileged thread is drafted (pitfall 2).
+    pub all_block_iters: u32,
+    /// Poll iterations after which a still-blocked thread disables the sync
+    /// point and learns a skip for future campaigns (pitfall 3).
+    pub disable_iters: u32,
+    /// Random extra initial skips (0..=jitter) added per sync point each
+    /// campaign, so repeated executions of the same plan block threads at
+    /// *different* dynamic occurrences of the sync point — the
+    /// execution-tier nondeterminism the paper relies on (§4.2.3).
+    pub skip_jitter: u32,
+}
+
+impl Default for SyncTuning {
+    fn default() -> Self {
+        SyncTuning {
+            reader_poll: Duration::from_micros(50),
+            writer_wait: Duration::from_millis(2),
+            all_block_iters: 20,
+            // Generous: when all threads block, the drafted privileged
+            // thread may need to run a whole op sequence (e.g. enough
+            // inserts to trigger a resize) before the signalling store is
+            // reached. Sync points that never signal cost this wait once;
+            // the learned skip avoids it in later campaigns (pitfall 3).
+            disable_iters: 1200,
+            skip_jitter: 8,
+        }
+    }
+}
+
+/// The interleaving to force: one shared address plus its load (sync-point)
+/// and store (signaller) instructions.
+#[derive(Debug, Clone)]
+pub struct SyncPlan {
+    /// Target granule byte offset.
+    pub off: u64,
+    /// Site ids of loads to gate.
+    pub load_sites: HashSet<u32>,
+    /// Site ids of stores that signal.
+    pub store_sites: HashSet<u32>,
+}
+
+impl From<&QueueEntry> for SyncPlan {
+    fn from(e: &QueueEntry) -> Self {
+        SyncPlan {
+            off: e.off,
+            load_sites: e.load_sites.iter().map(|s| s.id()).collect(),
+            store_sites: e.store_sites.iter().map(|s| s.id()).collect(),
+        }
+    }
+}
+
+/// The PM-aware conditional-wait strategy.
+#[derive(Debug)]
+pub struct PmraceStrategy {
+    plan: SyncPlan,
+    tuning: SyncTuning,
+    num_threads: usize,
+    skip_store: Arc<SkipStore>,
+    /// The condition variable `m` of Fig. 6.
+    m: AtomicBool,
+    /// `sync.is_enabled`.
+    sync_enabled: AtomicBool,
+    /// Threads currently blocked in `cond_wait`.
+    blocked: AtomicUsize,
+    /// Driver threads still executing (the all-block detection is over
+    /// live threads; finished threads cannot signal anyone).
+    active: AtomicUsize,
+    /// Thread granted bypass when all threads block (pitfall 2).
+    privileged: Mutex<Option<ThreadId>>,
+    /// Remaining skips per load site this campaign (pitfall 3).
+    skips: Mutex<HashMap<u32, u32>>,
+    rng: Mutex<StdRng>,
+    waits: AtomicUsize,
+    signals: AtomicUsize,
+}
+
+impl PmraceStrategy {
+    /// Build a strategy for one campaign.
+    ///
+    /// `num_threads` is the number of target worker threads (used for the
+    /// all-blocked detection); initial skips per sync point are loaded from
+    /// `skip_store` — the persisted pitfall-3 state for this seed.
+    #[must_use]
+    pub fn new(
+        plan: SyncPlan,
+        num_threads: usize,
+        skip_store: Arc<SkipStore>,
+        tuning: SyncTuning,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let skips = plan
+            .load_sites
+            .iter()
+            .map(|&s| {
+                let jitter = if tuning.skip_jitter > 0 {
+                    rng.random_range(0..=tuning.skip_jitter)
+                } else {
+                    0
+                };
+                (s, skip_store.get(plan.off, s) + jitter)
+            })
+            .collect();
+        PmraceStrategy {
+            plan,
+            tuning,
+            num_threads,
+            skip_store,
+            m: AtomicBool::new(false),
+            sync_enabled: AtomicBool::new(true),
+            blocked: AtomicUsize::new(0),
+            active: AtomicUsize::new(num_threads),
+            privileged: Mutex::new(None),
+            skips: Mutex::new(skips),
+            rng: Mutex::new(rng),
+            waits: AtomicUsize::new(0),
+            signals: AtomicUsize::new(0),
+        }
+    }
+
+    /// The plan being forced.
+    #[must_use]
+    pub fn plan(&self) -> &SyncPlan {
+        &self.plan
+    }
+
+    /// Number of `cond_wait`s entered (telemetry for the experiments).
+    #[must_use]
+    pub fn waits_entered(&self) -> usize {
+        self.waits.load(Ordering::Relaxed)
+    }
+
+    /// Number of `cond_signal`s fired.
+    #[must_use]
+    pub fn signals_sent(&self) -> usize {
+        self.signals.load(Ordering::Relaxed)
+    }
+
+    fn matches_addr(&self, off: u64) -> bool {
+        off / 8 == self.plan.off / 8
+    }
+
+    /// `cond_wait` (Fig. 6 lines 3–24).
+    fn cond_wait(&self, ctx: &AccessCtx<'_>) {
+        if !self.sync_enabled.load(Ordering::Acquire) {
+            return;
+        }
+        if *self.privileged.lock() == Some(ctx.tid) {
+            return; // t->bypass_sync
+        }
+        {
+            let mut skips = self.skips.lock();
+            if let Some(s) = skips.get_mut(&ctx.site.id()) {
+                if *s > 0 {
+                    *s -= 1; // sync.skip--
+                    return;
+                }
+            }
+        }
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        let blocked = BlockGuard::enter(&self.blocked);
+        let mut iters: u32 = 0;
+        while !self.m.load(Ordering::Acquire) {
+            if (ctx.cancelled)() {
+                break;
+            }
+            std::thread::sleep(self.tuning.reader_poll);
+            iters += 1;
+            let live = self.active.load(Ordering::Acquire).max(1);
+            if iters >= self.tuning.all_block_iters && blocked.count() >= live {
+                // All live threads block: draft a privileged thread
+                // (line 13–16). Drafting among the *blocked* threads keeps
+                // the guarantee that someone escapes.
+                let mut priv_tid = self.privileged.lock();
+                if priv_tid.is_none() {
+                    let pick = self.rng.lock().random_range(0..self.num_threads as u32);
+                    *priv_tid = Some(ThreadId(pick));
+                }
+                if *priv_tid == Some(ctx.tid) {
+                    break;
+                }
+            }
+            if iters >= self.tuning.disable_iters {
+                // Some threads block with no signaller in sight: disable the
+                // sync point and remember to skip it next campaign (line 10,
+                // lines 6/21).
+                self.sync_enabled.store(false, Ordering::Release);
+                self.skip_store.bump(self.plan.off, ctx.site.id());
+                break;
+            }
+        }
+    }
+
+    /// `cond_signal` (Fig. 6 lines 26–30).
+    fn cond_signal(&self, _ctx: &AccessCtx<'_>) {
+        if !self.sync_enabled.load(Ordering::Acquire) {
+            return;
+        }
+        if !self.m.swap(true, Ordering::AcqRel) {
+            self.signals.fetch_add(1, Ordering::Relaxed);
+            // Stall the writer so readers run their sync-point loads before
+            // this store is flushed.
+            std::thread::sleep(self.tuning.writer_wait);
+        }
+    }
+}
+
+struct BlockGuard<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl<'a> BlockGuard<'a> {
+    fn enter(counter: &'a AtomicUsize) -> Self {
+        counter.fetch_add(1, Ordering::AcqRel);
+        BlockGuard { counter }
+    }
+
+    fn count(&self) -> usize {
+        self.counter.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl InterleaveStrategy for PmraceStrategy {
+    fn name(&self) -> &'static str {
+        "pmrace"
+    }
+
+    fn before_load(&self, ctx: &AccessCtx<'_>) {
+        if self.matches_addr(ctx.off) && self.plan.load_sites.contains(&ctx.site.id()) {
+            self.cond_wait(ctx);
+        }
+    }
+
+    fn after_store(&self, ctx: &AccessCtx<'_>) {
+        if self.matches_addr(ctx.off) && self.plan.store_sites.contains(&ctx.site.id()) {
+            self.cond_signal(ctx);
+        }
+    }
+
+    fn thread_done(&self, tid: ThreadId) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+        // A finished privileged thread frees the slot: the remaining
+        // blocked threads draft a new one, chaining execution until some
+        // thread reaches the signalling store.
+        let mut priv_tid = self.privileged.lock();
+        if *priv_tid == Some(tid) {
+            *priv_tid = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_runtime::{site, Site};
+    use std::time::Instant;
+
+    fn plan_for(off: u64, load: Site, store: Site) -> SyncPlan {
+        SyncPlan {
+            off,
+            load_sites: [load.id()].into(),
+            store_sites: [store.id()].into(),
+        }
+    }
+
+    fn fast_tuning() -> SyncTuning {
+        SyncTuning {
+            reader_poll: Duration::from_micros(100),
+            writer_wait: Duration::from_millis(1),
+            all_block_iters: 5,
+            disable_iters: 400,
+            skip_jitter: 0,
+        }
+    }
+
+    fn ctx<'a>(
+        off: u64,
+        site: Site,
+        tid: u32,
+        cancelled: &'a dyn Fn() -> bool,
+    ) -> AccessCtx<'a> {
+        AccessCtx {
+            off,
+            len: 8,
+            site,
+            tid: ThreadId(tid),
+            cancelled,
+        }
+    }
+
+    #[test]
+    fn reader_blocks_until_writer_signals() {
+        let (l, s) = (site!("load-a"), site!("store-a"));
+        let strat = Arc::new(PmraceStrategy::new(
+            plan_for(64, l, s),
+            2,
+            Arc::new(SkipStore::new()),
+            fast_tuning(),
+            7,
+        ));
+        let strat2 = Arc::clone(&strat);
+        let reader = std::thread::spawn(move || {
+            let cancelled = || false;
+            let start = Instant::now();
+            strat2.before_load(&ctx(64, l, 1, &cancelled));
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let cancelled = || false;
+        strat.after_store(&ctx(64, s, 0, &cancelled));
+        let waited = reader.join().unwrap();
+        assert!(waited >= Duration::from_millis(5), "reader returned early: {waited:?}");
+        assert_eq!(strat.signals_sent(), 1);
+        assert_eq!(strat.waits_entered(), 1);
+    }
+
+    #[test]
+    fn non_matching_accesses_pass_through() {
+        let (l, s) = (site!("load-b"), site!("store-b"));
+        let strat = PmraceStrategy::new(
+            plan_for(64, l, s),
+            2,
+            Arc::new(SkipStore::new()),
+            fast_tuning(),
+            7,
+        );
+        let cancelled = || false;
+        let start = Instant::now();
+        strat.before_load(&ctx(128, l, 0, &cancelled)); // wrong address
+        strat.before_load(&ctx(64, s, 0, &cancelled)); // wrong site kind
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(strat.waits_entered(), 0);
+    }
+
+    #[test]
+    fn learned_skips_bypass_the_wait() {
+        let (l, s) = (site!("load-c"), site!("store-c"));
+        let skips = Arc::new(SkipStore::new());
+        skips.bump(64, l.id());
+        let strat = PmraceStrategy::new(plan_for(64, l, s), 2, skips, fast_tuning(), 7);
+        let cancelled = || false;
+        let start = Instant::now();
+        strat.before_load(&ctx(64, l, 0, &cancelled)); // consumed the skip
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(strat.waits_entered(), 0);
+    }
+
+    #[test]
+    fn all_blocked_threads_draft_a_privileged_one_and_disable() {
+        let (l, s) = (site!("load-d"), site!("store-d"));
+        let skips = Arc::new(SkipStore::new());
+        let strat = Arc::new(PmraceStrategy::new(
+            plan_for(64, l, s),
+            2,
+            Arc::clone(&skips),
+            fast_tuning(),
+            7,
+        ));
+        let mut handles = Vec::new();
+        for t in 0..2u32 {
+            let st = Arc::clone(&strat);
+            handles.push(std::thread::spawn(move || {
+                let cancelled = || false;
+                let start = Instant::now();
+                st.before_load(&ctx(64, l, t, &cancelled));
+                start.elapsed()
+            }));
+        }
+        for h in handles {
+            let waited = h.join().unwrap();
+            // Both must escape: one privileged, the other via disable.
+            assert!(waited < Duration::from_secs(2), "thread stuck: {waited:?}");
+        }
+        // The non-privileged thread disabled the sync point and learned a skip.
+        assert!(!strat.sync_enabled.load(Ordering::Acquire) || !skips.is_empty());
+    }
+
+    #[test]
+    fn cancellation_breaks_the_wait() {
+        let (l, s) = (site!("load-e"), site!("store-e"));
+        let strat = PmraceStrategy::new(
+            plan_for(64, l, s),
+            4,
+            Arc::new(SkipStore::new()),
+            fast_tuning(),
+            7,
+        );
+        let cancelled = || true;
+        let start = Instant::now();
+        strat.before_load(&ctx(64, l, 0, &cancelled));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn signal_disables_future_waits() {
+        let (l, s) = (site!("load-f"), site!("store-f"));
+        let strat = PmraceStrategy::new(
+            plan_for(64, l, s),
+            2,
+            Arc::new(SkipStore::new()),
+            fast_tuning(),
+            7,
+        );
+        let cancelled = || false;
+        strat.after_store(&ctx(64, s, 0, &cancelled));
+        // m is set: cond_wait's while loop never spins.
+        let start = Instant::now();
+        strat.before_load(&ctx(64, l, 1, &cancelled));
+        assert!(start.elapsed() < Duration::from_millis(50));
+        // A second signal does not stall the writer again (pitfall 1).
+        let start = Instant::now();
+        strat.after_store(&ctx(64, s, 0, &cancelled));
+        assert!(start.elapsed() < Duration::from_millis(1));
+        assert_eq!(strat.signals_sent(), 1);
+    }
+
+    #[test]
+    fn plan_from_queue_entry() {
+        let e = QueueEntry {
+            off: 640,
+            load_sites: vec![site!("ql")],
+            store_sites: vec![site!("qs")],
+            priority: 3,
+        };
+        let p = SyncPlan::from(&e);
+        assert_eq!(p.off, 640);
+        assert_eq!(p.load_sites.len(), 1);
+        assert_eq!(p.store_sites.len(), 1);
+    }
+}

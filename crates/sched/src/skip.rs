@@ -1,0 +1,67 @@
+//! Cross-campaign sync-point skip counts (pitfall 3 of §4.2.2).
+//!
+//! When a sync point hangs a campaign, PMRace saves an increased initial
+//! skip for it; later campaigns on the same seed start with that skip, so
+//! the same unnecessary blocking (e.g. in initialization or cleanup code)
+//! is not repeated.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Shared store of learned skip counts, keyed by `(target address, load
+/// site id)`. One store per seed.
+#[derive(Debug, Default)]
+pub struct SkipStore {
+    map: Mutex<HashMap<(u64, u32), u32>>,
+}
+
+impl SkipStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        SkipStore::default()
+    }
+
+    /// Initial skip for a sync point.
+    #[must_use]
+    pub fn get(&self, off: u64, site_id: u32) -> u32 {
+        self.map.lock().get(&(off, site_id)).copied().unwrap_or(0)
+    }
+
+    /// Increase the initial skip after a hang on this sync point.
+    pub fn bump(&self, off: u64, site_id: u32) {
+        *self.map.lock().entry((off, site_id)).or_insert(0) += 1;
+    }
+
+    /// Total number of learned sync points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// `true` when nothing has been learned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let s = SkipStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.get(64, 1), 0);
+        s.bump(64, 1);
+        s.bump(64, 1);
+        s.bump(64, 2);
+        assert_eq!(s.get(64, 1), 2);
+        assert_eq!(s.get(64, 2), 1);
+        assert_eq!(s.get(128, 1), 0);
+        assert_eq!(s.len(), 2);
+    }
+}

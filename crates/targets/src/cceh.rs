@@ -1,0 +1,487 @@
+//! CCEH: cache-line-conscious extendible hashing (Table 1, row 3).
+//!
+//! Directory of segment pointers indexed by the top `global_depth` bits of
+//! the key hash; segment-grained locks; segment splits and directory
+//! doubling. Carries the two bugs PMRace found:
+//!
+//! 6. **Sync** — segment locks are persistent and never released by the
+//!    restart path (`CCEH.h:86`): post-crash accesses to a segment whose
+//!    lock persisted as held hang forever.
+//! 7. **Intra** — directory doubling stores the new `capacity`, reads it
+//!    back *before flushing it* (`CCEH.h:165` / `CCEH.cpp:171`) and durably
+//!    writes directory metadata derived from it; a crash leaves an undefined
+//!    capacity and leaks the allocated segment array.
+
+use std::sync::Arc;
+
+use pmrace_pmem::PmAllocator;
+use pmrace_runtime::{site, PmView, RtError, Session, SyncVarAnnotation, TU64};
+
+use crate::util::{hash64, pm_lock_acquire, pm_lock_release};
+use crate::{Op, OpResult, Target, TargetSpec};
+
+// Root layout.
+const R_GDEPTH: u64 = 0;
+const R_DIR_OFF: u64 = 8;
+const R_CAPACITY: u64 = 16;
+const R_DIR_LOCK: u64 = 24;
+const R_DIR_META: u64 = 32;
+const ROOT_SIZE: usize = 64;
+
+// Segment layout: local depth, lock, then 16 (key, value) slots.
+const S_LDEPTH: u64 = 0;
+const S_LOCK: u64 = 8;
+const S_SLOTS: u64 = 16;
+const SLOTS: u64 = 16;
+const SEG_SIZE: usize = 16 + 16 * 16;
+
+const INITIAL_GDEPTH: u64 = 1;
+
+/// The CCEH instance bound to a session's pool.
+#[derive(Debug)]
+pub struct Cceh {
+    alloc: PmAllocator,
+    root: u64,
+}
+
+/// Registration entry for the fuzzer.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "CCEH",
+    init: |session| Ok(Arc::new(Cceh::init(session)?) as Arc<dyn Target>),
+    recover: |session| Ok(Arc::new(Cceh::recover(session)?) as Arc<dyn Target>),
+    pool: || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
+};
+
+impl Cceh {
+    /// Format the pool and build a fresh 2-segment table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn init(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(pmrace_pmem::ThreadId(0));
+        let alloc = PmAllocator::format(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.alloc(ROOT_SIZE, view.tid())?;
+        alloc.set_root(root, view.tid())?;
+        let capacity = 1u64 << INITIAL_GDEPTH;
+        let dir = alloc.alloc((capacity * 8) as usize, view.tid())?;
+        let mut first_seg = 0;
+        for i in 0..capacity {
+            let seg = Self::alloc_segment(&alloc, &view, INITIAL_GDEPTH)?;
+            if i == 0 {
+                first_seg = seg;
+            }
+            view.ntstore_u64(dir + i * 8, seg, site!("cceh.init.dir_entry"))?;
+        }
+        view.ntstore_u64(root + R_GDEPTH, INITIAL_GDEPTH, site!("cceh.init.gdepth"))?;
+        view.ntstore_u64(root + R_DIR_OFF, dir, site!("cceh.init.dir_off"))?;
+        view.ntstore_u64(root + R_CAPACITY, capacity, site!("cceh.init.capacity"))?;
+        view.ntstore_u64(root + R_DIR_LOCK, 0u64, site!("cceh.init.dir_lock"))?;
+        view.ntstore_u64(root + R_DIR_META, 0u64, site!("cceh.init.dir_meta"))?;
+        let this = Cceh { alloc, root };
+        this.register_annotations(session, first_seg);
+        Ok(this)
+    }
+
+    /// Reopen an existing pool. The restart path fixes the directory lock
+    /// but — Bug 6 — **never releases segment locks**.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn recover(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(pmrace_pmem::ThreadId(0));
+        let alloc = PmAllocator::open(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.root()?;
+        view.ntstore_u64(root + R_DIR_LOCK, 0u64, site!("cceh.recover.dir_lock"))?;
+        // NOTE (Bug 6): segment locks (CCEH.h:86) are not reinitialized.
+        let dir = view
+            .load_u64(root + R_DIR_OFF, site!("cceh.recover.read_dir"))?
+            .value();
+        let first_seg = view
+            .load_u64(dir, site!("cceh.recover.read_seg0"))?
+            .value();
+        let this = Cceh { alloc, root };
+        this.register_annotations(session, first_seg);
+        Ok(this)
+    }
+
+    fn register_annotations(&self, session: &Arc<Session>, first_seg: u64) {
+        session.annotate_sync_var(SyncVarAnnotation {
+            name: "cceh.segment_lock".into(),
+            off: first_seg + S_LOCK,
+            size: 8,
+            init_val: 0,
+        });
+        session.annotate_sync_var(SyncVarAnnotation {
+            name: "cceh.dir_lock".into(),
+            off: self.root + R_DIR_LOCK,
+            size: 8,
+            init_val: 0,
+        });
+    }
+
+    fn alloc_segment(alloc: &PmAllocator, view: &PmView, ldepth: u64) -> Result<u64, RtError> {
+        let seg = alloc.alloc(SEG_SIZE, view.tid())?;
+        view.ntstore_u64(seg + S_LDEPTH, ldepth, site!("cceh.seg.ldepth"))?;
+        view.ntstore_u64(seg + S_LOCK, 0u64, site!("cceh.seg.lock_init"))?;
+        for s in 0..SLOTS {
+            view.ntstore_u64(seg + S_SLOTS + s * 16, 0u64, site!("cceh.seg.zero_key"))?;
+            view.ntstore_u64(seg + S_SLOTS + s * 16 + 8, 0u64, site!("cceh.seg.zero_val"))?;
+        }
+        Ok(seg)
+    }
+
+    fn dir_index(hash: u64, gdepth: u64) -> u64 {
+        if gdepth == 0 {
+            0
+        } else {
+            hash >> (64 - gdepth)
+        }
+    }
+
+    fn seg_for(&self, view: &PmView, key: u64) -> Result<(TU64, u64, u64), RtError> {
+        let gd = view
+            .load_u64(self.root + R_GDEPTH, site!("cceh.read_gdepth"))?
+            .value();
+        let dir = view.load_u64(self.root + R_DIR_OFF, site!("cceh.read_dir_off"))?;
+        let idx = Self::dir_index(hash64(key), gd);
+        let seg = view.load_u64(dir + idx * 8, site!("cceh.read_dir_entry"))?;
+        Ok((seg, gd, idx))
+    }
+
+    /// Insert or overwrite `key -> value`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors ([`RtError::Timeout`] on hangs).
+    pub fn put(&self, view: &PmView, key: u64, value: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("cceh.put"));
+        loop {
+            let (seg, gd, idx) = self.seg_for(view, key)?;
+            // Bug 6 shape: segment locks are persisted after acquisition.
+            pm_lock_acquire(view, seg.value() + S_LOCK, site!("CCEH.h:86.seg_lock"), true)?;
+            // Revalidate against splits that raced the lock.
+            let (seg2, gd2, _) = self.seg_for(view, key)?;
+            if seg2.value() != seg.value() || gd2 != gd {
+                pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.put.unlock_raced"), true)?;
+                continue;
+            }
+            let h = hash64(key);
+            let start = h % SLOTS;
+            let mut free: Option<u64> = None;
+            for p in 0..SLOTS {
+                let s = (start + p) % SLOTS;
+                let koff = seg.clone() + S_SLOTS + s * 16;
+                let k = view.load_u64(koff.clone(), site!("cceh.put.read_key"))?;
+                if k == key {
+                    view.store_u64(koff.clone() + 8u64, value, site!("cceh.put.store_val"))?;
+                    view.persist(koff + 8u64, 8, site!("cceh.put.flush_val"))?;
+                    pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.put.unlock"), true)?;
+                    return Ok(OpResult::Done);
+                }
+                if k == 0u64 && free.is_none() {
+                    free = Some(s);
+                }
+            }
+            if let Some(s) = free {
+                let koff = seg.clone() + S_SLOTS + s * 16;
+                view.store_u64(koff.clone() + 8u64, value, site!("cceh.put.store_new_val"))?;
+                view.store_u64(koff.clone(), key, site!("cceh.put.store_new_key"))?;
+                view.persist(koff, 16, site!("cceh.put.flush_pair"))?;
+                pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.put.unlock"), true)?;
+                return Ok(OpResult::Done);
+            }
+            // Segment full: split (keeping the segment lock) then retry.
+            self.split(view, seg.value(), gd, idx)?;
+            pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.put.unlock_split"), true)?;
+        }
+    }
+
+    /// Split a full segment; doubles the directory when the segment's local
+    /// depth equals the global depth (the Bug 7 path).
+    fn split(&self, view: &PmView, seg: u64, gd: u64, _idx: u64) -> Result<(), RtError> {
+        view.branch(site!("cceh.split"));
+        let ld = view
+            .load_u64(seg + S_LDEPTH, site!("cceh.split.read_ldepth"))?
+            .value();
+        if ld >= gd {
+            self.double_directory(view)?;
+        }
+        // Re-read globals after a potential doubling.
+        let gd = view
+            .load_u64(self.root + R_GDEPTH, site!("cceh.split.read_gdepth"))?
+            .value();
+        let dir = view
+            .load_u64(self.root + R_DIR_OFF, site!("cceh.split.read_dir"))?
+            .value();
+        let new_seg = Self::alloc_segment(&self.alloc, view, ld + 1)?;
+        // Redistribute: pairs whose (ld+1)-th hash bit is 1 move over.
+        let bit = 1u64 << (63 - ld);
+        for s in 0..SLOTS {
+            let koff = seg + S_SLOTS + s * 16;
+            let k = view.load_u64(koff, site!("cceh.split.read_pair"))?;
+            if k == 0u64 || hash64(k.value()) & bit == 0 {
+                continue;
+            }
+            let v = view.load_u64(koff + 8, site!("cceh.split.read_pair_val"))?;
+            let h = hash64(k.value());
+            let start = h % SLOTS;
+            for p in 0..SLOTS {
+                let ns = (start + p) % SLOTS;
+                let nkoff = new_seg + S_SLOTS + ns * 16;
+                let nk = view.load_u64(nkoff, site!("cceh.split.scan_new"))?;
+                if nk == 0u64 {
+                    view.ntstore_u64(nkoff, k.clone(), site!("cceh.split.move_key"))?;
+                    view.ntstore_u64(nkoff + 8, v.clone(), site!("cceh.split.move_val"))?;
+                    break;
+                }
+            }
+            view.ntstore_u64(koff, 0u64, site!("cceh.split.clear_key"))?;
+        }
+        // Repoint directory entries whose (ld+1)-th bit is set and that
+        // currently reference the old segment.
+        let capacity = 1u64 << gd;
+        for i in 0..capacity {
+            let e = view.load_u64(dir + i * 8, site!("cceh.split.read_entry"))?;
+            if e.value() != seg {
+                continue;
+            }
+            let prefix_bit = if gd == 0 { 0 } else { (i << (64 - gd)) & bit };
+            if prefix_bit != 0 {
+                view.ntstore_u64(dir + i * 8, new_seg, site!("cceh.split.repoint"))?;
+            }
+        }
+        view.ntstore_u64(seg + S_LDEPTH, ld + 1, site!("cceh.split.bump_ldepth"))?;
+        Ok(())
+    }
+
+    /// Directory doubling — Bug 7: `capacity` is stored (`CCEH.h:165`),
+    /// read back *unflushed* (`CCEH.cpp:171`), and directory metadata
+    /// derived from the unflushed value is durably written.
+    fn double_directory(&self, view: &PmView) -> Result<(), RtError> {
+        view.branch(site!("cceh.double"));
+        pm_lock_acquire(view, self.root + R_DIR_LOCK, site!("cceh.double.dir_lock"), true)?;
+        let gd = view
+            .load_u64(self.root + R_GDEPTH, site!("cceh.double.read_gdepth"))?
+            .value();
+        let old_dir = view
+            .load_u64(self.root + R_DIR_OFF, site!("cceh.double.read_dir"))?
+            .value();
+        let old_cap = 1u64 << gd;
+        // Store the doubled capacity with a plain store (no flush yet)...
+        view.store_u64(self.root + R_CAPACITY, old_cap * 2, site!("CCEH.h:165.store_capacity"))?;
+        // ...and immediately read it back: an intra-thread candidate.
+        let cap = view.load_u64(self.root + R_CAPACITY, site!("CCEH.cpp:171.read_capacity"))?;
+        let new_dir = self
+            .alloc
+            .alloc((cap.value() * 8) as usize, view.tid())
+            .map_err(RtError::from)?;
+        for i in 0..old_cap {
+            let e = view.load_u64(old_dir + i * 8, site!("cceh.double.copy_read"))?;
+            view.ntstore_u64(new_dir + i * 16, e.clone(), site!("cceh.double.copy_a"))?;
+            view.ntstore_u64(new_dir + i * 16 + 8, e, site!("cceh.double.copy_b"))?;
+        }
+        // Durable side effect of the unflushed capacity: directory metadata
+        // derived from it is written with a non-temporal store.
+        view.ntstore_u64(self.root + R_DIR_META, cap, site!("CCEH.cpp:173.store_dir_meta"))?;
+        view.ntstore_u64(self.root + R_DIR_OFF, new_dir, site!("cceh.double.swap_dir"))?;
+        view.ntstore_u64(self.root + R_GDEPTH, gd + 1, site!("cceh.double.bump_gdepth"))?;
+        view.persist(self.root + R_CAPACITY, 8, site!("cceh.double.flush_capacity"))?;
+        pm_lock_release(view, self.root + R_DIR_LOCK, site!("cceh.double.unlock"), true)?;
+        Ok(())
+    }
+
+    /// Lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn get(&self, view: &PmView, key: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("cceh.get"));
+        let (seg, _, _) = self.seg_for(view, key)?;
+        let h = hash64(key);
+        let start = h % SLOTS;
+        for p in 0..SLOTS {
+            let s = (start + p) % SLOTS;
+            let koff = seg.clone() + S_SLOTS + s * 16;
+            let k = view.load_u64(koff.clone(), site!("cceh.get.read_key"))?;
+            if k == key {
+                let v = view.load_u64(koff + 8u64, site!("cceh.get.read_val"))?;
+                return Ok(OpResult::Found(v.value()));
+            }
+        }
+        Ok(OpResult::Missing)
+    }
+
+    /// Delete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn del(&self, view: &PmView, key: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("cceh.del"));
+        loop {
+            let (seg, gd, _) = self.seg_for(view, key)?;
+            pm_lock_acquire(view, seg.value() + S_LOCK, site!("cceh.del.lock"), true)?;
+            let (seg2, gd2, _) = self.seg_for(view, key)?;
+            if seg2.value() != seg.value() || gd2 != gd {
+                pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.del.unlock_raced"), true)?;
+                continue;
+            }
+            let h = hash64(key);
+            let start = h % SLOTS;
+            let mut found = false;
+            for p in 0..SLOTS {
+                let s = (start + p) % SLOTS;
+                let koff = seg.clone() + S_SLOTS + s * 16;
+                let k = view.load_u64(koff.clone(), site!("cceh.del.read_key"))?;
+                if k == key {
+                    view.store_u64(koff.clone(), 0u64, site!("cceh.del.clear"))?;
+                    view.persist(koff, 8, site!("cceh.del.flush"))?;
+                    found = true;
+                    break;
+                }
+            }
+            pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.del.unlock"), true)?;
+            return Ok(if found { OpResult::Done } else { OpResult::Missing });
+        }
+    }
+}
+
+impl Target for Cceh {
+    fn name(&self) -> &'static str {
+        "CCEH"
+    }
+
+    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError> {
+        match *op {
+            Op::Insert { key, value } | Op::Update { key, value } => {
+                self.put(view, key.max(1), value)
+            }
+            Op::Delete { key } => self.del(view, key.max(1)),
+            Op::Get { key } => self.get(view, key.max(1)),
+            Op::Incr { key, by } => {
+                let key = key.max(1);
+                match self.get(view, key)? {
+                    OpResult::Found(v) => self.put(view, key, v.wrapping_add(by)),
+                    _ => Ok(OpResult::Missing),
+                }
+            }
+            Op::Decr { key, by } => {
+                let key = key.max(1);
+                match self.get(view, key)? {
+                    OpResult::Found(v) => self.put(view, key, v.saturating_sub(by)),
+                    _ => Ok(OpResult::Missing),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::{Pool, PoolOpts, ThreadId};
+    use pmrace_runtime::SessionConfig;
+
+    fn fresh() -> (Arc<Session>, Cceh) {
+        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let t = Cceh::init(&session).unwrap();
+        (session, t)
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        t.put(&v, 10, 1).unwrap();
+        assert_eq!(t.get(&v, 10).unwrap(), OpResult::Found(1));
+        t.put(&v, 10, 2).unwrap();
+        assert_eq!(t.get(&v, 10).unwrap(), OpResult::Found(2));
+        assert_eq!(t.del(&v, 10).unwrap(), OpResult::Done);
+        assert_eq!(t.get(&v, 10).unwrap(), OpResult::Missing);
+    }
+
+    #[test]
+    fn splits_and_doubling_preserve_items() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        for k in 1..=200u64 {
+            t.put(&v, k, k * 3).unwrap();
+        }
+        for k in 1..=200u64 {
+            assert_eq!(t.get(&v, k).unwrap(), OpResult::Found(k * 3), "key {k}");
+        }
+    }
+
+    #[test]
+    fn doubling_raises_bug7_intra_inconsistency() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        for k in 1..=200u64 {
+            t.put(&v, k, k).unwrap();
+        }
+        let f = s.finish();
+        let hit = f.inconsistencies.iter().any(|i| {
+            i.candidate.kind == pmrace_runtime::report::CandidateKind::Intra
+                && pmrace_runtime::site_label(i.candidate.write_site).contains("CCEH.h:165")
+        });
+        assert!(hit, "bug 7 intra inconsistency not detected");
+    }
+
+    #[test]
+    fn recovery_keeps_segment_locks_bug6() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        t.put(&v, 1, 1).unwrap();
+        // Manually leave the first segment's lock held and persisted.
+        let ann = s
+            .annotations()
+            .into_iter()
+            .find(|a| a.name == "cceh.segment_lock")
+            .unwrap();
+        v.store_u64(ann.off, 1u64, pmrace_runtime::site!("test.poison_lock")).unwrap();
+        v.persist(ann.off, 8, pmrace_runtime::site!("test.poison_flush")).unwrap();
+        let img = s.pool().crash_image().unwrap();
+        let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = Session::new(
+            pool2,
+            SessionConfig {
+                deadline: std::time::Duration::from_millis(100),
+                ..SessionConfig::default()
+            },
+        );
+        let t2 = Cceh::recover(&s2).unwrap();
+        // The lock survived recovery in the locked state.
+        let ann2 = s2
+            .annotations()
+            .into_iter()
+            .find(|a| a.name == "cceh.segment_lock")
+            .unwrap();
+        assert_eq!(s2.pool().load_u64(ann2.off).unwrap().0, 1);
+        // And any write into that segment hangs.
+        let v2 = s2.view(ThreadId(1));
+        let stuck = (1..64u64).find(|&k| {
+            matches!(t2.put(&v2, k, 0), Err(RtError::Timeout))
+        });
+        assert!(stuck.is_some(), "no key mapped to the poisoned segment");
+    }
+
+    #[test]
+    fn data_survives_crash_after_flush() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        for k in 1..=50u64 {
+            t.put(&v, k, k + 7).unwrap();
+        }
+        let img = s.pool().crash_image().unwrap();
+        let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = Session::new(pool2, SessionConfig::default());
+        let t2 = Cceh::recover(&s2).unwrap();
+        let v2 = s2.view(ThreadId(0));
+        for k in 1..=50u64 {
+            assert_eq!(t2.get(&v2, k).unwrap(), OpResult::Found(k + 7), "key {k}");
+        }
+    }
+}

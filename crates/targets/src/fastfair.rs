@@ -1,0 +1,469 @@
+//! FAST-FAIR: failure-atomic shift/in-place rebalance B+-tree (Table 1,
+//! row 4), modeled as its leaf layer — a sorted, sibling-linked list of
+//! persistent nodes with FAST-style entry shifting (per-entry 8-byte stores,
+//! each persisted) and lock-free search.
+//!
+//! Layout follows the original closely where it matters for the bug: the
+//! node *header* (lock, sibling pointer) occupies its own cache line, and
+//! there is no explicit entry count — entries are packed, sorted, and
+//! null-terminated, counted by scanning (FAST-FAIR's records). This keeps
+//! entry flushes from incidentally writing back the header line, which is
+//! what leaves Bug 8's window open.
+//!
+//! Bug 8 (Table 2): a node split publishes the sibling pointer with a plain
+//! store (`btree.h:560`) and flushes it later; a concurrent insert traverses
+//! through the unflushed pointer (`btree.h:876`) and inserts into the new
+//! sibling — items lost if the crash beats the flush.
+//!
+//! FAST-FAIR tolerates many transient inconsistencies via *lazy recovery*
+//! (fixed on future accesses), which post-failure validation cannot see —
+//! the reason the paper's FP counts for this system stay high without
+//! whitelist rules. Node allocation goes through PMDK transactional
+//! allocation (`pmdk_tx_alloc`-labeled sites), which the default whitelist
+//! recognizes.
+
+use std::sync::Arc;
+
+use pmrace_pmem::PmAllocator;
+use pmrace_runtime::{site, PmView, RtError, Session, TU64};
+
+use crate::util::{pm_lock_acquire, pm_lock_release};
+use crate::{Op, OpResult, Target, TargetSpec};
+
+// Root layout.
+const R_FIRST_LEAF: u64 = 0;
+const ROOT_SIZE: usize = 64;
+
+// Node layout: header cache line (lock, sibling), then 14 null-terminated
+// sorted (key, value) entries.
+const N_LOCK: u64 = 0;
+const N_SIBLING: u64 = 8;
+const N_ENTRIES: u64 = 64;
+const FANOUT: u64 = 14;
+const NODE_SIZE: usize = 64 + 14 * 16;
+
+/// The FAST-FAIR instance bound to a session's pool.
+#[derive(Debug)]
+pub struct FastFair {
+    alloc: PmAllocator,
+    root: u64,
+}
+
+/// Registration entry for the fuzzer.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "FAST-FAIR",
+    init: |session| Ok(Arc::new(FastFair::init(session)?) as Arc<dyn Target>),
+    recover: |session| Ok(Arc::new(FastFair::recover(session)?) as Arc<dyn Target>),
+    pool: || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
+};
+
+impl FastFair {
+    /// Format the pool and build a tree with one empty leaf.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn init(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(pmrace_pmem::ThreadId(0));
+        let alloc = PmAllocator::format(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.alloc(ROOT_SIZE, view.tid())?;
+        alloc.set_root(root, view.tid())?;
+        let leaf = Self::alloc_node(&alloc, &view)?;
+        view.ntstore_u64(root + R_FIRST_LEAF, leaf, site!("fastfair.init.first_leaf"))?;
+        Ok(FastFair { alloc, root })
+    }
+
+    /// Reopen an existing pool. FAST-FAIR recovery is *lazy*: only node
+    /// locks are cleared eagerly; inconsistent entries are repaired on
+    /// future accesses (which post-failure validation does not observe).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn recover(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(pmrace_pmem::ThreadId(0));
+        let alloc = PmAllocator::open(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.root()?;
+        // Clear node locks along the leaf chain (locks are volatile in the
+        // original; ours live in PM and must be re-zeroed).
+        let mut node = view
+            .load_u64(root + R_FIRST_LEAF, site!("fastfair.recover.first"))?
+            .value();
+        let mut hops = 0;
+        while node != 0 && hops < 1024 {
+            view.ntstore_u64(node + N_LOCK, 0u64, site!("fastfair.recover.clear_lock"))?;
+            node = view
+                .load_u64(node + N_SIBLING, site!("fastfair.recover.next"))?
+                .value();
+            hops += 1;
+        }
+        Ok(FastFair { alloc, root })
+    }
+
+    /// Allocate and zero a node through the PMDK transactional-allocation
+    /// path (whitelisted site labels).
+    fn alloc_node(alloc: &PmAllocator, view: &PmView) -> Result<u64, RtError> {
+        let tx = alloc.begin_tx(view.tid())?;
+        let node = tx.alloc(NODE_SIZE)?;
+        tx.commit()?;
+        // Field initialization with plain stores then a flush: the brief
+        // dirty window is what the whitelist declares benign.
+        view.store_u64(node + N_SIBLING, 0u64, site!("fastfair.pmdk_tx_alloc.init_sibling"))?;
+        view.store_u64(node + N_LOCK, 0u64, site!("fastfair.pmdk_tx_alloc.init_lock"))?;
+        for e in 0..FANOUT {
+            view.store_u64(node + N_ENTRIES + e * 16, 0u64, site!("fastfair.pmdk_tx_alloc.zero_key"))?;
+            view.store_u64(node + N_ENTRIES + e * 16 + 8, 0u64, site!("fastfair.pmdk_tx_alloc.zero_val"))?;
+        }
+        view.persist(node, NODE_SIZE, site!("fastfair.pmdk_tx_alloc.flush_node"))?;
+        Ok(node)
+    }
+
+    /// Number of packed entries (scan to the null terminator — FAST-FAIR
+    /// keeps no explicit count).
+    fn count_entries(view: &PmView, node: &TU64) -> Result<u64, RtError> {
+        for e in 0..FANOUT {
+            let k = view.load_u64(node.clone() + N_ENTRIES + e * 16, site!("fastfair.count.scan"))?;
+            if k == 0u64 {
+                return Ok(e);
+            }
+        }
+        Ok(FANOUT)
+    }
+
+    /// Walk the leaf chain to the node that should hold `key`. Reading the
+    /// sibling pointer at `btree.h:876` is the racy read of Bug 8.
+    fn find_leaf(&self, view: &PmView, key: u64) -> Result<TU64, RtError> {
+        let mut node = view.load_u64(self.root + R_FIRST_LEAF, site!("fastfair.read_first"))?;
+        let mut hops = 0;
+        loop {
+            view.check()?;
+            let sibling = view.load_u64(node.clone() + N_SIBLING, site!("btree.h:876.read_sibling"))?;
+            if sibling == 0u64 || hops > 1024 {
+                return Ok(node);
+            }
+            // The sibling's first key bounds its range from below.
+            let sib_min = view.load_u64(sibling.clone() + N_ENTRIES, site!("fastfair.read_sib_min"))?;
+            if sib_min != 0u64 && key >= sib_min.value() {
+                node = sibling;
+                hops += 1;
+                continue;
+            }
+            return Ok(node);
+        }
+    }
+
+    /// Insert or update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn put(&self, view: &PmView, key: u64, value: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("fastfair.put"));
+        loop {
+            let node = self.find_leaf(view, key)?;
+            pm_lock_acquire(view, node.value() + N_LOCK, site!("fastfair.put.lock"), false)?;
+            // Revalidate: a split may have moved our range while locking.
+            let sibling = view.load_u64(node.clone() + N_SIBLING, site!("btree.h:876.read_sibling"))?;
+            if sibling != 0u64 {
+                let sib_min =
+                    view.load_u64(sibling.clone() + N_ENTRIES, site!("fastfair.read_sib_min"))?;
+                if sib_min != 0u64 && key >= sib_min.value() {
+                    pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock_raced"), false)?;
+                    continue;
+                }
+            }
+            // One scan pass: find the key (in-place update) or the null
+            // terminator (entry count).
+            let mut nkeys = FANOUT;
+            let mut updated = false;
+            for e in 0..FANOUT {
+                let koff = node.clone() + N_ENTRIES + e * 16;
+                let k = view.load_u64(koff.clone(), site!("fastfair.put.scan_key"))?;
+                if k == key {
+                    view.store_u64(koff.clone() + 8u64, value, site!("fastfair.put.update_val"))?;
+                    view.persist(koff + 8u64, 8, site!("fastfair.put.flush_val"))?;
+                    updated = true;
+                    break;
+                }
+                if k == 0u64 {
+                    nkeys = e;
+                    break;
+                }
+            }
+            if updated {
+                pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock"), false)?;
+                return Ok(OpResult::Done);
+            }
+            if nkeys == FANOUT {
+                self.split(view, &node)?;
+                pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock_split"), false)?;
+                continue;
+            }
+            // FAST insertion: shift entries right with persisted 8-byte
+            // stores until the slot for `key` opens.
+            let mut pos = nkeys;
+            while pos > 0 {
+                let koff = node.clone() + N_ENTRIES + (pos - 1) * 16;
+                let k = view.load_u64(koff.clone(), site!("fastfair.put.shift_read"))?;
+                if k.value() < key {
+                    break;
+                }
+                let dst = node.clone() + N_ENTRIES + pos * 16;
+                let v = view.load_u64(koff.clone() + 8u64, site!("fastfair.put.shift_read_val"))?;
+                view.store_u64(dst.clone() + 8u64, v, site!("fastfair.put.shift_val"))?;
+                view.store_u64(dst.clone(), k, site!("fastfair.put.shift_key"))?;
+                view.persist(dst, 16, site!("fastfair.put.flush_shift"))?;
+                pos -= 1;
+            }
+            let koff = node.clone() + N_ENTRIES + pos * 16;
+            view.store_u64(koff.clone() + 8u64, value, site!("fastfair.put.store_val"))?;
+            view.store_u64(koff.clone(), key, site!("fastfair.put.store_key"))?;
+            view.persist(koff, 16, site!("fastfair.put.flush_entry"))?;
+            pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock"), false)?;
+            return Ok(OpResult::Done);
+        }
+    }
+
+    /// Split `node` (held locked by the caller): upper half moves to a new
+    /// sibling. The sibling-pointer publication is Bug 8.
+    fn split(&self, view: &PmView, node: &TU64) -> Result<(), RtError> {
+        view.branch(site!("fastfair.split"));
+        let new_node = Self::alloc_node(&self.alloc, view)?;
+        let half = FANOUT / 2;
+        // Copy the upper half into the sibling (persisted), then clear the
+        // moved entries from the tail inward so the packed/sorted invariant
+        // holds for concurrent lock-free scans.
+        for e in half..FANOUT {
+            let src = node.clone() + N_ENTRIES + e * 16;
+            let k = view.load_u64(src.clone(), site!("fastfair.split.read_key"))?;
+            let v = view.load_u64(src.clone() + 8u64, site!("fastfair.split.read_val"))?;
+            let dst = new_node + N_ENTRIES + (e - half) * 16;
+            view.store_u64(dst + 8, v, site!("fastfair.split.copy_val"))?;
+            view.store_u64(dst, k, site!("fastfair.split.copy_key"))?;
+            view.persist(dst, 16, site!("fastfair.split.flush_copy"))?;
+        }
+        let old_sibling = view.load_u64(node.clone() + N_SIBLING, site!("fastfair.split.read_old_sib"))?;
+        view.store_u64(new_node + N_SIBLING, old_sibling, site!("fastfair.split.chain_sib"))?;
+        view.persist(new_node, NODE_SIZE, site!("fastfair.split.flush_new"))?;
+        for e in (half..FANOUT).rev() {
+            let src = node.clone() + N_ENTRIES + e * 16;
+            view.store_u64(src.clone(), 0u64, site!("fastfair.split.clear_key"))?;
+            view.persist(src, 8, site!("fastfair.split.flush_clear"))?;
+        }
+        // Bug 8: publish the sibling pointer with a plain store; the flush
+        // comes after the scheduler's writer stall.
+        view.store_u64(node.clone() + N_SIBLING, new_node, site!("btree.h:560.store_sibling"))?;
+        view.persist(node.clone() + N_SIBLING, 8, site!("btree.h:561.flush_sibling"))?;
+        Ok(())
+    }
+
+    /// Lock-free lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn get(&self, view: &PmView, key: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("fastfair.get"));
+        let node = self.find_leaf(view, key)?;
+        for e in 0..FANOUT {
+            let koff = node.clone() + N_ENTRIES + e * 16;
+            let k = view.load_u64(koff.clone(), site!("fastfair.get.scan_key"))?;
+            if k == 0u64 {
+                break;
+            }
+            if k == key {
+                let v = view.load_u64(koff + 8u64, site!("fastfair.get.read_val"))?;
+                return Ok(OpResult::Found(v.value()));
+            }
+        }
+        Ok(OpResult::Missing)
+    }
+
+    /// Delete by shifting entries left (FAIR deletion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn del(&self, view: &PmView, key: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("fastfair.del"));
+        let node = self.find_leaf(view, key)?;
+        pm_lock_acquire(view, node.value() + N_LOCK, site!("fastfair.del.lock"), false)?;
+        let nkeys = Self::count_entries(view, &node)?;
+        let mut found = false;
+        for e in 0..nkeys {
+            let koff = node.clone() + N_ENTRIES + e * 16;
+            let k = view.load_u64(koff.clone(), site!("fastfair.del.scan_key"))?;
+            if !found && k == key {
+                found = true;
+            }
+            if found {
+                // Shift the next entry into this slot (zero at the tail).
+                let nxt = node.clone() + N_ENTRIES + (e + 1) * 16;
+                let (nk, nv) = if e + 1 < nkeys {
+                    (
+                        view.load_u64(nxt.clone(), site!("fastfair.del.shift_read"))?,
+                        view.load_u64(nxt + 8u64, site!("fastfair.del.shift_read_val"))?,
+                    )
+                } else {
+                    (TU64::from(0), TU64::from(0))
+                };
+                view.store_u64(koff.clone() + 8u64, nv, site!("fastfair.del.shift_val"))?;
+                view.store_u64(koff.clone(), nk, site!("fastfair.del.shift_key"))?;
+                view.persist(koff, 16, site!("fastfair.del.flush_shift"))?;
+            }
+        }
+        pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.del.unlock"), false)?;
+        Ok(if found { OpResult::Done } else { OpResult::Missing })
+    }
+}
+
+impl Target for FastFair {
+    fn name(&self) -> &'static str {
+        "FAST-FAIR"
+    }
+
+    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError> {
+        match *op {
+            Op::Insert { key, value } | Op::Update { key, value } => {
+                self.put(view, key.max(1), value)
+            }
+            Op::Delete { key } => self.del(view, key.max(1)),
+            Op::Get { key } => self.get(view, key.max(1)),
+            Op::Incr { key, by } => {
+                let key = key.max(1);
+                match self.get(view, key)? {
+                    OpResult::Found(v) => self.put(view, key, v.wrapping_add(by)),
+                    _ => Ok(OpResult::Missing),
+                }
+            }
+            Op::Decr { key, by } => {
+                let key = key.max(1);
+                match self.get(view, key)? {
+                    OpResult::Found(v) => self.put(view, key, v.saturating_sub(by)),
+                    _ => Ok(OpResult::Missing),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::{Pool, PoolOpts, ThreadId};
+    use pmrace_runtime::SessionConfig;
+    use std::collections::BTreeMap;
+
+    fn fresh() -> (Arc<Session>, FastFair) {
+        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let t = FastFair::init(&session).unwrap();
+        (session, t)
+    }
+
+    #[test]
+    fn put_get_del_roundtrip() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        t.put(&v, 5, 50).unwrap();
+        t.put(&v, 3, 30).unwrap();
+        t.put(&v, 8, 80).unwrap();
+        assert_eq!(t.get(&v, 3).unwrap(), OpResult::Found(30));
+        assert_eq!(t.get(&v, 5).unwrap(), OpResult::Found(50));
+        assert_eq!(t.get(&v, 8).unwrap(), OpResult::Found(80));
+        assert_eq!(t.del(&v, 5).unwrap(), OpResult::Done);
+        assert_eq!(t.get(&v, 5).unwrap(), OpResult::Missing);
+        assert_eq!(t.get(&v, 8).unwrap(), OpResult::Found(80));
+    }
+
+    #[test]
+    fn splits_keep_tree_consistent_with_model() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        let mut model = BTreeMap::new();
+        // Interleave ascending/descending/middle insertions to hit shifting.
+        let keys: Vec<u64> = (1..=40).chain((41..=80).rev()).chain([100, 90, 85]).collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.put(&v, *k, i as u64 + 1).unwrap();
+            model.insert(*k, i as u64 + 1);
+        }
+        for (k, want) in &model {
+            assert_eq!(t.get(&v, *k).unwrap(), OpResult::Found(*want), "key {k}");
+        }
+        assert_eq!(t.get(&v, 999).unwrap(), OpResult::Missing);
+    }
+
+    #[test]
+    fn entries_stay_packed_and_counted() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        for k in [9u64, 3, 7, 1] {
+            t.put(&v, k, k).unwrap();
+        }
+        let node = t.find_leaf(&v, 5).unwrap();
+        assert_eq!(FastFair::count_entries(&v, &node).unwrap(), 4);
+        t.del(&v, 3).unwrap();
+        assert_eq!(FastFair::count_entries(&v, &node).unwrap(), 3);
+    }
+
+    #[test]
+    fn split_survives_crash_recovery() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        for k in 1..=60u64 {
+            t.put(&v, k, k).unwrap();
+        }
+        let img = s.pool().crash_image().unwrap();
+        let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = Session::new(pool2, SessionConfig::default());
+        let t2 = FastFair::recover(&s2).unwrap();
+        let v2 = s2.view(ThreadId(0));
+        for k in 1..=60u64 {
+            assert_eq!(t2.get(&v2, k).unwrap(), OpResult::Found(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_across_split_boundary() {
+        let (s, t) = fresh();
+        let v = s.view(ThreadId(0));
+        for k in 1..=30u64 {
+            t.put(&v, k, k).unwrap();
+        }
+        for k in (1..=30u64).step_by(2) {
+            assert_eq!(t.del(&v, k).unwrap(), OpResult::Done, "del {k}");
+        }
+        for k in 1..=30u64 {
+            let want = if k % 2 == 1 { OpResult::Missing } else { OpResult::Found(k) };
+            assert_eq!(t.get(&v, k).unwrap(), want, "key {k}");
+        }
+        t.put(&v, 7, 700).unwrap();
+        assert_eq!(t.get(&v, 7).unwrap(), OpResult::Found(700));
+    }
+
+    #[test]
+    fn bug8_shape_detectable_with_dirty_sibling() {
+        let (s, t) = fresh();
+        let w = s.view(ThreadId(0));
+        for k in 1..=15u64 {
+            t.put(&w, k * 2, k).unwrap(); // forces one split
+        }
+        let node0 = t
+            .find_leaf(&w, 1)
+            .unwrap()
+            .value();
+        let sib = s.pool().load_u64(node0 + N_SIBLING).unwrap().0;
+        assert_ne!(sib, 0, "split must have happened");
+        // Re-dirty the sibling pointer (the unflushed 560 store state).
+        w.store_u64(node0 + N_SIBLING, sib, site!("btree.h:560.store_sibling")).unwrap();
+        let r = s.view(ThreadId(1));
+        let sib_min = s.pool().load_u64(sib + N_ENTRIES).unwrap().0;
+        t.put(&r, sib_min + 1, 9).unwrap();
+        let f = s.finish();
+        let bug8 = f.inconsistencies.iter().any(|i| {
+            pmrace_runtime::site_label(i.candidate.write_site).contains("560")
+                && pmrace_runtime::site_label(i.candidate.read_site).contains("876")
+                && !i.whitelisted
+        });
+        assert!(bug8, "bug 8 inter inconsistency not detected");
+    }
+}

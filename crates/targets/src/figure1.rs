@@ -1,0 +1,156 @@
+//! The paper's Figure 1: the minimal program exhibiting both PM concurrency
+//! bug patterns, kept as an executable specification of Definitions 1–3.
+//!
+//! ```text
+//! thread-1: lock(g); x = A;            clwb x; sfence; unlock(g)
+//! thread-2: lock(g); y = read(x); clwb y; sfence;     unlock(g)
+//! ```
+//!
+//! - If thread-2 reads `x` *before* thread-1's flush, it makes a durable
+//!   side effect (`y`, flushed) based on non-persisted data — a **PM
+//!   Inter-thread Inconsistency**: after a crash, `y != x`.
+//! - The lock `g` lives in PM and is persisted when taken; a crash right
+//!   after leaves it locked forever — a **PM Synchronization
+//!   Inconsistency**.
+//!
+//! [`Figure1`] is not registered as a fuzzing target (its two "operations"
+//! are fixed); it exists for documentation, tests, and the quickstart of
+//! the checker pipeline.
+
+use std::sync::Arc;
+
+use pmrace_runtime::{site, PmView, RtError, Session, SyncVarAnnotation};
+
+use crate::util::{pm_lock_acquire, pm_lock_release};
+
+/// Pool offset of `x`.
+pub const X: u64 = 4096;
+/// Pool offset of `y`.
+pub const Y: u64 = 4096 + 64;
+/// Pool offset of the persistent lock `g`.
+pub const G: u64 = 4096 + 128;
+
+/// The Figure 1 program over a session's pool.
+#[derive(Debug)]
+pub struct Figure1;
+
+impl Figure1 {
+    /// Register the lock annotation (`pm_sync_var_hint(8, 0)` on `g`).
+    pub fn annotate(session: &Arc<Session>) {
+        session.annotate_sync_var(SyncVarAnnotation {
+            name: "figure1.g".into(),
+            off: G,
+            size: 8,
+            init_val: 0,
+        });
+    }
+
+    /// Thread-1's body: write `x = value` under `g`, flush, unlock.
+    /// `delay_flush` widens the race window the way the paper's timeline
+    /// (Fig. 3) draws it — the flush happens after `hold` runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn thread1(
+        view: &PmView,
+        value: u64,
+        hold: impl FnOnce() -> Result<(), RtError>,
+    ) -> Result<(), RtError> {
+        pm_lock_acquire(view, G, site!("figure1.lock_g_t1"), true)?;
+        view.store_u64(X, value, site!("figure1.store_x"))?;
+        pm_lock_release(view, G, site!("figure1.unlock_g_t1"), true)?;
+        // The window: x is visible but not persistent.
+        hold()?;
+        view.persist(X, 8, site!("figure1.flush_x"))?;
+        Ok(())
+    }
+
+    /// Thread-2's body: read `x`, write it to `y`, flush `y`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn thread2(view: &PmView) -> Result<(), RtError> {
+        pm_lock_acquire(view, G, site!("figure1.lock_g_t2"), true)?;
+        let x = view.load_u64(X, site!("figure1.read_x"))?;
+        view.store_u64(Y, x, site!("figure1.store_y"))?;
+        view.persist(Y, 8, site!("figure1.flush_y"))?;
+        pm_lock_release(view, G, site!("figure1.unlock_g_t2"), true)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::{Pool, PoolOpts, ThreadId};
+    use pmrace_runtime::report::CandidateKind;
+    use pmrace_runtime::SessionConfig;
+
+    #[test]
+    fn buggy_interleaving_raises_inter_inconsistency_and_loses_y() {
+        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        Figure1::annotate(&session);
+        let t1 = session.view(ThreadId(0));
+        let t2 = session.view(ThreadId(1));
+        // Interleave exactly as Fig. 1: thread-2 runs inside thread-1's
+        // visibility/persistency window.
+        Figure1::thread1(&t1, 0xA, || Figure1::thread2(&t2)).unwrap();
+
+        let f = session.finish();
+        let inter = f
+            .inconsistencies
+            .iter()
+            .find(|i| i.candidate.kind == CandidateKind::Inter)
+            .expect("Definition 2 must fire");
+        assert_eq!(inter.effect_off, Y);
+        // Crash at the detection point: y persisted, x lost => y != x.
+        let img = inter.crash_image.as_ref().unwrap();
+        assert_eq!(img.load_u64(Y).unwrap(), 0xA);
+        assert_eq!(img.load_u64(X).unwrap(), 0, "x lost: crash inconsistency");
+        // And the lock produced a sync inconsistency record.
+        assert!(f.sync_updates.iter().any(|u| u.var_name == "figure1.g"));
+    }
+
+    #[test]
+    fn correct_interleaving_is_clean() {
+        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let t1 = session.view(ThreadId(0));
+        let t2 = session.view(ThreadId(1));
+        // Thread-2 runs after thread-1's flush: candidate-free.
+        Figure1::thread1(&t1, 0xA, || Ok(())).unwrap();
+        Figure1::thread2(&t2).unwrap();
+        let f = session.finish();
+        assert!(f.inconsistencies.is_empty());
+        assert!(f.candidates.iter().all(|c| c.kind != CandidateKind::Inter));
+        // After both flushes a crash keeps x == y.
+        let img = session.pool().crash_image().unwrap();
+        assert_eq!(img.load_u64(X).unwrap(), img.load_u64(Y).unwrap());
+    }
+
+    #[test]
+    fn crash_after_lock_persists_the_locked_state() {
+        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        Figure1::annotate(&session);
+        let t2 = session.view(ThreadId(1));
+        pm_lock_acquire(&t2, G, site!("figure1.lock_g_test"), true).unwrap();
+        // Crash now: g survives locked; with threads rebuilt, every future
+        // lock_g spins forever (Definition 3's consequence).
+        let img = session.pool().crash_image().unwrap();
+        assert_eq!(img.load_u64(G).unwrap(), 1);
+        let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = Session::new(
+            pool2,
+            SessionConfig {
+                deadline: std::time::Duration::from_millis(100),
+                ..SessionConfig::default()
+            },
+        );
+        let v2 = s2.view(ThreadId(0));
+        assert_eq!(
+            pm_lock_acquire(&v2, G, site!("figure1.lock_g_after"), false).unwrap_err(),
+            RtError::Timeout
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Concurrent persistent-memory systems under test.
+//!
+//! Rust re-implementations of the five systems PMRace evaluates (Table 1),
+//! written against the instrumented [`PmView`] API
+//! and seeded with the bugs the paper reports (Table 2):
+//!
+//! | module | system | concurrency | seeded bugs |
+//! |---|---|---|---|
+//! | [`pclht`] | P-CLHT static hashing (RECIPE) | bucket locks, lock-free search | 1–5 |
+//! | [`clevel`] | clevel hashing | lock-free | benign (Fig. 7) |
+//! | [`cceh`] | CCEH extendible hashing | segment locks | 6, 7 |
+//! | [`fastfair`] | FAST-FAIR B+-tree | node locks | 8 |
+//! | [`memkv`] | memcached-pmem key-value store | item/LRU locks | 9–14 |
+//!
+//! All targets implement [`Target`] and are exposed through [`TargetSpec`]
+//! so the fuzzer can drive any of them uniformly: `init` formats a fresh
+//! pool and builds the structure, `recover` reopens an existing pool the way
+//! the system's restart path would (running its recovery code under the
+//! session's checkers — that is what post-failure validation observes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cceh;
+pub mod clevel;
+pub mod fastfair;
+pub mod figure1;
+pub mod memkv;
+pub mod pclht;
+pub mod util;
+
+use std::sync::Arc;
+
+use pmrace_pmem::PoolOpts;
+use pmrace_runtime::{PmView, RtError, Session};
+
+/// One request a driver thread issues against a target (the operation
+/// alphabet of the fuzzer's structured seeds, §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Insert `key -> value` (memcached `set`/`add`).
+    Insert {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Update an existing key (memcached `replace`).
+    Update {
+        /// Key.
+        key: u64,
+        /// New value.
+        value: u64,
+    },
+    /// Remove a key.
+    Delete {
+        /// Key.
+        key: u64,
+    },
+    /// Look a key up.
+    Get {
+        /// Key.
+        key: u64,
+    },
+    /// Add to a numeric value (memcached `incr`; other targets treat it as
+    /// read-modify-write update).
+    Incr {
+        /// Key.
+        key: u64,
+        /// Amount.
+        by: u64,
+    },
+    /// Subtract from a numeric value (memcached `decr`).
+    Decr {
+        /// Key.
+        key: u64,
+        /// Amount.
+        by: u64,
+    },
+}
+
+impl Op {
+    /// The key this operation addresses.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Insert { key, .. }
+            | Op::Update { key, .. }
+            | Op::Delete { key }
+            | Op::Get { key }
+            | Op::Incr { key, .. }
+            | Op::Decr { key, .. } => key,
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Op::Insert { key, value } => write!(f, "insert {key}={value}"),
+            Op::Update { key, value } => write!(f, "update {key}={value}"),
+            Op::Delete { key } => write!(f, "delete {key}"),
+            Op::Get { key } => write!(f, "get {key}"),
+            Op::Incr { key, by } => write!(f, "incr {key}+{by}"),
+            Op::Decr { key, by } => write!(f, "decr {key}-{by}"),
+        }
+    }
+}
+
+/// Outcome of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// Mutation applied.
+    Done,
+    /// Lookup hit with the stored value.
+    Found(u64),
+    /// Key absent (lookup miss, failed update/delete).
+    Missing,
+}
+
+/// A concurrent PM system under test.
+pub trait Target: Send + Sync {
+    /// System name (matches Table 1).
+    fn name(&self) -> &'static str;
+
+    /// Execute one operation on behalf of the worker thread owning `view`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors; [`RtError::Timeout`] means the campaign
+    /// deadline fired (possible hang bug).
+    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError>;
+
+    /// Read-only lookup (used by differential tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    fn get(&self, view: &PmView, key: u64) -> Result<Option<u64>, RtError> {
+        match self.exec(view, &Op::Get { key })? {
+            OpResult::Found(v) => Ok(Some(v)),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Constructor table entry for a target system.
+#[derive(Clone, Copy)]
+pub struct TargetSpec {
+    /// System name.
+    pub name: &'static str,
+    /// Format a fresh pool and build an empty instance (registers sync-var
+    /// annotations on the session).
+    pub init: fn(&Arc<Session>) -> Result<Arc<dyn Target>, RtError>,
+    /// Reopen an existing pool running the system's recovery code.
+    pub recover: fn(&Arc<Session>) -> Result<Arc<dyn Target>, RtError>,
+    /// Pool options this target wants.
+    pub pool: fn() -> PoolOpts,
+}
+
+impl std::fmt::Debug for TargetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetSpec").field("name", &self.name).finish()
+    }
+}
+
+/// Specs of all five evaluated systems, in Table 1 order.
+#[must_use]
+pub fn all_targets() -> Vec<TargetSpec> {
+    vec![
+        pclht::SPEC,
+        clevel::SPEC,
+        cceh::SPEC,
+        fastfair::SPEC,
+        memkv::SPEC,
+    ]
+}
+
+/// Look a target up by name.
+#[must_use]
+pub fn target_spec(name: &str) -> Option<TargetSpec> {
+    all_targets().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_targets_are_registered() {
+        let names: Vec<&str> = all_targets().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["P-CLHT", "clevel", "CCEH", "FAST-FAIR", "memcached-pmem"]
+        );
+        assert!(target_spec("CCEH").is_some());
+        assert!(target_spec("nope").is_none());
+    }
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Insert { key: 3, value: 4 }.key(), 3);
+        assert_eq!(Op::Decr { key: 9, by: 1 }.key(), 9);
+        assert_eq!(Op::Get { key: 1 }.to_string(), "get 1");
+    }
+}

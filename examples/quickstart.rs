@@ -1,0 +1,55 @@
+//! Quickstart: fuzz a bundled PM system and print what PMRace found.
+//!
+//! ```text
+//! cargo run --release --example quickstart [target] [seconds]
+//! ```
+//!
+//! Defaults to `P-CLHT` for 20 seconds. Try `memcached-pmem`, `CCEH`,
+//! `FAST-FAIR`, or `clevel`.
+
+use std::time::Duration;
+
+use pmrace::{FuzzConfig, Fuzzer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "P-CLHT".to_owned());
+    let secs: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    let mut cfg = FuzzConfig::new(&target);
+    cfg.wall_budget = Duration::from_secs(secs);
+    cfg.max_campaigns = 10_000;
+    cfg.workers = 4;
+    println!("fuzzing {target} for {secs}s with {} workers...", cfg.workers);
+
+    let report = Fuzzer::new(cfg)?.run()?;
+
+    println!("\n== run summary ==");
+    println!("campaigns:        {} ({:.1}/s)", report.campaigns, report.execs_per_sec);
+    println!("PM alias pairs:   {}", report.alias_pairs);
+    println!("branches:         {}", report.branches);
+    let s = report.stats;
+    println!("\n== detections ==");
+    println!("inter candidates: {}", s.inter_candidates);
+    println!("intra candidates: {}", s.intra_candidates);
+    println!("inter inconsistencies: {}", s.inter);
+    println!("intra inconsistencies: {}", s.intra);
+    println!("validated false positives: {}", s.validated_fp);
+    println!("whitelisted false positives: {}", s.whitelisted_fp);
+    println!("sync inconsistencies: {} ({} validated benign)", s.sync, s.sync_validated_fp);
+    println!("hang campaigns: {}", s.hangs);
+
+    println!("\n== unique bugs ({}) ==", report.bugs.len());
+    for bug in &report.bugs {
+        println!("- {bug}");
+    }
+    if let Some(first) = report.inter_times.first() {
+        println!(
+            "\nfirst inter-thread inconsistency found after {} ms",
+            first.as_millis()
+        );
+    }
+    Ok(())
+}

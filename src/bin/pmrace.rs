@@ -1,0 +1,200 @@
+//! `pmrace`: command-line front end for the fuzzer.
+//!
+//! ```text
+//! pmrace list
+//! pmrace fuzz <target> [--secs N] [--campaigns N] [--workers N]
+//!                      [--strategy pmrace|delay|none|systematic] [--threads N]
+//!                      [--eadr] [--no-checkpoint] [--seed N]
+//!                      [--report-dir DIR] [--corpus-dir DIR] [--whitelist RULE]...
+//! pmrace replay <target> <seed-file>
+//! ```
+//!
+//! `fuzz` runs the PM-aware coverage-guided fuzzer and prints the unique
+//! bugs; with `--report-dir` it also writes one detailed report file per
+//! bug (including the triggering seed). `replay` re-executes a seed file
+//! from such a report and prints the raw checker findings.
+
+use std::time::Duration;
+
+use pmrace::core::report_io;
+use pmrace::core::{run_campaign, CampaignConfig};
+use pmrace::{all_targets, target_spec, FuzzConfig, Fuzzer, Seed, StrategyKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pmrace list\n  pmrace fuzz <target> [--secs N] [--campaigns N] \
+         [--workers N] [--threads N] [--strategy pmrace|delay|none|systematic] [--eadr] \
+         [--no-checkpoint] [--seed N] [--report-dir DIR] [--corpus-dir DIR] [--whitelist RULE]...\n  pmrace replay <target> <seed-file>"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available targets (Table 1 of the paper):");
+            for spec in all_targets() {
+                println!("  {}", spec.name);
+            }
+        }
+        Some("fuzz") => {
+            let Some(target) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage();
+            };
+            if target_spec(target).is_none() {
+                eprintln!("unknown target {target:?}; try `pmrace list`");
+                std::process::exit(2);
+            }
+            let mut cfg = FuzzConfig::new(target);
+            cfg.wall_budget = Duration::from_secs(
+                flag_value(&args, "--secs").and_then(|v| v.parse().ok()).unwrap_or(30),
+            );
+            if let Some(n) = flag_value(&args, "--campaigns").and_then(|v| v.parse().ok()) {
+                cfg.max_campaigns = n;
+            } else {
+                cfg.max_campaigns = usize::MAX;
+            }
+            cfg.workers = flag_value(&args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(4);
+            if let Some(t) = flag_value(&args, "--threads").and_then(|v| v.parse().ok()) {
+                cfg.threads = t;
+            }
+            if let Some(s) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+                cfg.rng_seed = s;
+            }
+            cfg.strategy = match flag_value(&args, "--strategy").as_deref() {
+                None | Some("pmrace") => StrategyKind::Pmrace,
+                Some("delay") => StrategyKind::Delay { max_delay_us: 1000 },
+                Some("none") => StrategyKind::None,
+                Some("systematic") => StrategyKind::Systematic,
+                Some(other) => {
+                    eprintln!("unknown strategy {other:?}");
+                    std::process::exit(2);
+                }
+            };
+            cfg.eadr = args.iter().any(|a| a == "--eadr");
+            if let Some(dir) = flag_value(&args, "--corpus-dir") {
+                cfg.corpus_dir = Some(dir.into());
+            }
+            // Repeatable: --whitelist <rule> adds a site-label substring.
+            let mut i = 0;
+            while i < args.len() {
+                if args[i] == "--whitelist" {
+                    if let Some(rule) = args.get(i + 1) {
+                        cfg.extra_whitelist.push(rule.clone());
+                    }
+                }
+                i += 1;
+            }
+            cfg.use_checkpoint = !args.iter().any(|a| a == "--no-checkpoint");
+
+            println!(
+                "fuzzing {target} for {:?} ({} workers, {} strategy{})...",
+                cfg.wall_budget,
+                cfg.workers,
+                match cfg.strategy {
+                    StrategyKind::Pmrace => "pmrace",
+                    StrategyKind::Delay { .. } => "delay-injection",
+                    StrategyKind::Systematic => "systematic",
+                    StrategyKind::None => "no",
+                },
+                if cfg.eadr { ", eADR model" } else { "" },
+            );
+            let report = match Fuzzer::new(cfg).and_then(|f| f.run()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("fuzzing failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let s = report.stats;
+            println!(
+                "\n{} campaigns ({:.1}/s) | alias pairs {} | candidates {} | \
+                 inconsistencies {} | validated FP {} | whitelisted FP {} | sync {} ({} benign)",
+                report.campaigns,
+                report.execs_per_sec,
+                report.alias_pairs,
+                s.inter_candidates + s.intra_candidates,
+                s.inter + s.intra,
+                s.validated_fp,
+                s.whitelisted_fp,
+                s.sync,
+                s.sync_validated_fp,
+            );
+            println!("\nunique bugs ({}):", report.bugs.len());
+            for bug in &report.bugs {
+                println!("  {bug}");
+            }
+            if let Some(dir) = flag_value(&args, "--report-dir") {
+                match report_io::write_reports(std::path::Path::new(&dir), &report) {
+                    Ok(paths) => println!("\nwrote {} report file(s) under {dir}", paths.len()),
+                    Err(e) => eprintln!("failed to write reports: {e}"),
+                }
+            }
+        }
+        Some("replay") => {
+            let (Some(target), Some(path)) = (args.get(1), args.get(2)) else {
+                usage();
+            };
+            let Some(spec) = target_spec(target) else {
+                eprintln!("unknown target {target:?}; try `pmrace list`");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            // Accept either a bare seed file or a full bug report (seed at
+            // the end, after the marker line).
+            let seed_text = text
+                .rsplit("driver thread):\n")
+                .next()
+                .unwrap_or(&text);
+            let seed = match Seed::parse(seed_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot parse seed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!("replaying {seed} against {target}...");
+            let cfg = CampaignConfig {
+                threads: seed.num_threads(),
+                deadline: Duration::from_secs(3),
+                ..CampaignConfig::default()
+            };
+            match run_campaign(&spec, &seed, &cfg, None, None) {
+                Ok(res) => {
+                    println!(
+                        "hang={} | candidates {} | inconsistencies {} | sync updates {}",
+                        res.findings.hang,
+                        res.findings.candidates.len(),
+                        res.findings.inconsistencies.len(),
+                        res.findings.sync_updates.len(),
+                    );
+                    for rec in &res.findings.inconsistencies {
+                        println!("  {rec}");
+                    }
+                    for upd in &res.findings.sync_updates {
+                        println!("  {upd}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

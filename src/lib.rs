@@ -1,0 +1,70 @@
+//! # PMRace — PM-aware coverage-guided fuzzing for persistent-memory
+//! concurrency bugs
+//!
+//! A Rust reproduction of *"Efficiently Detecting Concurrency Bugs in
+//! Persistent Memory Programs"* (ASPLOS 2022). PMRace finds two new classes
+//! of crash-consistency bugs that only manifest in concurrent executions:
+//!
+//! - **PM Inter-thread Inconsistency** — a thread makes durable side
+//!   effects based on *non-persisted* data written by another thread; a
+//!   crash loses the dependency but keeps the effect.
+//! - **PM Synchronization Inconsistency** — synchronization state (locks)
+//!   persisted to PM survives a crash while the threads holding it do not,
+//!   hanging the restarted program.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`pmem`] — software PM substrate (volatile/persistent images,
+//!   cache-line persistency states, crash snapshots, persistent allocator);
+//! - [`runtime`] — instrumentation runtime (hooked access layer, taint,
+//!   PM alias-pair coverage, checkers, annotations);
+//! - [`sched`] — interleaving exploration (the Fig. 6 conditional-wait
+//!   scheduler and the delay-injection baseline);
+//! - [`targets`] — the five evaluated PM systems, re-implemented with the
+//!   paper's bugs seeded;
+//! - [`core`] — the fuzzer (operation mutator, three-tier exploration,
+//!   post-failure validation, bug ledger).
+//!
+//! # Quickstart
+//!
+//! Fuzz one of the bundled targets for a few campaigns and inspect what
+//! was found:
+//!
+//! ```
+//! use pmrace::{FuzzConfig, Fuzzer};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), pmrace::runtime::RtError> {
+//! let mut cfg = FuzzConfig::new("clevel");
+//! cfg.max_campaigns = 3;
+//! cfg.threads = 2;
+//! cfg.wall_budget = Duration::from_secs(10);
+//! let report = Fuzzer::new(cfg)?.run()?;
+//! println!(
+//!     "{}: {} campaigns, {} candidates, {} whitelisted FPs, {} bugs",
+//!     report.target,
+//!     report.campaigns,
+//!     report.stats.inter_candidates + report.stats.intra_candidates,
+//!     report.stats.whitelisted_fp,
+//!     report.bugs.len(),
+//! );
+//! # Ok(()) }
+//! ```
+//!
+//! See `examples/` for targeted bug hunts, custom checkers, and protocol
+//! fuzzing, and `crates/bench` for the harness regenerating every table and
+//! figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pmrace_core as core;
+pub use pmrace_pmem as pmem;
+pub use pmrace_runtime as runtime;
+pub use pmrace_sched as sched;
+pub use pmrace_targets as targets;
+
+pub use pmrace_core::{FuzzConfig, FuzzReport, Fuzzer, Ledger, OpMutator, Seed, StrategyKind};
+pub use pmrace_pmem::{Pool, PoolOpts};
+pub use pmrace_runtime::{PmView, Session, SessionConfig};
+pub use pmrace_targets::{all_targets, target_spec, Op, OpResult, Target};

@@ -1,0 +1,84 @@
+//! Smoke-level integration of the whole fuzzer on every target: short runs
+//! must complete, produce coverage, and never panic.
+
+use std::time::Duration;
+
+use pmrace::{all_targets, FuzzConfig, Fuzzer, StrategyKind};
+
+fn quick_cfg(target: &str) -> FuzzConfig {
+    let mut cfg = FuzzConfig::new(target);
+    cfg.max_campaigns = 6;
+    cfg.wall_budget = Duration::from_secs(20);
+    cfg.workers = 2;
+    cfg.threads = 2;
+    cfg.campaign_deadline = Duration::from_millis(300);
+    cfg
+}
+
+#[test]
+fn every_target_fuzzes_cleanly() {
+    for spec in all_targets() {
+        let report = Fuzzer::new(quick_cfg(spec.name)).unwrap().run().unwrap();
+        assert!(report.campaigns >= 1, "{}: no campaigns ran", spec.name);
+        assert!(report.branches > 0, "{}: no branch coverage", spec.name);
+        assert_eq!(report.coverage_timeline.len(), report.campaigns);
+        assert!(report.execs_per_sec > 0.0);
+    }
+}
+
+#[test]
+fn delay_injection_baseline_runs() {
+    let mut cfg = quick_cfg("P-CLHT");
+    cfg.strategy = StrategyKind::Delay { max_delay_us: 200 };
+    let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+    assert!(report.campaigns >= 1);
+}
+
+#[test]
+fn systematic_baseline_runs() {
+    let mut cfg = quick_cfg("clevel");
+    cfg.strategy = StrategyKind::Systematic;
+    cfg.max_campaigns = 3;
+    let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+    assert!(report.campaigns >= 1);
+}
+
+#[test]
+fn ablation_modes_run() {
+    for (ie, se) in [(false, true), (true, false)] {
+        let mut cfg = quick_cfg("P-CLHT");
+        cfg.enable_interleaving_tier = ie;
+        cfg.enable_seed_tier = se;
+        cfg.workers = 1;
+        let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+        assert!(report.campaigns >= 1, "ablation ie={ie} se={se} ran nothing");
+    }
+}
+
+#[test]
+fn corpus_dir_persists_and_reloads_seeds() {
+    let dir = std::env::temp_dir().join(format!("pmrace-corpus-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = quick_cfg("clevel");
+    cfg.corpus_dir = Some(dir.clone());
+    cfg.max_campaigns = 4;
+    let _ = Fuzzer::new(cfg).unwrap().run().unwrap();
+    let corpus = pmrace::core::corpus::CorpusDir::open(&dir).unwrap();
+    assert!(!corpus.is_empty().unwrap(), "coverage-improving seeds must be saved");
+    // A second run consumes the saved corpus without error.
+    let mut cfg2 = quick_cfg("clevel");
+    cfg2.corpus_dir = Some(dir.clone());
+    cfg2.max_campaigns = 2;
+    let report = Fuzzer::new(cfg2).unwrap().run().unwrap();
+    assert!(report.campaigns >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_checkpoint_mode_runs() {
+    let mut cfg = quick_cfg("CCEH");
+    cfg.use_checkpoint = false;
+    cfg.max_campaigns = 3;
+    let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+    assert!(report.campaigns >= 1);
+}

@@ -1,0 +1,101 @@
+//! Cross-crate semantics tests: PM substrate edge cases observed through
+//! the full instrumented stack.
+
+use std::sync::Arc;
+
+use pmrace::pmem::{PersistState, Pool, PoolOpts, SiteTag, ThreadId};
+use pmrace::runtime::report::CandidateKind;
+use pmrace::{Session, SessionConfig};
+use pmrace_runtime::site;
+
+const T0: ThreadId = ThreadId(0);
+const T1: ThreadId = ThreadId(1);
+const TAG: SiteTag = SiteTag(1);
+
+#[test]
+fn interleaved_flushes_from_two_threads_persist_independently() {
+    let p = Pool::new(PoolOpts::small());
+    p.store_u64(64, 1, T0, TAG).unwrap();
+    p.store_u64(128, 2, T1, TAG).unwrap();
+    p.clwb(64, 8, T0).unwrap();
+    p.clwb(128, 8, T1).unwrap();
+    // Only T1 fences: only T1's write-back completes.
+    p.sfence(T1).unwrap();
+    let img = p.crash_image().unwrap();
+    assert_eq!(img.load_u64(64).unwrap(), 0);
+    assert_eq!(img.load_u64(128).unwrap(), 2);
+    assert_eq!(p.meta_at(64).state, PersistState::Flushing);
+    assert_eq!(p.meta_at(128).state, PersistState::Clean);
+}
+
+#[test]
+fn eviction_closes_candidate_windows() {
+    use rand::SeedableRng;
+    let pool = Arc::new(Pool::new(PoolOpts::small()));
+    let session = Session::new(Arc::clone(&pool), SessionConfig::default());
+    let w = session.view(T0);
+    let r = session.view(T1);
+    w.store_u64(4096u64, 7u64, site!("sem.w")).unwrap();
+    // Hardware eviction persists the line before the reader arrives.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    assert!(pool.evict_random(&mut rng).is_some());
+    let x = r.load_u64(4096u64, site!("sem.r")).unwrap();
+    assert!(!x.is_tainted(), "evicted (persisted) data is clean to read");
+    assert!(session.finish().candidates.is_empty());
+}
+
+#[test]
+fn writer_identity_survives_partial_line_flush() {
+    // Two threads write different words of the same cache line; a clwb by
+    // one covers the line, but unfenced state still loses both.
+    let p = Pool::new(PoolOpts::small());
+    p.store_u64(0, 10, T0, SiteTag(7)).unwrap();
+    p.store_u64(8, 20, T1, SiteTag(8)).unwrap();
+    let (_, info) = p.load_u64(8).unwrap();
+    assert_eq!(info.writer, T1);
+    assert_eq!(info.tag, SiteTag(8));
+    p.clwb(0, 8, T0).unwrap(); // whole line captured
+    let img = p.crash_image().unwrap();
+    assert_eq!(img.load_u64(0).unwrap(), 0, "no fence yet");
+    p.sfence(T0).unwrap();
+    let img = p.crash_image().unwrap();
+    assert_eq!(img.load_u64(0).unwrap(), 10);
+    assert_eq!(img.load_u64(8).unwrap(), 20, "line flush covers both words");
+}
+
+#[test]
+fn intra_then_inter_candidates_have_distinct_identities() {
+    let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+    let a = session.view(T0);
+    let b = session.view(T1);
+    a.store_u64(4096u64, 1u64, site!("sem2.w")).unwrap();
+    let _ = a.load_u64(4096u64, site!("sem2.r")).unwrap(); // intra
+    let _ = b.load_u64(4096u64, site!("sem2.r")).unwrap(); // inter, same sites
+    let f = session.finish();
+    assert_eq!(f.candidates.len(), 2, "kind participates in candidate identity");
+    assert_eq!(f.candidates_of(CandidateKind::Intra), 1);
+    assert_eq!(f.candidates_of(CandidateKind::Inter), 1);
+}
+
+#[test]
+fn output_of_untainted_data_is_never_flagged() {
+    let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+    let v = session.view(T0);
+    v.ntstore_u64(4096u64, 5u64, site!("sem3.w")).unwrap();
+    let clean = v.load_bytes(4096u64, 8, site!("sem3.r")).unwrap();
+    v.output(&clean, site!("sem3.reply"));
+    assert!(session.finish().inconsistencies.is_empty());
+}
+
+#[test]
+fn range_state_summarizes_worst_granule() {
+    let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+    let v = session.view(T0);
+    v.ntstore_u64(4096u64, 1u64, site!("sem4.a")).unwrap(); // clean
+    v.store_u64(4104u64, 2u64, site!("sem4.b")).unwrap(); // dirty
+    assert_eq!(session.range_state(4096, 16), PersistState::Dirty);
+    v.clwb(4104u64, 8, site!("sem4.flush")).unwrap();
+    assert_eq!(session.range_state(4096, 16), PersistState::Flushing);
+    v.sfence().unwrap();
+    assert_eq!(session.range_state(4096, 16), PersistState::Clean);
+}
