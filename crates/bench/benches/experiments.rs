@@ -49,7 +49,9 @@ fn bench_campaign_no_checkpoint(c: &mut Criterion) {
     let spec = target_spec("CCEH").unwrap();
     let cp = Checkpoint::create(&spec).unwrap();
     let seed = Seed::from_flat(
-        &(1..=16u64).map(|k| Op::Insert { key: k, value: k }).collect::<Vec<_>>(),
+        &(1..=16u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect::<Vec<_>>(),
         2,
     );
     let cfg = CampaignConfig {

@@ -21,7 +21,10 @@ fn bench_pool_primitives(c: &mut Criterion) {
     let tag = SiteTag(1);
     let mut g = c.benchmark_group("pool");
     g.bench_function("store_u64", |b| {
-        b.iter(|| pool.store_u64(black_box(4096), black_box(7), t, tag).unwrap())
+        b.iter(|| {
+            pool.store_u64(black_box(4096), black_box(7), t, tag)
+                .unwrap()
+        })
     });
     g.bench_function("load_u64", |b| {
         b.iter(|| black_box(pool.load_u64(black_box(4096)).unwrap()))
@@ -33,10 +36,15 @@ fn bench_pool_primitives(c: &mut Criterion) {
         })
     });
     g.bench_function("ntstore_u64", |b| {
-        b.iter(|| pool.ntstore_u64(black_box(4096), black_box(7), t, tag).unwrap())
+        b.iter(|| {
+            pool.ntstore_u64(black_box(4096), black_box(7), t, tag)
+                .unwrap()
+        })
     });
     g.sample_size(20);
-    g.bench_function("crash_image", |b| b.iter(|| black_box(pool.crash_image().unwrap())));
+    g.bench_function("crash_image", |b| {
+        b.iter(|| black_box(pool.crash_image().unwrap()))
+    });
     g.finish();
 }
 
@@ -54,7 +62,10 @@ fn bench_instrumented_access(c: &mut Criterion) {
     let s_load = site!("bench.load");
     let mut g = c.benchmark_group("instrumented");
     g.bench_function("store_u64_hooked", |b| {
-        b.iter(|| view.store_u64(black_box(4096u64), black_box(7u64), s_store).unwrap())
+        b.iter(|| {
+            view.store_u64(black_box(4096u64), black_box(7u64), s_store)
+                .unwrap()
+        })
     });
     g.bench_function("load_u64_hooked", |b| {
         b.iter(|| black_box(view.load_u64(black_box(4096u64), s_load).unwrap()))
@@ -66,7 +77,7 @@ fn bench_instrumented_access(c: &mut Criterion) {
 }
 
 fn bench_coverage(c: &mut Criterion) {
-    let mut cov = CoverageMap::new();
+    let cov = CoverageMap::new();
     let s1 = site!("cov.a");
     let s2 = site!("cov.b");
     let mut g = c.benchmark_group("coverage");
@@ -74,19 +85,106 @@ fn bench_coverage(c: &mut Criterion) {
         let mut flip = false;
         b.iter(|| {
             flip = !flip;
-            let (s, t) = if flip { (s1, ThreadId(0)) } else { (s2, ThreadId(1)) };
+            let (s, t) = if flip {
+                (s1, ThreadId(0))
+            } else {
+                (s2, ThreadId(1))
+            };
             black_box(cov.record_access(512, s, t, Persistency::Unpersisted))
         })
     });
-    g.bench_function("branch_record", |b| b.iter(|| black_box(cov.record_branch(s1))));
+    g.bench_function("branch_record", |b| {
+        b.iter(|| black_box(cov.record_branch(s1)))
+    });
     let other = cov.clone();
     g.sample_size(20);
     g.bench_function("merge_maps", |b| {
         b.iter(|| {
-            let mut base = CoverageMap::new();
+            let base = CoverageMap::new();
             black_box(base.merge_from(&other))
         })
     });
+    g.finish();
+}
+
+/// Offset for iteration `i` of thread `t`, rotating over 64 cache lines that
+/// are private per thread (`disjoint`) or shared by all threads.
+fn contended_off(t: u64, i: u64, disjoint: bool) -> u64 {
+    let line = if disjoint { t * 64 + (i % 64) } else { i % 64 };
+    line * 64
+}
+
+/// Runs `f(t)` on each of `threads` scoped threads and waits for all.
+fn fan_out<F: Fn(u64) + Sync>(threads: usize, f: F) {
+    let f = &f;
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            s.spawn(move || f(t));
+        }
+    });
+}
+
+/// The contended hot path: pool stores/loads and coverage recording under
+/// 1/4/8 threads on disjoint vs. overlapping cache lines. Each Criterion
+/// iteration is one fan-out of `OPS` operations per thread, so ns/iter
+/// tracks aggregate batch latency under contention.
+fn bench_contended_hotpath(c: &mut Criterion) {
+    const OPS: u64 = 2_000;
+    let mut g = c.benchmark_group("contended");
+    g.sample_size(10);
+    for &threads in &[1usize, 4, 8] {
+        for &disjoint in &[true, false] {
+            let mode = if disjoint { "disjoint" } else { "overlapping" };
+
+            let pool = Pool::new(PoolOpts::with_size(1 << 20));
+            g.bench_function(&format!("store_u64/{threads}t/{mode}"), |b| {
+                b.iter(|| {
+                    fan_out(threads, |t| {
+                        for i in 0..OPS {
+                            pool.store_u64(
+                                contended_off(t, i, disjoint),
+                                i,
+                                ThreadId(t as u32),
+                                SiteTag(1),
+                            )
+                            .unwrap();
+                        }
+                    })
+                })
+            });
+
+            let pool = Pool::new(PoolOpts::with_size(1 << 20));
+            g.bench_function(&format!("load_u64/{threads}t/{mode}"), |b| {
+                b.iter(|| {
+                    fan_out(threads, |t| {
+                        for i in 0..OPS {
+                            black_box(pool.load_u64(contended_off(t, i, disjoint)).unwrap());
+                        }
+                    })
+                })
+            });
+
+            let cov = CoverageMap::new();
+            let s1 = site!("contended.cov.a");
+            let s2 = site!("contended.cov.b");
+            g.bench_function(&format!("record_access/{threads}t/{mode}"), |b| {
+                b.iter(|| {
+                    fan_out(threads, |t| {
+                        for i in 0..OPS {
+                            let gnum = contended_off(t, i, disjoint) / 8 + i % 8;
+                            let s = if i & 1 == 0 { s1 } else { s2 };
+                            black_box(cov.record_access(
+                                gnum,
+                                s,
+                                ThreadId(t as u32),
+                                Persistency::Unpersisted,
+                            ));
+                        }
+                    })
+                })
+            });
+        }
+    }
     g.finish();
 }
 
@@ -111,6 +209,10 @@ fn bench_checkpoint_vs_init(c: &mut Criterion) {
     let mut g = c.benchmark_group("reset");
     g.sample_size(20);
     g.bench_function("checkpoint_restore", |b| b.iter(|| black_box(cp.restore())));
+    let reused = cp.restore();
+    g.bench_function("checkpoint_restore_into", |b| {
+        b.iter(|| cp.restore_into(black_box(&reused)).unwrap())
+    });
     g.bench_function("heavy_pool_init", |b| {
         b.iter(|| black_box(Pool::new(PoolOpts::small().heavy())))
     });
@@ -136,7 +238,11 @@ fn bench_target_ops(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 k = k % 20 + 1;
-                black_box(target.exec(&view, &Op::Insert { key: k, value: k }).unwrap())
+                black_box(
+                    target
+                        .exec(&view, &Op::Insert { key: k, value: k })
+                        .unwrap(),
+                )
             })
         });
     }
@@ -148,6 +254,7 @@ criterion_group!(
     bench_pool_primitives,
     bench_instrumented_access,
     bench_coverage,
+    bench_contended_hotpath,
     bench_taint,
     bench_mutator,
     bench_checkpoint_vs_init,

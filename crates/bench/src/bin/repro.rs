@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] <experiments...>
-//! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10 all
+//! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10
+//!              eadr hotpath all
 //! ```
 //!
 //! `table2/3/5/6` share one fuzzing sweep and are emitted together when any
 //! of them is requested.
 
-use pmrace_bench::{figs, tables, Budget};
+use pmrace_bench::{figs, hotpath, tables, Budget};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,18 +25,40 @@ fn main() {
         .map(String::as_str)
         .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
         .collect();
+    const KNOWN: &[&str] = &[
+        "table1", "table2", "table3", "table4", "table5", "table6", "fig8", "fig9", "fig10",
+        "eadr", "hotpath", "all",
+    ];
+    let mut had_unknown = false;
+    for unknown in wanted.iter().filter(|w| !KNOWN.contains(w)) {
+        eprintln!(
+            "[repro] unknown experiment \"{unknown}\"; known: {}",
+            KNOWN.join(" ")
+        );
+        had_unknown = true;
+    }
+    wanted.retain(|w| KNOWN.contains(w));
+    if had_unknown && wanted.is_empty() {
+        std::process::exit(2);
+    }
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "table1", "table2", "table4", "fig8", "fig9", "fig10", "eadr",
+            "table1", "table2", "table4", "fig8", "fig9", "fig10", "eadr", "hotpath",
         ];
     }
-    let budget = if quick { Budget::quick() } else { Budget::full() };
+    let budget = if quick {
+        Budget::quick()
+    } else {
+        Budget::full()
+    };
     let sweep_needed = wanted
         .iter()
         .any(|w| matches!(*w, "table2" | "table3" | "table5" | "table6"));
 
-    println!("# PMRace evaluation reproduction (seed={seed}, {} budget)\n",
-        if quick { "quick" } else { "full" });
+    println!(
+        "# PMRace evaluation reproduction (seed={seed}, {} budget)\n",
+        if quick { "quick" } else { "full" }
+    );
 
     if wanted.contains(&"table1") {
         println!("{}", tables::table1());
@@ -68,5 +91,20 @@ fn main() {
     if wanted.contains(&"eadr") {
         eprintln!("[repro] running the ADR vs eADR ablation (§6.6)...");
         println!("{}", figs::eadr_ablation(budget, seed));
+    }
+    if wanted.contains(&"hotpath") {
+        eprintln!("[repro] measuring contended hot-path throughput...");
+        let cells = hotpath::run_matrix(quick);
+        println!("{}", hotpath::render(&cells));
+        if quick {
+            // Quick numbers are noisy; don't clobber the tracked full run.
+            eprintln!("[repro] --quick: not rewriting BENCH_hotpath.json");
+        } else {
+            let json = hotpath::to_json(&cells);
+            match std::fs::write("BENCH_hotpath.json", &json) {
+                Ok(()) => eprintln!("[repro] wrote BENCH_hotpath.json"),
+                Err(e) => eprintln!("[repro] could not write BENCH_hotpath.json: {e}"),
+            }
+        }
     }
 }

@@ -3,9 +3,7 @@
 use std::time::{Duration, Instant};
 
 use pmrace_core::checkpoint::Checkpoint;
-use pmrace_core::{
-    run_campaign, CampaignConfig, FuzzConfig, Fuzzer, OpMutator, StrategyKind,
-};
+use pmrace_core::{run_campaign, CampaignConfig, FuzzConfig, Fuzzer, OpMutator, StrategyKind};
 
 use crate::render::{series, table};
 use crate::sweep::fuzz_target;
@@ -53,7 +51,13 @@ pub fn fig8(budget: Budget, rng_seed: u64) -> String {
     }
     out.push_str(&table(
         "Fig. 8: Time to identify PM Inter-thread Inconsistencies (ms since fuzzing start).",
-        &["System", "Scheme", "#Inter found", "First (ms)", "Detection times (ms)"],
+        &[
+            "System",
+            "Scheme",
+            "#Inter found",
+            "First (ms)",
+            "Detection times (ms)",
+        ],
         &rows,
     ));
     out
@@ -99,8 +103,11 @@ pub fn fig9(budget: Budget, rng_seed: u64) -> String {
             &["t (ms)", "PM alias pairs", "branches"],
             &points,
         ));
-        let alias_series: Vec<usize> =
-            report.coverage_timeline.iter().map(|s| s.alias_pairs).collect();
+        let alias_series: Vec<usize> = report
+            .coverage_timeline
+            .iter()
+            .map(|s| s.alias_pairs)
+            .collect();
         out.push_str(&format!(
             "alias pairs over campaigns: {}\n\n",
             crate::render::sparkline(&alias_series)
@@ -121,6 +128,7 @@ pub fn fig10(campaigns: usize, rng_seed: u64) -> String {
     let mut rows = Vec::new();
     for spec in pmrace_targets::all_targets() {
         let mut speeds = Vec::new();
+        let mut access_rates = Vec::new();
         for use_cp in [true, false] {
             let cp = if use_cp {
                 Some(Checkpoint::create(&spec).expect("checkpoint"))
@@ -138,12 +146,15 @@ pub fn fig10(campaigns: usize, rng_seed: u64) -> String {
                 extra_whitelist: Vec::new(),
             };
             let start = Instant::now();
+            let mut accesses = 0u64;
             for _ in 0..campaigns {
                 let seed = mutator.generate();
-                let _ = run_campaign(&spec, &seed, &cfg, None, cp.as_ref())
-                    .expect("campaign");
+                let res = run_campaign(&spec, &seed, &cfg, None, cp.as_ref()).expect("campaign");
+                accesses += res.pm_accesses;
             }
-            speeds.push(campaigns as f64 / start.elapsed().as_secs_f64());
+            let secs = start.elapsed().as_secs_f64();
+            speeds.push(campaigns as f64 / secs);
+            access_rates.push(accesses as f64 / secs.max(1e-9));
         }
         let speedup = speeds[0] / speeds[1].max(1e-9);
         rows.push(vec![
@@ -151,11 +162,18 @@ pub fn fig10(campaigns: usize, rng_seed: u64) -> String {
             format!("{:.1}", speeds[0]),
             format!("{:.1}", speeds[1]),
             format!("{:.0}%", (speedup - 1.0) * 100.0),
+            format!("{:.0}k", access_rates[0] / 1e3),
         ]);
     }
     table(
         "Fig. 10: Input-generation fuzzing speed with/without in-memory checkpoints.",
-        &["System", "execs/s (CP)", "execs/s (no CP)", "CP speedup"],
+        &[
+            "System",
+            "execs/s (CP)",
+            "execs/s (no CP)",
+            "CP speedup",
+            "PM acc/s (CP)",
+        ],
         &rows,
     )
 }
@@ -195,7 +213,14 @@ pub fn eadr_ablation(budget: Budget, rng_seed: u64) -> String {
     table(
         "§6.6 ablation: ADR vs eADR failure model (persistent caches remove \
          inter-thread inconsistencies; persistent-lock bugs remain).",
-        &["System", "Model", "Candidates", "Inconsistencies", "Sync detected", "Sync bugs"],
+        &[
+            "System",
+            "Model",
+            "Candidates",
+            "Inconsistencies",
+            "Sync detected",
+            "Sync bugs",
+        ],
         &rows,
     )
 }

@@ -1,0 +1,288 @@
+//! Contended hot-path throughput meter.
+//!
+//! Measures aggregate ops/sec of the instrumentation hot path — raw pool
+//! stores/loads, instrumented stores (store + coverage + trace + stats), and
+//! bare coverage recording — under 1, 4, and 8 threads hammering disjoint or
+//! overlapping cache lines. `repro hotpath` prints the table and emits
+//! `BENCH_hotpath.json` so the numbers become a tracked perf trajectory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pmrace_core::checkpoint::Checkpoint;
+use pmrace_pmem::{Pool, PoolOpts, SiteTag, ThreadId, CACHE_LINE};
+use pmrace_runtime::coverage::{CoverageMap, Persistency};
+use pmrace_runtime::{site, Session, SessionConfig};
+use pmrace_targets::target_spec;
+
+/// One measured cell of the hot-path matrix.
+#[derive(Debug, Clone)]
+pub struct HotpathCell {
+    /// Operation measured (`pool_store_u64`, `instr_store_u64`, ...).
+    pub name: String,
+    /// Number of concurrently hammering threads.
+    pub threads: usize,
+    /// Whether each thread worked a private set of cache lines.
+    pub disjoint: bool,
+    /// Total operations completed across all threads.
+    pub ops: u64,
+    /// Wall-clock duration of the contended phase.
+    pub elapsed: Duration,
+}
+
+impl HotpathCell {
+    /// Aggregate throughput in operations per second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Lines each thread rotates over; keeps the working set larger than one
+/// line so the sharded pool actually spreads lock traffic.
+const LINES_PER_THREAD: u64 = 64;
+const POOL_SIZE: usize = 1 << 20;
+
+/// Offset for iteration `i` of thread `t`: private lines when `disjoint`,
+/// one shared set of lines otherwise.
+fn target_off(t: u64, i: u64, disjoint: bool) -> u64 {
+    let line = if disjoint {
+        t * LINES_PER_THREAD + (i % LINES_PER_THREAD)
+    } else {
+        i % LINES_PER_THREAD
+    };
+    line * CACHE_LINE as u64
+}
+
+/// Runs `per_thread` iterations of `op` on each of `threads` threads behind
+/// a start barrier and returns the aggregate cell.
+fn contend<F>(name: &str, threads: usize, disjoint: bool, per_thread: u64, op: F) -> HotpathCell
+where
+    F: Fn(u64, u64) + Sync,
+{
+    let barrier = Barrier::new(threads + 1);
+    let done = AtomicU64::new(0);
+    let op = &op;
+    let barrier_ref = &barrier;
+    let done_ref = &done;
+    let started = std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                barrier_ref.wait();
+                for i in 0..per_thread {
+                    op(t, i);
+                }
+                done_ref.fetch_add(per_thread, Ordering::Relaxed);
+            });
+        }
+        // Clock starts before the release so the measurement covers the
+        // workers' whole run even if this thread is descheduled right after
+        // the barrier (single-CPU hosts).
+        let started = Instant::now();
+        barrier_ref.wait();
+        started
+    });
+    HotpathCell {
+        name: name.to_owned(),
+        threads,
+        disjoint,
+        ops: done.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Runs the full hot-path matrix. `quick` shrinks iteration counts for CI.
+#[must_use]
+pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
+    let mut cells = Vec::new();
+    let scale = if quick { 20 } else { 1 };
+    let pool_iters = 1_000_000 / scale;
+    let instr_iters = 200_000 / scale;
+    let cov_iters = 2_000_000 / scale;
+
+    for &threads in &[1usize, 4, 8] {
+        for &disjoint in &[true, false] {
+            // Raw pool stores: the pmem shard layer alone.
+            let pool = Pool::new(PoolOpts::with_size(POOL_SIZE));
+            cells.push(contend(
+                "pool_store_u64",
+                threads,
+                disjoint,
+                pool_iters,
+                |t, i| {
+                    pool.store_u64(
+                        target_off(t, i, disjoint),
+                        i,
+                        ThreadId(t as u32),
+                        SiteTag(1),
+                    )
+                    .unwrap();
+                },
+            ));
+
+            // Raw pool loads.
+            let pool = Pool::new(PoolOpts::with_size(POOL_SIZE));
+            cells.push(contend(
+                "pool_load_u64",
+                threads,
+                disjoint,
+                pool_iters,
+                |t, i| {
+                    pool.load_u64(target_off(t, i, disjoint)).unwrap();
+                },
+            ));
+
+            // Instrumented stores: pool + coverage + trace + access stats —
+            // the paper's "aggregate store+record" hot path.
+            let session = Session::new(
+                Arc::new(Pool::new(PoolOpts::with_size(POOL_SIZE))),
+                SessionConfig {
+                    capture_crash_images: false,
+                    deadline: Duration::from_secs(600),
+                    ..SessionConfig::default()
+                },
+            );
+            let s_store = site!("hotpath.store");
+            // One view per driver thread, exactly like campaign workers.
+            let views: Vec<_> = (0..threads)
+                .map(|t| session.view(ThreadId(t as u32)))
+                .collect();
+            let views_ref = &views;
+            cells.push(contend(
+                "instr_store_u64",
+                threads,
+                disjoint,
+                instr_iters,
+                move |t, i| {
+                    views_ref[t as usize]
+                        .store_u64(target_off(t, i, disjoint), i, s_store)
+                        .unwrap();
+                },
+            ));
+
+            // Bare coverage recording (lock-free alias-pair map).
+            let cov = CoverageMap::new();
+            let s0 = site!("hotpath.cov.a");
+            let s1 = site!("hotpath.cov.b");
+            let cov_ref = &cov;
+            cells.push(contend(
+                "record_access",
+                threads,
+                disjoint,
+                cov_iters,
+                move |t, i| {
+                    let g = target_off(t, i, disjoint) / 8 + i % 8;
+                    let site = if i & 1 == 0 { s0 } else { s1 };
+                    let p = if i & 2 == 0 {
+                        Persistency::Persisted
+                    } else {
+                        Persistency::Unpersisted
+                    };
+                    cov_ref.record_access(g, site, ThreadId(t as u32), p);
+                },
+            ));
+        }
+    }
+
+    // Checkpoint restore paths: fresh pool per campaign vs reuse.
+    let spec = target_spec("P-CLHT").expect("known target");
+    let cp = Checkpoint::create(&spec).expect("checkpoint");
+    let fresh_iters = 400 / scale;
+    let start = Instant::now();
+    for _ in 0..fresh_iters {
+        std::hint::black_box(cp.restore());
+    }
+    cells.push(HotpathCell {
+        name: "checkpoint_restore_fresh".to_owned(),
+        threads: 1,
+        disjoint: true,
+        ops: fresh_iters,
+        elapsed: start.elapsed(),
+    });
+
+    // In-place restore into an existing pool (the campaign-runner reuse
+    // path): same image reset without the pool-sized allocation.
+    let pool = cp.restore();
+    let start = Instant::now();
+    for _ in 0..fresh_iters {
+        cp.restore_into(&pool).expect("restore_into");
+    }
+    cells.push(HotpathCell {
+        name: "checkpoint_restore_into".to_owned(),
+        threads: 1,
+        disjoint: true,
+        ops: fresh_iters,
+        elapsed: start.elapsed(),
+    });
+    cells
+}
+
+/// Renders the matrix as an aligned text table.
+#[must_use]
+pub fn render(cells: &[HotpathCell]) -> String {
+    let mut out = String::from(
+        "Hot-path contended throughput (aggregate ops/sec; 64 lines/thread working set)\n",
+    );
+    out.push_str(&format!(
+        "{:<26} {:>8} {:>12} {:>14} {:>12}\n",
+        "op", "threads", "lines", "ops/sec", "total ops"
+    ));
+    for c in cells {
+        out.push_str(&format!(
+            "{:<26} {:>8} {:>12} {:>14.0} {:>12}\n",
+            c.name,
+            c.threads,
+            if c.disjoint {
+                "disjoint"
+            } else {
+                "overlapping"
+            },
+            c.ops_per_sec(),
+            c.ops,
+        ));
+    }
+    out
+}
+
+/// Serializes the matrix as JSON (hand-rolled; the workspace is offline and
+/// carries no serde).
+#[must_use]
+pub fn to_json(cells: &[HotpathCell]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"hotpath\",\n  \"unit\": \"ops_per_sec\",\n  \"cells\": [\n",
+    );
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"lines\": \"{}\", \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
+            c.name,
+            c.threads,
+            if c.disjoint { "disjoint" } else { "overlapping" },
+            c.ops,
+            c.elapsed.as_secs_f64(),
+            c.ops_per_sec(),
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_thread_counts_and_modes() {
+        let cells = run_matrix(true);
+        for &t in &[1usize, 4, 8] {
+            assert!(cells.iter().any(|c| c.threads == t && c.disjoint));
+            assert!(cells.iter().any(|c| c.threads == t && !c.disjoint));
+        }
+        assert!(cells.iter().all(|c| c.ops > 0));
+        let json = to_json(&cells);
+        assert!(json.contains("\"bench\": \"hotpath\""));
+        assert!(json.contains("instr_store_u64"));
+        assert!(render(&cells).contains("record_access"));
+    }
+}

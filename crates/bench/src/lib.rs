@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod hotpath;
 pub mod render;
 pub mod sweep;
 pub mod tables;

@@ -43,8 +43,10 @@ pub fn series(title: &str, headers: &[&str], points: &[Vec<String>]) -> String {
 /// Render a unicode sparkline of a numeric series (for figure output).
 #[must_use]
 pub fn sparkline(values: &[usize]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}',
-                             '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let (min, max) = values
         .iter()
         .fold((usize::MAX, 0usize), |(lo, hi), &v| (lo.min(v), hi.max(v)));

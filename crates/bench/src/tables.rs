@@ -68,62 +68,203 @@ pub struct PaperBug {
 #[must_use]
 pub fn paper_bugs() -> Vec<PaperBug> {
     vec![
-        PaperBug { id: 1, system: "P-CLHT", kind: "Inter", new: true,
-            write_code: "clht_lb_res.c:785", read_code: "clht_lb_res.c:417",
-            description: "read unflushed table pointer and insert items", consequence: "data loss",
-            matcher: Matcher::Triple { write: "785", read: "417", effect: "" } },
-        PaperBug { id: 2, system: "P-CLHT", kind: "Sync", new: true,
-            write_code: "clht_lb_res.c:429", read_code: "",
-            description: "do not initialize bucket locks after restarts", consequence: "hang",
-            matcher: Matcher::SyncVar("clht.bucket_lock") },
-        PaperBug { id: 3, system: "P-CLHT", kind: "Intra", new: true,
-            write_code: "clht_lb_res.c:789", read_code: "clht_gc.c:190",
-            description: "read unflushed table pointer and perform GC", consequence: "PM leakage",
-            matcher: Matcher::Triple { write: "789", read: "clht_gc.c:190", effect: "gc_log" } },
-        PaperBug { id: 4, system: "P-CLHT", kind: "Other", new: true,
-            write_code: "clht_lb_res.c:321", read_code: "clht_lb_res.c:616",
-            description: "read unflushed keys", consequence: "redundant PM writes",
-            matcher: Matcher::Candidate { write: "321", read: "616" } },
-        PaperBug { id: 5, system: "P-CLHT", kind: "Other", new: true,
-            write_code: "clht_lb_res.c:526", read_code: "",
-            description: "do not release bucket locks in update", consequence: "hang",
-            matcher: Matcher::Hang },
-        PaperBug { id: 6, system: "CCEH", kind: "Sync", new: true,
-            write_code: "CCEH.h:86", read_code: "",
-            description: "do not release segment locks after restarts", consequence: "hang",
-            matcher: Matcher::SyncVar("cceh.segment_lock") },
-        PaperBug { id: 7, system: "CCEH", kind: "Intra", new: true,
-            write_code: "CCEH.h:165", read_code: "CCEH.cpp:171",
-            description: "read unflushed capacity and allocate segments", consequence: "PM leakage",
-            matcher: Matcher::Triple { write: "CCEH.h:165", read: "171", effect: "" } },
-        PaperBug { id: 8, system: "FAST-FAIR", kind: "Inter", new: true,
-            write_code: "btree.h:560", read_code: "btree.h:876",
-            description: "read unflushed pointer and insert data", consequence: "data loss",
-            matcher: Matcher::Triple { write: "560", read: "876", effect: "" } },
-        PaperBug { id: 9, system: "memcached-pmem", kind: "Inter", new: true,
-            write_code: "memcached.c:4292", read_code: "memcached.c:2805",
-            description: "read unflushed value and write value", consequence: "inconsistent data",
-            matcher: Matcher::Triple { write: "", read: "2805", effect: "4292" } },
-        PaperBug { id: 10, system: "memcached-pmem", kind: "Inter", new: true,
-            write_code: "memcached.c:4293", read_code: "memcached.c:2805",
-            description: "read unflushed value and write value length", consequence: "inconsistent data",
-            matcher: Matcher::Triple { write: "", read: "2805", effect: "4293" } },
-        PaperBug { id: 11, system: "memcached-pmem", kind: "Inter", new: false,
-            write_code: "items.c:423", read_code: "items.c:464",
-            description: "read unflushed 'prev' and write 'slabs_clsid'", consequence: "inconsistent index",
-            matcher: Matcher::Triple { write: "", read: "items.c:464", effect: "items.c:464.store_clsid" } },
-        PaperBug { id: 12, system: "memcached-pmem", kind: "Inter", new: false,
-            write_code: "slabs.c:549", read_code: "slabs.c:412",
-            description: "read unflushed 'next' and write 'it_flags' or value", consequence: "inconsistent index",
-            matcher: Matcher::Triple { write: "", read: "slabs.c:412", effect: "store_it_flags" } },
-        PaperBug { id: 13, system: "memcached-pmem", kind: "Inter", new: false,
-            write_code: "items.c:1096", read_code: "memcached.c:2824",
-            description: "read unflushed 'it_flags' and write value", consequence: "inconsistent data",
-            matcher: Matcher::Triple { write: "", read: "2824", effect: "store_value_header" } },
-        PaperBug { id: 14, system: "memcached-pmem", kind: "Inter", new: false,
-            write_code: "items.c:627", read_code: "items.c:623",
-            description: "read unflushed 'slabs_clsid' and write 'slabs_clsid'", consequence: "inconsistent index",
-            matcher: Matcher::Triple { write: "", read: "items.c:623", effect: "items.c:627" } },
+        PaperBug {
+            id: 1,
+            system: "P-CLHT",
+            kind: "Inter",
+            new: true,
+            write_code: "clht_lb_res.c:785",
+            read_code: "clht_lb_res.c:417",
+            description: "read unflushed table pointer and insert items",
+            consequence: "data loss",
+            matcher: Matcher::Triple {
+                write: "785",
+                read: "417",
+                effect: "",
+            },
+        },
+        PaperBug {
+            id: 2,
+            system: "P-CLHT",
+            kind: "Sync",
+            new: true,
+            write_code: "clht_lb_res.c:429",
+            read_code: "",
+            description: "do not initialize bucket locks after restarts",
+            consequence: "hang",
+            matcher: Matcher::SyncVar("clht.bucket_lock"),
+        },
+        PaperBug {
+            id: 3,
+            system: "P-CLHT",
+            kind: "Intra",
+            new: true,
+            write_code: "clht_lb_res.c:789",
+            read_code: "clht_gc.c:190",
+            description: "read unflushed table pointer and perform GC",
+            consequence: "PM leakage",
+            matcher: Matcher::Triple {
+                write: "789",
+                read: "clht_gc.c:190",
+                effect: "gc_log",
+            },
+        },
+        PaperBug {
+            id: 4,
+            system: "P-CLHT",
+            kind: "Other",
+            new: true,
+            write_code: "clht_lb_res.c:321",
+            read_code: "clht_lb_res.c:616",
+            description: "read unflushed keys",
+            consequence: "redundant PM writes",
+            matcher: Matcher::Candidate {
+                write: "321",
+                read: "616",
+            },
+        },
+        PaperBug {
+            id: 5,
+            system: "P-CLHT",
+            kind: "Other",
+            new: true,
+            write_code: "clht_lb_res.c:526",
+            read_code: "",
+            description: "do not release bucket locks in update",
+            consequence: "hang",
+            matcher: Matcher::Hang,
+        },
+        PaperBug {
+            id: 6,
+            system: "CCEH",
+            kind: "Sync",
+            new: true,
+            write_code: "CCEH.h:86",
+            read_code: "",
+            description: "do not release segment locks after restarts",
+            consequence: "hang",
+            matcher: Matcher::SyncVar("cceh.segment_lock"),
+        },
+        PaperBug {
+            id: 7,
+            system: "CCEH",
+            kind: "Intra",
+            new: true,
+            write_code: "CCEH.h:165",
+            read_code: "CCEH.cpp:171",
+            description: "read unflushed capacity and allocate segments",
+            consequence: "PM leakage",
+            matcher: Matcher::Triple {
+                write: "CCEH.h:165",
+                read: "171",
+                effect: "",
+            },
+        },
+        PaperBug {
+            id: 8,
+            system: "FAST-FAIR",
+            kind: "Inter",
+            new: true,
+            write_code: "btree.h:560",
+            read_code: "btree.h:876",
+            description: "read unflushed pointer and insert data",
+            consequence: "data loss",
+            matcher: Matcher::Triple {
+                write: "560",
+                read: "876",
+                effect: "",
+            },
+        },
+        PaperBug {
+            id: 9,
+            system: "memcached-pmem",
+            kind: "Inter",
+            new: true,
+            write_code: "memcached.c:4292",
+            read_code: "memcached.c:2805",
+            description: "read unflushed value and write value",
+            consequence: "inconsistent data",
+            matcher: Matcher::Triple {
+                write: "",
+                read: "2805",
+                effect: "4292",
+            },
+        },
+        PaperBug {
+            id: 10,
+            system: "memcached-pmem",
+            kind: "Inter",
+            new: true,
+            write_code: "memcached.c:4293",
+            read_code: "memcached.c:2805",
+            description: "read unflushed value and write value length",
+            consequence: "inconsistent data",
+            matcher: Matcher::Triple {
+                write: "",
+                read: "2805",
+                effect: "4293",
+            },
+        },
+        PaperBug {
+            id: 11,
+            system: "memcached-pmem",
+            kind: "Inter",
+            new: false,
+            write_code: "items.c:423",
+            read_code: "items.c:464",
+            description: "read unflushed 'prev' and write 'slabs_clsid'",
+            consequence: "inconsistent index",
+            matcher: Matcher::Triple {
+                write: "",
+                read: "items.c:464",
+                effect: "items.c:464.store_clsid",
+            },
+        },
+        PaperBug {
+            id: 12,
+            system: "memcached-pmem",
+            kind: "Inter",
+            new: false,
+            write_code: "slabs.c:549",
+            read_code: "slabs.c:412",
+            description: "read unflushed 'next' and write 'it_flags' or value",
+            consequence: "inconsistent index",
+            matcher: Matcher::Triple {
+                write: "",
+                read: "slabs.c:412",
+                effect: "store_it_flags",
+            },
+        },
+        PaperBug {
+            id: 13,
+            system: "memcached-pmem",
+            kind: "Inter",
+            new: false,
+            write_code: "items.c:1096",
+            read_code: "memcached.c:2824",
+            description: "read unflushed 'it_flags' and write value",
+            consequence: "inconsistent data",
+            matcher: Matcher::Triple {
+                write: "",
+                read: "2824",
+                effect: "store_value_header",
+            },
+        },
+        PaperBug {
+            id: 14,
+            system: "memcached-pmem",
+            kind: "Inter",
+            new: false,
+            write_code: "items.c:627",
+            read_code: "items.c:623",
+            description: "read unflushed 'slabs_clsid' and write 'slabs_clsid'",
+            consequence: "inconsistent index",
+            matcher: Matcher::Triple {
+                write: "",
+                read: "items.c:623",
+                effect: "items.c:627",
+            },
+        },
     ]
 }
 
@@ -134,7 +275,11 @@ pub fn bug_found(report: &FuzzReport, bug: &PaperBug) -> bool {
         return false;
     }
     match bug.matcher {
-        Matcher::Triple { write, read, effect } => report
+        Matcher::Triple {
+            write,
+            read,
+            effect,
+        } => report
             .bug_triples
             .iter()
             .any(|(w, r, e)| w.contains(write) && r.contains(read) && e.contains(effect)),
@@ -154,11 +299,36 @@ pub fn bug_found(report: &FuzzReport, bug: &PaperBug) -> bool {
 #[must_use]
 pub fn table1() -> String {
     let rows = vec![
-        vec!["P-CLHT".into(), "70bf21c".into(), "Static hashing".into(), "Lock-based".into()],
-        vec!["clevel hashing".into(), "cae716f".into(), "PM-optimized hashing".into(), "Lock-free".into()],
-        vec!["CCEH".into(), "46771e3".into(), "Extendible hashing".into(), "Lock-based".into()],
-        vec!["FAST-FAIR".into(), "0f047e8".into(), "B+-Tree".into(), "Lock-based".into()],
-        vec!["memcached-pmem".into(), "8f121f6".into(), "Key-value store".into(), "Lock-based".into()],
+        vec![
+            "P-CLHT".into(),
+            "70bf21c".into(),
+            "Static hashing".into(),
+            "Lock-based".into(),
+        ],
+        vec![
+            "clevel hashing".into(),
+            "cae716f".into(),
+            "PM-optimized hashing".into(),
+            "Lock-free".into(),
+        ],
+        vec![
+            "CCEH".into(),
+            "46771e3".into(),
+            "Extendible hashing".into(),
+            "Lock-based".into(),
+        ],
+        vec![
+            "FAST-FAIR".into(),
+            "0f047e8".into(),
+            "B+-Tree".into(),
+            "Lock-based".into(),
+        ],
+        vec![
+            "memcached-pmem".into(),
+            "8f121f6".into(),
+            "Key-value store".into(),
+            "Lock-based".into(),
+        ],
     ];
     table(
         "Table 1: The concurrent PM programs tested by PMRace.",
@@ -170,14 +340,11 @@ pub fn table1() -> String {
 /// Table 2: unique bugs, with a Found column recording rediscovery.
 #[must_use]
 pub fn table2(reports: &[FuzzReport]) -> String {
-    let by_target: HashMap<&str, &FuzzReport> =
-        reports.iter().map(|r| (r.target, r)).collect();
+    let by_target: HashMap<&str, &FuzzReport> = reports.iter().map(|r| (r.target, r)).collect();
     let rows: Vec<Vec<String>> = paper_bugs()
         .iter()
         .map(|b| {
-            let found = by_target
-                .get(b.system)
-                .is_some_and(|r| bug_found(r, b));
+            let found = by_target.get(b.system).is_some_and(|r| bug_found(r, b));
             vec![
                 b.system.to_owned(),
                 b.id.to_string(),
@@ -193,7 +360,17 @@ pub fn table2(reports: &[FuzzReport]) -> String {
         .collect();
     table(
         "Table 2: The unique bugs found by PMRace (Found = rediscovered in this run).",
-        &["Systems", "#", "Type", "New", "Write code", "Read code", "Description", "Consequence", "Found"],
+        &[
+            "Systems",
+            "#",
+            "Type",
+            "New",
+            "Write code",
+            "Read code",
+            "Description",
+            "Consequence",
+            "Found",
+        ],
         &rows,
     )
 }
@@ -205,11 +382,7 @@ pub fn table3(reports: &[FuzzReport]) -> String {
     let mut tot = [0usize; 9];
     for r in reports {
         let s = r.stats;
-        let counts = r
-            .bugs
-            .iter()
-            .filter(|b| b.kind == BugKind::Inter)
-            .count();
+        let counts = r.bugs.iter().filter(|b| b.kind == BugKind::Inter).count();
         let sync_bugs = r.bugs.iter().filter(|b| b.kind == BugKind::Sync).count();
         let cells = [
             s.inter_candidates,
@@ -234,8 +407,18 @@ pub fn table3(reports: &[FuzzReport]) -> String {
     rows.push(total_row);
     table(
         "Table 3: The results of PM concurrency bug detection.",
-        &["Systems", "Inter-Cand", "Inter", "Validated FP", "Whitelisted FP", "Bug",
-          "Annotation", "Sync", "Sync Validated FP", "Sync Bug"],
+        &[
+            "Systems",
+            "Inter-Cand",
+            "Inter",
+            "Validated FP",
+            "Whitelisted FP",
+            "Bug",
+            "Annotation",
+            "Sync",
+            "Sync Validated FP",
+            "Sync Bug",
+        ],
         &rows,
     )
 }
@@ -244,13 +427,14 @@ pub fn table3(reports: &[FuzzReport]) -> String {
 #[must_use]
 pub fn table5(reports: &[FuzzReport]) -> String {
     // Paper counts per system per type for the "n|m" style comparison.
-    let paper: HashMap<(&str, &str), usize> = paper_bugs()
-        .iter()
-        .map(|b| (b.system, b.kind))
-        .fold(HashMap::new(), |mut m, k| {
-            *m.entry(k).or_insert(0) += 1;
-            m
-        });
+    let paper: HashMap<(&str, &str), usize> =
+        paper_bugs()
+            .iter()
+            .map(|b| (b.system, b.kind))
+            .fold(HashMap::new(), |mut m, k| {
+                *m.entry(k).or_insert(0) += 1;
+                m
+            });
     let bugs = paper_bugs();
     let mut rows = Vec::new();
     for r in reports {
@@ -323,7 +507,15 @@ pub fn table6(reports: &[FuzzReport]) -> String {
     rows.push(total_row);
     table(
         "Table 6: Detected inconsistencies and filtered false positives.",
-        &["Systems", "Inter-Cand", "Inter", "Sync", "FP (Inter)", "FP (Sync)", "Bug"],
+        &[
+            "Systems",
+            "Inter-Cand",
+            "Inter",
+            "Sync",
+            "FP (Inter)",
+            "FP (Sync)",
+            "Bug",
+        ],
         &rows,
     )
 }
@@ -405,7 +597,17 @@ pub fn table4(commands_per_seed: usize, seeds: usize) -> String {
     }
     table(
         "Table 4: Branch coverage of memcached-pmem commands per input generator.",
-        &["Schemes", "Get*", "Update*", "incr", "decr", "delete", "Error", "Total", "Invalid cmds"],
+        &[
+            "Schemes",
+            "Get*",
+            "Update*",
+            "incr",
+            "decr",
+            "delete",
+            "Error",
+            "Total",
+            "Invalid cmds",
+        ],
         &rows,
     )
 }
@@ -419,7 +621,10 @@ mod tests {
         let bugs = paper_bugs();
         assert_eq!(bugs.len(), 14);
         assert_eq!(bugs.iter().filter(|b| b.new).count(), 10);
-        assert_eq!(bugs.iter().filter(|b| b.system == "memcached-pmem").count(), 6);
+        assert_eq!(
+            bugs.iter().filter(|b| b.system == "memcached-pmem").count(),
+            6
+        );
         assert_eq!(bugs.iter().filter(|b| b.kind == "Inter").count(), 8);
         assert_eq!(bugs.iter().filter(|b| b.kind == "Sync").count(), 2);
     }
@@ -435,7 +640,7 @@ mod tests {
     #[test]
     fn table4_pmrace_beats_afl_on_valid_coverage() {
         let t = table4(21, 20); // scaled down for test speed
-        // The PMRace row must exist and the AFL row must show invalid cmds.
+                                // The PMRace row must exist and the AFL row must show invalid cmds.
         assert!(t.contains("PMRace"));
         assert!(t.contains("AFL++"));
     }

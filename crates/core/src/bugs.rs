@@ -388,14 +388,20 @@ mod tests {
         assert_eq!(s.campaigns, 3);
         // Construction inconsistencies are whitelisted and counted once.
         assert!(s.whitelisted_fp >= 1);
-        assert!(ledger.bugs().is_empty(), "clevel has no bugs: {:?}", ledger.bugs());
+        assert!(
+            ledger.bugs().is_empty(),
+            "clevel has no bugs: {:?}",
+            ledger.bugs()
+        );
     }
 
     #[test]
     fn pclht_resize_workload_yields_intra_bug_and_sync_split() {
         let spec = target_spec("P-CLHT").unwrap();
         let mut ledger = Ledger::new(spec);
-        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
         let seed = Seed::from_flat(&ops, 1);
         let cfg = CampaignConfig {
             threads: 1,
@@ -409,15 +415,23 @@ mod tests {
         assert!(s.sync >= 2, "resize path touches several sync vars: {s:?}");
         assert!(s.sync_validated_fp >= 1, "global locks reinit: {s:?}");
         let counts = ledger.bug_counts();
-        assert!(counts.get(&BugKind::Intra).copied().unwrap_or(0) >= 1, "{counts:?}");
-        assert!(counts.get(&BugKind::Sync).copied().unwrap_or(0) >= 1, "{counts:?}");
+        assert!(
+            counts.get(&BugKind::Intra).copied().unwrap_or(0) >= 1,
+            "{counts:?}"
+        );
+        assert!(
+            counts.get(&BugKind::Sync).copied().unwrap_or(0) >= 1,
+            "{counts:?}"
+        );
     }
 
     #[test]
     fn candidate_only_pairs_exclude_inconsistent_ones() {
         let spec = target_spec("P-CLHT").unwrap();
         let mut ledger = Ledger::new(spec);
-        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
         let cfg = CampaignConfig {
             threads: 1,
             deadline: Duration::from_secs(5),
@@ -427,7 +441,9 @@ mod tests {
         ledger.ingest(&res, Duration::ZERO);
         for (w, r) in ledger.candidate_only_pairs() {
             assert!(
-                !ledger.incons_index.contains(&(w.clone(), r.clone(), String::new())),
+                !ledger
+                    .incons_index
+                    .contains(&(w.clone(), r.clone(), String::new())),
                 "pair ({w}, {r}) leaked"
             );
         }

@@ -87,6 +87,9 @@ pub struct CampaignResult {
     pub duration: Duration,
     /// Operations that failed with a runtime error (timeouts during hangs).
     pub op_errors: usize,
+    /// Instrumented PM events (loads/stores/flushes/fences) the campaign
+    /// executed; feeds the fuzzer's accesses/sec throughput meter.
+    pub pm_accesses: u64,
 }
 
 /// Execute one campaign of `seed` against a fresh instance of `spec`.
@@ -109,7 +112,9 @@ pub fn run_campaign(
 ) -> Result<CampaignResult, RtError> {
     let start = Instant::now();
     let pool = match checkpoint {
-        Some(cp) if !cfg.eadr => cp.restore(),
+        // `restore_cached` recycles the pool the previous campaign retired
+        // (in-place reset instead of a pool-sized allocation).
+        Some(cp) if !cfg.eadr => cp.restore_cached(),
         _ => {
             let mut opts = (spec.pool)();
             if cfg.eadr {
@@ -190,6 +195,7 @@ pub fn run_campaign(
     let coverage = session.coverage_snapshot();
     let shared = session.shared_accesses();
     let annotations = session.annotations();
+    let pm_accesses = session.pm_accesses();
     let findings = session.finish();
     Ok(CampaignResult {
         findings,
@@ -198,6 +204,7 @@ pub fn run_campaign(
         annotations,
         duration: start.elapsed(),
         op_errors: op_errors.load(Ordering::Relaxed),
+        pm_accesses,
     })
 }
 
@@ -228,6 +235,7 @@ mod tests {
         assert!(!res.findings.hang);
         assert_eq!(res.annotations.len(), 4);
         assert!(res.duration < Duration::from_secs(5));
+        assert!(res.pm_accesses > 0, "the access meter must count PM events");
     }
 
     #[test]
@@ -237,7 +245,10 @@ mod tests {
         let ops: Vec<Op> = (0..40)
             .map(|i| {
                 if i % 2 == 0 {
-                    Op::Insert { key: 1 + (i % 4), value: i }
+                    Op::Insert {
+                        key: 1 + (i % 4),
+                        value: i,
+                    }
                 } else {
                     Op::Get { key: 1 + (i % 4) }
                 }
@@ -297,7 +308,9 @@ mod tests {
         // Whitelist the P-CLHT GC read: its (normally bug-worthy) intra
         // inconsistency must now be flagged benign (the user knob of S4.4).
         let spec = target_spec("P-CLHT").unwrap();
-        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
         let seed = Seed::from_flat(&ops, 1);
         let cfg = CampaignConfig {
             threads: 1,
@@ -310,18 +323,21 @@ mod tests {
             .findings
             .inconsistencies
             .iter()
-            .filter(|i| {
-                pmrace_runtime::site_label(i.candidate.read_site).contains("clht_gc.c:190")
-            })
+            .filter(|i| pmrace_runtime::site_label(i.candidate.read_site).contains("clht_gc.c:190"))
             .collect();
-        assert!(!gc_records.is_empty(), "resize workload must hit the GC read");
+        assert!(
+            !gc_records.is_empty(),
+            "resize workload must hit the GC read"
+        );
         assert!(gc_records.iter().all(|r| r.whitelisted));
     }
 
     #[test]
     fn eadr_campaign_has_no_inconsistency_candidates() {
         let spec = target_spec("P-CLHT").unwrap();
-        let ops: Vec<Op> = (1..=60u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let ops: Vec<Op> = (1..=60u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
         let seed = Seed::from_flat(&ops, 4);
         let cfg = CampaignConfig {
             eadr: true,
@@ -332,7 +348,11 @@ mod tests {
         assert!(
             res.findings.candidates.is_empty(),
             "eADR caches are persistent; reading non-persisted data is impossible: {:?}",
-            res.findings.candidates.iter().map(ToString::to_string).collect::<Vec<_>>()
+            res.findings
+                .candidates
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
         );
         assert!(res.findings.inconsistencies.is_empty());
         // PM Synchronization Inconsistency still occurs (§6.6): persistent

@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use pmrace_pmem::{Pool, PoolOpts, PoolSnapshot};
 use pmrace_runtime::{RtError, Session, SessionConfig};
 use pmrace_targets::TargetSpec;
@@ -16,6 +17,10 @@ use pmrace_targets::TargetSpec;
 #[derive(Debug)]
 pub struct Checkpoint {
     snapshot: PoolSnapshot,
+    /// Pool retired by the previous campaign, kept for allocation reuse:
+    /// [`Checkpoint::restore_cached`] overwrites it in place instead of
+    /// allocating a fresh multi-megabyte pool per campaign.
+    cache: Mutex<Option<Arc<Pool>>>,
 }
 
 impl Checkpoint {
@@ -37,6 +42,7 @@ impl Checkpoint {
         let _target = (spec.init)(&session)?;
         Ok(Checkpoint {
             snapshot: session.pool().snapshot(),
+            cache: Mutex::new(None),
         })
     }
 
@@ -48,6 +54,40 @@ impl Checkpoint {
         pool.restore(&self.snapshot)
             .expect("checkpoint snapshot matches its own pool size");
         Arc::new(pool)
+    }
+
+    /// Reset an existing pool to the checkpointed image in place, reusing
+    /// its allocations (no pool-sized allocation, unlike
+    /// [`Checkpoint::restore`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pool` was not created with the checkpoint's pool size.
+    pub fn restore_into(&self, pool: &Pool) -> Result<(), RtError> {
+        pool.restore(&self.snapshot)?;
+        Ok(())
+    }
+
+    /// Restore from the checkpoint, recycling the pool retired by the
+    /// previous `restore_cached` call when nothing else still references it
+    /// (campaigns hand their pool back simply by dropping the session).
+    /// Falls back to [`Checkpoint::restore`] when the cached pool is still
+    /// in use elsewhere or its size does not match.
+    #[must_use]
+    pub fn restore_cached(&self) -> Arc<Pool> {
+        let mut cache = self.cache.lock();
+        if let Some(pool) = cache.take() {
+            if Arc::strong_count(&pool) == 1
+                && pool.size() == self.snapshot.volatile().len()
+                && self.restore_into(&pool).is_ok()
+            {
+                *cache = Some(Arc::clone(&pool));
+                return pool;
+            }
+        }
+        let pool = self.restore();
+        *cache = Some(Arc::clone(&pool));
+        pool
     }
 }
 
@@ -83,6 +123,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn restore_into_resets_a_dirtied_pool_in_place() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let cp = Checkpoint::create(&spec).unwrap();
+        let pool = cp.restore();
+        let baseline = pool.crash_image().unwrap();
+        {
+            let session = Session::new(Arc::clone(&pool), SessionConfig::default());
+            let target = (spec.recover)(&session).unwrap();
+            let v = session.view(ThreadId(0));
+            target.exec(&v, &Op::Insert { key: 1, value: 2 }).unwrap();
+        }
+        assert_ne!(pool.crash_image().unwrap().bytes(), baseline.bytes());
+        cp.restore_into(&pool).unwrap();
+        assert_eq!(pool.crash_image().unwrap().bytes(), baseline.bytes());
+        // Wrong-sized pool is rejected, not clobbered.
+        let small = Pool::new(PoolOpts::with_size(4096));
+        assert!(cp.restore_into(&small).is_err());
+    }
+
+    #[test]
+    fn restore_cached_recycles_the_retired_pool() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let cp = Checkpoint::create(&spec).unwrap();
+        let first = cp.restore_cached();
+        let first_ptr = Arc::as_ptr(&first);
+        drop(first); // retire it: only the cache's reference remains
+        let second = cp.restore_cached();
+        assert_eq!(Arc::as_ptr(&second), first_ptr, "retired pool is recycled");
+        // While `second` is live the cache must hand out a different pool.
+        let third = cp.restore_cached();
+        assert_ne!(Arc::as_ptr(&third), Arc::as_ptr(&second));
+        // Recycled pools behave like fresh restores.
+        let session = Session::new(third, SessionConfig::default());
+        let target = (spec.recover)(&session).unwrap();
+        let v = session.view(ThreadId(0));
+        assert_eq!(
+            target.exec(&v, &Op::Get { key: 10 }).unwrap(),
+            OpResult::Missing
+        );
     }
 
     #[test]

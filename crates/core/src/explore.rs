@@ -21,8 +21,7 @@ use pmrace_runtime::coverage::CoverageMap;
 use pmrace_runtime::strategy::InterleaveStrategy;
 use pmrace_runtime::RtError;
 use pmrace_sched::{
-    AccessQueue, DelayStrategy, PmraceStrategy, SkipStore, SyncPlan, SyncTuning,
-    SystematicStrategy,
+    AccessQueue, DelayStrategy, PmraceStrategy, SkipStore, SyncPlan, SyncTuning, SystematicStrategy,
 };
 use pmrace_targets::TargetSpec;
 
@@ -272,9 +271,9 @@ impl Explorer {
             }
             _ => {
                 self.campaigns > 0
-                    && self.campaigns
-                        % (self.cfg.execs_per_interleaving * self.cfg.interleavings_per_seed)
-                        == 0
+                    && self.campaigns.is_multiple_of(
+                        self.cfg.execs_per_interleaving * self.cfg.interleavings_per_seed,
+                    )
             }
         };
         let mut tier = Tier::Execution;
@@ -297,7 +296,13 @@ impl Explorer {
         } else {
             self.checkpoint.as_ref()
         };
-        let result = run_campaign(&self.spec, &self.seed, &self.cfg.campaign, strategy, checkpoint)?;
+        let result = run_campaign(
+            &self.spec,
+            &self.seed,
+            &self.cfg.campaign,
+            strategy,
+            checkpoint,
+        )?;
         self.campaigns += 1;
         self.queue.merge(&result.shared);
         let (new_alias, new_branch) = self.coverage.merge_from(&result.coverage);
@@ -367,18 +372,17 @@ mod tests {
         let (_, branches) = ex.coverage_counts();
         assert!(branches > 0);
         assert_eq!(ex.campaigns(), 6);
-        assert!(saw_interleaving, "pmrace strategy must reach the interleaving tier");
+        assert!(
+            saw_interleaving,
+            "pmrace strategy must reach the interleaving tier"
+        );
     }
 
     #[test]
     fn delay_strategy_never_uses_interleaving_tier() {
         let spec = target_spec("clevel").unwrap();
-        let mut ex = Explorer::new(
-            spec,
-            fast_cfg(StrategyKind::Delay { max_delay_us: 50 }),
-            12,
-        )
-        .unwrap();
+        let mut ex =
+            Explorer::new(spec, fast_cfg(StrategyKind::Delay { max_delay_us: 50 }), 12).unwrap();
         for _ in 0..4 {
             let out = ex.step().unwrap();
             assert_ne!(out.tier, Tier::Interleaving);

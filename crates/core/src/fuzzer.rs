@@ -111,6 +111,12 @@ pub struct FuzzReport {
     pub elapsed: Duration,
     /// Campaigns per second (Fig. 10 metric).
     pub execs_per_sec: f64,
+    /// Total instrumented PM events across all campaigns.
+    pub pm_accesses: u64,
+    /// Instrumented PM events per second (the hot-path throughput meter:
+    /// execs/sec conflates campaign setup with instrumentation speed, this
+    /// isolates the latter).
+    pub accesses_per_sec: f64,
     /// Coverage over time (Fig. 9 series).
     pub coverage_timeline: Vec<CoverageSample>,
     /// Times at which new unique inter-thread inconsistencies were found
@@ -181,6 +187,7 @@ impl Fuzzer {
         let global_cov = Mutex::new(CoverageMap::new());
         let timeline = Mutex::new(Vec::<CoverageSample>::new());
         let campaigns = AtomicUsize::new(0);
+        let pm_accesses = std::sync::atomic::AtomicU64::new(0);
         let first_err = Mutex::new(None::<RtError>);
 
         std::thread::scope(|scope| {
@@ -189,6 +196,7 @@ impl Fuzzer {
                 let global_cov = &global_cov;
                 let timeline = &timeline;
                 let campaigns = &campaigns;
+                let pm_accesses = &pm_accesses;
                 let first_err = &first_err;
                 let mut cfg = self.explore_config();
                 cfg.initial_corpus = loaded_corpus.clone();
@@ -214,15 +222,18 @@ impl Fuzzer {
                         match explorer.step() {
                             Ok(out) => {
                                 campaigns.fetch_add(1, Ordering::Relaxed);
+                                pm_accesses.fetch_add(out.result.pm_accesses, Ordering::Relaxed);
                                 let elapsed = start.elapsed();
                                 let (alias, branches) = {
-                                    let mut cov = global_cov.lock();
+                                    let cov = global_cov.lock();
                                     cov.merge_from(&out.result.coverage);
                                     (cov.alias_pairs(), cov.branches())
                                 };
-                                ledger
-                                    .lock()
-                                    .ingest_with_seed(&out.result, elapsed, Some(&out.seed));
+                                ledger.lock().ingest_with_seed(
+                                    &out.result,
+                                    elapsed,
+                                    Some(&out.seed),
+                                );
                                 if out.new_alias + out.new_branch > 0 {
                                     if let Some(corpus) = &corpus_dir {
                                         let _ = corpus.save(&out.seed);
@@ -251,6 +262,7 @@ impl Fuzzer {
         let ledger = ledger.into_inner();
         let cov = global_cov.into_inner();
         let total = campaigns.load(Ordering::Relaxed);
+        let total_accesses = pm_accesses.load(Ordering::Relaxed);
         Ok(FuzzReport {
             target: self.spec.name,
             stats: ledger.stats(),
@@ -260,6 +272,8 @@ impl Fuzzer {
             campaigns: total,
             elapsed,
             execs_per_sec: total as f64 / elapsed.as_secs_f64().max(1e-9),
+            pm_accesses: total_accesses,
+            accesses_per_sec: total_accesses as f64 / elapsed.as_secs_f64().max(1e-9),
             coverage_timeline: timeline.into_inner(),
             inter_times: ledger.inter_detection_times().to_vec(),
             alias_pairs: cov.alias_pairs(),
@@ -290,6 +304,8 @@ mod tests {
         assert!(report.branches > 0);
         assert_eq!(report.coverage_timeline.len(), report.campaigns);
         assert!(report.execs_per_sec > 0.0);
+        assert!(report.pm_accesses > 0);
+        assert!(report.accesses_per_sec > 0.0);
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl OpMutator {
             Evolution::Deletion => self.delete_op(&base),
             Evolution::Shuffling => self.shuffle(&base),
             Evolution::Merging => {
-                let other = corpus.choose(&mut self.rng).cloned().unwrap_or_else(|| base.clone());
+                let other = corpus
+                    .choose(&mut self.rng)
+                    .cloned()
+                    .unwrap_or_else(|| base.clone());
                 self.merge(&base, &other)
             }
             Evolution::Populate => unreachable!(),

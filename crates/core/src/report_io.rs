@@ -11,7 +11,13 @@ use crate::fuzzer::FuzzReport;
 
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -23,7 +29,10 @@ pub fn render_report(bug: &UniqueBug) -> String {
     out.push_str(&format!("target:      {}\n", bug.target));
     out.push_str(&format!("type:        {}\n", bug.kind));
     out.push_str(&format!("verdict:     {}\n", bug.verdict));
-    out.push_str(&format!("found after: {} ms of fuzzing\n", bug.found_after.as_millis()));
+    out.push_str(&format!(
+        "found after: {} ms of fuzzing\n",
+        bug.found_after.as_millis()
+    ));
     out.push_str(&format!("description: {}\n", bug.description));
     out.push('\n');
     if !bug.write_label.is_empty() {

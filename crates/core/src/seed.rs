@@ -103,7 +103,9 @@ fn parse_op(raw: &str) -> Result<Op, String> {
         .split_once(' ')
         .ok_or_else(|| format!("malformed op {raw:?}"))?;
     let num = |s: &str| -> Result<u64, String> {
-        s.trim().parse().map_err(|_| format!("bad number in {raw:?}"))
+        s.trim()
+            .parse()
+            .map_err(|_| format!("bad number in {raw:?}"))
     };
     match verb {
         "insert" | "update" => {
@@ -123,13 +125,19 @@ fn parse_op(raw: &str) -> Result<Op, String> {
             let (k, b) = rest
                 .split_once('+')
                 .ok_or_else(|| format!("missing '+' in {raw:?}"))?;
-            Ok(Op::Incr { key: num(k)?, by: num(b)? })
+            Ok(Op::Incr {
+                key: num(k)?,
+                by: num(b)?,
+            })
         }
         "decr" => {
             let (k, b) = rest
                 .split_once('-')
                 .ok_or_else(|| format!("missing '-' in {raw:?}"))?;
-            Ok(Op::Decr { key: num(k)?, by: num(b)? })
+            Ok(Op::Decr {
+                key: num(k)?,
+                by: num(b)?,
+            })
         }
         _ => Err(format!("unknown op {verb:?}")),
     }
@@ -137,7 +145,12 @@ fn parse_op(raw: &str) -> Result<Op, String> {
 
 impl std::fmt::Display for Seed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "seed[{} threads, {} ops]", self.num_threads(), self.num_ops())
+        write!(
+            f,
+            "seed[{} threads, {} ops]",
+            self.num_threads(),
+            self.num_ops()
+        )
     }
 }
 

@@ -63,8 +63,11 @@ impl CommandGen {
             4 => format!("bget {key}"),
             5 => format!("get missing{}", self.rng.random_range(100..999u32)),
             6..8 => format!("set {key} 0 0 8 {}", self.rng.random_range(1..1000u32)),
-            8 => format!("set {key} 0 0 {} {}", self.rng.random_range(2000..9000u32),
-                         self.rng.random_range(1..1000u32)),
+            8 => format!(
+                "set {key} 0 0 {} {}",
+                self.rng.random_range(2000..9000u32),
+                self.rng.random_range(1..1000u32)
+            ),
             9..11 => format!("add {key} 0 0 8 {}", self.rng.random_range(1..1000u32)),
             11..13 => format!("replace {key} 0 0 8 {}", self.rng.random_range(1..1000u32)),
             13 => format!("append {key} 0 0 8 {}", self.rng.random_range(1..100u32)),
@@ -72,8 +75,11 @@ impl CommandGen {
             15..17 => format!("incr {key} {}", self.rng.random_range(1..50u32)),
             17..19 => format!("decr {key} {}", self.rng.random_range(1..50u32)),
             19 => format!("delete {key}"),
-            20 => format!("cas {key} 0 0 8 {} {}", self.rng.random_range(1..1000u32),
-                          self.rng.random_range(1..1000u32)),
+            20 => format!(
+                "cas {key} 0 0 8 {} {}",
+                self.rng.random_range(1..1000u32),
+                self.rng.random_range(1..1000u32)
+            ),
             _ => format!("gets {key}"),
         }
     }
@@ -192,7 +198,10 @@ mod tests {
     fn byte_mutator_produces_many_parse_errors() {
         let mut m = ByteMutator::new(5);
         let lines = m.batch(300);
-        let errors = lines.iter().filter(|l| classify(l) == CmdFamily::Error).count();
+        let errors = lines
+            .iter()
+            .filter(|l| classify(l) == CmdFamily::Error)
+            .count();
         // The paper observes about 1/3 of AFL++ inputs aborting as invalid
         // commands; havoc mutation must at least produce a sizable share.
         assert!(errors > 50, "only {errors}/300 invalid");

@@ -132,7 +132,9 @@ mod tests {
     #[test]
     fn pclht_gc_log_inconsistency_is_a_bug() {
         let spec = target_spec("P-CLHT").unwrap();
-        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
         let seed = Seed::from_flat(&ops, 1);
         let cfg = CampaignConfig {
             threads: 1,
@@ -154,7 +156,9 @@ mod tests {
     #[test]
     fn pclht_sync_validation_separates_fp_from_bug() {
         let spec = target_spec("P-CLHT").unwrap();
-        let ops: Vec<Op> = (1..=130u64).map(|k| Op::Insert { key: k, value: k }).collect();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
         let seed = Seed::from_flat(&ops, 1);
         let cfg = CampaignConfig {
             threads: 1,
@@ -188,7 +192,10 @@ mod tests {
         let ops: Vec<Op> = (0..60)
             .map(|i| {
                 if i % 3 == 0 {
-                    Op::Insert { key: 1 + i % 5, value: i }
+                    Op::Insert {
+                        key: 1 + i % 5,
+                        value: i,
+                    }
                 } else {
                     Op::Get { key: 1 + i % 5 }
                 }
@@ -214,7 +221,10 @@ mod tests {
             }
         }
         if checked > 0 {
-            assert!(fp > 0, "at least one link-field inconsistency validates as FP");
+            assert!(
+                fp > 0,
+                "at least one link-field inconsistency validates as FP"
+            );
         }
     }
 

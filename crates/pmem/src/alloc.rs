@@ -155,12 +155,13 @@ impl PmAllocator {
         }
         let mut vol = self.vol.lock();
         let (cursor, _) = self.pool.load_u64(OFF_CURSOR)?;
-        let aligned = (cursor + 63) / 64 * 64;
+        let aligned = cursor.div_ceil(64) * 64;
         let new_cursor = aligned + class as u64;
         if new_cursor > self.pool.size() as u64 {
             return Err(PmemError::OutOfMemory { requested: size });
         }
-        self.pool.ntstore_u64(OFF_CURSOR, new_cursor, tid, ALLOC_TAG)?;
+        self.pool
+            .ntstore_u64(OFF_CURSOR, new_cursor, tid, ALLOC_TAG)?;
         vol.live.insert(aligned, class);
         Ok(aligned)
     }

@@ -64,7 +64,10 @@ impl fmt::Display for PmemError {
                 write!(f, "offset {off:#x} is not {align}-byte aligned")
             }
             PmemError::OutOfMemory { requested } => {
-                write!(f, "persistent allocator out of memory ({requested} bytes requested)")
+                write!(
+                    f,
+                    "persistent allocator out of memory ({requested} bytes requested)"
+                )
             }
             PmemError::BadAllocHeader { reason } => {
                 write!(f, "allocator header invalid: {reason}")

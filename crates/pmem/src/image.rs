@@ -1,6 +1,11 @@
-//! Byte images and per-granule persistency metadata.
-
-use std::collections::HashMap;
+//! Byte images, per-granule persistency metadata, and the sharded layout.
+//!
+//! The pool's state is split into [`N_SHARDS`] address-interleaved shards so
+//! that concurrent accesses to different cache lines synchronize on different
+//! locks. Shard `s` owns every cache line `l` with `l % N_SHARDS == s`;
+//! adjacent lines always land in different shards, so even neighbouring
+//! threads do not collide. All geometry helpers live here next to the
+//! [`Shard`] they index into.
 
 use crate::{SiteTag, ThreadId};
 
@@ -13,6 +18,12 @@ pub const GRANULE: usize = 8;
 
 /// Size in bytes of a cache line; `clwb` affects a whole line.
 pub const CACHE_LINE: usize = 64;
+
+/// Number of address-interleaved shards the pool image is split into.
+pub(crate) const N_SHARDS: usize = 64;
+
+/// Granules per cache line.
+pub(crate) const GRANULES_PER_LINE: u64 = (CACHE_LINE / GRANULE) as u64;
 
 /// Persistency state of one granule (the paper's `PM_DIRTY` / `PM_CLEAN`
 /// plus the intermediate write-back-queued state between `clwb` and
@@ -64,63 +75,175 @@ pub struct GranuleMeta {
     pub seq: u64,
 }
 
-/// Dense byte image plus sparse granule metadata. Interior piece of
-/// [`Pool`](crate::Pool); all synchronization lives in the pool.
-#[derive(Debug)]
-pub(crate) struct Image {
-    pub(crate) volatile: Vec<u8>,
-    pub(crate) persistent: Vec<u8>,
-    /// Sparse per-granule metadata, keyed by granule index (offset / 8).
-    pub(crate) meta: HashMap<u64, GranuleMeta>,
-    /// Write-backs queued by `clwb` (keyed by granule, tagged with the
-    /// issuing thread), applied to `persistent` at that thread's `sfence`.
-    pub(crate) pending: HashMap<u64, (ThreadId, [u8; GRANULE])>,
-    /// Pool-wide store sequence counter.
-    pub(crate) seq: u64,
+// --- geometry -------------------------------------------------------------
+//
+// Global cache line l  ->  shard l % 64, local line l / 64.
+// Global granule g     ->  line g / 8, granule g % 8 within the line.
+// A granule never spans lines (8 | 64), so any per-line walk visits each
+// granule exactly once.
+
+/// Granule index containing byte offset `off`.
+pub(crate) fn granule_of(off: u64) -> u64 {
+    off / GRANULE as u64
 }
 
-impl Image {
-    pub(crate) fn new(size: usize) -> Self {
-        Image {
-            volatile: vec![0; size],
-            persistent: vec![0; size],
-            meta: HashMap::new(),
-            pending: HashMap::new(),
-            seq: 0,
+/// Granule indices overlapped by `[off, off+len)`.
+#[allow(clippy::reversed_empty_ranges)]
+pub(crate) fn granules(off: u64, len: usize) -> std::ops::RangeInclusive<u64> {
+    if len == 0 {
+        // An empty range; the caller filters these out.
+        return 1..=0;
+    }
+    granule_of(off)..=granule_of(off + len as u64 - 1)
+}
+
+/// Shard owning cache line `line`.
+pub(crate) fn shard_of_line(line: u64) -> usize {
+    (line % N_SHARDS as u64) as usize
+}
+
+/// Index of `line` within its owning shard.
+pub(crate) fn local_line(line: u64) -> usize {
+    (line / N_SHARDS as u64) as usize
+}
+
+/// Shard owning global granule `g`.
+pub(crate) fn shard_of_granule(g: u64) -> usize {
+    shard_of_line(g / GRANULES_PER_LINE)
+}
+
+/// Shard-local granule index of global granule `g`.
+pub(crate) fn local_granule(g: u64) -> u32 {
+    let line = g / GRANULES_PER_LINE;
+    (local_line(line) as u64 * GRANULES_PER_LINE + g % GRANULES_PER_LINE) as u32
+}
+
+/// Global granule index of shard `s`'s local granule `lg`.
+pub(crate) fn global_granule(s: usize, lg: u32) -> u64 {
+    let ll = u64::from(lg) / GRANULES_PER_LINE;
+    let within = u64::from(lg) % GRANULES_PER_LINE;
+    (ll * N_SHARDS as u64 + s as u64) * GRANULES_PER_LINE + within
+}
+
+/// Shard-local byte index of global byte offset `off`.
+pub(crate) fn local_byte(off: u64) -> usize {
+    local_line(off / CACHE_LINE as u64) * CACHE_LINE + (off % CACHE_LINE as u64) as usize
+}
+
+/// Number of cache lines shard `s` owns in a pool of `size` bytes.
+pub(crate) fn lines_of_shard(s: usize, size: usize) -> usize {
+    let total_lines = size.div_ceil(CACHE_LINE);
+    (total_lines.saturating_sub(s)).div_ceil(N_SHARDS)
+}
+
+/// One shard of the pool image: the interleaved cache lines it owns, stored
+/// contiguously, plus direct-indexed granule metadata and the shard's slice
+/// of the queued write-backs. Interior piece of [`Pool`](crate::Pool); each
+/// shard sits behind its own lock, and all cross-shard coordination lives in
+/// the pool.
+///
+/// The tail line of the pool may be shorter than [`CACHE_LINE`]; its shard
+/// still stores a full padded line. Padding bytes can never be written
+/// (pool-level bounds checks reject them), so they stay zero and granule
+/// captures over the tail read zeros — the same truncation the dense image
+/// used to apply.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// Cache-visible bytes of the owned lines, concatenated by local line.
+    pub(crate) volatile: Vec<u8>,
+    /// Persistent bytes of the owned lines.
+    pub(crate) persistent: Vec<u8>,
+    /// Per-granule metadata, direct-indexed by local granule. `seq == 0`
+    /// means "never written" (real sequence numbers start at 1).
+    pub(crate) meta: Vec<GranuleMeta>,
+    /// Write-backs queued by `clwb`: `(local granule, issuing thread,
+    /// captured bytes)`, applied at that thread's `sfence`. At most one
+    /// entry per granule.
+    pub(crate) pending: Vec<(u32, ThreadId, [u8; GRANULE])>,
+    /// Local granules that *may* be unpersisted: a superset maintained
+    /// lazily. Push is O(1) on the store path; entries whose granule went
+    /// back to `Clean` are swept out by [`Shard::compact_dirty`] on the cold
+    /// paths that consume the list.
+    pub(crate) dirty: Vec<u32>,
+    /// Membership flags for `dirty` (no duplicate entries).
+    dirty_flag: Vec<bool>,
+    /// Local granules ever written (`meta.seq != 0`); lets snapshot/restore
+    /// touch only written metadata instead of sweeping the whole pool.
+    pub(crate) touched: Vec<u32>,
+}
+
+impl Shard {
+    pub(crate) fn new(lines: usize) -> Self {
+        Shard {
+            volatile: vec![0; lines * CACHE_LINE],
+            persistent: vec![0; lines * CACHE_LINE],
+            meta: vec![GranuleMeta::default(); lines * GRANULES_PER_LINE as usize],
+            pending: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: vec![false; lines * GRANULES_PER_LINE as usize],
+            touched: Vec::new(),
         }
     }
 
-    pub(crate) fn granule_of(off: u64) -> u64 {
-        off / GRANULE as u64
-    }
-
-    /// Granule indices overlapped by `[off, off+len)`.
-    pub(crate) fn granules(off: u64, len: usize) -> std::ops::RangeInclusive<u64> {
-        if len == 0 {
-            // An empty range; the caller filters these out.
-            return 1..=0;
+    /// Overwrite granule metadata, keeping the touched and dirty lists
+    /// consistent.
+    pub(crate) fn set_meta(&mut self, lg: u32, m: GranuleMeta) {
+        let i = lg as usize;
+        if self.meta[i].seq == 0 {
+            self.touched.push(lg);
         }
-        Self::granule_of(off)..=Self::granule_of(off + len as u64 - 1)
+        self.meta[i] = m;
+        if m.state.is_unpersisted() && !self.dirty_flag[i] {
+            self.dirty_flag[i] = true;
+            self.dirty.push(lg);
+        }
     }
 
-    pub(crate) fn meta_of(&self, g: u64) -> GranuleMeta {
-        self.meta.get(&g).copied().unwrap_or_default()
+    /// Drop dirty-list entries whose granule is `Clean` again.
+    pub(crate) fn compact_dirty(&mut self) {
+        let meta = &self.meta;
+        let flags = &mut self.dirty_flag;
+        self.dirty.retain(|&lg| {
+            if meta[lg as usize].state.is_unpersisted() {
+                true
+            } else {
+                flags[lg as usize] = false;
+                false
+            }
+        });
     }
 
-    /// Apply one queued write-back (granule `g`) to the persistent image.
-    pub(crate) fn apply_pending(&mut self, g: u64, bytes: [u8; GRANULE]) {
-        let start = g as usize * GRANULE;
-        let end = (start + GRANULE).min(self.persistent.len());
-        self.persistent[start..end].copy_from_slice(&bytes[..end - start]);
+    /// Forget all list/flag state (restore path). Metadata of previously
+    /// touched granules is reset to default.
+    pub(crate) fn clear_tracking(&mut self) {
+        for &lg in &self.dirty {
+            self.dirty_flag[lg as usize] = false;
+        }
+        self.dirty.clear();
+        for &lg in &self.touched {
+            self.meta[lg as usize] = GranuleMeta::default();
+        }
+        self.touched.clear();
+        self.pending.clear();
     }
 
-    /// Capture the current volatile content of granule `g`.
-    pub(crate) fn capture(&self, g: u64) -> [u8; GRANULE] {
-        let start = g as usize * GRANULE;
-        let end = (start + GRANULE).min(self.volatile.len());
+    /// Capture the current volatile content of local granule `lg`.
+    pub(crate) fn capture(&self, lg: u32) -> [u8; GRANULE] {
+        let start = lg as usize * GRANULE;
         let mut out = [0u8; GRANULE];
-        out[..end - start].copy_from_slice(&self.volatile[start..end]);
+        out.copy_from_slice(&self.volatile[start..start + GRANULE]);
         out
+    }
+
+    /// Apply one queued write-back to the persistent image.
+    pub(crate) fn apply(&mut self, lg: u32, bytes: [u8; GRANULE]) {
+        let start = lg as usize * GRANULE;
+        self.persistent[start..start + GRANULE].copy_from_slice(&bytes);
+    }
+
+    /// Position of granule `lg` in the pending queue, if queued.
+    pub(crate) fn pending_pos(&self, lg: u32) -> Option<usize> {
+        self.pending.iter().position(|&(g, _, _)| g == lg)
     }
 }
 
@@ -130,14 +253,14 @@ mod tests {
 
     #[test]
     fn granule_math() {
-        assert_eq!(Image::granule_of(0), 0);
-        assert_eq!(Image::granule_of(7), 0);
-        assert_eq!(Image::granule_of(8), 1);
-        let r = Image::granules(6, 4); // bytes 6..10 span granules 0 and 1
+        assert_eq!(granule_of(0), 0);
+        assert_eq!(granule_of(7), 0);
+        assert_eq!(granule_of(8), 1);
+        let r = granules(6, 4); // bytes 6..10 span granules 0 and 1
         assert_eq!(r, 0..=1);
-        let r = Image::granules(8, 8);
+        let r = granules(8, 8);
         assert_eq!(r, 1..=1);
-        assert!(Image::granules(16, 0).is_empty());
+        assert!(granules(16, 0).is_empty());
     }
 
     #[test]
@@ -149,23 +272,74 @@ mod tests {
     }
 
     #[test]
-    fn capture_and_apply_roundtrip() {
-        let mut img = Image::new(32);
-        img.volatile[8..16].copy_from_slice(&7u64.to_le_bytes());
-        let cap = img.capture(1);
-        assert_eq!(u64::from_le_bytes(cap), 7);
-        img.apply_pending(1, cap);
-        assert_eq!(&img.persistent[8..16], &7u64.to_le_bytes());
+    fn shard_geometry_roundtrips() {
+        // Adjacent lines are owned by different shards.
+        assert_ne!(shard_of_line(0), shard_of_line(1));
+        assert_eq!(shard_of_line(0), shard_of_line(N_SHARDS as u64));
+        // Granule <-> (shard, local granule) is a bijection.
+        for g in (0..20_000u64).chain([1 << 30, (1 << 30) + 511]) {
+            let s = shard_of_granule(g);
+            let lg = local_granule(g);
+            assert_eq!(global_granule(s, lg), g, "granule {g}");
+        }
+        // Bytes of one line are contiguous in their shard.
+        let line = 65u64; // shard 1, local line 1
+        let base = line * CACHE_LINE as u64;
+        assert_eq!(local_byte(base), CACHE_LINE);
+        assert_eq!(local_byte(base + 63), 2 * CACHE_LINE - 1);
     }
 
     #[test]
-    fn capture_at_pool_tail_is_truncated() {
-        let mut img = Image::new(12); // last granule is only 4 bytes
-        img.volatile[8..12].copy_from_slice(&[1, 2, 3, 4]);
-        let cap = img.capture(1);
-        assert_eq!(&cap[..4], &[1, 2, 3, 4]);
-        assert_eq!(&cap[4..], &[0; 4]);
-        img.apply_pending(1, cap);
-        assert_eq!(&img.persistent[8..12], &[1, 2, 3, 4]);
+    fn lines_are_distributed_evenly() {
+        // 65 lines: shard 0 owns lines 0 and 64, everyone else one line.
+        let size = 65 * CACHE_LINE;
+        assert_eq!(lines_of_shard(0, size), 2);
+        for s in 1..N_SHARDS {
+            assert_eq!(lines_of_shard(s, size), 1);
+        }
+        let total: usize = (0..N_SHARDS).map(|s| lines_of_shard(s, size)).sum();
+        assert_eq!(total, 65);
+        // A pool smaller than one line still gets one (padded) line.
+        assert_eq!(lines_of_shard(0, 12), 1);
+        assert_eq!(lines_of_shard(1, 12), 0);
+    }
+
+    #[test]
+    fn capture_and_apply_roundtrip() {
+        let mut shard = Shard::new(1);
+        shard.volatile[8..16].copy_from_slice(&7u64.to_le_bytes());
+        let cap = shard.capture(1);
+        assert_eq!(u64::from_le_bytes(cap), 7);
+        shard.apply(1, cap);
+        assert_eq!(&shard.persistent[8..16], &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn dirty_list_is_lazy_superset() {
+        let mut shard = Shard::new(1);
+        let dirty = GranuleMeta {
+            state: PersistState::Dirty,
+            seq: 1,
+            ..GranuleMeta::default()
+        };
+        shard.set_meta(3, dirty);
+        shard.set_meta(3, dirty); // no duplicate entry
+        assert_eq!(shard.dirty, vec![3]);
+        assert_eq!(shard.touched, vec![3]);
+        shard.set_meta(
+            3,
+            GranuleMeta {
+                state: PersistState::Clean,
+                seq: 2,
+                ..GranuleMeta::default()
+            },
+        );
+        assert_eq!(shard.dirty, vec![3], "stale entry until compaction");
+        shard.compact_dirty();
+        assert!(shard.dirty.is_empty());
+        // Re-dirtying after compaction re-registers the granule.
+        shard.set_meta(3, GranuleMeta { seq: 3, ..dirty });
+        assert_eq!(shard.dirty, vec![3]);
+        assert_eq!(shard.touched, vec![3], "touched only records first write");
     }
 }

@@ -1,11 +1,41 @@
 //! The [`Pool`]: a software PM device with volatile-cache semantics.
+//!
+//! # Locking
+//!
+//! The image is split into [`N_SHARDS`] address-interleaved shards (see
+//! [`crate::image`]), each behind its own mutex. Accesses touching a single
+//! cache line — the common case for the word-sized PM stores the evaluated
+//! systems issue — take exactly one shard lock; ranges spanning lines lock
+//! the involved shards in ascending index order, and whole-image operations
+//! (crash images, snapshot/restore, dirty-set walks) lock *all* shards in
+//! ascending order, which makes them linearization points against every
+//! concurrent access. The single ascending order makes the scheme
+//! deadlock-free.
+//!
+//! The store sequence counter is a pool-wide atomic bumped while holding the
+//! destination shard lock(s), so a whole-image reader (holding every lock)
+//! always observes a counter consistent with the metadata it reads.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
 use rand::Rng;
 
-use crate::image::{Image, GRANULE};
+use crate::image::{
+    global_granule, granule_of, granules, lines_of_shard, local_byte, local_granule,
+    shard_of_granule, shard_of_line, Shard, GRANULE, N_SHARDS,
+};
 use crate::snapshot::{CrashImage, PoolSnapshot};
-use crate::{GranuleMeta, PersistState, PmemError, SiteTag, ThreadId};
+use crate::{GranuleMeta, PersistState, PmemError, SiteTag, ThreadId, CACHE_LINE};
+
+/// Worse of two persistency states: `Dirty` dominates, then `Flushing`.
+fn worst_state(a: PersistState, b: PersistState) -> PersistState {
+    match (a, b) {
+        (PersistState::Dirty, _) | (_, PersistState::Dirty) => PersistState::Dirty,
+        (PersistState::Flushing, _) | (_, PersistState::Flushing) => PersistState::Flushing,
+        _ => PersistState::Clean,
+    }
+}
 
 /// How much work opening/initializing the pool performs.
 ///
@@ -86,6 +116,11 @@ pub struct StoreInfo {
     pub seq: u64,
     /// `true` if any overwritten granule was still `Dirty`/`Flushing`.
     pub overwrote_unpersisted: bool,
+    /// Worst persistency state over the stored range *before* this store
+    /// (`Dirty` dominates, then `Flushing`). Captured under the same shard
+    /// lock as the store itself so instrumentation needs no second metadata
+    /// pass.
+    pub state_before: PersistState,
 }
 
 /// Persistency facts about the bytes a load observed.
@@ -108,17 +143,104 @@ pub struct LoadInfo {
     pub state: PersistState,
 }
 
+impl LoadInfo {
+    /// Fold one granule's metadata into the summary.
+    fn fold(&mut self, m: &GranuleMeta) {
+        if m.state.is_unpersisted() {
+            if !self.unpersisted || m.seq > self.seq {
+                self.writer = m.writer;
+                self.tag = m.tag;
+                self.seq = m.seq;
+            }
+            self.unpersisted = true;
+            if m.state == PersistState::Dirty || self.state == PersistState::Clean {
+                self.state = if self.state == PersistState::Dirty {
+                    PersistState::Dirty
+                } else {
+                    m.state
+                };
+            }
+        }
+    }
+}
+
+/// The shard locks covering one multi-line access, with a shard-index →
+/// guard-position table for O(1) lookup while walking the lines.
+struct LineGuards<'a> {
+    guards: Vec<MutexGuard<'a, Shard>>,
+    slot: [u8; N_SHARDS],
+}
+
+impl LineGuards<'_> {
+    fn shard_mut(&mut self, s: usize) -> &mut Shard {
+        &mut self.guards[self.slot[s] as usize]
+    }
+
+    fn shard(&self, s: usize) -> &Shard {
+        &self.guards[self.slot[s] as usize]
+    }
+}
+
 /// A software PM pool: dense byte space, word-granular persistency tracking,
 /// crash snapshots.
 ///
-/// All methods take `&self`; the pool is internally synchronized and is meant
-/// to be shared across target threads via `Arc`. See the
-/// [crate docs](crate) for the memory model.
+/// All methods take `&self`; the pool is internally synchronized (sharded;
+/// see the module docs) and is meant to be shared across target threads via
+/// `Arc`. See the [crate docs](crate) for the memory model.
 #[derive(Debug)]
 pub struct Pool {
-    inner: Mutex<Image>,
+    shards: Box<[Mutex<Shard>]>,
+    /// Pool-wide store sequence counter; real sequence numbers start at 1.
+    seq: AtomicU64,
+    /// Bitmask of shards that may hold queued write-backs. Set under the
+    /// shard lock when `clwb` queues an entry, cleared under the shard lock
+    /// when the queue drains, so `sfence` skips shards with nothing pending.
+    /// A thread always observes the bits its own `clwb`s set (same-variable
+    /// program order); bits set by other threads may lag, which is harmless
+    /// because `sfence` only drains the calling thread's entries.
+    pending_shards: AtomicU64,
     size: usize,
     opts: PoolOpts,
+}
+
+fn new_shards(size: usize) -> Box<[Mutex<Shard>]> {
+    (0..N_SHARDS)
+        .map(|s| Mutex::new(Shard::new(lines_of_shard(s, size))))
+        .collect()
+}
+
+/// Copy a dense image into the shards' interleaved lines.
+fn scatter_into(shards: &mut [&mut Shard], bytes: &[u8], persistent: bool) {
+    for (l, chunk) in bytes.chunks(CACHE_LINE).enumerate() {
+        let shard = &mut shards[shard_of_line(l as u64)];
+        let lb = local_line_byte(l);
+        let dst = if persistent {
+            &mut shard.persistent
+        } else {
+            &mut shard.volatile
+        };
+        dst[lb..lb + chunk.len()].copy_from_slice(chunk);
+    }
+}
+
+/// Assemble a dense image from the shards' interleaved lines.
+fn gather_from(shards: &[&Shard], size: usize, persistent: bool) -> Vec<u8> {
+    let mut out = vec![0u8; size];
+    for (l, chunk) in out.chunks_mut(CACHE_LINE).enumerate() {
+        let shard = shards[shard_of_line(l as u64)];
+        let lb = local_line_byte(l);
+        let src = if persistent {
+            &shard.persistent
+        } else {
+            &shard.volatile
+        };
+        chunk.copy_from_slice(&src[lb..lb + chunk.len()]);
+    }
+    out
+}
+
+fn local_line_byte(line: usize) -> usize {
+    crate::image::local_line(line as u64) * CACHE_LINE
 }
 
 impl Pool {
@@ -126,7 +248,9 @@ impl Pool {
     #[must_use]
     pub fn new(opts: PoolOpts) -> Self {
         let pool = Pool {
-            inner: Mutex::new(Image::new(opts.size)),
+            shards: new_shards(opts.size),
+            seq: AtomicU64::new(0),
+            pending_shards: AtomicU64::new(0),
             size: opts.size,
             opts,
         };
@@ -147,11 +271,17 @@ impl Pool {
             });
         }
         let size = img.bytes().len();
-        let mut inner = Image::new(size);
-        inner.volatile.copy_from_slice(img.bytes());
-        inner.persistent.copy_from_slice(img.bytes());
+        let shards = new_shards(size);
+        {
+            let mut guards: Vec<MutexGuard<'_, Shard>> = shards.iter().map(|m| m.lock()).collect();
+            let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+            scatter_into(&mut refs, img.bytes(), false);
+            scatter_into(&mut refs, img.bytes(), true);
+        }
         Ok(Pool {
-            inner: Mutex::new(inner),
+            shards,
+            seq: AtomicU64::new(0),
+            pending_shards: AtomicU64::new(0),
             size,
             opts: PoolOpts::with_size(size),
         })
@@ -169,22 +299,61 @@ impl Pool {
         self.opts
     }
 
+    /// Total stores sequenced so far (the current value of the pool-wide
+    /// store counter).
+    #[must_use]
+    pub fn store_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    fn bump_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn lock_all(&self) -> Vec<MutexGuard<'_, Shard>> {
+        self.shards.iter().map(|m| m.lock()).collect()
+    }
+
+    /// Lock the shards owning lines `first..=last`, ascending.
+    fn lock_lines(&self, first_line: u64, last_line: u64) -> LineGuards<'_> {
+        let mask: u64 = if last_line - first_line + 1 >= N_SHARDS as u64 {
+            u64::MAX
+        } else {
+            let mut m = 0u64;
+            for l in first_line..=last_line {
+                m |= 1u64 << shard_of_line(l);
+            }
+            m
+        };
+        let mut slot = [0u8; N_SHARDS];
+        let mut guards = Vec::with_capacity(mask.count_ones() as usize);
+        for (s, shard) in self.shards.iter().enumerate() {
+            if mask & (1u64 << s) != 0 {
+                slot[s] = guards.len() as u8;
+                guards.push(shard.lock());
+            }
+        }
+        LineGuards { guards, slot }
+    }
+
     fn run_init_cost(&self) {
         if self.opts.init_cost == InitCost::Heavy {
             // Simulate libpmemobj pool formatting: several full passes that
             // read, checksum, and rewrite the image. The result is still a
             // zeroed pool; only the cost matters (Fig. 10).
-            let mut inner = self.inner.lock();
+            let mut guards = self.lock_all();
             let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
             for _pass in 0..4 {
-                for chunk in inner.volatile.chunks(8) {
-                    let mut w = [0u8; 8];
-                    w[..chunk.len()].copy_from_slice(chunk);
-                    acc = (acc ^ u64::from_le_bytes(w)).wrapping_mul(0x1000_0000_01b3);
-                }
-                for b in inner.persistent.iter_mut() {
-                    *b = (acc as u8).wrapping_add(*b);
-                    *b = 0;
+                for shard in guards.iter_mut() {
+                    for chunk in shard.volatile.chunks(8) {
+                        let mut w = [0u8; 8];
+                        w[..chunk.len()].copy_from_slice(chunk);
+                        acc = (acc ^ u64::from_le_bytes(w)).wrapping_mul(0x1000_0000_01b3);
+                    }
+                    for b in shard.persistent.iter_mut() {
+                        *b = (acc as u8).wrapping_add(*b);
+                        *b = 0;
+                    }
                 }
             }
             std::hint::black_box(acc);
@@ -203,6 +372,119 @@ impl Pool {
         }
     }
 
+    /// Shared body of `store`/`ntstore`. `persist_now` updates the
+    /// persistent image too and leaves granules `Clean` (non-temporal and
+    /// eADR stores).
+    fn store_impl(
+        &self,
+        off: u64,
+        bytes: &[u8],
+        tid: ThreadId,
+        tag: SiteTag,
+        persist_now: bool,
+    ) -> Result<StoreInfo, PmemError> {
+        self.check(off, bytes.len())?;
+        if bytes.is_empty() {
+            return Ok(StoreInfo {
+                seq: self.bump_seq(),
+                overwrote_unpersisted: false,
+                state_before: PersistState::Clean,
+            });
+        }
+        let line = CACHE_LINE as u64;
+        let first_line = off / line;
+        let last_line = (off + bytes.len() as u64 - 1) / line;
+        let state = if persist_now {
+            PersistState::Clean
+        } else {
+            PersistState::Dirty
+        };
+        if first_line == last_line {
+            // Fast path: one shard lock, no allocation.
+            let s = shard_of_line(first_line);
+            let mut shard = self.shards[s].lock();
+            let seq = self.bump_seq();
+            let (overwrote, state_before) =
+                Self::store_segment(&mut shard, off, bytes, tid, tag, seq, state, persist_now);
+            if persist_now && shard.pending.is_empty() {
+                self.pending_shards
+                    .fetch_and(!(1u64 << s), Ordering::Relaxed);
+            }
+            return Ok(StoreInfo {
+                seq,
+                overwrote_unpersisted: overwrote,
+                state_before,
+            });
+        }
+        let mut guards = self.lock_lines(first_line, last_line);
+        let seq = self.bump_seq();
+        let mut overwrote = false;
+        let mut state_before = PersistState::Clean;
+        for l in first_line..=last_line {
+            let s = shard_of_line(l);
+            let seg_start = off.max(l * line);
+            let seg_end = (off + bytes.len() as u64).min((l + 1) * line);
+            let seg = &bytes[(seg_start - off) as usize..(seg_end - off) as usize];
+            let shard = guards.shard_mut(s);
+            let (seg_overwrote, seg_state) =
+                Self::store_segment(shard, seg_start, seg, tid, tag, seq, state, persist_now);
+            overwrote |= seg_overwrote;
+            state_before = worst_state(state_before, seg_state);
+            if persist_now && shard.pending.is_empty() {
+                self.pending_shards
+                    .fetch_and(!(1u64 << s), Ordering::Relaxed);
+            }
+        }
+        Ok(StoreInfo {
+            seq,
+            overwrote_unpersisted: overwrote,
+            state_before,
+        })
+    }
+
+    /// Write one single-line segment into its shard. Returns whether any
+    /// overwritten granule was unpersisted and the worst prior state.
+    #[allow(clippy::too_many_arguments)]
+    fn store_segment(
+        shard: &mut Shard,
+        off: u64,
+        bytes: &[u8],
+        tid: ThreadId,
+        tag: SiteTag,
+        seq: u64,
+        state: PersistState,
+        persist_now: bool,
+    ) -> (bool, PersistState) {
+        let lb = local_byte(off);
+        shard.volatile[lb..lb + bytes.len()].copy_from_slice(bytes);
+        if persist_now {
+            shard.persistent[lb..lb + bytes.len()].copy_from_slice(bytes);
+        }
+        let mut overwrote = false;
+        let mut state_before = PersistState::Clean;
+        for g in granules(off, bytes.len()) {
+            let lg = local_granule(g);
+            let prev = shard.meta[lg as usize].state;
+            overwrote |= prev.is_unpersisted();
+            state_before = worst_state(state_before, prev);
+            if persist_now {
+                if let Some(p) = shard.pending_pos(lg) {
+                    shard.pending.swap_remove(p);
+                }
+            }
+            shard.set_meta(
+                lg,
+                GranuleMeta {
+                    state,
+                    writer: tid,
+                    tag,
+                    seq,
+                },
+            );
+        }
+        (overwrote, state_before)
+    }
+
     /// Regular (cached) store: updates the volatile image and marks granules
     /// `Dirty` with this writer.
     ///
@@ -216,33 +498,8 @@ impl Pool {
         tid: ThreadId,
         tag: SiteTag,
     ) -> Result<StoreInfo, PmemError> {
-        if self.opts.eadr {
-            // Persistent caches: every store is immediately durable.
-            return self.ntstore(off, bytes, tid, tag);
-        }
-        self.check(off, bytes.len())?;
-        let mut inner = self.inner.lock();
-        inner.seq += 1;
-        let seq = inner.seq;
-        inner.volatile[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
-        let mut overwrote = false;
-        for g in Image::granules(off, bytes.len()) {
-            let prev = inner.meta_of(g);
-            overwrote |= prev.state.is_unpersisted();
-            inner.meta.insert(
-                g,
-                GranuleMeta {
-                    state: PersistState::Dirty,
-                    writer: tid,
-                    tag,
-                    seq,
-                },
-            );
-        }
-        Ok(StoreInfo {
-            seq,
-            overwrote_unpersisted: overwrote,
-        })
+        // eADR: persistent caches, every store is immediately durable.
+        self.store_impl(off, bytes, tid, tag, self.opts.eadr)
     }
 
     /// Non-temporal store: bypasses the cache, updating both images and
@@ -258,32 +515,7 @@ impl Pool {
         tid: ThreadId,
         tag: SiteTag,
     ) -> Result<StoreInfo, PmemError> {
-        self.check(off, bytes.len())?;
-        let mut inner = self.inner.lock();
-        inner.seq += 1;
-        let seq = inner.seq;
-        let (start, end) = (off as usize, off as usize + bytes.len());
-        inner.volatile[start..end].copy_from_slice(bytes);
-        inner.persistent[start..end].copy_from_slice(bytes);
-        let mut overwrote = false;
-        for g in Image::granules(off, bytes.len()) {
-            let prev = inner.meta_of(g);
-            overwrote |= prev.state.is_unpersisted();
-            inner.pending.remove(&g);
-            inner.meta.insert(
-                g,
-                GranuleMeta {
-                    state: PersistState::Clean,
-                    writer: tid,
-                    tag,
-                    seq,
-                },
-            );
-        }
-        Ok(StoreInfo {
-            seq,
-            overwrote_unpersisted: overwrote,
-        })
+        self.store_impl(off, bytes, tid, tag, true)
     }
 
     /// Load `buf.len()` bytes from the volatile image, reporting persistency
@@ -294,25 +526,33 @@ impl Pool {
     /// Returns [`PmemError::OutOfBounds`] for accesses past the pool end.
     pub fn load(&self, off: u64, buf: &mut [u8]) -> Result<LoadInfo, PmemError> {
         self.check(off, buf.len())?;
-        let inner = self.inner.lock();
-        buf.copy_from_slice(&inner.volatile[off as usize..off as usize + buf.len()]);
+        if buf.is_empty() {
+            return Ok(LoadInfo::default());
+        }
+        let line = CACHE_LINE as u64;
+        let first_line = off / line;
+        let last_line = (off + buf.len() as u64 - 1) / line;
         let mut info = LoadInfo::default();
-        for g in Image::granules(off, buf.len()) {
-            let m = inner.meta_of(g);
-            if m.state.is_unpersisted() {
-                if !info.unpersisted || m.seq > info.seq {
-                    info.writer = m.writer;
-                    info.tag = m.tag;
-                    info.seq = m.seq;
-                }
-                info.unpersisted = true;
-                if m.state == PersistState::Dirty || info.state == PersistState::Clean {
-                    info.state = if info.state == PersistState::Dirty {
-                        PersistState::Dirty
-                    } else {
-                        m.state
-                    };
-                }
+        if first_line == last_line {
+            let shard = self.shards[shard_of_line(first_line)].lock();
+            let lb = local_byte(off);
+            buf.copy_from_slice(&shard.volatile[lb..lb + buf.len()]);
+            for g in granules(off, buf.len()) {
+                info.fold(&shard.meta[local_granule(g) as usize]);
+            }
+            return Ok(info);
+        }
+        let guards = self.lock_lines(first_line, last_line);
+        for l in first_line..=last_line {
+            let seg_start = off.max(l * line);
+            let seg_end = (off + buf.len() as u64).min((l + 1) * line);
+            let shard = guards.shard(shard_of_line(l));
+            let lb = local_byte(seg_start);
+            let seg_len = (seg_end - seg_start) as usize;
+            buf[(seg_start - off) as usize..(seg_end - off) as usize]
+                .copy_from_slice(&shard.volatile[lb..lb + seg_len]);
+            for g in granules(seg_start, seg_len) {
+                info.fold(&shard.meta[local_granule(g) as usize]);
             }
         }
         Ok(info)
@@ -328,18 +568,39 @@ impl Pool {
     /// Returns [`PmemError::OutOfBounds`] for accesses past the pool end.
     pub fn clwb(&self, off: u64, len: usize, tid: ThreadId) -> Result<(), PmemError> {
         self.check(off, len.max(1))?;
-        let line = crate::CACHE_LINE as u64;
+        let line = CACHE_LINE as u64;
         let start = off / line * line;
-        let end = ((off + len.max(1) as u64 + line - 1) / line * line).min(self.size as u64);
-        let mut inner = self.inner.lock();
-        for g in Image::granules(start, (end - start) as usize) {
-            let m = inner.meta_of(g);
-            if m.state == PersistState::Dirty {
-                let cap = inner.capture(g);
-                inner.pending.insert(g, (tid, cap));
-                let mut m2 = m;
-                m2.state = PersistState::Flushing;
-                inner.meta.insert(g, m2);
+        let end = ((off + len.max(1) as u64).div_ceil(line) * line).min(self.size as u64);
+        let first_line = start / line;
+        let last_line = (end - 1) / line;
+        let mut guards = self.lock_lines(first_line, last_line);
+        for l in first_line..=last_line {
+            let s = shard_of_line(l);
+            let seg_start = l * line;
+            let seg_len = (end.min((l + 1) * line) - seg_start) as usize;
+            let shard = guards.shard_mut(s);
+            let mut queued = false;
+            for g in granules(seg_start, seg_len) {
+                let lg = local_granule(g);
+                let m = shard.meta[lg as usize];
+                if m.state == PersistState::Dirty {
+                    let cap = shard.capture(lg);
+                    match shard.pending_pos(lg) {
+                        Some(p) => shard.pending[p] = (lg, tid, cap),
+                        None => shard.pending.push((lg, tid, cap)),
+                    }
+                    queued = true;
+                    shard.set_meta(
+                        lg,
+                        GranuleMeta {
+                            state: PersistState::Flushing,
+                            ..m
+                        },
+                    );
+                }
+            }
+            if queued {
+                self.pending_shards.fetch_or(1u64 << s, Ordering::Relaxed);
             }
         }
         Ok(())
@@ -353,24 +614,44 @@ impl Pool {
     ///
     /// Infallible today; returns `Result` for API stability.
     pub fn sfence(&self, tid: ThreadId) -> Result<(), PmemError> {
-        let mut inner = self.inner.lock();
-        let drained: Vec<(u64, [u8; GRANULE])> = inner
-            .pending
-            .iter()
-            .filter(|(_, (t, _))| *t == tid)
-            .map(|(g, (_, b))| (*g, *b))
-            .collect();
-        for (g, bytes) in drained {
-            inner.pending.remove(&g);
-            inner.apply_pending(g, bytes);
-            let m = inner.meta_of(g);
-            if m.state == PersistState::Flushing {
-                let mut m2 = m;
-                m2.state = PersistState::Clean;
-                inner.meta.insert(g, m2);
+        // Only visit shards that may hold queued write-backs. This thread's
+        // own clwb bits are always visible here (program order); see the
+        // field docs for why stale bits from other threads don't matter.
+        let mask = self.pending_shards.load(Ordering::Relaxed);
+        if mask == 0 {
+            return Ok(());
+        }
+        for (s, slot) in self.shards.iter().enumerate() {
+            if mask & (1u64 << s) == 0 {
+                continue;
             }
-            // If the granule was re-dirtied after the capture it stays Dirty:
-            // the old capture persisted but the newest store is still at risk.
+            let mut shard = slot.lock();
+            let mut i = 0;
+            while i < shard.pending.len() {
+                if shard.pending[i].1 != tid {
+                    i += 1;
+                    continue;
+                }
+                let (lg, _, bytes) = shard.pending.swap_remove(i);
+                shard.apply(lg, bytes);
+                let m = shard.meta[lg as usize];
+                if m.state == PersistState::Flushing {
+                    shard.set_meta(
+                        lg,
+                        GranuleMeta {
+                            state: PersistState::Clean,
+                            ..m
+                        },
+                    );
+                }
+                // If the granule was re-dirtied after the capture it stays
+                // Dirty: the old capture persisted but the newest store is
+                // still at risk.
+            }
+            if shard.pending.is_empty() {
+                self.pending_shards
+                    .fetch_and(!(1u64 << s), Ordering::Relaxed);
+            }
         }
         Ok(())
     }
@@ -402,17 +683,15 @@ impl Pool {
         tag: SiteTag,
     ) -> Result<(bool, u64, LoadInfo), PmemError> {
         self.check(off, 8)?;
-        if off % 8 != 0 {
+        if !off.is_multiple_of(8) {
             return Err(PmemError::Misaligned { off, align: 8 });
         }
-        let mut inner = self.inner.lock();
-        let cur = u64::from_le_bytes(
-            inner.volatile[off as usize..off as usize + 8]
-                .try_into()
-                .expect("8-byte slice"),
-        );
-        let g = Image::granule_of(off);
-        let m = inner.meta_of(g);
+        // An aligned word sits in one line, hence one shard.
+        let mut shard = self.shards[shard_of_line(off / CACHE_LINE as u64)].lock();
+        let lb = local_byte(off);
+        let cur = u64::from_le_bytes(shard.volatile[lb..lb + 8].try_into().expect("8-byte slice"));
+        let lg = local_granule(granule_of(off));
+        let m = shard.meta[lg as usize];
         let info = LoadInfo {
             unpersisted: m.state.is_unpersisted(),
             writer: m.writer,
@@ -423,15 +702,13 @@ impl Pool {
         if cur != expected {
             return Ok((false, cur, info));
         }
-        inner.seq += 1;
-        let seq = inner.seq;
-        inner.volatile[off as usize..off as usize + 8].copy_from_slice(&new.to_le_bytes());
+        let seq = self.bump_seq();
+        shard.volatile[lb..lb + 8].copy_from_slice(&new.to_le_bytes());
         if self.opts.eadr {
-            inner.persistent[off as usize..off as usize + 8]
-                .copy_from_slice(&new.to_le_bytes());
+            shard.persistent[lb..lb + 8].copy_from_slice(&new.to_le_bytes());
         }
-        inner.meta.insert(
-            g,
+        shard.set_meta(
+            lg,
             GranuleMeta {
                 state: if self.opts.eadr {
                     PersistState::Clean
@@ -490,19 +767,26 @@ impl Pool {
     /// Persistency metadata of the granule containing `off`.
     #[must_use]
     pub fn meta_at(&self, off: u64) -> GranuleMeta {
-        let inner = self.inner.lock();
-        inner.meta_of(Image::granule_of(off))
+        let g = granule_of(off);
+        let shard = self.shards[shard_of_granule(g)].lock();
+        shard
+            .meta
+            .get(local_granule(g) as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Number of granules currently unpersisted (`Dirty` or `Flushing`).
     #[must_use]
     pub fn unpersisted_granules(&self) -> usize {
-        let inner = self.inner.lock();
-        inner
-            .meta
-            .values()
-            .filter(|m| m.state.is_unpersisted())
-            .count()
+        let mut guards = self.lock_all();
+        guards
+            .iter_mut()
+            .map(|shard| {
+                shard.compact_dirty();
+                shard.dirty.len()
+            })
+            .sum()
     }
 
     /// All currently unpersisted granules with their metadata, sorted by
@@ -510,13 +794,17 @@ impl Pool {
     /// inspects.
     #[must_use]
     pub fn unpersisted_regions(&self) -> Vec<(u64, GranuleMeta)> {
-        let inner = self.inner.lock();
-        let mut v: Vec<(u64, GranuleMeta)> = inner
-            .meta
-            .iter()
-            .filter(|(_, m)| m.state.is_unpersisted())
-            .map(|(&g, &m)| (g * GRANULE as u64, m))
-            .collect();
+        let mut guards = self.lock_all();
+        let mut v = Vec::new();
+        for (s, shard) in guards.iter_mut().enumerate() {
+            shard.compact_dirty();
+            for &lg in &shard.dirty {
+                v.push((
+                    global_granule(s, lg) * GRANULE as u64,
+                    shard.meta[lg as usize],
+                ));
+            }
+        }
         v.sort_unstable_by_key(|&(off, _)| off);
         v
     }
@@ -525,24 +813,43 @@ impl Pool {
     /// current content and mark it `Clean`. Returns the evicted granule's
     /// byte offset, or `None` if nothing is dirty.
     pub fn evict_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u64> {
-        let mut inner = self.inner.lock();
-        let dirty: Vec<u64> = inner
-            .meta
-            .iter()
-            .filter(|(_, m)| m.state == PersistState::Dirty)
-            .map(|(g, _)| *g)
-            .collect();
+        let mut guards = self.lock_all();
+        let mut dirty: Vec<u64> = Vec::new();
+        for (s, shard) in guards.iter_mut().enumerate() {
+            shard.compact_dirty();
+            dirty.extend(
+                shard
+                    .dirty
+                    .iter()
+                    .filter(|&&lg| shard.meta[lg as usize].state == PersistState::Dirty)
+                    .map(|&lg| global_granule(s, lg)),
+            );
+        }
         if dirty.is_empty() {
             return None;
         }
+        dirty.sort_unstable();
         let g = dirty[rng.random_range(0..dirty.len())];
-        let cap = inner.capture(g);
-        inner.apply_pending(g, cap);
-        let m = inner.meta_of(g);
-        let mut m2 = m;
-        m2.state = PersistState::Clean;
-        inner.meta.insert(g, m2);
-        inner.pending.remove(&g);
+        let s = shard_of_granule(g);
+        let lg = local_granule(g);
+        let shard = &mut guards[s];
+        let cap = shard.capture(lg);
+        shard.apply(lg, cap);
+        let m = shard.meta[lg as usize];
+        shard.set_meta(
+            lg,
+            GranuleMeta {
+                state: PersistState::Clean,
+                ..m
+            },
+        );
+        if let Some(p) = shard.pending_pos(lg) {
+            shard.pending.swap_remove(p);
+        }
+        if shard.pending.is_empty() {
+            self.pending_shards
+                .fetch_and(!(1u64 << s), Ordering::Relaxed);
+        }
         Some(g * GRANULE as u64)
     }
 
@@ -553,8 +860,9 @@ impl Pool {
     ///
     /// Infallible today; returns `Result` for API stability.
     pub fn crash_image(&self) -> Result<CrashImage, PmemError> {
-        let inner = self.inner.lock();
-        Ok(CrashImage::from_bytes(inner.persistent.clone()))
+        let guards = self.lock_all();
+        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+        Ok(CrashImage::from_bytes(gather_from(&refs, self.size, true)))
     }
 
     /// Crash snapshot in which the given volatile byte ranges are forced
@@ -567,18 +875,26 @@ impl Pool {
     /// # Errors
     ///
     /// Returns [`PmemError::OutOfBounds`] if a range exceeds the pool.
-    pub fn crash_image_persisting(
-        &self,
-        ranges: &[(u64, usize)],
-    ) -> Result<CrashImage, PmemError> {
+    pub fn crash_image_persisting(&self, ranges: &[(u64, usize)]) -> Result<CrashImage, PmemError> {
         for &(off, len) in ranges {
             self.check(off, len)?;
         }
-        let inner = self.inner.lock();
-        let mut bytes = inner.persistent.clone();
+        let guards = self.lock_all();
+        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+        let mut bytes = gather_from(&refs, self.size, true);
+        let line = CACHE_LINE as u64;
         for &(off, len) in ranges {
-            let (s, e) = (off as usize, off as usize + len);
-            bytes[s..e].copy_from_slice(&inner.volatile[s..e]);
+            if len == 0 {
+                continue;
+            }
+            for l in off / line..=(off + len as u64 - 1) / line {
+                let seg_start = off.max(l * line);
+                let seg_end = (off + len as u64).min((l + 1) * line);
+                let lb = local_byte(seg_start);
+                let seg_len = (seg_end - seg_start) as usize;
+                bytes[seg_start as usize..seg_end as usize]
+                    .copy_from_slice(&refs[shard_of_line(l)].volatile[lb..lb + seg_len]);
+            }
         }
         Ok(CrashImage::from_bytes(bytes))
     }
@@ -587,13 +903,17 @@ impl Pool {
     /// fuzzer's in-memory checkpoints (§5).
     #[must_use]
     pub fn snapshot(&self) -> PoolSnapshot {
-        let inner = self.inner.lock();
-        PoolSnapshot::new(
-            inner.volatile.clone(),
-            inner.persistent.clone(),
-            inner.meta.clone(),
-            inner.seq,
-        )
+        let guards = self.lock_all();
+        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+        let volatile = gather_from(&refs, self.size, false);
+        let persistent = gather_from(&refs, self.size, true);
+        let mut meta = std::collections::HashMap::new();
+        for (s, shard) in refs.iter().enumerate() {
+            for &lg in &shard.touched {
+                meta.insert(global_granule(s, lg), shard.meta[lg as usize]);
+            }
+        }
+        PoolSnapshot::new(volatile, persistent, meta, self.seq.load(Ordering::Relaxed))
     }
 
     /// Restore pool state from a checkpoint taken with [`Pool::snapshot`].
@@ -608,12 +928,20 @@ impl Pool {
                 reason: "snapshot size mismatch",
             });
         }
-        let mut inner = self.inner.lock();
-        inner.volatile.copy_from_slice(snap.volatile());
-        inner.persistent.copy_from_slice(snap.persistent());
-        inner.meta = snap.meta().clone();
-        inner.pending.clear();
-        inner.seq = snap.seq();
+        let mut guards = self.lock_all();
+        for shard in guards.iter_mut() {
+            shard.clear_tracking();
+        }
+        {
+            let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+            scatter_into(&mut refs, snap.volatile(), false);
+            scatter_into(&mut refs, snap.persistent(), true);
+        }
+        for (&g, &m) in snap.meta() {
+            guards[shard_of_granule(g)].set_meta(local_granule(g), m);
+        }
+        self.seq.store(snap.seq(), Ordering::Relaxed);
+        self.pending_shards.store(0, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -850,5 +1178,55 @@ mod tests {
         let p = Pool::new(PoolOpts::with_size(4096).heavy());
         assert_eq!(p.load_u64(0).unwrap().0, 0);
         assert_eq!(p.load_u64(4088).unwrap().0, 0);
+    }
+
+    #[test]
+    fn multi_line_store_spans_shards() {
+        let p = pool();
+        // 16 bytes at offset 56 cross the line-0/line-1 boundary, which is
+        // also a shard boundary (adjacent lines live in different shards).
+        let bytes: Vec<u8> = (0..16u8).collect();
+        p.store(56, &bytes, T0, TAG).unwrap();
+        let mut back = [0u8; 16];
+        p.load(56, &mut back).unwrap();
+        assert_eq!(&back[..], &bytes[..]);
+        assert_eq!(p.meta_at(56).state, PersistState::Dirty);
+        assert_eq!(p.meta_at(64).state, PersistState::Dirty);
+        // Both stores carry the same sequence number.
+        assert_eq!(p.meta_at(56).seq, p.meta_at(64).seq);
+        // Persist only via the clwb of the first line: the second line's
+        // granule stays dirty.
+        p.clwb(56, 1, T0).unwrap();
+        p.sfence(T0).unwrap();
+        assert_eq!(p.meta_at(56).state, PersistState::Clean);
+        assert_eq!(p.meta_at(64).state, PersistState::Dirty);
+        let img = p.crash_image().unwrap();
+        assert_eq!(img.read(56, 8).unwrap(), &bytes[..8]);
+        assert_eq!(img.read(64, 8).unwrap(), &[0u8; 8]);
+    }
+
+    #[test]
+    fn wide_store_and_unpersisted_regions_cover_many_shards() {
+        let p = pool();
+        // 8 KiB touches 128 lines -> all 64 shards twice.
+        let bytes = vec![0xABu8; 8192];
+        p.store(0, &bytes, T0, TAG).unwrap();
+        assert_eq!(p.unpersisted_granules(), 1024);
+        let regions = p.unpersisted_regions();
+        assert_eq!(regions.len(), 1024);
+        // Sorted by offset, one granule apart.
+        assert!(regions.windows(2).all(|w| w[1].0 == w[0].0 + 8));
+        p.persist(0, 8192, T0).unwrap();
+        assert_eq!(p.unpersisted_granules(), 0);
+        assert_eq!(p.crash_image().unwrap().read(0, 8192).unwrap(), &bytes[..]);
+    }
+
+    #[test]
+    fn store_seq_counts_stores() {
+        let p = pool();
+        assert_eq!(p.store_seq(), 0);
+        p.store_u64(0, 1, T0, TAG).unwrap();
+        p.ntstore_u64(64, 2, T0, TAG).unwrap();
+        assert_eq!(p.store_seq(), 2);
     }
 }

@@ -62,7 +62,11 @@ pub trait Checker: Send + Sync {
     /// The campaign ended; `dirty` lists every granule still unpersisted
     /// (offset + metadata of the last store). Missing-flush checkers
     /// report here.
-    fn on_campaign_end(&self, dirty: &[(u64, pmrace_pmem::GranuleMeta)], out: &mut Vec<PerfIssueRecord>) {
+    fn on_campaign_end(
+        &self,
+        dirty: &[(u64, pmrace_pmem::GranuleMeta)],
+        out: &mut Vec<PerfIssueRecord>,
+    ) {
         let _ = (dirty, out);
     }
 }

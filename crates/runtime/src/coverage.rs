@@ -5,8 +5,19 @@
 //! both sides. New pairs indicate unexplored PM-relevant interleavings and
 //! are the fuzzer's primary feedback signal; conventional branch coverage is
 //! the secondary signal (§4.2.3).
+//!
+//! The map is fully lock-free: bitmap bits are set with `AtomicU8::fetch_or`
+//! and counted with atomic counters, and the per-address last-access table is
+//! a direct-mapped array of packed `AtomicU64` slots updated with a single
+//! `swap`, so every method takes `&self` and target threads never serialize
+//! on a coverage lock (the paper keeps its bitmap in shared memory for the
+//! same reason). Direct mapping trades exactness for speed: two granules that
+//! collide on a slot evict each other's last access (losing, never
+//! fabricating, an alias pair) — with [`LAST_SLOTS`] slots indexed by the low
+//! granule bits, granules of pools up to `LAST_SLOTS * 8` bytes never
+//! collide at all, and the slot's tag bits keep colliding granules apart.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use pmrace_pmem::ThreadId;
 
@@ -15,6 +26,13 @@ use crate::Site;
 /// Number of bits in each coverage bitmap (the paper keeps the bitmap in
 /// shared memory; 64 Ki entries matches AFL-style maps).
 pub const MAP_BITS: usize = 1 << 16;
+
+/// log2 of the last-access slot count.
+const LAST_SLOT_BITS: u32 = 15;
+/// Slots in the direct-mapped last-access table.
+const LAST_SLOTS: usize = 1 << LAST_SLOT_BITS;
+/// Marker bit distinguishing an occupied slot from the zeroed initial state.
+const LAST_PRESENT: u64 = 1 << 63;
 
 /// Whether an access observed persisted or unpersisted data — the
 /// persistency component `P` of the paper's access tuple `(I, P, T)`.
@@ -26,21 +44,27 @@ pub enum Persistency {
     Unpersisted,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct LastAccess {
-    site: Site,
-    tid: ThreadId,
-    persistency: Persistency,
+/// Packs one last-access record into a slot word:
+/// `[63] present | [62:47] granule tag | [46:17] site | [16:1] tid |
+/// [0] persistency`. The tag is the granule bits above the slot index, so a
+/// `(slot, tag)` pair identifies the granule exactly for any pool below
+/// 16 GiB.
+fn pack_last(granule: u64, site: Site, tid: ThreadId, persistency: Persistency) -> u64 {
+    LAST_PRESENT
+        | (((granule >> LAST_SLOT_BITS) & 0xFFFF) << 47)
+        | ((u64::from(site.id()) & 0x3FFF_FFFF) << 17)
+        | ((u64::from(tid.0) & 0xFFFF) << 1)
+        | (persistency as u64)
 }
 
 /// Per-campaign (and, merged, global) coverage state.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CoverageMap {
-    alias: Vec<u8>,
-    branch: Vec<u8>,
-    alias_count: usize,
-    branch_count: usize,
-    last: HashMap<u64, LastAccess>,
+    alias: Box<[AtomicU8]>,
+    branch: Box<[AtomicU8]>,
+    alias_count: AtomicUsize,
+    branch_count: AtomicUsize,
+    last: Box<[AtomicU64]>,
 }
 
 impl Default for CoverageMap {
@@ -49,16 +73,39 @@ impl Default for CoverageMap {
     }
 }
 
+impl Clone for CoverageMap {
+    fn clone(&self) -> Self {
+        let copy_bits = |src: &[AtomicU8]| -> Box<[AtomicU8]> {
+            src.iter()
+                .map(|b| AtomicU8::new(b.load(Ordering::Relaxed)))
+                .collect()
+        };
+        CoverageMap {
+            alias: copy_bits(&self.alias),
+            branch: copy_bits(&self.branch),
+            alias_count: AtomicUsize::new(self.alias_count.load(Ordering::Relaxed)),
+            branch_count: AtomicUsize::new(self.branch_count.load(Ordering::Relaxed)),
+            last: self
+                .last
+                .iter()
+                .map(|slot| AtomicU64::new(slot.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
 impl CoverageMap {
     /// Fresh, empty coverage state.
     #[must_use]
     pub fn new() -> Self {
+        let zeroed =
+            || -> Box<[AtomicU8]> { (0..MAP_BITS / 8).map(|_| AtomicU8::new(0)).collect() };
         CoverageMap {
-            alias: vec![0; MAP_BITS / 8],
-            branch: vec![0; MAP_BITS / 8],
-            alias_count: 0,
-            branch_count: 0,
-            last: HashMap::new(),
+            alias: zeroed(),
+            branch: zeroed(),
+            alias_count: AtomicUsize::new(0),
+            branch_count: AtomicUsize::new(0),
+            last: (0..LAST_SLOTS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -71,59 +118,52 @@ impl CoverageMap {
         (h as usize) % MAP_BITS
     }
 
-    fn set_bit(map: &mut [u8], idx: usize) -> bool {
+    /// Atomically set bit `idx`; `true` when it was previously clear.
+    fn set_bit(map: &[AtomicU8], idx: usize) -> bool {
         let (byte, bit) = (idx / 8, idx % 8);
         let mask = 1u8 << bit;
-        let new = map[byte] & mask == 0;
-        map[byte] |= mask;
-        new
-    }
-
-    fn get_bit(map: &[u8], idx: usize) -> bool {
-        map[idx / 8] & (1 << (idx % 8)) != 0
+        map[byte].fetch_or(mask, Ordering::Relaxed) & mask == 0
     }
 
     /// Record a PM access to `granule`; returns `true` when it completes a
     /// *new* PM alias pair (same address, different thread than the previous
     /// access, pair shape unseen so far).
     pub fn record_access(
-        &mut self,
+        &self,
         granule: u64,
         site: Site,
         tid: ThreadId,
         persistency: Persistency,
     ) -> bool {
-        let prev = self.last.insert(
-            granule,
-            LastAccess {
-                site,
-                tid,
-                persistency,
-            },
-        );
-        let Some(prev) = prev else { return false };
-        if prev.tid == tid {
+        let slot = (granule & (LAST_SLOTS as u64 - 1)) as usize;
+        let packed = pack_last(granule, site, tid, persistency);
+        let prev = self.last[slot].swap(packed, Ordering::Relaxed);
+        if prev & LAST_PRESENT == 0 || (prev ^ packed) >> 47 != 0 {
+            // Empty slot, or a colliding granule got evicted: no pair.
             return false;
         }
+        if (prev >> 1) & 0xFFFF == (packed >> 1) & 0xFFFF {
+            return false; // same thread twice: not an alias pair
+        }
         let idx = Self::mix(
-            prev.site.id(),
-            prev.persistency as u32,
-            site.id(),
+            ((prev >> 17) & 0x3FFF_FFFF) as u32,
+            (prev & 1) as u32,
+            site.id() & 0x3FFF_FFFF,
             persistency as u32,
         );
-        let new = Self::set_bit(&mut self.alias, idx);
+        let new = Self::set_bit(&self.alias, idx);
         if new {
-            self.alias_count += 1;
+            self.alias_count.fetch_add(1, Ordering::Relaxed);
         }
         new
     }
 
     /// Record a branch/basic-block execution; returns `true` when new.
-    pub fn record_branch(&mut self, site: Site) -> bool {
+    pub fn record_branch(&self, site: Site) -> bool {
         let idx = Self::mix(site.id(), 0, 0, 1);
-        let new = Self::set_bit(&mut self.branch, idx);
+        let new = Self::set_bit(&self.branch, idx);
         if new {
-            self.branch_count += 1;
+            self.branch_count.fetch_add(1, Ordering::Relaxed);
         }
         new
     }
@@ -131,37 +171,42 @@ impl CoverageMap {
     /// Number of distinct PM alias pairs observed.
     #[must_use]
     pub fn alias_pairs(&self) -> usize {
-        self.alias_count
+        self.alias_count.load(Ordering::Relaxed)
     }
 
     /// Number of distinct branches observed.
     #[must_use]
     pub fn branches(&self) -> usize {
-        self.branch_count
+        self.branch_count.load(Ordering::Relaxed)
     }
 
     /// Merge another map into this one (fuzzer's global accumulation).
     /// Returns `(new_alias_bits, new_branch_bits)` contributed by `other`.
-    pub fn merge_from(&mut self, other: &CoverageMap) -> (usize, usize) {
-        let mut new_alias = 0;
-        let mut new_branch = 0;
-        for idx in 0..MAP_BITS {
-            if Self::get_bit(&other.alias, idx) && Self::set_bit(&mut self.alias, idx) {
-                new_alias += 1;
+    pub fn merge_from(&self, other: &CoverageMap) -> (usize, usize) {
+        let or_in = |dst: &[AtomicU8], src: &[AtomicU8]| -> usize {
+            let mut new = 0usize;
+            for (d, s) in dst.iter().zip(src.iter()) {
+                let bits = s.load(Ordering::Relaxed);
+                if bits != 0 {
+                    let old = d.fetch_or(bits, Ordering::Relaxed);
+                    new += (bits & !old).count_ones() as usize;
+                }
             }
-            if Self::get_bit(&other.branch, idx) && Self::set_bit(&mut self.branch, idx) {
-                new_branch += 1;
-            }
-        }
-        self.alias_count += new_alias;
-        self.branch_count += new_branch;
+            new
+        };
+        let new_alias = or_in(&self.alias, &other.alias);
+        let new_branch = or_in(&self.branch, &other.branch);
+        self.alias_count.fetch_add(new_alias, Ordering::Relaxed);
+        self.branch_count.fetch_add(new_branch, Ordering::Relaxed);
         (new_alias, new_branch)
     }
 
     /// Forget per-address last-access state (campaign boundary) while
     /// keeping accumulated bitmaps.
-    pub fn reset_last_access(&mut self) {
-        self.last.clear();
+    pub fn reset_last_access(&self) {
+        for slot in self.last.iter() {
+            slot.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -175,7 +220,7 @@ mod tests {
 
     #[test]
     fn same_thread_back_to_back_is_not_a_pair() {
-        let mut cov = CoverageMap::new();
+        let cov = CoverageMap::new();
         let s = site!("a");
         assert!(!cov.record_access(1, s, T0, Persistency::Persisted));
         assert!(!cov.record_access(1, s, T0, Persistency::Persisted));
@@ -184,7 +229,7 @@ mod tests {
 
     #[test]
     fn cross_thread_pair_counts_once() {
-        let mut cov = CoverageMap::new();
+        let cov = CoverageMap::new();
         let (w, r) = (site!("w"), site!("r"));
         assert!(!cov.record_access(1, w, T0, Persistency::Unpersisted));
         assert!(cov.record_access(1, r, T1, Persistency::Unpersisted));
@@ -199,7 +244,7 @@ mod tests {
 
     #[test]
     fn persistency_state_distinguishes_pairs() {
-        let mut cov = CoverageMap::new();
+        let cov = CoverageMap::new();
         let (w, r) = (site!("w2"), site!("r2"));
         cov.record_access(1, w, T0, Persistency::Unpersisted);
         assert!(cov.record_access(1, r, T1, Persistency::Unpersisted)); // (w,U)->(r,U)
@@ -213,7 +258,7 @@ mod tests {
 
     #[test]
     fn different_addresses_are_independent() {
-        let mut cov = CoverageMap::new();
+        let cov = CoverageMap::new();
         let (w, r) = (site!("w3"), site!("r3"));
         cov.record_access(1, w, T0, Persistency::Unpersisted);
         cov.record_access(2, r, T1, Persistency::Unpersisted); // first access to granule 2
@@ -222,7 +267,7 @@ mod tests {
 
     #[test]
     fn branch_coverage_counts_distinct_sites() {
-        let mut cov = CoverageMap::new();
+        let cov = CoverageMap::new();
         let (a, b) = (site!("bb1"), site!("bb2"));
         assert!(cov.record_branch(a));
         assert!(!cov.record_branch(a));
@@ -232,8 +277,8 @@ mod tests {
 
     #[test]
     fn merge_reports_only_new_bits() {
-        let mut global = CoverageMap::new();
-        let mut s1 = CoverageMap::new();
+        let global = CoverageMap::new();
+        let s1 = CoverageMap::new();
         let (w, r) = (site!("w4"), site!("r4"));
         s1.record_access(1, w, T0, Persistency::Unpersisted);
         s1.record_access(1, r, T1, Persistency::Unpersisted);
@@ -248,7 +293,7 @@ mod tests {
 
     #[test]
     fn reset_last_access_keeps_bitmaps() {
-        let mut cov = CoverageMap::new();
+        let cov = CoverageMap::new();
         let (w, r) = (site!("w5"), site!("r5"));
         cov.record_access(1, w, T0, Persistency::Unpersisted);
         cov.record_access(1, r, T1, Persistency::Unpersisted);
@@ -256,5 +301,49 @@ mod tests {
         assert_eq!(cov.alias_pairs(), 1);
         // After reset, the first access is "first touch" again.
         assert!(!cov.record_access(1, r, T1, Persistency::Unpersisted));
+    }
+
+    #[test]
+    fn clone_snapshots_counters_and_bits() {
+        let cov = CoverageMap::new();
+        let (w, r) = (site!("w6"), site!("r6"));
+        cov.record_access(1, w, T0, Persistency::Unpersisted);
+        cov.record_access(1, r, T1, Persistency::Unpersisted);
+        cov.record_branch(w);
+        let copy = cov.clone();
+        assert_eq!(copy.alias_pairs(), 1);
+        assert_eq!(copy.branches(), 1);
+        // The copy carries the last-access state (r by T1 was last): a
+        // cross-thread follow-up completes a fresh pair shape on the copy...
+        assert!(copy.record_access(1, w, T0, Persistency::Persisted));
+        // ...without affecting the original.
+        assert_eq!(cov.alias_pairs(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_counts_each_pair_once() {
+        let cov = CoverageMap::new();
+        let (w, r) = (site!("cw"), site!("cr"));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cov = &cov;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        let g = 100 + (i % 16);
+                        let site = if t % 2 == 0 { w } else { r };
+                        let p = if i % 2 == 0 {
+                            Persistency::Persisted
+                        } else {
+                            Persistency::Unpersisted
+                        };
+                        cov.record_access(g, site, ThreadId(t), p);
+                        cov.record_branch(site);
+                    }
+                });
+            }
+        });
+        // At most |sites|^2 * |persistency|^2 = 16 alias shapes exist.
+        assert!(cov.alias_pairs() <= 16, "got {}", cov.alias_pairs());
+        assert_eq!(cov.branches(), 2);
     }
 }

@@ -44,6 +44,7 @@ pub mod view;
 pub mod whitelist;
 
 mod error;
+mod fx;
 mod site;
 
 pub use error::RtError;
@@ -72,8 +73,6 @@ pub use site::register_site as __register_site;
 macro_rules! site {
     ($label:expr) => {{
         static __SITE: ::std::sync::OnceLock<$crate::Site> = ::std::sync::OnceLock::new();
-        *__SITE.get_or_init(|| {
-            $crate::__register_site(concat!(file!(), ":", line!()), $label)
-        })
+        *__SITE.get_or_init(|| $crate::__register_site(concat!(file!(), ":", line!()), $label))
     }};
 }

@@ -138,7 +138,11 @@ impl std::fmt::Display for InconsistencyRecord {
             site_label(self.effect_site),
             self.effect_off,
             self.effect_len,
-            if self.whitelisted { " [whitelisted]" } else { "" },
+            if self.whitelisted {
+                " [whitelisted]"
+            } else {
+                ""
+            },
         )
     }
 }

@@ -1,8 +1,32 @@
 //! Per-campaign session state: checkers, coverage, taint shadow memory,
 //! annotations, deadline, and findings.
+//!
+//! # Locking
+//!
+//! The session used to serialize every hook behind one `Mutex<SessionState>`;
+//! that lock was the instrumentation bottleneck under concurrent target
+//! threads. State is now decomposed by access frequency:
+//!
+//! - **coverage** ([`CoverageMap`]) is lock-free (atomic bitmaps plus a
+//!   direct-mapped atomic last-access table), touched by every access
+//!   through `&self`;
+//! - **taint shadow memory and access statistics** live as one combined
+//!   [`GranuleShadow`] record in 64 stripes keyed by `granule % 64` — an
+//!   access to one granule locks exactly one stripe and resolves one hash
+//!   entry, and the pool's shard layout already spreads neighbouring cache
+//!   lines over different stripes;
+//! - **trace** is a set of per-thread rings ([`TraceBuffers`]) with a global
+//!   atomic sequence counter;
+//! - **reports** (candidates, inconsistencies, sync updates, perf issues,
+//!   crash-image budget) stay behind a single mutex — they are rare events,
+//!   and a single lock keeps candidate ids dense and dedup exact.
+//!
+//! Lock order: `reports` may be held while calling into the pool or
+//! snapshotting the trace; stripes are leaf locks and are never held across
+//! any other acquisition.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -10,13 +34,14 @@ use parking_lot::{Mutex, RwLock};
 use pmrace_pmem::{LoadInfo, PersistState, Pool, ThreadId};
 
 use crate::checker::{AccessEvent, Checker};
-use crate::trace::{TraceKind, TraceRing};
 use crate::coverage::{CoverageMap, Persistency};
+use crate::fx::FxHashMap;
 use crate::report::{
     Candidate, CandidateKind, EffectKind, Findings, InconsistencyRecord, SyncUpdateRecord,
 };
 use crate::strategy::{InterleaveStrategy, NoopStrategy};
 use crate::taint::TaintSet;
+use crate::trace::{TraceBuffers, TraceKind};
 use crate::whitelist::Whitelist;
 use crate::{site_label, PmView, RtError, Site};
 
@@ -48,7 +73,7 @@ pub struct SessionConfig {
     pub max_crash_images: usize,
     /// Benign-read whitelist (§4.4).
     pub whitelist: Whitelist,
-    /// Depth of the PM access-trace ring attached to bug reports
+    /// Depth of the PM access-trace rings attached to bug reports
     /// (0 disables tracing).
     pub trace_depth: usize,
 }
@@ -66,12 +91,29 @@ impl Default for SessionConfig {
 }
 
 /// Per-granule access statistics backing the scheduler's priority queue of
-/// shared PM accesses (§4.2.2).
+/// shared PM accesses (§4.2.2). A granule sees a handful of distinct sites
+/// and threads, so linear-scanned vectors beat hash maps on the hot path.
 #[derive(Debug, Clone, Default)]
 struct AccessStats {
-    loads: HashMap<Site, u32>,
-    stores: HashMap<Site, u32>,
-    threads: HashSet<ThreadId>,
+    loads: Vec<(Site, u32)>,
+    stores: Vec<(Site, u32)>,
+    threads: Vec<ThreadId>,
+}
+
+impl AccessStats {
+    fn bump(sites: &mut Vec<(Site, u32)>, site: Site) {
+        if let Some(e) = sites.iter_mut().find(|e| e.0 == site) {
+            e.1 += 1;
+        } else {
+            sites.push((site, 1));
+        }
+    }
+
+    fn note_thread(&mut self, tid: ThreadId) {
+        if !self.threads.contains(&tid) {
+            self.threads.push(tid);
+        }
+    }
 }
 
 /// One entry of the shared-access summary: a PM address with the load and
@@ -90,42 +132,46 @@ pub struct SharedAccessEntry {
     pub threads: usize,
 }
 
-struct SessionState {
-    trace: TraceRing,
-    coverage: CoverageMap,
-    mem_taint: HashMap<u64, TaintSet>,
+/// Number of taint/statistics stripes. Stripes are keyed `granule % 64`, so
+/// the 8 granules of one cache line land in 8 *consecutive* stripes and
+/// neighbouring lines never collide until 64 granules apart.
+const STRIPES: usize = 64;
+
+/// Combined per-granule shadow state: taint labels (empty set = untainted)
+/// plus access statistics. One struct so a hook updates both with a single
+/// map lookup.
+#[derive(Debug, Clone, Default)]
+struct GranuleShadow {
+    taint: TaintSet,
+    stats: AccessStats,
+}
+
+/// One stripe of the per-granule shadow state. Combined so the common store
+/// hook (taint update + stats update on the same granule) takes one lock and
+/// one hash lookup, not several.
+#[derive(Debug, Default)]
+struct Stripe {
+    shadow: FxHashMap<u64, GranuleShadow>,
+}
+
+fn stripe_of(g: u64) -> usize {
+    (g % STRIPES as u64) as usize
+}
+
+/// Rare-event report state: candidate minting and the three report streams.
+/// These stay behind one mutex — keeping candidate ids dense and the dedup
+/// indices exact requires cross-thread agreement anyway, and detections are
+/// orders of magnitude rarer than accesses.
+#[derive(Debug, Default)]
+struct Reports {
     candidates: Vec<Candidate>,
-    candidate_index: HashMap<(u32, u32, CandidateKind), u32>,
+    candidate_index: FxHashMap<(u32, u32, CandidateKind), u32>,
     inconsistencies: Vec<InconsistencyRecord>,
     incons_index: HashSet<(u32, u32, u32)>,
     sync_updates: Vec<SyncUpdateRecord>,
     sync_index: HashSet<(String, u32)>,
     perf_issues: Vec<crate::report::PerfIssueRecord>,
-    annotations: Vec<SyncVarAnnotation>,
-    access_stats: HashMap<u64, AccessStats>,
     images_captured: usize,
-    hang: bool,
-}
-
-impl SessionState {
-    fn new(trace_depth: usize) -> Self {
-        SessionState {
-            trace: TraceRing::new(trace_depth),
-            coverage: CoverageMap::new(),
-            mem_taint: HashMap::new(),
-            candidates: Vec::new(),
-            candidate_index: HashMap::new(),
-            inconsistencies: Vec::new(),
-            incons_index: HashSet::new(),
-            sync_updates: Vec::new(),
-            sync_index: HashSet::new(),
-            perf_issues: Vec::new(),
-            annotations: Vec::new(),
-            access_stats: HashMap::new(),
-            images_captured: 0,
-            hang: false,
-        }
-    }
 }
 
 /// A fuzz-campaign session: owns all checker state for one execution of the
@@ -134,10 +180,25 @@ pub struct Session {
     pool: Arc<Pool>,
     cfg: SessionConfig,
     start: Instant,
-    state: Mutex<SessionState>,
+    coverage: CoverageMap,
+    trace: TraceBuffers,
+    stripes: Box<[Mutex<Stripe>]>,
+    reports: Mutex<Reports>,
+    annotations: RwLock<Vec<SyncVarAnnotation>>,
     strategy: RwLock<Arc<dyn InterleaveStrategy>>,
     checkers: RwLock<Vec<Arc<dyn Checker>>>,
+    /// Fast-path flags mirroring the registries above: hooks consult these
+    /// relaxed atomics instead of taking a read lock per access when no
+    /// strategy/checker/annotation is installed (the common case for
+    /// coverage-only runs).
+    passive_strategy: AtomicBool,
+    has_checkers: AtomicBool,
+    has_annotations: AtomicBool,
     halted: AtomicBool,
+    /// Deadline-expired latch; also strided-sample state for [`Session::check`].
+    hang: AtomicBool,
+    check_ctr: AtomicU32,
+    pm_events: AtomicU64,
 }
 
 impl std::fmt::Debug for Session {
@@ -159,10 +220,22 @@ impl Session {
             pool,
             cfg,
             start: Instant::now(),
-            state: Mutex::new(SessionState::new(trace_depth)),
+            coverage: CoverageMap::new(),
+            trace: TraceBuffers::new(trace_depth),
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+            reports: Mutex::new(Reports::default()),
+            annotations: RwLock::new(Vec::new()),
             strategy: RwLock::new(Arc::new(NoopStrategy)),
             checkers: RwLock::new(Vec::new()),
+            passive_strategy: AtomicBool::new(true),
+            has_checkers: AtomicBool::new(false),
+            has_annotations: AtomicBool::new(false),
             halted: AtomicBool::new(false),
+            hang: AtomicBool::new(false),
+            check_ctr: AtomicU32::new(0),
+            pm_events: AtomicU64::new(0),
         })
     }
 
@@ -180,24 +253,36 @@ impl Session {
 
     /// Install the interleaving-exploration strategy for this campaign.
     pub fn set_strategy(&self, strategy: Arc<dyn InterleaveStrategy>) {
-        *self.strategy.write() = strategy;
+        let mut slot = self.strategy.write();
+        self.passive_strategy
+            .store(strategy.is_passive(), Ordering::Relaxed);
+        *slot = strategy;
+    }
+
+    /// `true` while the installed strategy is passive (no hooks); views use
+    /// this to skip strategy dispatch on the access hot path.
+    #[must_use]
+    pub fn strategy_passive(&self) -> bool {
+        self.passive_strategy.load(Ordering::Relaxed)
     }
 
     /// Register an extension checker.
     pub fn add_checker(&self, checker: Arc<dyn Checker>) {
         self.checkers.write().push(checker);
+        self.has_checkers.store(true, Ordering::Relaxed);
     }
 
     /// Annotate a persistent synchronization variable (the
     /// `pm_sync_var_hint(size, init_val)` macro of §5).
     pub fn annotate_sync_var(&self, ann: SyncVarAnnotation) {
-        self.state.lock().annotations.push(ann);
+        self.annotations.write().push(ann);
+        self.has_annotations.store(true, Ordering::Relaxed);
     }
 
     /// All registered annotations.
     #[must_use]
     pub fn annotations(&self) -> Vec<SyncVarAnnotation> {
-        self.state.lock().annotations.clone()
+        self.annotations.read().clone()
     }
 
     /// Create the instrumented access handle for a target thread.
@@ -217,8 +302,20 @@ impl Session {
         self.halted.load(Ordering::Relaxed) || self.start.elapsed() >= self.cfg.deadline
     }
 
+    /// Calls of [`Session::check`] between clock samples. Reading the
+    /// monotonic clock costs ~20ns — a large slice of an instrumented
+    /// access — so intermediate calls skip it. Hang detection still fires
+    /// within `CHECK_STRIDE` accesses of the deadline, which is microseconds
+    /// in any spin loop.
+    const CHECK_STRIDE: u32 = 32;
+
     /// Deadline/halt check; flags the campaign as hung when the deadline
     /// passes.
+    ///
+    /// The deadline clock is sampled every [`Session::CHECK_STRIDE`] calls
+    /// (always including the first call of a fresh session); an expired
+    /// observation latches in the hang flag so every subsequent call fails
+    /// without touching the clock.
     ///
     /// # Errors
     ///
@@ -228,8 +325,13 @@ impl Session {
         if self.halted.load(Ordering::Relaxed) {
             return Err(RtError::Halted);
         }
-        if self.start.elapsed() >= self.cfg.deadline {
-            self.state.lock().hang = true;
+        if self.hang.load(Ordering::Relaxed) {
+            return Err(RtError::Timeout);
+        }
+        if self.check_ctr.fetch_add(1, Ordering::Relaxed) & (Self::CHECK_STRIDE - 1) == 0
+            && self.start.elapsed() >= self.cfg.deadline
+        {
+            self.hang.store(true, Ordering::Relaxed);
             return Err(RtError::Timeout);
         }
         Ok(())
@@ -239,6 +341,13 @@ impl Session {
     #[must_use]
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+
+    /// Total PM events (loads, stores, flushes, fences) instrumented so far;
+    /// feeds the fuzzer's accesses/sec throughput meter.
+    #[must_use]
+    pub fn pm_accesses(&self) -> u64 {
+        self.pm_events.load(Ordering::Relaxed)
     }
 
     pub(crate) fn strategy(&self) -> Arc<dyn InterleaveStrategy> {
@@ -252,6 +361,9 @@ impl Session {
     }
 
     fn run_checkers<F: Fn(&dyn Checker, &mut Vec<crate::report::PerfIssueRecord>)>(&self, f: F) {
+        if !self.has_checkers.load(Ordering::Relaxed) {
+            return;
+        }
         let checkers = self.checkers.read();
         if checkers.is_empty() {
             return;
@@ -261,7 +373,7 @@ impl Session {
             f(c.as_ref(), &mut out);
         }
         if !out.is_empty() {
-            self.state.lock().perf_issues.extend(out);
+            self.reports.lock().perf_issues.extend(out);
         }
     }
 
@@ -286,20 +398,20 @@ impl Session {
         } else {
             Persistency::Persisted
         };
-        let mut state = self.state.lock();
-        state.trace.push(tid, TraceKind::Load, site, off, len);
+        self.pm_events.fetch_add(1, Ordering::Relaxed);
+        self.trace.push(tid, TraceKind::Load, site, off, len);
         let mut taint = TaintSet::empty();
         for g in granules(off, len) {
-            state.coverage.record_access(g, site, tid, persistency);
-            if let Some(t) = state.mem_taint.get(&g) {
-                let t = t.clone();
-                taint.union_with(&t);
+            self.coverage.record_access(g, site, tid, persistency);
+            let mut stripe = self.stripes[stripe_of(g)].lock();
+            let sh = stripe.shadow.entry(g).or_default();
+            if !sh.taint.is_empty() {
+                taint.union_with(&sh.taint);
             }
-            let st = state.access_stats.entry(g).or_default();
             if gateable {
-                *st.loads.entry(site).or_insert(0) += 1;
+                AccessStats::bump(&mut sh.stats.loads, site);
             }
-            st.threads.insert(tid);
+            sh.stats.note_thread(tid);
         }
         if info.unpersisted {
             let kind = if info.writer == tid {
@@ -308,12 +420,13 @@ impl Session {
                 CandidateKind::Inter
             };
             let key = (info.tag.0, site.id(), kind);
-            let id = match state.candidate_index.get(&key) {
+            let mut reports = self.reports.lock();
+            let id = match reports.candidate_index.get(&key) {
                 Some(&id) => id,
                 None => {
-                    let id = u32::try_from(state.candidates.len()).expect("candidate overflow");
-                    state.candidate_index.insert(key, id);
-                    state.candidates.push(Candidate {
+                    let id = u32::try_from(reports.candidates.len()).expect("candidate overflow");
+                    reports.candidate_index.insert(key, id);
+                    reports.candidates.push(Candidate {
                         id,
                         kind,
                         write_site: Site::from_id(info.tag.0),
@@ -325,9 +438,9 @@ impl Session {
                     id
                 }
             };
+            drop(reports);
             taint.insert(id);
         }
-        drop(state);
         self.run_checkers(|c, out| {
             c.on_load(
                 &AccessEvent {
@@ -362,23 +475,30 @@ impl Session {
         } else {
             Persistency::Unpersisted
         };
-        let mut state = self.state.lock();
-        state.trace.push(
+        self.pm_events.fetch_add(1, Ordering::Relaxed);
+        self.trace.push(
             tid,
-            if non_temporal { TraceKind::NtStore } else { TraceKind::Store },
+            if non_temporal {
+                TraceKind::NtStore
+            } else {
+                TraceKind::Store
+            },
             site,
             off,
             len,
         );
         for g in granules(off, len) {
-            state.coverage.record_access(g, site, tid, persistency);
-            let st = state.access_stats.entry(g).or_default();
-            *st.stores.entry(site).or_insert(0) += 1;
-            st.threads.insert(tid);
+            self.coverage.record_access(g, site, tid, persistency);
+            let mut stripe = self.stripes[stripe_of(g)].lock();
+            let sh = stripe.shadow.entry(g).or_default();
+            AccessStats::bump(&mut sh.stats.stores, site);
+            sh.stats.note_thread(tid);
             if value_taint.is_empty() {
-                state.mem_taint.remove(&g);
+                if !sh.taint.is_empty() {
+                    sh.taint = TaintSet::empty();
+                }
             } else {
-                state.mem_taint.insert(g, value_taint.clone());
+                sh.taint = value_taint.clone();
             }
         }
 
@@ -394,16 +514,46 @@ impl Session {
                 effect_labels.push((l, EffectKind::Value));
             }
         }
+        // Overlapping sync-var annotations, collected before the reports
+        // lock (annotations is never acquired while holding reports).
+        let anns: Vec<SyncVarAnnotation> =
+            if effect_labels.is_empty() && !self.has_annotations.load(Ordering::Relaxed) {
+                Vec::new()
+            } else {
+                self.annotations
+                    .read()
+                    .iter()
+                    .filter(|a| overlaps(a.off, a.size, off, len))
+                    .cloned()
+                    .collect()
+            };
+        if effect_labels.is_empty() && anns.is_empty() {
+            self.run_checkers(|c, out| {
+                c.on_store(
+                    &AccessEvent {
+                        off,
+                        len,
+                        site,
+                        tid,
+                        state_before,
+                    },
+                    out,
+                );
+            });
+            return;
+        }
+
+        let mut reports = self.reports.lock();
         let mut new_records: Vec<InconsistencyRecord> = Vec::new();
         for (label, kind) in effect_labels {
-            let Some(cand) = state.candidates.get(label as usize).cloned() else {
+            let Some(cand) = reports.candidates.get(label as usize).cloned() else {
                 continue;
             };
             if kind == EffectKind::Value && overlaps(cand.off, 8, off, len) {
                 continue; // rewriting the dependent word itself
             }
             let triple = (cand.write_site.id(), cand.read_site.id(), site.id());
-            if !state.incons_index.insert(triple) {
+            if !reports.incons_index.insert(triple) {
                 continue;
             }
             let whitelisted = self.cfg.whitelist.matches_any([
@@ -412,9 +562,9 @@ impl Session {
                 site_label(site),
             ]);
             let capture = self.cfg.capture_crash_images
-                && state.images_captured < self.cfg.max_crash_images;
+                && reports.images_captured < self.cfg.max_crash_images;
             if capture {
-                state.images_captured += 1;
+                reports.images_captured += 1;
             }
             new_records.push(InconsistencyRecord {
                 candidate: cand,
@@ -423,7 +573,7 @@ impl Session {
                 effect_len: len,
                 kind,
                 whitelisted,
-                trace: state.trace.snapshot(24),
+                trace: self.trace.snapshot(24),
                 crash_image: if capture {
                     // Crash point: side effect persisted, dependent data
                     // (everything else unflushed) lost.
@@ -436,15 +586,9 @@ impl Session {
                 },
             });
         }
-        state.inconsistencies.extend(new_records);
+        reports.inconsistencies.extend(new_records);
 
         // PM Synchronization Inconsistency: store into an annotated region.
-        let anns: Vec<SyncVarAnnotation> = state
-            .annotations
-            .iter()
-            .filter(|a| overlaps(a.off, a.size, off, len))
-            .cloned()
-            .collect();
         for ann in anns {
             let new_value = self.pool.load_u64(ann.off).map(|(v, _)| v).unwrap_or(0);
             if new_value == ann.init_val {
@@ -452,15 +596,15 @@ impl Session {
                 // release) is not an inconsistency risk.
                 continue;
             }
-            if !state.sync_index.insert((ann.name.clone(), 0)) {
+            if !reports.sync_index.insert((ann.name.clone(), 0)) {
                 continue; // each sync variable's update type checked once (§4.3)
             }
             let capture = self.cfg.capture_crash_images
-                && state.images_captured < self.cfg.max_crash_images;
+                && reports.images_captured < self.cfg.max_crash_images;
             if capture {
-                state.images_captured += 1;
+                reports.images_captured += 1;
             }
-            state.sync_updates.push(SyncUpdateRecord {
+            reports.sync_updates.push(SyncUpdateRecord {
                 var_name: ann.name.clone(),
                 var_off: ann.off,
                 var_size: ann.size,
@@ -480,7 +624,7 @@ impl Session {
                 },
             });
         }
-        drop(state);
+        drop(reports);
         self.run_checkers(|c, out| {
             c.on_store(
                 &AccessEvent {
@@ -501,14 +645,14 @@ impl Session {
         if taint.is_empty() {
             return;
         }
-        let mut state = self.state.lock();
+        let mut reports = self.reports.lock();
         let mut new_records = Vec::new();
         for label in taint.iter() {
-            let Some(cand) = state.candidates.get(label as usize).cloned() else {
+            let Some(cand) = reports.candidates.get(label as usize).cloned() else {
                 continue;
             };
             let triple = (cand.write_site.id(), cand.read_site.id(), site.id());
-            if !state.incons_index.insert(triple) {
+            if !reports.incons_index.insert(triple) {
                 continue;
             }
             let whitelisted = self.cfg.whitelist.matches_any([
@@ -523,15 +667,16 @@ impl Session {
                 effect_len: 0,
                 kind: EffectKind::Output,
                 whitelisted,
-                trace: state.trace.snapshot(24),
+                trace: self.trace.snapshot(24),
                 crash_image: None,
             });
         }
-        state.inconsistencies.extend(new_records);
+        reports.inconsistencies.extend(new_records);
     }
 
     pub(crate) fn on_clwb(&self, off: u64, len: usize, site: Site, tid: ThreadId) {
-        self.state.lock().trace.push(tid, TraceKind::Clwb, site, off, len);
+        self.pm_events.fetch_add(1, Ordering::Relaxed);
+        self.trace.push(tid, TraceKind::Clwb, site, off, len);
         let state_before = self.range_state(off, len);
         self.run_checkers(|c, out| {
             c.on_clwb(
@@ -548,6 +693,7 @@ impl Session {
     }
 
     pub(crate) fn on_sfence(&self, tid: ThreadId) {
+        self.pm_events.fetch_add(1, Ordering::Relaxed);
         self.run_checkers(|c, out| c.on_sfence(tid, out));
     }
 
@@ -567,48 +713,54 @@ impl Session {
 
     /// Record a branch/basic-block hit for branch coverage.
     pub fn record_branch(&self, site: Site) {
-        self.state.lock().coverage.record_branch(site);
+        self.coverage.record_branch(site);
     }
 
     /// Coverage counters `(alias_pairs, branches)` so far.
     #[must_use]
     pub fn coverage_counts(&self) -> (usize, usize) {
-        let state = self.state.lock();
-        (state.coverage.alias_pairs(), state.coverage.branches())
+        (self.coverage.alias_pairs(), self.coverage.branches())
     }
 
     /// Clone the session coverage map (for merging into a global map).
     #[must_use]
     pub fn coverage_snapshot(&self) -> CoverageMap {
-        self.state.lock().coverage.clone()
+        self.coverage.clone()
     }
 
     /// Shared-PM-access summary for the scheduler's priority queue: granules
     /// touched by several threads with both loads and stores, hottest first.
     #[must_use]
     pub fn shared_accesses(&self) -> Vec<SharedAccessEntry> {
-        let state = self.state.lock();
-        let mut out: Vec<SharedAccessEntry> = state
-            .access_stats
-            .iter()
-            .filter(|(_, st)| st.threads.len() >= 2 && !st.loads.is_empty() && !st.stores.is_empty())
-            .map(|(&g, st)| {
-                let mut load_sites: Vec<(Site, u32)> =
-                    st.loads.iter().map(|(&s, &c)| (s, c)).collect();
-                let mut store_sites: Vec<(Site, u32)> =
-                    st.stores.iter().map(|(&s, &c)| (s, c)).collect();
-                load_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
-                store_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
-                let total = st.loads.values().sum::<u32>() + st.stores.values().sum::<u32>();
-                SharedAccessEntry {
-                    off: g * 8,
-                    load_sites,
-                    store_sites,
-                    total,
-                    threads: st.threads.len(),
-                }
-            })
-            .collect();
+        let mut out: Vec<SharedAccessEntry> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let stripe = stripe.lock();
+            out.extend(
+                stripe
+                    .shadow
+                    .iter()
+                    .filter(|(_, sh)| {
+                        sh.stats.threads.len() >= 2
+                            && !sh.stats.loads.is_empty()
+                            && !sh.stats.stores.is_empty()
+                    })
+                    .map(|(&g, sh)| {
+                        let mut load_sites = sh.stats.loads.clone();
+                        let mut store_sites = sh.stats.stores.clone();
+                        load_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
+                        store_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
+                        let total = sh.stats.loads.iter().map(|&(_, c)| c).sum::<u32>()
+                            + sh.stats.stores.iter().map(|&(_, c)| c).sum::<u32>();
+                        SharedAccessEntry {
+                            off: g * 8,
+                            load_sites,
+                            store_sites,
+                            total,
+                            threads: sh.stats.threads.len(),
+                        }
+                    }),
+            );
+        }
         out.sort_by_key(|e| (std::cmp::Reverse(e.total), e.off));
         out
     }
@@ -620,13 +772,18 @@ impl Session {
     /// inconsistency is benign.
     #[must_use]
     pub fn stored_granules(&self) -> std::collections::HashSet<u64> {
-        let state = self.state.lock();
-        state
-            .access_stats
-            .iter()
-            .filter(|(_, st)| !st.stores.is_empty())
-            .map(|(&g, _)| g * 8)
-            .collect()
+        let mut out = std::collections::HashSet::new();
+        for stripe in self.stripes.iter() {
+            let stripe = stripe.lock();
+            out.extend(
+                stripe
+                    .shadow
+                    .iter()
+                    .filter(|(_, sh)| !sh.stats.stores.is_empty())
+                    .map(|(&g, _)| g * 8),
+            );
+        }
+        out
     }
 
     /// End the campaign: notify the strategy, give end-of-campaign checkers
@@ -635,21 +792,22 @@ impl Session {
     #[must_use]
     pub fn finish(&self) -> Findings {
         self.strategy().campaign_end();
-        if !self.checkers.read().is_empty() {
+        if self.has_checkers.load(Ordering::Relaxed) {
             let dirty = self.pool.unpersisted_regions();
             self.run_checkers(|c, out| c.on_campaign_end(&dirty, out));
         }
-        let mut state = self.state.lock();
+        let mut reports = self.reports.lock();
         Findings {
-            candidates: std::mem::take(&mut state.candidates),
-            inconsistencies: std::mem::take(&mut state.inconsistencies),
-            sync_updates: std::mem::take(&mut state.sync_updates),
-            perf_issues: std::mem::take(&mut state.perf_issues),
-            hang: state.hang,
+            candidates: std::mem::take(&mut reports.candidates),
+            inconsistencies: std::mem::take(&mut reports.inconsistencies),
+            sync_updates: std::mem::take(&mut reports.sync_updates),
+            perf_issues: std::mem::take(&mut reports.perf_issues),
+            hang: self.hang.load(Ordering::Relaxed),
         }
     }
 }
 
+#[allow(clippy::reversed_empty_ranges)]
 fn granules(off: u64, len: usize) -> std::ops::RangeInclusive<u64> {
     if len == 0 {
         return 1..=0;
@@ -667,7 +825,10 @@ mod tests {
     use pmrace_pmem::PoolOpts;
 
     fn session() -> Arc<Session> {
-        Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default())
+        Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        )
     }
 
     #[test]
@@ -712,5 +873,17 @@ mod tests {
         });
         assert_eq!(s.annotations().len(), 1);
         assert_eq!(s.annotations()[0].name, "lock");
+    }
+
+    #[test]
+    fn pm_access_counter_counts_hooks() {
+        let s = session();
+        let view = s.view(ThreadId(0));
+        let site = crate::site!("session.counter");
+        view.store_u64(0, 7, site).unwrap();
+        view.load_u64(0, site).unwrap();
+        view.clwb(0, 8, site).unwrap();
+        view.sfence().unwrap();
+        assert_eq!(s.pm_accesses(), 4);
     }
 }

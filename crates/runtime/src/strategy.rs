@@ -44,6 +44,14 @@ pub trait InterleaveStrategy: Send + Sync {
     /// Human-readable name for logs and experiment tables.
     fn name(&self) -> &'static str;
 
+    /// `true` when this strategy installs no hooks at all (the no-op
+    /// default). Views skip hook dispatch — including the strategy
+    /// `RwLock`/`Arc` round trip — entirely for passive strategies, which is
+    /// the common case for plain coverage runs and benchmarks.
+    fn is_passive(&self) -> bool {
+        false
+    }
+
     /// Called before a PM load (the paper injects `cond_wait` here).
     fn before_load(&self, ctx: &AccessCtx<'_>) {
         let _ = ctx;
@@ -80,6 +88,10 @@ pub struct NoopStrategy;
 impl InterleaveStrategy for NoopStrategy {
     fn name(&self) -> &'static str {
         "none"
+    }
+
+    fn is_passive(&self) -> bool {
+        true
     }
 }
 

@@ -369,7 +369,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, 7u64);
         assert!(a > 6u64);
-        assert!(a < TU64::from(8));
+        assert!(a < 8u64);
     }
 
     #[test]

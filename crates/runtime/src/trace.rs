@@ -3,11 +3,17 @@
 //! The paper's reports carry stack traces; since our instruction sites are
 //! already symbolic, the equivalent diagnostic is the *recent PM event
 //! history* around a detection — which thread did what, in which order,
-//! right before the inconsistency. The session keeps a bounded ring of
-//! [`TraceEvent`]s and snapshots it into each
-//! [`InconsistencyRecord`](crate::report::InconsistencyRecord).
+//! right before the inconsistency. The session keeps per-thread bounded
+//! rings ([`TraceBuffers`]) stamped from one global sequence counter, and a
+//! detection merges them into the snapshot attached to each
+//! [`InconsistencyRecord`](crate::report::InconsistencyRecord). Per-thread
+//! rings mean concurrent target threads append to disjoint locks instead of
+//! serializing on one shared ring.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use pmrace_pmem::ThreadId;
 
@@ -98,23 +104,32 @@ impl TraceRing {
         self.capacity == 0
     }
 
-    /// Record one event (dropping the oldest beyond capacity).
-    pub fn push(&mut self, tid: ThreadId, kind: TraceKind, site: Site, off: u64, len: usize) {
+    /// Append a pre-stamped event (dropping the oldest beyond capacity).
+    fn push_event(&mut self, ev: TraceEvent) {
         if self.capacity == 0 {
             return;
         }
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
         }
-        self.buf.push_back(TraceEvent {
-            seq: self.next_seq,
+        self.buf.push_back(ev);
+    }
+
+    /// Record one event (dropping the oldest beyond capacity).
+    pub fn push(&mut self, tid: ThreadId, kind: TraceKind, site: Site, off: u64, len: usize) {
+        if self.capacity == 0 {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_event(TraceEvent {
+            seq,
             tid,
             kind,
             site,
             off,
             len,
         });
-        self.next_seq += 1;
     }
 
     /// Snapshot the most recent `n` events, oldest first.
@@ -128,6 +143,81 @@ impl TraceRing {
     #[must_use]
     pub fn recorded(&self) -> u64 {
         self.next_seq
+    }
+}
+
+/// Number of per-thread rings; thread ids are small dense integers assigned
+/// per campaign, so `tid % TRACE_RINGS` keeps concurrent threads disjoint.
+const TRACE_RINGS: usize = 16;
+
+/// Per-thread trace rings stamped from one global sequence counter.
+///
+/// Each ring holds `depth` events, so a merged [`TraceBuffers::snapshot`] of
+/// up to `depth` events is exact (every thread's newest `depth` events are
+/// retained), while concurrent threads only contend on their own ring's lock
+/// when recording.
+#[derive(Debug)]
+pub struct TraceBuffers {
+    rings: Box<[Mutex<TraceRing>]>,
+    seq: AtomicU64,
+    depth: usize,
+}
+
+impl TraceBuffers {
+    /// Buffers holding `depth` events per thread ring (0 disables
+    /// recording).
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        TraceBuffers {
+            rings: (0..TRACE_RINGS)
+                .map(|_| Mutex::new(TraceRing::new(depth)))
+                .collect(),
+            seq: AtomicU64::new(0),
+            depth,
+        }
+    }
+
+    /// `true` when recording is disabled.
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.depth == 0
+    }
+
+    /// Record one event into the calling thread's ring.
+    pub fn push(&self, tid: ThreadId, kind: TraceKind, site: Site, off: u64, len: usize) {
+        if self.depth == 0 {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.rings[tid.0 as usize % TRACE_RINGS]
+            .lock()
+            .push_event(TraceEvent {
+                seq,
+                tid,
+                kind,
+                site,
+                off,
+                len,
+            });
+    }
+
+    /// Merge all rings and return the most recent `n` events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self, n: usize) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for ring in self.rings.iter() {
+            all.extend(ring.lock().buf.iter().copied());
+        }
+        all.sort_unstable_by_key(|e| e.seq);
+        let skip = all.len().saturating_sub(n);
+        all.drain(..skip);
+        all
+    }
+
+    /// Total events recorded (including dropped ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
     }
 }
 
@@ -176,11 +266,60 @@ mod tests {
     #[test]
     fn render_shows_thread_kind_and_site() {
         let mut ring = TraceRing::new(4);
-        ring.push(ThreadId(2), TraceKind::NtStore, site!("trace.render"), 0x40, 8);
+        ring.push(
+            ThreadId(2),
+            TraceKind::NtStore,
+            site!("trace.render"),
+            0x40,
+            8,
+        );
         let text = render_trace(&ring.snapshot(4));
         assert!(text.contains("t2"));
         assert!(text.contains("ntstore"));
         assert!(text.contains("trace.render"));
         assert_eq!(render_trace(&[]), "<no trace recorded>");
+    }
+
+    #[test]
+    fn buffers_merge_across_threads_in_global_order() {
+        let bufs = TraceBuffers::new(8);
+        let s = site!("trace.bufs");
+        // Interleave two threads; global seq must order the merge.
+        for i in 0..6u64 {
+            bufs.push(ThreadId((i % 2) as u32), TraceKind::Store, s, i * 8, 8);
+        }
+        assert_eq!(bufs.recorded(), 6);
+        let snap = bufs.snapshot(10);
+        assert_eq!(snap.len(), 6);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(snap[0].tid, ThreadId(0));
+        assert_eq!(snap[1].tid, ThreadId(1));
+        // A bounded snapshot keeps only the newest events.
+        let snap = bufs.snapshot(2);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1].seq, 5);
+    }
+
+    #[test]
+    fn buffers_snapshot_up_to_depth_is_exact_per_thread() {
+        let bufs = TraceBuffers::new(4);
+        let s = site!("trace.depth");
+        // Thread 0 floods its own ring; thread 1's events must survive.
+        for i in 0..20u64 {
+            bufs.push(ThreadId(0), TraceKind::Load, s, i * 8, 8);
+        }
+        bufs.push(ThreadId(1), TraceKind::Store, s, 0, 8);
+        let snap = bufs.snapshot(4);
+        assert_eq!(snap.len(), 4);
+        assert!(snap.iter().any(|e| e.tid == ThreadId(1)));
+    }
+
+    #[test]
+    fn disabled_buffers_record_nothing() {
+        let bufs = TraceBuffers::new(0);
+        assert!(bufs.is_disabled());
+        bufs.push(ThreadId(0), TraceKind::Load, site!("t3"), 0, 8);
+        assert_eq!(bufs.recorded(), 0);
+        assert!(bufs.snapshot(5).is_empty());
     }
 }

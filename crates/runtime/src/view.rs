@@ -58,7 +58,13 @@ impl PmView {
         Ok(())
     }
 
-    fn ctx<'a>(&self, off: u64, len: usize, site: Site, cancelled: &'a dyn Fn() -> bool) -> AccessCtx<'a> {
+    fn ctx<'a>(
+        &self,
+        off: u64,
+        len: usize,
+        site: Site,
+        cancelled: &'a dyn Fn() -> bool,
+    ) -> AccessCtx<'a> {
         AccessCtx {
             off,
             len,
@@ -79,12 +85,16 @@ impl PmView {
     pub fn load_u64(&self, off: impl Into<TU64>, site: Site) -> Result<TU64, RtError> {
         self.check()?;
         let off = off.into();
-        let cancelled = || self.session.cancelled();
-        self.session
-            .strategy()
-            .before_load(&self.ctx(off.value(), 8, site, &cancelled));
+        if !self.session.strategy_passive() {
+            let cancelled = || self.session.cancelled();
+            self.session
+                .strategy()
+                .before_load(&self.ctx(off.value(), 8, site, &cancelled));
+        }
         let (val, info) = self.session.pool().load_u64(off.value())?;
-        let mut taint = self.session.on_load(off.value(), 8, site, self.tid, &info, true);
+        let mut taint = self
+            .session
+            .on_load(off.value(), 8, site, self.tid, &info, true);
         taint.union_with(off.taint());
         Ok(TU64::with_taint(val, taint))
     }
@@ -94,16 +104,25 @@ impl PmView {
     /// # Errors
     ///
     /// Deadline/halt errors and PM substrate errors.
-    pub fn load_bytes(&self, off: impl Into<TU64>, len: usize, site: Site) -> Result<TBytes, RtError> {
+    pub fn load_bytes(
+        &self,
+        off: impl Into<TU64>,
+        len: usize,
+        site: Site,
+    ) -> Result<TBytes, RtError> {
         self.check()?;
         let off = off.into();
-        let cancelled = || self.session.cancelled();
-        self.session
-            .strategy()
-            .before_load(&self.ctx(off.value(), len, site, &cancelled));
+        if !self.session.strategy_passive() {
+            let cancelled = || self.session.cancelled();
+            self.session
+                .strategy()
+                .before_load(&self.ctx(off.value(), len, site, &cancelled));
+        }
         let mut buf = vec![0u8; len];
         let info = self.session.pool().load(off.value(), &mut buf)?;
-        let mut taint = self.session.on_load(off.value(), len, site, self.tid, &info, true);
+        let mut taint = self
+            .session
+            .on_load(off.value(), len, site, self.tid, &info, true);
         taint.union_with(off.taint());
         Ok(TBytes::with_taint(buf, taint))
     }
@@ -119,19 +138,26 @@ impl PmView {
         self.check()?;
         let cancelled = || self.session.cancelled();
         let ctx = self.ctx(off.value(), bytes.len(), site, &cancelled);
-        let strategy = self.session.strategy();
-        strategy.before_store(&ctx);
-        let state_before = self.session.range_state(off.value(), bytes.len());
+        let strategy = if self.session.strategy_passive() {
+            None
+        } else {
+            Some(self.session.strategy())
+        };
+        if let Some(s) = &strategy {
+            s.before_store(&ctx);
+        }
         let tag = SiteTag(site.id());
-        if non_temporal {
+        // The store itself reports the range's prior persistency state, so
+        // no separate metadata pass (and shard-lock round trip) is needed.
+        let info = if non_temporal {
             self.session
                 .pool()
-                .ntstore(off.value(), bytes, self.tid, tag)?;
+                .ntstore(off.value(), bytes, self.tid, tag)?
         } else {
             self.session
                 .pool()
-                .store(off.value(), bytes, self.tid, tag)?;
-        }
+                .store(off.value(), bytes, self.tid, tag)?
+        };
         self.session.on_store(
             off.value(),
             bytes.len(),
@@ -140,10 +166,12 @@ impl PmView {
             value_taint,
             off.taint(),
             non_temporal,
-            state_before,
+            info.state_before,
         );
         // Fires cond_signal and stalls the writer *before* its flush (§4.2.2).
-        strategy.after_store(&ctx);
+        if let Some(s) = &strategy {
+            s.after_store(&ctx);
+        }
         Ok(())
     }
 
@@ -237,8 +265,14 @@ impl PmView {
         let new = new.into();
         let cancelled = || self.session.cancelled();
         let ctx = self.ctx(off.value(), 8, site, &cancelled);
-        let strategy = self.session.strategy();
-        strategy.before_store(&ctx);
+        let strategy = if self.session.strategy_passive() {
+            None
+        } else {
+            Some(self.session.strategy())
+        };
+        if let Some(s) = &strategy {
+            s.before_store(&ctx);
+        }
         let state_before = self.session.range_state(off.value(), 8);
         let (swapped, observed, info) = self.session.pool().cas_u64(
             off.value(),
@@ -247,7 +281,9 @@ impl PmView {
             self.tid,
             SiteTag(site.id()),
         )?;
-        let mut taint = self.session.on_load(off.value(), 8, site, self.tid, &info, false);
+        let mut taint = self
+            .session
+            .on_load(off.value(), 8, site, self.tid, &info, false);
         taint.union_with(off.taint());
         if swapped {
             self.session.on_store(
@@ -260,7 +296,9 @@ impl PmView {
                 false,
                 state_before,
             );
-            strategy.after_store(&ctx);
+            if let Some(s) = &strategy {
+                s.after_store(&ctx);
+            }
         }
         Ok((swapped, TU64::with_taint(observed, taint)))
     }
@@ -323,7 +361,10 @@ mod tests {
     use pmrace_pmem::{Pool, PoolOpts};
 
     fn session() -> Arc<Session> {
-        Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default())
+        Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        )
     }
 
     #[test]
@@ -490,7 +531,8 @@ mod tests {
         let s = session();
         let w = s.view(ThreadId(0));
         let r = s.view(ThreadId(1));
-        w.store_u64(64u64, 7, site!("clevel.pmdk_tx_alloc.meta")).unwrap();
+        w.store_u64(64u64, 7, site!("clevel.pmdk_tx_alloc.meta"))
+            .unwrap();
         let x = r.load_u64(64u64, site!("r6")).unwrap();
         r.store_u64(128u64, x, site!("e6")).unwrap();
         let f = s.finish();
@@ -562,7 +604,10 @@ mod tests {
             },
         );
         let v = s.view(ThreadId(0));
-        assert_eq!(v.store_u64(64u64, 1, site!("w9")).unwrap_err(), RtError::Timeout);
+        assert_eq!(
+            v.store_u64(64u64, 1, site!("w9")).unwrap_err(),
+            RtError::Timeout
+        );
         assert_eq!(v.spin_yield().unwrap_err(), RtError::Timeout);
     }
 }

@@ -1,0 +1,127 @@
+//! Concurrency stress tests for the lock-free coverage map: recording the
+//! same event stream concurrently (atomics, `&self`) must produce exactly
+//! the coverage that serialized recording through a global lock produces —
+//! the old `Mutex<CoverageMap>` discipline is the reference.
+
+use std::sync::Mutex;
+
+use pmrace_pmem::ThreadId;
+use pmrace_runtime::coverage::{CoverageMap, Persistency};
+use pmrace_runtime::{site, Site};
+
+#[derive(Clone, Copy)]
+struct Event {
+    granule: u64,
+    site: Site,
+    tid: ThreadId,
+    persistency: Persistency,
+}
+
+/// Deterministic per-thread event stream over a private granule range, with
+/// alternating sites/persistency and a "phantom" second thread id on every
+/// other pass over the granule range, so every granule sees alternating
+/// thread ids and alias pairs actually mint.
+fn stream(t: u64, sites: &[Site; 3]) -> Vec<Event> {
+    let mut events = Vec::new();
+    for i in 0..600u64 {
+        let granule = t * 1000 + i % 40;
+        let site = sites[(i % 3) as usize];
+        let tid = if (i / 40) % 2 == 0 {
+            ThreadId(100 + t as u32) // phantom partner: cross-thread pair
+        } else {
+            ThreadId(t as u32)
+        };
+        let persistency = if i % 2 == 0 {
+            Persistency::Persisted
+        } else {
+            Persistency::Unpersisted
+        };
+        events.push(Event {
+            granule,
+            site,
+            tid,
+            persistency,
+        });
+    }
+    events
+}
+
+#[test]
+fn concurrent_recording_matches_global_lock_reference() {
+    let sites = [site!("conc.a"), site!("conc.b"), site!("conc.c")];
+    let streams: Vec<Vec<Event>> = (0..8).map(|t| stream(t, &sites)).collect();
+
+    // Reference: every event serialized through one global lock, the
+    // pre-rewrite discipline.
+    let reference = Mutex::new(CoverageMap::new());
+    for events in &streams {
+        for ev in events {
+            reference
+                .lock()
+                .unwrap()
+                .record_access(ev.granule, ev.site, ev.tid, ev.persistency);
+        }
+        reference.lock().unwrap().record_branch(sites[0]);
+    }
+    let reference = reference.into_inner().unwrap();
+
+    // Atomic: the same streams recorded concurrently with no lock. Streams
+    // touch disjoint granule ranges, so the outcome is deterministic
+    // regardless of interleaving.
+    let concurrent = CoverageMap::new();
+    std::thread::scope(|s| {
+        for events in &streams {
+            let concurrent = &concurrent;
+            s.spawn(move || {
+                for ev in events {
+                    concurrent.record_access(ev.granule, ev.site, ev.tid, ev.persistency);
+                }
+                concurrent.record_branch(sites[0]);
+            });
+        }
+    });
+
+    assert!(reference.alias_pairs() > 0, "streams must mint alias pairs");
+    assert_eq!(concurrent.alias_pairs(), reference.alias_pairs());
+    assert_eq!(concurrent.branches(), reference.branches());
+
+    // Bit-level equivalence: merging either map into the other adds nothing.
+    let a = reference.clone();
+    assert_eq!(a.merge_from(&concurrent), (0, 0));
+    let b = concurrent.clone();
+    assert_eq!(b.merge_from(&reference), (0, 0));
+}
+
+#[test]
+fn concurrent_merges_into_one_global_map_lose_nothing() {
+    // The fuzzer pattern: workers record privately, then merge into the
+    // global map concurrently. Every pair recorded by any worker must be
+    // present globally afterwards.
+    let sites = [site!("merge.a"), site!("merge.b"), site!("merge.c")];
+    let locals: Vec<CoverageMap> = (0..6)
+        .map(|t| {
+            let m = CoverageMap::new();
+            for ev in stream(t, &sites) {
+                m.record_access(ev.granule, ev.site, ev.tid, ev.persistency);
+            }
+            m
+        })
+        .collect();
+    let global = CoverageMap::new();
+    std::thread::scope(|s| {
+        for local in &locals {
+            let global = &global;
+            s.spawn(move || {
+                global.merge_from(local);
+            });
+        }
+    });
+    for local in &locals {
+        let probe = global.clone();
+        assert_eq!(
+            probe.merge_from(local),
+            (0, 0),
+            "global map must already contain every worker's coverage"
+        );
+    }
+}

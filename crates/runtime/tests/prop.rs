@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn coverage_merge_laws(accesses in prop::collection::vec(
         (0u64..32, 0u8..2, any::<bool>()), 1..60)) {
-        let mut src = CoverageMap::new();
+        let src = CoverageMap::new();
         let s0 = site!("prop.a");
         let s1 = site!("prop.b");
         for (g, t, unp) in &accesses {
@@ -69,7 +69,7 @@ proptest! {
             src.record_access(*g, site, ThreadId(u32::from(*t)), p);
         }
         src.record_branch(s0);
-        let mut dst = CoverageMap::new();
+        let dst = CoverageMap::new();
         let (a1, b1) = dst.merge_from(&src);
         prop_assert_eq!(a1, src.alias_pairs());
         prop_assert_eq!(b1, src.branches());

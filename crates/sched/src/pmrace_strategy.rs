@@ -310,12 +310,7 @@ mod tests {
         }
     }
 
-    fn ctx<'a>(
-        off: u64,
-        site: Site,
-        tid: u32,
-        cancelled: &'a dyn Fn() -> bool,
-    ) -> AccessCtx<'a> {
+    fn ctx<'a>(off: u64, site: Site, tid: u32, cancelled: &'a dyn Fn() -> bool) -> AccessCtx<'a> {
         AccessCtx {
             off,
             len: 8,
@@ -346,7 +341,10 @@ mod tests {
         let cancelled = || false;
         strat.after_store(&ctx(64, s, 0, &cancelled));
         let waited = reader.join().unwrap();
-        assert!(waited >= Duration::from_millis(5), "reader returned early: {waited:?}");
+        assert!(
+            waited >= Duration::from_millis(5),
+            "reader returned early: {waited:?}"
+        );
         assert_eq!(strat.signals_sent(), 1);
         assert_eq!(strat.waits_entered(), 1);
     }

@@ -1,0 +1,110 @@
+//! Minimal API-compatible stand-in for the `parking_lot` crate, backed by
+//! `std::sync` primitives.
+//!
+//! The build environment for this repository is fully offline, so external
+//! crates cannot be fetched. This shim provides the exact subset of the
+//! `parking_lot` 0.12 API the workspace uses: non-poisoning `Mutex` /
+//! `RwLock` with guard-returning `lock()` / `read()` / `write()` and
+//! `into_inner()`. Poisoned std locks are transparently recovered (parking
+//! lot has no poisoning), which matches how the workspace treats panics in
+//! worker threads: the data is still consumed afterwards.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{self, LockResult, PoisonError};
+
+/// Re-export of the std guard; `parking_lot` users never name it explicitly.
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Shared-read guard.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+fn recover<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A mutual-exclusion lock without poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `t`.
+    pub fn new(t: T) -> Self {
+        Self(sync::Mutex::new(t))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        recover(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        recover(self.0.lock())
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.0.get_mut())
+    }
+}
+
+/// A reader-writer lock without poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock protecting `t`.
+    pub fn new(t: T) -> Self {
+        Self(sync::RwLock::new(t))
+    }
+
+    /// Consumes the rwlock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        recover(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        recover(self.0.read())
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        recover(self.0.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+}

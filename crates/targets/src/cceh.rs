@@ -98,9 +98,7 @@ impl Cceh {
         let dir = view
             .load_u64(root + R_DIR_OFF, site!("cceh.recover.read_dir"))?
             .value();
-        let first_seg = view
-            .load_u64(dir, site!("cceh.recover.read_seg0"))?
-            .value();
+        let first_seg = view.load_u64(dir, site!("cceh.recover.read_seg0"))?.value();
         let this = Cceh { alloc, root };
         this.register_annotations(session, first_seg);
         Ok(this)
@@ -160,11 +158,21 @@ impl Cceh {
         loop {
             let (seg, gd, idx) = self.seg_for(view, key)?;
             // Bug 6 shape: segment locks are persisted after acquisition.
-            pm_lock_acquire(view, seg.value() + S_LOCK, site!("CCEH.h:86.seg_lock"), true)?;
+            pm_lock_acquire(
+                view,
+                seg.value() + S_LOCK,
+                site!("CCEH.h:86.seg_lock"),
+                true,
+            )?;
             // Revalidate against splits that raced the lock.
             let (seg2, gd2, _) = self.seg_for(view, key)?;
             if seg2.value() != seg.value() || gd2 != gd {
-                pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.put.unlock_raced"), true)?;
+                pm_lock_release(
+                    view,
+                    seg.value() + S_LOCK,
+                    site!("cceh.put.unlock_raced"),
+                    true,
+                )?;
                 continue;
             }
             let h = hash64(key);
@@ -194,7 +202,12 @@ impl Cceh {
             }
             // Segment full: split (keeping the segment lock) then retry.
             self.split(view, seg.value(), gd, idx)?;
-            pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.put.unlock_split"), true)?;
+            pm_lock_release(
+                view,
+                seg.value() + S_LOCK,
+                site!("cceh.put.unlock_split"),
+                true,
+            )?;
         }
     }
 
@@ -261,7 +274,12 @@ impl Cceh {
     /// derived from the unflushed value is durably written.
     fn double_directory(&self, view: &PmView) -> Result<(), RtError> {
         view.branch(site!("cceh.double"));
-        pm_lock_acquire(view, self.root + R_DIR_LOCK, site!("cceh.double.dir_lock"), true)?;
+        pm_lock_acquire(
+            view,
+            self.root + R_DIR_LOCK,
+            site!("cceh.double.dir_lock"),
+            true,
+        )?;
         let gd = view
             .load_u64(self.root + R_GDEPTH, site!("cceh.double.read_gdepth"))?
             .value();
@@ -270,7 +288,11 @@ impl Cceh {
             .value();
         let old_cap = 1u64 << gd;
         // Store the doubled capacity with a plain store (no flush yet)...
-        view.store_u64(self.root + R_CAPACITY, old_cap * 2, site!("CCEH.h:165.store_capacity"))?;
+        view.store_u64(
+            self.root + R_CAPACITY,
+            old_cap * 2,
+            site!("CCEH.h:165.store_capacity"),
+        )?;
         // ...and immediately read it back: an intra-thread candidate.
         let cap = view.load_u64(self.root + R_CAPACITY, site!("CCEH.cpp:171.read_capacity"))?;
         let new_dir = self
@@ -284,11 +306,32 @@ impl Cceh {
         }
         // Durable side effect of the unflushed capacity: directory metadata
         // derived from it is written with a non-temporal store.
-        view.ntstore_u64(self.root + R_DIR_META, cap, site!("CCEH.cpp:173.store_dir_meta"))?;
-        view.ntstore_u64(self.root + R_DIR_OFF, new_dir, site!("cceh.double.swap_dir"))?;
-        view.ntstore_u64(self.root + R_GDEPTH, gd + 1, site!("cceh.double.bump_gdepth"))?;
-        view.persist(self.root + R_CAPACITY, 8, site!("cceh.double.flush_capacity"))?;
-        pm_lock_release(view, self.root + R_DIR_LOCK, site!("cceh.double.unlock"), true)?;
+        view.ntstore_u64(
+            self.root + R_DIR_META,
+            cap,
+            site!("CCEH.cpp:173.store_dir_meta"),
+        )?;
+        view.ntstore_u64(
+            self.root + R_DIR_OFF,
+            new_dir,
+            site!("cceh.double.swap_dir"),
+        )?;
+        view.ntstore_u64(
+            self.root + R_GDEPTH,
+            gd + 1,
+            site!("cceh.double.bump_gdepth"),
+        )?;
+        view.persist(
+            self.root + R_CAPACITY,
+            8,
+            site!("cceh.double.flush_capacity"),
+        )?;
+        pm_lock_release(
+            view,
+            self.root + R_DIR_LOCK,
+            site!("cceh.double.unlock"),
+            true,
+        )?;
         Ok(())
     }
 
@@ -326,7 +369,12 @@ impl Cceh {
             pm_lock_acquire(view, seg.value() + S_LOCK, site!("cceh.del.lock"), true)?;
             let (seg2, gd2, _) = self.seg_for(view, key)?;
             if seg2.value() != seg.value() || gd2 != gd {
-                pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.del.unlock_raced"), true)?;
+                pm_lock_release(
+                    view,
+                    seg.value() + S_LOCK,
+                    site!("cceh.del.unlock_raced"),
+                    true,
+                )?;
                 continue;
             }
             let h = hash64(key);
@@ -344,7 +392,11 @@ impl Cceh {
                 }
             }
             pm_lock_release(view, seg.value() + S_LOCK, site!("cceh.del.unlock"), true)?;
-            return Ok(if found { OpResult::Done } else { OpResult::Missing });
+            return Ok(if found {
+                OpResult::Done
+            } else {
+                OpResult::Missing
+            });
         }
     }
 }
@@ -386,7 +438,10 @@ mod tests {
     use pmrace_runtime::SessionConfig;
 
     fn fresh() -> (Arc<Session>, Cceh) {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let t = Cceh::init(&session).unwrap();
         (session, t)
     }
@@ -441,8 +496,10 @@ mod tests {
             .into_iter()
             .find(|a| a.name == "cceh.segment_lock")
             .unwrap();
-        v.store_u64(ann.off, 1u64, pmrace_runtime::site!("test.poison_lock")).unwrap();
-        v.persist(ann.off, 8, pmrace_runtime::site!("test.poison_flush")).unwrap();
+        v.store_u64(ann.off, 1u64, pmrace_runtime::site!("test.poison_lock"))
+            .unwrap();
+        v.persist(ann.off, 8, pmrace_runtime::site!("test.poison_flush"))
+            .unwrap();
         let img = s.pool().crash_image().unwrap();
         let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
         let s2 = Session::new(
@@ -462,9 +519,7 @@ mod tests {
         assert_eq!(s2.pool().load_u64(ann2.off).unwrap().0, 1);
         // And any write into that segment hangs.
         let v2 = s2.view(ThreadId(1));
-        let stuck = (1..64u64).find(|&k| {
-            matches!(t2.put(&v2, k, 0), Err(RtError::Timeout))
-        });
+        let stuck = (1..64u64).find(|&k| matches!(t2.put(&v2, k, 0), Err(RtError::Timeout)));
         assert!(stuck.is_some(), "no key mapped to the poisoned segment");
     }
 

@@ -72,20 +72,44 @@ impl Clevel {
         let meta = tx.alloc(META_SIZE)?;
         // Store the meta pointer with a plain store (inside the tx, flushed
         // at commit in PMDK; transiently dirty here).
-        view.store_u64(root + R_META, meta, site!("clevel.pmdk_tx_alloc.store_meta"))?;
+        view.store_u64(
+            root + R_META,
+            meta,
+            site!("clevel.pmdk_tx_alloc.store_meta"),
+        )?;
         // Fig. 7: read the *non-persisted* meta pointer back...
         let m = view.load_u64(root + R_META, site!("clevel.pmdk_tx_alloc.read_meta"))?;
         // ...and allocate the levels based on it: durable side effects on a
         // tainted address — benign under the tx, whitelisted by default.
         let first = tx.alloc((FIRST_LEVEL_SLOTS * 16) as usize)?;
         let last = tx.alloc((LAST_LEVEL_SLOTS * 16) as usize)?;
-        view.ntstore_u64(m.clone() + M_FIRST_LEVEL, first, site!("clevel.pmdk_tx_alloc.first_level"))?;
-        view.ntstore_u64(m.clone() + M_LAST_LEVEL, last, site!("clevel.pmdk_tx_alloc.last_level"))?;
-        view.ntstore_u64(m.clone() + M_FIRST_CAP, FIRST_LEVEL_SLOTS, site!("clevel.pmdk_tx_alloc.first_cap"))?;
-        view.ntstore_u64(m.clone() + M_LAST_CAP, LAST_LEVEL_SLOTS, site!("clevel.pmdk_tx_alloc.last_cap"))?;
+        view.ntstore_u64(
+            m.clone() + M_FIRST_LEVEL,
+            first,
+            site!("clevel.pmdk_tx_alloc.first_level"),
+        )?;
+        view.ntstore_u64(
+            m.clone() + M_LAST_LEVEL,
+            last,
+            site!("clevel.pmdk_tx_alloc.last_level"),
+        )?;
+        view.ntstore_u64(
+            m.clone() + M_FIRST_CAP,
+            FIRST_LEVEL_SLOTS,
+            site!("clevel.pmdk_tx_alloc.first_cap"),
+        )?;
+        view.ntstore_u64(
+            m.clone() + M_LAST_CAP,
+            LAST_LEVEL_SLOTS,
+            site!("clevel.pmdk_tx_alloc.last_cap"),
+        )?;
         for s in 0..FIRST_LEVEL_SLOTS {
             view.ntstore_u64(first + s * 16, 0u64, site!("clevel.init.zero_first"))?;
-            view.ntstore_u64(first + s * 16 + 8, 0u64, site!("clevel.init.zero_first_val"))?;
+            view.ntstore_u64(
+                first + s * 16 + 8,
+                0u64,
+                site!("clevel.init.zero_first_val"),
+            )?;
         }
         for s in 0..LAST_LEVEL_SLOTS {
             view.ntstore_u64(last + s * 16, 0u64, site!("clevel.init.zero_last"))?;
@@ -93,7 +117,11 @@ impl Clevel {
         }
         view.persist(root + R_META, 8, site!("clevel.init.flush_meta"))?;
         tx.commit()?;
-        Ok(Clevel { alloc, meta, expand_lock: Mutex::new(()) })
+        Ok(Clevel {
+            alloc,
+            meta,
+            expand_lock: Mutex::new(()),
+        })
     }
 
     /// Reopen an existing pool: an interrupted construction transaction is
@@ -116,7 +144,11 @@ impl Clevel {
             drop(alloc);
             return Self::init(session);
         }
-        Ok(Clevel { alloc, meta, expand_lock: Mutex::new(()) })
+        Ok(Clevel {
+            alloc,
+            meta,
+            expand_lock: Mutex::new(()),
+        })
     }
 
     /// Level expansion (clevel's resize): allocate a doubled top level,
@@ -134,7 +166,11 @@ impl Clevel {
             .map_err(RtError::from)?;
         for s in 0..new_cap {
             view.ntstore_u64(new_level + s * 16, 0u64, site!("clevel.expand.zero_key"))?;
-            view.ntstore_u64(new_level + s * 16 + 8, 0u64, site!("clevel.expand.zero_val"))?;
+            view.ntstore_u64(
+                new_level + s * 16 + 8,
+                0u64,
+                site!("clevel.expand.zero_val"),
+            )?;
         }
         // Rehash the (old) bottom level into the new top or old top. The
         // rehasher only moves *persisted* items: moving a concurrently
@@ -168,7 +204,11 @@ impl Clevel {
                     let (claimed, _) =
                         view.cas_u64(dst.clone(), 0, k.clone(), site!("clevel.expand.claim"))?;
                     if claimed {
-                        view.store_u64(dst.clone() + 8u64, v.clone(), site!("clevel.expand.store_val"))?;
+                        view.store_u64(
+                            dst.clone() + 8u64,
+                            v.clone(),
+                            site!("clevel.expand.store_val"),
+                        )?;
                         view.persist(dst, 16, site!("clevel.expand.flush"))?;
                         placed = true;
                         break;
@@ -180,10 +220,26 @@ impl Clevel {
             }
         }
         // Rotate: old top becomes bottom; new level becomes top.
-        view.ntstore_u64(self.meta + M_LAST_LEVEL, first.clone(), site!("clevel.expand.set_last"))?;
-        view.ntstore_u64(self.meta + M_LAST_CAP, fcap, site!("clevel.expand.set_last_cap"))?;
-        view.ntstore_u64(self.meta + M_FIRST_LEVEL, new_level, site!("clevel.expand.set_first"))?;
-        view.ntstore_u64(self.meta + M_FIRST_CAP, new_cap, site!("clevel.expand.set_first_cap"))?;
+        view.ntstore_u64(
+            self.meta + M_LAST_LEVEL,
+            first.clone(),
+            site!("clevel.expand.set_last"),
+        )?;
+        view.ntstore_u64(
+            self.meta + M_LAST_CAP,
+            fcap,
+            site!("clevel.expand.set_last_cap"),
+        )?;
+        view.ntstore_u64(
+            self.meta + M_FIRST_LEVEL,
+            new_level,
+            site!("clevel.expand.set_first"),
+        )?;
+        view.ntstore_u64(
+            self.meta + M_FIRST_CAP,
+            new_cap,
+            site!("clevel.expand.set_first_cap"),
+        )?;
         let _ = self.alloc.free(last.value(), view.tid());
         Ok(())
     }
@@ -281,7 +337,8 @@ impl Clevel {
             let start = hash64(key) % cap;
             for p in 0..PROBE {
                 let koff = base.clone() + ((start + p) % cap) * 16;
-                let (cleared, _) = view.cas_u64(koff.clone(), key, 0, site!("clevel.del.cas_key"))?;
+                let (cleared, _) =
+                    view.cas_u64(koff.clone(), key, 0, site!("clevel.del.cas_key"))?;
                 if cleared {
                     view.persist(koff, 8, site!("clevel.del.flush"))?;
                     return Ok(OpResult::Done);
@@ -329,7 +386,10 @@ mod tests {
     use pmrace_runtime::SessionConfig;
 
     fn fresh() -> (Arc<Session>, Clevel) {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let t = Clevel::init(&session).unwrap();
         (session, t)
     }
@@ -367,7 +427,10 @@ mod tests {
 
     #[test]
     fn interrupted_construction_rebuilds_on_recovery() {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let view = session.view(ThreadId(0));
         let alloc = PmAllocator::format(Arc::clone(session.pool()), view.tid()).unwrap();
         let root = alloc.alloc(ROOT_SIZE, view.tid()).unwrap();

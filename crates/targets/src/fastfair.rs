@@ -108,11 +108,27 @@ impl FastFair {
         tx.commit()?;
         // Field initialization with plain stores then a flush: the brief
         // dirty window is what the whitelist declares benign.
-        view.store_u64(node + N_SIBLING, 0u64, site!("fastfair.pmdk_tx_alloc.init_sibling"))?;
-        view.store_u64(node + N_LOCK, 0u64, site!("fastfair.pmdk_tx_alloc.init_lock"))?;
+        view.store_u64(
+            node + N_SIBLING,
+            0u64,
+            site!("fastfair.pmdk_tx_alloc.init_sibling"),
+        )?;
+        view.store_u64(
+            node + N_LOCK,
+            0u64,
+            site!("fastfair.pmdk_tx_alloc.init_lock"),
+        )?;
         for e in 0..FANOUT {
-            view.store_u64(node + N_ENTRIES + e * 16, 0u64, site!("fastfair.pmdk_tx_alloc.zero_key"))?;
-            view.store_u64(node + N_ENTRIES + e * 16 + 8, 0u64, site!("fastfair.pmdk_tx_alloc.zero_val"))?;
+            view.store_u64(
+                node + N_ENTRIES + e * 16,
+                0u64,
+                site!("fastfair.pmdk_tx_alloc.zero_key"),
+            )?;
+            view.store_u64(
+                node + N_ENTRIES + e * 16 + 8,
+                0u64,
+                site!("fastfair.pmdk_tx_alloc.zero_val"),
+            )?;
         }
         view.persist(node, NODE_SIZE, site!("fastfair.pmdk_tx_alloc.flush_node"))?;
         Ok(node)
@@ -122,7 +138,10 @@ impl FastFair {
     /// keeps no explicit count).
     fn count_entries(view: &PmView, node: &TU64) -> Result<u64, RtError> {
         for e in 0..FANOUT {
-            let k = view.load_u64(node.clone() + N_ENTRIES + e * 16, site!("fastfair.count.scan"))?;
+            let k = view.load_u64(
+                node.clone() + N_ENTRIES + e * 16,
+                site!("fastfair.count.scan"),
+            )?;
             if k == 0u64 {
                 return Ok(e);
             }
@@ -137,12 +156,14 @@ impl FastFair {
         let mut hops = 0;
         loop {
             view.check()?;
-            let sibling = view.load_u64(node.clone() + N_SIBLING, site!("btree.h:876.read_sibling"))?;
+            let sibling =
+                view.load_u64(node.clone() + N_SIBLING, site!("btree.h:876.read_sibling"))?;
             if sibling == 0u64 || hops > 1024 {
                 return Ok(node);
             }
             // The sibling's first key bounds its range from below.
-            let sib_min = view.load_u64(sibling.clone() + N_ENTRIES, site!("fastfair.read_sib_min"))?;
+            let sib_min =
+                view.load_u64(sibling.clone() + N_ENTRIES, site!("fastfair.read_sib_min"))?;
             if sib_min != 0u64 && key >= sib_min.value() {
                 node = sibling;
                 hops += 1;
@@ -161,14 +182,25 @@ impl FastFair {
         view.branch(site!("fastfair.put"));
         loop {
             let node = self.find_leaf(view, key)?;
-            pm_lock_acquire(view, node.value() + N_LOCK, site!("fastfair.put.lock"), false)?;
+            pm_lock_acquire(
+                view,
+                node.value() + N_LOCK,
+                site!("fastfair.put.lock"),
+                false,
+            )?;
             // Revalidate: a split may have moved our range while locking.
-            let sibling = view.load_u64(node.clone() + N_SIBLING, site!("btree.h:876.read_sibling"))?;
+            let sibling =
+                view.load_u64(node.clone() + N_SIBLING, site!("btree.h:876.read_sibling"))?;
             if sibling != 0u64 {
                 let sib_min =
                     view.load_u64(sibling.clone() + N_ENTRIES, site!("fastfair.read_sib_min"))?;
                 if sib_min != 0u64 && key >= sib_min.value() {
-                    pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock_raced"), false)?;
+                    pm_lock_release(
+                        view,
+                        node.value() + N_LOCK,
+                        site!("fastfair.put.unlock_raced"),
+                        false,
+                    )?;
                     continue;
                 }
             }
@@ -191,12 +223,22 @@ impl FastFair {
                 }
             }
             if updated {
-                pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock"), false)?;
+                pm_lock_release(
+                    view,
+                    node.value() + N_LOCK,
+                    site!("fastfair.put.unlock"),
+                    false,
+                )?;
                 return Ok(OpResult::Done);
             }
             if nkeys == FANOUT {
                 self.split(view, &node)?;
-                pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock_split"), false)?;
+                pm_lock_release(
+                    view,
+                    node.value() + N_LOCK,
+                    site!("fastfair.put.unlock_split"),
+                    false,
+                )?;
                 continue;
             }
             // FAST insertion: shift entries right with persisted 8-byte
@@ -219,7 +261,12 @@ impl FastFair {
             view.store_u64(koff.clone() + 8u64, value, site!("fastfair.put.store_val"))?;
             view.store_u64(koff.clone(), key, site!("fastfair.put.store_key"))?;
             view.persist(koff, 16, site!("fastfair.put.flush_entry"))?;
-            pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.put.unlock"), false)?;
+            pm_lock_release(
+                view,
+                node.value() + N_LOCK,
+                site!("fastfair.put.unlock"),
+                false,
+            )?;
             return Ok(OpResult::Done);
         }
     }
@@ -242,8 +289,15 @@ impl FastFair {
             view.store_u64(dst, k, site!("fastfair.split.copy_key"))?;
             view.persist(dst, 16, site!("fastfair.split.flush_copy"))?;
         }
-        let old_sibling = view.load_u64(node.clone() + N_SIBLING, site!("fastfair.split.read_old_sib"))?;
-        view.store_u64(new_node + N_SIBLING, old_sibling, site!("fastfair.split.chain_sib"))?;
+        let old_sibling = view.load_u64(
+            node.clone() + N_SIBLING,
+            site!("fastfair.split.read_old_sib"),
+        )?;
+        view.store_u64(
+            new_node + N_SIBLING,
+            old_sibling,
+            site!("fastfair.split.chain_sib"),
+        )?;
         view.persist(new_node, NODE_SIZE, site!("fastfair.split.flush_new"))?;
         for e in (half..FANOUT).rev() {
             let src = node.clone() + N_ENTRIES + e * 16;
@@ -252,8 +306,16 @@ impl FastFair {
         }
         // Bug 8: publish the sibling pointer with a plain store; the flush
         // comes after the scheduler's writer stall.
-        view.store_u64(node.clone() + N_SIBLING, new_node, site!("btree.h:560.store_sibling"))?;
-        view.persist(node.clone() + N_SIBLING, 8, site!("btree.h:561.flush_sibling"))?;
+        view.store_u64(
+            node.clone() + N_SIBLING,
+            new_node,
+            site!("btree.h:560.store_sibling"),
+        )?;
+        view.persist(
+            node.clone() + N_SIBLING,
+            8,
+            site!("btree.h:561.flush_sibling"),
+        )?;
         Ok(())
     }
 
@@ -287,7 +349,12 @@ impl FastFair {
     pub fn del(&self, view: &PmView, key: u64) -> Result<OpResult, RtError> {
         view.branch(site!("fastfair.del"));
         let node = self.find_leaf(view, key)?;
-        pm_lock_acquire(view, node.value() + N_LOCK, site!("fastfair.del.lock"), false)?;
+        pm_lock_acquire(
+            view,
+            node.value() + N_LOCK,
+            site!("fastfair.del.lock"),
+            false,
+        )?;
         let nkeys = Self::count_entries(view, &node)?;
         let mut found = false;
         for e in 0..nkeys {
@@ -312,8 +379,17 @@ impl FastFair {
                 view.persist(koff, 16, site!("fastfair.del.flush_shift"))?;
             }
         }
-        pm_lock_release(view, node.value() + N_LOCK, site!("fastfair.del.unlock"), false)?;
-        Ok(if found { OpResult::Done } else { OpResult::Missing })
+        pm_lock_release(
+            view,
+            node.value() + N_LOCK,
+            site!("fastfair.del.unlock"),
+            false,
+        )?;
+        Ok(if found {
+            OpResult::Done
+        } else {
+            OpResult::Missing
+        })
     }
 }
 
@@ -355,7 +431,10 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn fresh() -> (Arc<Session>, FastFair) {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let t = FastFair::init(&session).unwrap();
         (session, t)
     }
@@ -381,7 +460,10 @@ mod tests {
         let v = s.view(ThreadId(0));
         let mut model = BTreeMap::new();
         // Interleave ascending/descending/middle insertions to hit shifting.
-        let keys: Vec<u64> = (1..=40).chain((41..=80).rev()).chain([100, 90, 85]).collect();
+        let keys: Vec<u64> = (1..=40)
+            .chain((41..=80).rev())
+            .chain([100, 90, 85])
+            .collect();
         for (i, k) in keys.iter().enumerate() {
             t.put(&v, *k, i as u64 + 1).unwrap();
             model.insert(*k, i as u64 + 1);
@@ -433,7 +515,11 @@ mod tests {
             assert_eq!(t.del(&v, k).unwrap(), OpResult::Done, "del {k}");
         }
         for k in 1..=30u64 {
-            let want = if k % 2 == 1 { OpResult::Missing } else { OpResult::Found(k) };
+            let want = if k % 2 == 1 {
+                OpResult::Missing
+            } else {
+                OpResult::Found(k)
+            };
             assert_eq!(t.get(&v, k).unwrap(), want, "key {k}");
         }
         t.put(&v, 7, 700).unwrap();
@@ -447,14 +533,12 @@ mod tests {
         for k in 1..=15u64 {
             t.put(&w, k * 2, k).unwrap(); // forces one split
         }
-        let node0 = t
-            .find_leaf(&w, 1)
-            .unwrap()
-            .value();
+        let node0 = t.find_leaf(&w, 1).unwrap().value();
         let sib = s.pool().load_u64(node0 + N_SIBLING).unwrap().0;
         assert_ne!(sib, 0, "split must have happened");
         // Re-dirty the sibling pointer (the unflushed 560 store state).
-        w.store_u64(node0 + N_SIBLING, sib, site!("btree.h:560.store_sibling")).unwrap();
+        w.store_u64(node0 + N_SIBLING, sib, site!("btree.h:560.store_sibling"))
+            .unwrap();
         let r = s.view(ThreadId(1));
         let sib_min = s.pool().load_u64(sib + N_ENTRIES).unwrap().0;
         t.put(&r, sib_min + 1, 9).unwrap();

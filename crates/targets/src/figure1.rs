@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn buggy_interleaving_raises_inter_inconsistency_and_loses_y() {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         Figure1::annotate(&session);
         let t1 = session.view(ThreadId(0));
         let t2 = session.view(ThreadId(1));
@@ -115,7 +118,10 @@ mod tests {
 
     #[test]
     fn correct_interleaving_is_clean() {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let t1 = session.view(ThreadId(0));
         let t2 = session.view(ThreadId(1));
         // Thread-2 runs after thread-1's flush: candidate-free.
@@ -131,7 +137,10 @@ mod tests {
 
     #[test]
     fn crash_after_lock_persists_the_locked_state() {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         Figure1::annotate(&session);
         let t2 = session.view(ThreadId(1));
         pm_lock_acquire(&t2, G, site!("figure1.lock_g_test"), true).unwrap();

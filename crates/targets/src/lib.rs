@@ -144,6 +144,9 @@ pub trait Target: Send + Sync {
     }
 }
 
+/// Constructor building a target instance over a session.
+pub type TargetCtor = fn(&Arc<Session>) -> Result<Arc<dyn Target>, RtError>;
+
 /// Constructor table entry for a target system.
 #[derive(Clone, Copy)]
 pub struct TargetSpec {
@@ -151,16 +154,18 @@ pub struct TargetSpec {
     pub name: &'static str,
     /// Format a fresh pool and build an empty instance (registers sync-var
     /// annotations on the session).
-    pub init: fn(&Arc<Session>) -> Result<Arc<dyn Target>, RtError>,
+    pub init: TargetCtor,
     /// Reopen an existing pool running the system's recovery code.
-    pub recover: fn(&Arc<Session>) -> Result<Arc<dyn Target>, RtError>,
+    pub recover: TargetCtor,
     /// Pool options this target wants.
     pub pool: fn() -> PoolOpts,
 }
 
 impl std::fmt::Debug for TargetSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TargetSpec").field("name", &self.name).finish()
+        f.debug_struct("TargetSpec")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -68,7 +68,12 @@ fn parse_key(tok: &str) -> Option<u64> {
     if let Ok(n) = digits.parse::<u64>() {
         return Some(n.max(1));
     }
-    Some(crate::util::hash64(tok.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(u64::from(b)))) | 1)
+    Some(
+        crate::util::hash64(
+            tok.bytes()
+                .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(u64::from(b))),
+        ) | 1,
+    )
 }
 
 impl MemKv {
@@ -160,7 +165,9 @@ impl MemKv {
                         // value matches the client's token.
                         let expected = cas_expected.unwrap_or(0);
                         match self.get(view, key)? {
-                            OpResult::Found(cur) if cur == expected => self.set(view, key, value)?,
+                            OpResult::Found(cur) if cur == expected => {
+                                self.set(view, key, value)?
+                            }
                             OpResult::Found(_) => {
                                 view.branch(site!("memkv.proto.update.cas_exists"));
                                 return Ok("EXISTS".to_owned());
@@ -253,7 +260,10 @@ mod tests {
     use std::sync::Arc;
 
     fn fresh() -> (Arc<Session>, MemKv) {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let t = MemKv::init(&session).unwrap();
         (session, t)
     }
@@ -274,7 +284,10 @@ mod tests {
     fn set_then_get_via_protocol() {
         let (s, t) = fresh();
         let v = s.view(ThreadId(0));
-        assert_eq!(t.process_command(&v, "set key7 0 0 8 42").unwrap(), "STORED");
+        assert_eq!(
+            t.process_command(&v, "set key7 0 0 8 42").unwrap(),
+            "STORED"
+        );
         let reply = t.process_command(&v, "get key7").unwrap();
         assert!(reply.contains("VALUE 7"), "{reply}");
         assert!(reply.contains("42"));
@@ -288,7 +301,10 @@ mod tests {
         t.process_command(&v, "set key3 0 0 8 10").unwrap();
         assert_eq!(t.process_command(&v, "incr key3 5").unwrap(), "15");
         assert_eq!(t.process_command(&v, "decr key3 100").unwrap(), "0");
-        assert_eq!(t.process_command(&v, "incr missing 1").unwrap(), "NOT_FOUND");
+        assert_eq!(
+            t.process_command(&v, "incr missing 1").unwrap(),
+            "NOT_FOUND"
+        );
         assert_eq!(t.process_command(&v, "delete key3").unwrap(), "DELETED");
         assert_eq!(t.process_command(&v, "delete key3").unwrap(), "NOT_FOUND");
     }
@@ -297,10 +313,19 @@ mod tests {
     fn add_replace_append_via_protocol() {
         let (s, t) = fresh();
         let v = s.view(ThreadId(0));
-        assert_eq!(t.process_command(&v, "replace k1 0 0 8 5").unwrap(), "NOT_STORED");
+        assert_eq!(
+            t.process_command(&v, "replace k1 0 0 8 5").unwrap(),
+            "NOT_STORED"
+        );
         assert_eq!(t.process_command(&v, "add k1 0 0 8 5").unwrap(), "STORED");
-        assert_eq!(t.process_command(&v, "add k1 0 0 8 6").unwrap(), "NOT_STORED");
-        assert_eq!(t.process_command(&v, "append k1 0 0 8 3").unwrap(), "STORED");
+        assert_eq!(
+            t.process_command(&v, "add k1 0 0 8 6").unwrap(),
+            "NOT_STORED"
+        );
+        assert_eq!(
+            t.process_command(&v, "append k1 0 0 8 3").unwrap(),
+            "STORED"
+        );
         let reply = t.process_command(&v, "get k1").unwrap();
         assert!(reply.contains('8'), "5+3: {reply}");
     }
@@ -317,12 +342,24 @@ mod tests {
         assert!(!reply.contains("VALUE 9"), "{reply}");
         assert!(reply.ends_with("END"));
         // cas: wrong token -> EXISTS, right token -> STORED, missing -> NOT_FOUND.
-        assert_eq!(t.process_command(&v, "cas key1 0 0 8 99 11").unwrap(), "EXISTS");
-        assert_eq!(t.process_command(&v, "cas key1 0 0 8 10 11").unwrap(), "STORED");
+        assert_eq!(
+            t.process_command(&v, "cas key1 0 0 8 99 11").unwrap(),
+            "EXISTS"
+        );
+        assert_eq!(
+            t.process_command(&v, "cas key1 0 0 8 10 11").unwrap(),
+            "STORED"
+        );
         let reply = t.process_command(&v, "get key1").unwrap();
         assert!(reply.contains("11"), "{reply}");
-        assert_eq!(t.process_command(&v, "cas key7 0 0 8 1 2").unwrap(), "NOT_FOUND");
-        assert!(t.process_command(&v, "cas key1 0 0 8 nope").unwrap().starts_with("CLIENT_ERROR"));
+        assert_eq!(
+            t.process_command(&v, "cas key7 0 0 8 1 2").unwrap(),
+            "NOT_FOUND"
+        );
+        assert!(t
+            .process_command(&v, "cas key1 0 0 8 nope")
+            .unwrap()
+            .starts_with("CLIENT_ERROR"));
     }
 
     #[test]
@@ -331,10 +368,22 @@ mod tests {
         let v = s.view(ThreadId(0));
         assert_eq!(t.process_command(&v, "").unwrap(), "ERROR");
         assert_eq!(t.process_command(&v, "\x01\x02 junk").unwrap(), "ERROR");
-        assert!(t.process_command(&v, "set onlykey").unwrap().starts_with("CLIENT_ERROR"));
-        assert!(t.process_command(&v, "set k 0 0 99999 1").unwrap().starts_with("SERVER_ERROR"));
-        assert!(t.process_command(&v, "incr k notanumber").unwrap().starts_with("CLIENT_ERROR"));
-        assert!(t.process_command(&v, "get").unwrap().starts_with("CLIENT_ERROR"));
+        assert!(t
+            .process_command(&v, "set onlykey")
+            .unwrap()
+            .starts_with("CLIENT_ERROR"));
+        assert!(t
+            .process_command(&v, "set k 0 0 99999 1")
+            .unwrap()
+            .starts_with("SERVER_ERROR"));
+        assert!(t
+            .process_command(&v, "incr k notanumber")
+            .unwrap()
+            .starts_with("CLIENT_ERROR"));
+        assert!(t
+            .process_command(&v, "get")
+            .unwrap()
+            .starts_with("CLIENT_ERROR"));
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl Pclht {
         let view = session.view(pmrace_pmem::ThreadId(0));
         let alloc = PmAllocator::open(Arc::clone(session.pool()), view.tid())?;
         let root = alloc.root()?;
-        view.ntstore_u64(root + R_RESIZE_LOCK, 0u64, site!("clht.recover.resize_lock"))?;
+        view.ntstore_u64(
+            root + R_RESIZE_LOCK,
+            0u64,
+            site!("clht.recover.resize_lock"),
+        )?;
         view.ntstore_u64(root + R_GC_LOCK, 0u64, site!("clht.recover.gc_lock"))?;
         view.ntstore_u64(root + R_STATUS, 0u64, site!("clht.recover.status"))?;
         // NOTE (Bug 2): bucket locks are persistent but never reinitialized
@@ -235,7 +239,12 @@ impl Pclht {
             if sealed == 1u64 {
                 // Resize in progress on this table: release and retry on the
                 // (possibly new) table.
-                pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.put.unlock_sealed"), true)?;
+                pm_lock_release(
+                    view,
+                    bucket.value() + B_LOCK,
+                    site!("clht.put.unlock_sealed"),
+                    true,
+                )?;
                 view.spin_yield()?;
                 continue;
             }
@@ -248,7 +257,12 @@ impl Pclht {
                 // a redundant PM write searchers can observe unflushed.
                 view.store_u64(koff.clone(), key, site!("clht_lb_res.c:321.store_key"))?;
                 view.persist(koff, 24, site!("clht.put.flush_slot"))?;
-                pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.put.unlock"), true)?;
+                pm_lock_release(
+                    view,
+                    bucket.value() + B_LOCK,
+                    site!("clht.put.unlock"),
+                    true,
+                )?;
                 return Ok(OpResult::Done);
             }
             if let Some(koff) = free {
@@ -258,21 +272,40 @@ impl Pclht {
                 view.store_u64(voff, value, site!("clht_lb_res.c:489.store_val"))?;
                 view.store_u64(koff.clone(), key, site!("clht_lb_res.c:321.store_key"))?;
                 view.persist(koff, 24, site!("clht.put.flush_slot"))?;
-                pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.put.unlock"), true)?;
+                pm_lock_release(
+                    view,
+                    bucket.value() + B_LOCK,
+                    site!("clht.put.unlock"),
+                    true,
+                )?;
                 return Ok(OpResult::Done);
             }
             if depth < MAX_CHAIN {
                 // Chain a fresh overflow bucket and insert into it.
                 let nb = self.alloc_chain_bucket(view)?;
-                view.ntstore_u64(nb + B_SLOTS + 8, value, site!("clht_lb_res.c:489.store_val"))?;
+                view.ntstore_u64(
+                    nb + B_SLOTS + 8,
+                    value,
+                    site!("clht_lb_res.c:489.store_val"),
+                )?;
                 view.ntstore_u64(nb + B_SLOTS, key, site!("clht_lb_res.c:321.store_key"))?;
                 view.store_u64(last.clone() + B_NEXT, nb, site!("clht.put.link_chain"))?;
                 view.persist(last + B_NEXT, 8, site!("clht.put.flush_chain"))?;
-                pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.put.unlock"), true)?;
+                pm_lock_release(
+                    view,
+                    bucket.value() + B_LOCK,
+                    site!("clht.put.unlock"),
+                    true,
+                )?;
                 return Ok(OpResult::Done);
             }
             // Chain threshold exceeded: resize and retry.
-            pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.put.unlock_full"), true)?;
+            pm_lock_release(
+                view,
+                bucket.value() + B_LOCK,
+                site!("clht.put.unlock_full"),
+                true,
+            )?;
             self.resize(view, table.value())?;
         }
     }
@@ -307,7 +340,12 @@ impl Pclht {
             pm_lock_acquire(view, bucket.value() + B_LOCK, site!("clht.del.lock"), true)?;
             let sealed = view.load_u64(table.clone() + T_SEALED, site!("clht.del.read_sealed"))?;
             if sealed == 1u64 {
-                pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.del.unlock_sealed"), true)?;
+                pm_lock_release(
+                    view,
+                    bucket.value() + B_LOCK,
+                    site!("clht.del.unlock_sealed"),
+                    true,
+                )?;
                 view.spin_yield()?;
                 continue;
             }
@@ -317,8 +355,17 @@ impl Pclht {
                 view.store_u64(koff.clone(), 0u64, site!("clht.del.clear_key"))?;
                 view.persist(koff, 8, site!("clht.del.flush"))?;
             }
-            pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.del.unlock"), true)?;
-            return Ok(if hit { OpResult::Done } else { OpResult::Missing });
+            pm_lock_release(
+                view,
+                bucket.value() + B_LOCK,
+                site!("clht.del.unlock"),
+                true,
+            )?;
+            return Ok(if hit {
+                OpResult::Done
+            } else {
+                OpResult::Missing
+            });
         }
     }
 
@@ -333,7 +380,12 @@ impl Pclht {
         view.branch(site!("clht.update"));
         let (table, nbuckets) = self.read_table(view)?;
         let bucket = Self::bucket_off(&table, &nbuckets, key);
-        pm_lock_acquire(view, bucket.value() + B_LOCK, site!("clht.update.lock"), true)?;
+        pm_lock_acquire(
+            view,
+            bucket.value() + B_LOCK,
+            site!("clht.update.lock"),
+            true,
+        )?;
         let (found, _, _, _) = self.scan_chain(view, &bucket, key)?;
         if let Some(koff) = found {
             let voff = koff + 8u64;
@@ -346,10 +398,20 @@ impl Pclht {
             }
             view.store_u64(voff.clone(), value, site!("clht_lb_res.c:526.update_val"))?;
             view.persist(voff, 8, site!("clht.update.flush"))?;
-            pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.update.unlock_found"), true)?;
+            pm_lock_release(
+                view,
+                bucket.value() + B_LOCK,
+                site!("clht.update.unlock_found"),
+                true,
+            )?;
             return Ok(OpResult::Done);
         }
-        pm_lock_release(view, bucket.value() + B_LOCK, site!("clht.update.unlock"), true)?;
+        pm_lock_release(
+            view,
+            bucket.value() + B_LOCK,
+            site!("clht.update.unlock"),
+            true,
+        )?;
         Ok(OpResult::Missing)
     }
 
@@ -376,21 +438,39 @@ impl Pclht {
         }
         let nb = self.alloc_chain_bucket(view)?;
         view.ntstore_u64(nb + B_SLOTS, k.clone(), site!("clht.resize.migrate_key"))?;
-        view.ntstore_u64(nb + B_SLOTS + 8, v.clone(), site!("clht.resize.migrate_val"))?;
-        view.ntstore_u64(last.value() + B_NEXT, nb, site!("clht.resize.migrate_chain"))?;
+        view.ntstore_u64(
+            nb + B_SLOTS + 8,
+            v.clone(),
+            site!("clht.resize.migrate_val"),
+        )?;
+        view.ntstore_u64(
+            last.value() + B_NEXT,
+            nb,
+            site!("clht.resize.migrate_chain"),
+        )?;
         Ok(())
     }
 
     /// Resize: allocate a doubled table, migrate, publish, GC the old table.
     fn resize(&self, view: &PmView, old_table: u64) -> Result<(), RtError> {
         view.branch(site!("clht.resize"));
-        pm_lock_acquire(view, self.root + R_RESIZE_LOCK, site!("clht.resize.lock"), true)?;
+        pm_lock_acquire(
+            view,
+            self.root + R_RESIZE_LOCK,
+            site!("clht.resize.lock"),
+            true,
+        )?;
         // Another thread may have resized while we waited.
         let current = view
             .load_u64(self.root + R_HT_OFF, site!("clht.resize.recheck"))?
             .value();
         if current != old_table {
-            pm_lock_release(view, self.root + R_RESIZE_LOCK, site!("clht.resize.unlock_raced"), true)?;
+            pm_lock_release(
+                view,
+                self.root + R_RESIZE_LOCK,
+                site!("clht.resize.unlock_raced"),
+                true,
+            )?;
             return Ok(());
         }
         view.store_u64(self.root + R_STATUS, 1u64, site!("clht.resize.status_on"))?;
@@ -409,7 +489,12 @@ impl Pclht {
         // each root bucket's whole chain.
         for b in 0..old_nb {
             let root = old_table + T_BUCKETS + b * BUCKET_SIZE;
-            pm_lock_acquire(view, root + B_LOCK, site!("clht.resize.migrate_lock"), false)?;
+            pm_lock_acquire(
+                view,
+                root + B_LOCK,
+                site!("clht.resize.migrate_lock"),
+                false,
+            )?;
             let mut bucket = TU64::from(root);
             let mut depth = 0;
             loop {
@@ -422,29 +507,56 @@ impl Pclht {
                     let v = view.load_u64(koff + 8u64, site!("clht.resize.read_item_val"))?;
                     self.migrate_insert(view, new_table, new_nb, &k, &v)?;
                 }
-                let next = view.load_u64(bucket.clone() + B_NEXT, site!("clht.resize.read_chain"))?;
+                let next =
+                    view.load_u64(bucket.clone() + B_NEXT, site!("clht.resize.read_chain"))?;
                 if next == 0u64 || depth >= 8 {
                     break;
                 }
                 bucket = next;
                 depth += 1;
             }
-            pm_lock_release(view, root + B_LOCK, site!("clht.resize.migrate_unlock"), false)?;
+            pm_lock_release(
+                view,
+                root + B_LOCK,
+                site!("clht.resize.migrate_unlock"),
+                false,
+            )?;
         }
 
         // Bug 3 setup: `table_new` stored but not flushed before GC reads it.
-        view.store_u64(old_table + T_TABLE_NEW, new_table, site!("clht_lb_res.c:789.store_table_new"))?;
+        view.store_u64(
+            old_table + T_TABLE_NEW,
+            new_table,
+            site!("clht_lb_res.c:789.store_table_new"),
+        )?;
 
         // Bug 1: publish the new table with a plain store; the flush comes
         // after — and the scheduler's writer stall sits exactly in between.
-        view.store_u64(self.root + R_HT_OFF, new_table, site!("clht_lb_res.c:785.swap_ht_off"))?;
-        view.persist(self.root + R_HT_OFF, 8, site!("clht_lb_res.c:786.flush_ht_off"))?;
+        view.store_u64(
+            self.root + R_HT_OFF,
+            new_table,
+            site!("clht_lb_res.c:785.swap_ht_off"),
+        )?;
+        view.persist(
+            self.root + R_HT_OFF,
+            8,
+            site!("clht_lb_res.c:786.flush_ht_off"),
+        )?;
 
         self.gc(view, old_table)?;
 
         view.store_u64(self.root + R_STATUS, 0u64, site!("clht.resize.status_off"))?;
-        view.persist(self.root + R_STATUS, 8, site!("clht.resize.flush_status_off"))?;
-        pm_lock_release(view, self.root + R_RESIZE_LOCK, site!("clht.resize.unlock"), true)?;
+        view.persist(
+            self.root + R_STATUS,
+            8,
+            site!("clht.resize.flush_status_off"),
+        )?;
+        pm_lock_release(
+            view,
+            self.root + R_RESIZE_LOCK,
+            site!("clht.resize.unlock"),
+            true,
+        )?;
         Ok(())
     }
 
@@ -453,16 +565,26 @@ impl Pclht {
     /// Inconsistency that leaks the new table after a crash.
     fn gc(&self, view: &PmView, old_table: u64) -> Result<(), RtError> {
         pm_lock_acquire(view, self.root + R_GC_LOCK, site!("clht.gc.lock"), true)?;
-        let table_new = view.load_u64(old_table + T_TABLE_NEW, site!("clht_gc.c:190.read_table_new"))?;
+        let table_new = view.load_u64(
+            old_table + T_TABLE_NEW,
+            site!("clht_gc.c:190.read_table_new"),
+        )?;
         // Durable side effect based on the unflushed pointer.
-        view.ntstore_u64(self.root + R_GC_LOG, table_new, site!("clht_gc.c:195.store_gc_log"))?;
+        view.ntstore_u64(
+            self.root + R_GC_LOG,
+            table_new,
+            site!("clht_gc.c:195.store_gc_log"),
+        )?;
         // Recycle the old table and its chain buckets (volatile free list).
         let old_nb = view
             .load_u64(old_table + T_NBUCKETS, site!("clht.gc.read_nb"))?
             .value();
         for b in 0..old_nb {
             let mut next = view
-                .load_u64(old_table + T_BUCKETS + b * BUCKET_SIZE + B_NEXT, site!("clht.gc.read_chain"))?
+                .load_u64(
+                    old_table + T_BUCKETS + b * BUCKET_SIZE + B_NEXT,
+                    site!("clht.gc.read_chain"),
+                )?
                 .value();
             let mut depth = 0;
             while next != 0 && depth < 8 {
@@ -516,7 +638,10 @@ mod tests {
     use pmrace_runtime::SessionConfig;
 
     fn fresh() -> (Arc<Session>, Pclht) {
-        let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let session = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let t = Pclht::init(&session).unwrap();
         (session, t)
     }
@@ -564,7 +689,7 @@ mod tests {
         t.update(&v, 7, 2).unwrap(); // value changes: lock released
         t.put(&v, 7, 9).unwrap(); // bucket still usable
         t.update(&v, 7, 9).unwrap(); // idempotent update: leaks the lock
-        // A put to the same bucket now spins until the deadline.
+                                     // A put to the same bucket now spins until the deadline.
         let s2 = Session::new(
             Arc::clone(s.pool()),
             SessionConfig {
@@ -645,7 +770,11 @@ mod tests {
             t.put(&v, k, i as u64 + 100).unwrap();
         }
         for (i, &k) in colliding.iter().enumerate() {
-            assert_eq!(t.get(&v, k).unwrap(), OpResult::Found(i as u64 + 100), "key {k}");
+            assert_eq!(
+                t.get(&v, k).unwrap(),
+                OpResult::Found(i as u64 + 100),
+                "key {k}"
+            );
         }
         // The 4th key lives in an overflow bucket; delete and reinsert it.
         let last = colliding[3];
@@ -675,9 +804,18 @@ mod tests {
     fn exec_maps_zero_key_away_from_empty_marker() {
         let (s, t) = fresh();
         let v = s.view(ThreadId(0));
-        assert_eq!(t.exec(&v, &Op::Insert { key: 0, value: 9 }).unwrap(), OpResult::Done);
+        assert_eq!(
+            t.exec(&v, &Op::Insert { key: 0, value: 9 }).unwrap(),
+            OpResult::Done
+        );
         assert_eq!(t.exec(&v, &Op::Get { key: 0 }).unwrap(), OpResult::Found(9));
-        assert_eq!(t.exec(&v, &Op::Incr { key: 0, by: 1 }).unwrap(), OpResult::Done);
-        assert_eq!(t.exec(&v, &Op::Get { key: 1 }).unwrap(), OpResult::Found(10));
+        assert_eq!(
+            t.exec(&v, &Op::Incr { key: 0, by: 1 }).unwrap(),
+            OpResult::Done
+        );
+        assert_eq!(
+            t.exec(&v, &Op::Get { key: 1 }).unwrap(),
+            OpResult::Found(10)
+        );
     }
 }

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn lock_roundtrip_and_mutual_exclusion() {
-        let s = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+        let s = Session::new(
+            Arc::new(Pool::new(PoolOpts::small())),
+            SessionConfig::default(),
+        );
         let a = s.view(ThreadId(0));
         pm_lock_acquire(&a, 64, site!("lk"), true).unwrap();
         // Second acquisition must fail until release; use a short-deadline

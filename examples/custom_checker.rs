@@ -47,7 +47,10 @@ impl Checker for FenceStormChecker {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+    let session = Session::new(
+        Arc::new(Pool::new(PoolOpts::small())),
+        SessionConfig::default(),
+    );
     session.add_checker(Arc::new(RedundantFlushChecker));
     session.add_checker(Arc::new(FenceStormChecker::default()));
 
@@ -73,11 +76,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("- {issue}");
     }
     assert!(
-        findings.perf_issues.iter().any(|i| i.checker == "redundant-flush"),
+        findings
+            .perf_issues
+            .iter()
+            .any(|i| i.checker == "redundant-flush"),
         "redundant flush must be flagged"
     );
     assert!(
-        findings.perf_issues.iter().any(|i| i.checker == "fence-storm"),
+        findings
+            .perf_issues
+            .iter()
+            .any(|i| i.checker == "fence-storm"),
         "fence storm must be flagged"
     );
     println!("\nboth checkers fired — the framework is extensible without touching the core.");

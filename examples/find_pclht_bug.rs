@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Insert-heavy workload over 4 threads: enough distinct keys to trigger
     // a resize mid-campaign.
     let ops: Vec<Op> = (0..96)
-        .map(|i| Op::Insert { key: (i % 48) + 1, value: i + 1 })
+        .map(|i| Op::Insert {
+            key: (i % 48) + 1,
+            value: i + 1,
+        })
         .collect();
     let seed = Seed::from_flat(&ops, 4);
     let cfg = CampaignConfig {

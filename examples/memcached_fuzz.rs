@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pmr >= afl,
         "semantic generation must reach at least the byte mutator's coverage"
     );
-    println!("semantic generation reaches the code behind the parser; byte mutation mostly dies in it.");
+    println!(
+        "semantic generation reaches the code behind the parser; byte mutation mostly dies in it."
+    );
 
     println!("\n== fuzzing memcached-pmem for PM concurrency bugs ==");
     let mut cfg = FuzzConfig::new("memcached-pmem");

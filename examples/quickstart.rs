@@ -12,7 +12,9 @@ use std::time::Duration;
 use pmrace::{FuzzConfig, Fuzzer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "P-CLHT".to_owned());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "P-CLHT".to_owned());
     let secs: u64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
@@ -22,12 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.wall_budget = Duration::from_secs(secs);
     cfg.max_campaigns = 10_000;
     cfg.workers = 4;
-    println!("fuzzing {target} for {secs}s with {} workers...", cfg.workers);
+    println!(
+        "fuzzing {target} for {secs}s with {} workers...",
+        cfg.workers
+    );
 
     let report = Fuzzer::new(cfg)?.run()?;
 
     println!("\n== run summary ==");
-    println!("campaigns:        {} ({:.1}/s)", report.campaigns, report.execs_per_sec);
+    println!(
+        "campaigns:        {} ({:.1}/s)",
+        report.campaigns, report.execs_per_sec
+    );
     println!("PM alias pairs:   {}", report.alias_pairs);
     println!("branches:         {}", report.branches);
     let s = report.stats;
@@ -38,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("intra inconsistencies: {}", s.intra);
     println!("validated false positives: {}", s.validated_fp);
     println!("whitelisted false positives: {}", s.whitelisted_fp);
-    println!("sync inconsistencies: {} ({} validated benign)", s.sync, s.sync_validated_fp);
+    println!(
+        "sync inconsistencies: {} ({} validated benign)",
+        s.sync, s.sync_validated_fp
+    );
     println!("hang campaigns: {}", s.hangs);
 
     println!("\n== unique bugs ({}) ==", report.bugs.len());

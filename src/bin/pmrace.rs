@@ -55,14 +55,18 @@ fn main() {
             }
             let mut cfg = FuzzConfig::new(target);
             cfg.wall_budget = Duration::from_secs(
-                flag_value(&args, "--secs").and_then(|v| v.parse().ok()).unwrap_or(30),
+                flag_value(&args, "--secs")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(30),
             );
             if let Some(n) = flag_value(&args, "--campaigns").and_then(|v| v.parse().ok()) {
                 cfg.max_campaigns = n;
             } else {
                 cfg.max_campaigns = usize::MAX;
             }
-            cfg.workers = flag_value(&args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(4);
+            cfg.workers = flag_value(&args, "--workers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(4);
             if let Some(t) = flag_value(&args, "--threads").and_then(|v| v.parse().ok()) {
                 cfg.threads = t;
             }
@@ -116,10 +120,12 @@ fn main() {
             };
             let s = report.stats;
             println!(
-                "\n{} campaigns ({:.1}/s) | alias pairs {} | candidates {} | \
-                 inconsistencies {} | validated FP {} | whitelisted FP {} | sync {} ({} benign)",
+                "\n{} campaigns ({:.1}/s, {:.0} PM accesses/s) | alias pairs {} | \
+                 candidates {} | inconsistencies {} | validated FP {} | \
+                 whitelisted FP {} | sync {} ({} benign)",
                 report.campaigns,
                 report.execs_per_sec,
+                report.accesses_per_sec,
                 report.alias_pairs,
                 s.inter_candidates + s.intra_candidates,
                 s.inter + s.intra,
@@ -156,10 +162,7 @@ fn main() {
             };
             // Accept either a bare seed file or a full bug report (seed at
             // the end, after the marker line).
-            let seed_text = text
-                .rsplit("driver thread):\n")
-                .next()
-                .unwrap_or(&text);
+            let seed_text = text.rsplit("driver thread):\n").next().unwrap_or(&text);
             let seed = match Seed::parse(seed_text) {
                 Ok(s) => s,
                 Err(e) => {

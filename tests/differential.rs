@@ -27,11 +27,14 @@ fn mop_strategy() -> impl Strategy<Value = MOp> {
 
 fn check_against_model(target: &str, ops: &[MOp]) -> Result<(), TestCaseError> {
     let spec = target_spec(target).unwrap();
-    let session = Session::new(Arc::new(Pool::new((spec.pool)())), SessionConfig {
-        capture_crash_images: false,
-        deadline: std::time::Duration::from_secs(30),
-        ..SessionConfig::default()
-    });
+    let session = Session::new(
+        Arc::new(Pool::new((spec.pool)())),
+        SessionConfig {
+            capture_crash_images: false,
+            deadline: std::time::Duration::from_secs(30),
+            ..SessionConfig::default()
+        },
+    );
     let t = (spec.init)(&session).unwrap();
     let view = session.view(pmrace::pmem::ThreadId(0));
     let mut model: HashMap<u64, u64> = HashMap::new();
@@ -67,11 +70,14 @@ fn check_against_model(target: &str, ops: &[MOp]) -> Result<(), TestCaseError> {
 /// missing-flush bug (bugs 9/10) legitimately loses value bytes.
 fn check_durability(target: &str, ops: &[MOp], check_values: bool) -> Result<(), TestCaseError> {
     let spec = target_spec(target).unwrap();
-    let session = Session::new(Arc::new(Pool::new((spec.pool)())), SessionConfig {
-        capture_crash_images: false,
-        deadline: std::time::Duration::from_secs(30),
-        ..SessionConfig::default()
-    });
+    let session = Session::new(
+        Arc::new(Pool::new((spec.pool)())),
+        SessionConfig {
+            capture_crash_images: false,
+            deadline: std::time::Duration::from_secs(30),
+            ..SessionConfig::default()
+        },
+    );
     let t = (spec.init)(&session).unwrap();
     let view = session.view(pmrace::pmem::ThreadId(0));
     let mut model: HashMap<u64, u64> = HashMap::new();
@@ -93,11 +99,14 @@ fn check_durability(target: &str, ops: &[MOp], check_values: bool) -> Result<(),
     }
     let img = session.pool().crash_image().unwrap();
     let pool2 = Arc::new(Pool::from_crash_image(&img).unwrap());
-    let s2 = Session::new(pool2, SessionConfig {
-        capture_crash_images: false,
-        deadline: std::time::Duration::from_secs(30),
-        ..SessionConfig::default()
-    });
+    let s2 = Session::new(
+        pool2,
+        SessionConfig {
+            capture_crash_images: false,
+            deadline: std::time::Duration::from_secs(30),
+            ..SessionConfig::default()
+        },
+    );
     let t2 = (spec.recover)(&s2).unwrap();
     let v2 = s2.view(pmrace::pmem::ThreadId(0));
     for (&k, &v) in &model {

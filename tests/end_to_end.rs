@@ -17,8 +17,12 @@ fn forced_plan(
     write_marker: &str,
 ) -> Option<SyncPlan> {
     let entry = recon.shared.iter().find(|e| {
-        e.load_sites.iter().any(|(s, _)| site_label(*s).contains(read_marker))
-            && e.store_sites.iter().any(|(s, _)| site_label(*s).contains(write_marker))
+        e.load_sites
+            .iter()
+            .any(|(s, _)| site_label(*s).contains(read_marker))
+            && e.store_sites
+                .iter()
+                .any(|(s, _)| site_label(*s).contains(write_marker))
     })?;
     Some(SyncPlan {
         off: entry.off,
@@ -37,13 +41,7 @@ fn forced_plan(
     })
 }
 
-fn hunt(
-    target: &str,
-    seed: &Seed,
-    read_marker: &str,
-    write_marker: &str,
-    rounds: u64,
-) -> bool {
+fn hunt(target: &str, seed: &Seed, read_marker: &str, write_marker: &str, rounds: u64) -> bool {
     let spec = target_spec(target).unwrap();
     let cfg = CampaignConfig {
         threads: 4,
@@ -78,7 +76,10 @@ fn hunt(
 #[test]
 fn pclht_resize_race_bug1_detected() {
     let ops: Vec<Op> = (0..96)
-        .map(|i| Op::Insert { key: (i % 48) + 1, value: i + 1 })
+        .map(|i| Op::Insert {
+            key: (i % 48) + 1,
+            value: i + 1,
+        })
         .collect();
     let seed = Seed::from_flat(&ops, 4);
     assert!(
@@ -90,7 +91,10 @@ fn pclht_resize_race_bug1_detected() {
 #[test]
 fn fastfair_split_race_bug8_detected() {
     let ops: Vec<Op> = (0..96)
-        .map(|i| Op::Insert { key: (i * 7 % 48) + 1, value: i + 1 })
+        .map(|i| Op::Insert {
+            key: (i * 7 % 48) + 1,
+            value: i + 1,
+        })
         .collect();
     let seed = Seed::from_flat(&ops, 4);
     assert!(
@@ -105,8 +109,14 @@ fn memcached_value_race_bugs_9_10_detected() {
     // unflushed (the missing-flush window behind bugs 9/10).
     let ops: Vec<Op> = (0..96)
         .map(|i| match i % 3 {
-            0 => Op::Insert { key: (i % 4) + 1, value: i + 1 },
-            1 => Op::Incr { key: (i % 4) + 1, by: 1 },
+            0 => Op::Insert {
+                key: (i % 4) + 1,
+                value: i + 1,
+            },
+            1 => Op::Incr {
+                key: (i % 4) + 1,
+                by: 1,
+            },
             _ => Op::Get { key: (i % 4) + 1 },
         })
         .collect();
@@ -129,5 +139,8 @@ fn memcached_value_race_bugs_9_10_detected() {
             break;
         }
     }
-    assert!(found, "bugs 9/10 (value written from unflushed value) not detected");
+    assert!(
+        found,
+        "bugs 9/10 (value written from unflushed value) not detected"
+    );
 }

@@ -51,7 +51,10 @@ fn ablation_modes_run() {
         cfg.enable_seed_tier = se;
         cfg.workers = 1;
         let report = Fuzzer::new(cfg).unwrap().run().unwrap();
-        assert!(report.campaigns >= 1, "ablation ie={ie} se={se} ran nothing");
+        assert!(
+            report.campaigns >= 1,
+            "ablation ie={ie} se={se} ran nothing"
+        );
     }
 }
 
@@ -64,7 +67,10 @@ fn corpus_dir_persists_and_reloads_seeds() {
     cfg.max_campaigns = 4;
     let _ = Fuzzer::new(cfg).unwrap().run().unwrap();
     let corpus = pmrace::core::corpus::CorpusDir::open(&dir).unwrap();
-    assert!(!corpus.is_empty().unwrap(), "coverage-improving seeds must be saved");
+    assert!(
+        !corpus.is_empty().unwrap(),
+        "coverage-improving seeds must be saved"
+    );
     // A second run consumes the saved corpus without error.
     let mut cfg2 = quick_cfg("clevel");
     cfg2.corpus_dir = Some(dir.clone());

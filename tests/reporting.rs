@@ -61,7 +61,10 @@ fn inter_bug_reports_carry_diagnostics() {
     {
         let text = report_io::render_report(bug);
         assert!(text.contains("write code:"), "{text}");
-        assert!(text.contains("785"), "inter bug names the writing store: {text}");
+        assert!(
+            text.contains("785"),
+            "inter bug names the writing store: {text}"
+        );
         assert!(
             text.contains("recent PM accesses"),
             "trace block attached: {text}"

@@ -65,21 +65,31 @@ fn writer_identity_survives_partial_line_flush() {
 
 #[test]
 fn intra_then_inter_candidates_have_distinct_identities() {
-    let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+    let session = Session::new(
+        Arc::new(Pool::new(PoolOpts::small())),
+        SessionConfig::default(),
+    );
     let a = session.view(T0);
     let b = session.view(T1);
     a.store_u64(4096u64, 1u64, site!("sem2.w")).unwrap();
     let _ = a.load_u64(4096u64, site!("sem2.r")).unwrap(); // intra
     let _ = b.load_u64(4096u64, site!("sem2.r")).unwrap(); // inter, same sites
     let f = session.finish();
-    assert_eq!(f.candidates.len(), 2, "kind participates in candidate identity");
+    assert_eq!(
+        f.candidates.len(),
+        2,
+        "kind participates in candidate identity"
+    );
     assert_eq!(f.candidates_of(CandidateKind::Intra), 1);
     assert_eq!(f.candidates_of(CandidateKind::Inter), 1);
 }
 
 #[test]
 fn output_of_untainted_data_is_never_flagged() {
-    let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+    let session = Session::new(
+        Arc::new(Pool::new(PoolOpts::small())),
+        SessionConfig::default(),
+    );
     let v = session.view(T0);
     v.ntstore_u64(4096u64, 5u64, site!("sem3.w")).unwrap();
     let clean = v.load_bytes(4096u64, 8, site!("sem3.r")).unwrap();
@@ -89,7 +99,10 @@ fn output_of_untainted_data_is_never_flagged() {
 
 #[test]
 fn range_state_summarizes_worst_granule() {
-    let session = Session::new(Arc::new(Pool::new(PoolOpts::small())), SessionConfig::default());
+    let session = Session::new(
+        Arc::new(Pool::new(PoolOpts::small())),
+        SessionConfig::default(),
+    );
     let v = session.view(T0);
     v.ntstore_u64(4096u64, 1u64, site!("sem4.a")).unwrap(); // clean
     v.store_u64(4104u64, 2u64, site!("sem4.b")).unwrap(); // dirty

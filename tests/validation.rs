@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use pmrace::core::validate::{validate_inconsistency, validate_sync};
 use pmrace::core::{run_campaign, CampaignConfig, Seed, Verdict};
-use pmrace::{target_spec, Op, Pool, Session, SessionConfig, Target};
+use pmrace::{target_spec, Op, Pool, Session, SessionConfig};
 use pmrace_runtime::site_label;
 
 fn insert_seed(n: u64, threads: usize) -> Seed {
@@ -109,7 +109,10 @@ fn clevel_construction_is_whitelisted_not_buggy() {
     .unwrap();
     assert!(!res.findings.inconsistencies.is_empty());
     for rec in &res.findings.inconsistencies {
-        assert!(rec.whitelisted, "clevel construction record not whitelisted: {rec}");
+        assert!(
+            rec.whitelisted,
+            "clevel construction record not whitelisted: {rec}"
+        );
         assert_eq!(validate_inconsistency(&spec, rec), Verdict::WhitelistedFp);
     }
 }
@@ -119,9 +122,15 @@ fn memcached_link_effects_validate_benign_but_value_effects_do_not() {
     let spec = target_spec("memcached-pmem").unwrap();
     let ops: Vec<Op> = (0..80)
         .map(|i| match i % 4 {
-            0 => Op::Insert { key: (i % 6) + 1, value: i + 1 },
+            0 => Op::Insert {
+                key: (i % 6) + 1,
+                value: i + 1,
+            },
             1 => Op::Get { key: (i % 6) + 1 },
-            2 => Op::Incr { key: (i % 6) + 1, by: 1 },
+            2 => Op::Incr {
+                key: (i % 6) + 1,
+                by: 1,
+            },
             _ => Op::Delete { key: (i % 6) + 1 },
         })
         .collect();
@@ -137,16 +146,22 @@ fn memcached_link_effects_validate_benign_but_value_effects_do_not() {
                 if verdict == Verdict::ValidatedFp {
                     link_fp += 1;
                 }
-            } else if effect.contains("4292") || effect.contains("4293") {
-                if verdict == Verdict::Bug {
-                    value_bug += 1;
-                }
+            } else if (effect.contains("4292") || effect.contains("4293"))
+                && verdict == Verdict::Bug
+            {
+                value_bug += 1;
             }
         }
         if link_fp > 0 && value_bug > 0 {
             break;
         }
     }
-    assert!(link_fp > 0, "index rebuild must validate link-field effects as FPs");
-    assert!(value_bug > 0, "value effects must survive validation as bugs");
+    assert!(
+        link_fp > 0,
+        "index rebuild must validate link-field effects as FPs"
+    );
+    assert!(
+        value_bug > 0,
+        "value effects must survive validation as bugs"
+    );
 }
