@@ -1,18 +1,187 @@
-//! `repro`: regenerate the tables and figures of the PMRace evaluation.
+//! `repro`: regenerate the tables and figures of the PMRace evaluation,
+//! and manage the record/replay regression corpus.
 //!
 //! ```text
 //! repro [--quick] [--seed N] <experiments...>
 //! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10
 //!              eadr hotpath all
+//!
+//! repro replay [--steer|--free] [--attempts N] <artifact.json|corpus-dir>...
+//!     Replay repro artifacts; exit 1 unless every recorded bug re-fires.
+//!
+//! repro corpus <dir> [--minimize]
+//!     Build (and validate by replay) the 14-bug Table 2 regression
+//!     corpus; --minimize additionally delta-debugs each artifact.
 //! ```
 //!
 //! `table2/3/5/6` share one fuzzing sweep and are emitted together when any
 //! of them is requested.
 
+use std::path::Path;
+
 use pmrace_bench::{figs, hotpath, tables, Budget};
+use pmrace_replay::{
+    build_corpus, minimize, replay, replay_corpus, MinimizeOptions, ReplayMode, ReplayOptions,
+    ReproStore,
+};
+
+fn replay_options(args: &[String]) -> ReplayOptions {
+    let mut opts = ReplayOptions::default();
+    if args.iter().any(|a| a == "--steer") {
+        opts.mode = ReplayMode::Steer;
+    }
+    if args.iter().any(|a| a == "--free") {
+        opts.mode = ReplayMode::Free;
+    }
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--attempts")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        opts.attempts = n.max(1);
+    }
+    opts
+}
+
+/// `repro replay <paths...>`: exit 0 iff every artifact re-triggers its
+/// recorded bug.
+fn cmd_replay(args: &[String]) -> ! {
+    let opts = replay_options(args);
+    let paths: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
+        .collect();
+    if paths.is_empty() {
+        eprintln!("usage: repro replay [--steer|--free] [--attempts N] <artifact|dir>...");
+        std::process::exit(2);
+    }
+    let mut failures = 0usize;
+    let mut total = 0usize;
+    for arg in paths {
+        let path = Path::new(arg);
+        let entries = if path.is_dir() {
+            match replay_corpus(path, &opts) {
+                Ok(results) => results
+                    .into_iter()
+                    .map(|r| (r.path, r.key, r.matched, r.divergence))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("[replay] {arg}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match ReproStore::load(path).map(|repro| {
+                let key = repro.signature.key();
+                replay(&repro, &opts)
+                    .map(|out| (path.to_path_buf(), key, out.matched, out.divergence))
+            }) {
+                Ok(Ok(one)) => vec![one],
+                Ok(Err(e)) | Err(e) => {
+                    eprintln!("[replay] {arg}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        for (path, key, matched, divergence) in entries {
+            total += 1;
+            let status = if matched { "ok" } else { "FAIL" };
+            println!("[replay] {status:4} {key}  ({})", path.display());
+            if let Some(d) = divergence {
+                println!("[replay]      divergence: {d}");
+            }
+            if !matched {
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "[replay] {}/{} artifacts re-triggered their bug",
+        total - failures,
+        total
+    );
+    std::process::exit(i32::from(failures > 0));
+}
+
+/// `repro corpus <dir> [--minimize]`: build the validated Table 2 corpus.
+fn cmd_corpus(args: &[String]) -> ! {
+    let Some(dir) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: repro corpus <dir> [--minimize]");
+        std::process::exit(2);
+    };
+    let dir = Path::new(dir);
+    let built = match build_corpus(dir) {
+        Ok(built) => built,
+        Err(e) => {
+            eprintln!("[corpus] build failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for b in &built {
+        println!(
+            "[corpus] bug {:2}: {} ({} rounds) -> {}",
+            b.bug_id,
+            b.signature.key(),
+            b.rounds_used,
+            b.path.display()
+        );
+    }
+    if args.iter().any(|a| a == "--minimize") {
+        let store = match ReproStore::open(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[corpus] {e}");
+                std::process::exit(1);
+            }
+        };
+        let opts = MinimizeOptions::default();
+        for b in &built {
+            let repro = match ReproStore::load(&b.path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("[corpus] bug {}: {e}", b.bug_id);
+                    std::process::exit(1);
+                }
+            };
+            match minimize(&repro, &opts) {
+                Ok(report) => {
+                    if let Err(e) = store.save(&report.repro) {
+                        eprintln!("[corpus] bug {}: {e}", b.bug_id);
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "[corpus] bug {:2}: minimized ops {} -> {}, events {} -> {} ({} tests)",
+                        b.bug_id,
+                        report.ops_before,
+                        report.ops_after,
+                        report.events_before,
+                        report.events_after,
+                        report.tests_run
+                    );
+                }
+                Err(e) => {
+                    eprintln!("[corpus] bug {}: minimization failed: {e}", b.bug_id);
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!(
+        "[corpus] {} artifacts ready in {}",
+        built.len(),
+        dir.display()
+    );
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        _ => {}
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let seed = args
         .iter()

@@ -90,6 +90,28 @@ impl std::fmt::Display for UniqueBug {
     }
 }
 
+/// What one [`Ledger::ingest`] call added: the *new* unique findings of
+/// that campaign, after deduplication. The fuzzer's record hook uses this
+/// to auto-record a repro artifact exactly once per unique bug.
+#[derive(Debug, Clone, Default)]
+pub struct IngestDelta {
+    /// Unique bugs first seen in this campaign.
+    pub new_bugs: Vec<UniqueBug>,
+    /// Candidate `(write label, read label)` pairs first seen in this
+    /// campaign. Candidates never promoted to inconsistencies are findings
+    /// in their own right (the paper's "Other" pool, e.g. P-CLHT's
+    /// redundant PM write), so repros cover them too.
+    pub new_candidates: Vec<(String, String)>,
+}
+
+impl IngestDelta {
+    /// `true` when the campaign contributed nothing new.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.new_bugs.is_empty() && self.new_candidates.is_empty()
+    }
+}
+
 /// Aggregate detection statistics — the raw material of Tables 3 and 6.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DetectionStats {
@@ -160,9 +182,9 @@ impl Ledger {
 
     /// Ingest one campaign's findings: dedupe, validate new detections,
     /// update statistics. `elapsed` is total fuzzing time at campaign end
-    /// (for the Fig. 8 timeline).
-    pub fn ingest(&mut self, result: &CampaignResult, elapsed: Duration) {
-        self.ingest_with_seed(result, elapsed, None);
+    /// (for the Fig. 8 timeline). Returns what was *new* in this campaign.
+    pub fn ingest(&mut self, result: &CampaignResult, elapsed: Duration) -> IngestDelta {
+        self.ingest_with_seed(result, elapsed, None)
     }
 
     /// [`Ledger::ingest`] with the campaign's seed attached: new unique
@@ -172,22 +194,22 @@ impl Ledger {
         result: &CampaignResult,
         elapsed: Duration,
         seed: Option<&crate::Seed>,
-    ) {
+    ) -> IngestDelta {
+        let mut delta = IngestDelta::default();
         let seed_text = seed.map(crate::Seed::to_text);
         self.stats.campaigns += 1;
         self.stats.annotations = self.stats.annotations.max(result.annotations.len());
 
         for cand in &result.findings.candidates {
-            let key = (
-                site_label(cand.write_site).to_owned(),
-                site_label(cand.read_site).to_owned(),
-                cand.kind,
-            );
+            let w = site_label(cand.write_site).to_owned();
+            let r = site_label(cand.read_site).to_owned();
+            let key = (w.clone(), r.clone(), cand.kind);
             if self.cand_index.insert(key) {
                 match cand.kind {
                     CandidateKind::Inter => self.stats.inter_candidates += 1,
                     CandidateKind::Intra => self.stats.intra_candidates += 1,
                 }
+                delta.new_candidates.push((w, r));
             }
         }
 
@@ -217,22 +239,26 @@ impl Ledger {
                     };
                     // Unique bugs group by the writing store instruction.
                     let bug_key = format!("{kind}:{w}");
-                    let trace_text = pmrace_runtime::trace::render_trace(&rec.trace);
-                    self.bugs.entry(bug_key).or_insert_with(|| UniqueBug {
-                        kind,
-                        target: self.spec.name,
-                        write_label: w.clone(),
-                        read_label: r.clone(),
-                        effect_label: e.clone(),
-                        description: format!(
-                            "read non-persisted data written at {w}, durable side effect ({}) at {e}",
-                            rec.kind
-                        ),
-                        verdict,
-                        found_after: elapsed,
-                        seed_text: seed_text.clone(),
-                        trace_text,
-                    });
+                    if !self.bugs.contains_key(&bug_key) {
+                        let trace_text = pmrace_runtime::trace::render_trace(&rec.trace);
+                        let bug = UniqueBug {
+                            kind,
+                            target: self.spec.name,
+                            write_label: w.clone(),
+                            read_label: r.clone(),
+                            effect_label: e.clone(),
+                            description: format!(
+                                "read non-persisted data written at {w}, durable side effect ({}) at {e}",
+                                rec.kind
+                            ),
+                            verdict,
+                            found_after: elapsed,
+                            seed_text: seed_text.clone(),
+                            trace_text,
+                        };
+                        delta.new_bugs.push(bug.clone());
+                        self.bugs.insert(bug_key, bug);
+                    }
                 }
             }
         }
@@ -252,18 +278,22 @@ impl Ledger {
                         "persistent sync var '{}' not restored to {} after recovery",
                         upd.var_name, upd.expected_init
                     );
-                    self.bugs.entry(bug_key).or_insert_with(|| UniqueBug {
-                        kind: BugKind::Sync,
-                        target: self.spec.name,
-                        write_label: upd.var_name.clone(),
-                        read_label: String::new(),
-                        effect_label: site_label(upd.store_site).to_owned(),
-                        description: desc,
-                        verdict,
-                        found_after: elapsed,
-                        seed_text: seed_text.clone(),
-                        trace_text: String::new(),
-                    });
+                    if !self.bugs.contains_key(&bug_key) {
+                        let bug = UniqueBug {
+                            kind: BugKind::Sync,
+                            target: self.spec.name,
+                            write_label: upd.var_name.clone(),
+                            read_label: String::new(),
+                            effect_label: site_label(upd.store_site).to_owned(),
+                            description: desc,
+                            verdict,
+                            found_after: elapsed,
+                            seed_text: seed_text.clone(),
+                            trace_text: String::new(),
+                        };
+                        delta.new_bugs.push(bug.clone());
+                        self.bugs.insert(bug_key, bug);
+                    }
                 }
             }
         }
@@ -273,18 +303,22 @@ impl Ledger {
             if self.perf_index.insert(key) {
                 self.stats.perf_issues += 1;
                 let bug_key = format!("Perf:{}:{}", issue.checker, site_label(issue.site));
-                self.bugs.entry(bug_key).or_insert_with(|| UniqueBug {
-                    kind: BugKind::Perf,
-                    target: self.spec.name,
-                    write_label: site_label(issue.site).to_owned(),
-                    read_label: String::new(),
-                    effect_label: String::new(),
-                    description: issue.what.clone(),
-                    verdict: Verdict::Bug,
-                    found_after: elapsed,
-                    seed_text: seed_text.clone(),
-                    trace_text: String::new(),
-                });
+                if !self.bugs.contains_key(&bug_key) {
+                    let bug = UniqueBug {
+                        kind: BugKind::Perf,
+                        target: self.spec.name,
+                        write_label: site_label(issue.site).to_owned(),
+                        read_label: String::new(),
+                        effect_label: String::new(),
+                        description: issue.what.clone(),
+                        verdict: Verdict::Bug,
+                        found_after: elapsed,
+                        seed_text: seed_text.clone(),
+                        trace_text: String::new(),
+                    };
+                    delta.new_bugs.push(bug.clone());
+                    self.bugs.insert(bug_key, bug);
+                }
             }
         }
 
@@ -292,25 +326,25 @@ impl Ledger {
             self.stats.hangs += 1;
             if !self.hang_seen {
                 self.hang_seen = true;
-                self.bugs.insert(
-                    "Hang".to_owned(),
-                    UniqueBug {
-                        kind: BugKind::Hang,
-                        target: self.spec.name,
-                        write_label: String::new(),
-                        read_label: String::new(),
-                        effect_label: String::new(),
-                        description: "campaign hang: threads blocked past the deadline \
-                                      (lock leak or missing signal)"
-                            .to_owned(),
-                        verdict: Verdict::Bug,
-                        found_after: elapsed,
-                        seed_text: seed_text.clone(),
-                        trace_text: String::new(),
-                    },
-                );
+                let bug = UniqueBug {
+                    kind: BugKind::Hang,
+                    target: self.spec.name,
+                    write_label: String::new(),
+                    read_label: String::new(),
+                    effect_label: String::new(),
+                    description: "campaign hang: threads blocked past the deadline \
+                                  (lock leak or missing signal)"
+                        .to_owned(),
+                    verdict: Verdict::Bug,
+                    found_after: elapsed,
+                    seed_text: seed_text.clone(),
+                    trace_text: String::new(),
+                };
+                delta.new_bugs.push(bug.clone());
+                self.bugs.insert("Hang".to_owned(), bug);
             }
         }
+        delta
     }
 
     /// Accumulated statistics.
@@ -423,6 +457,27 @@ mod tests {
             counts.get(&BugKind::Sync).copied().unwrap_or(0) >= 1,
             "{counts:?}"
         );
+    }
+
+    #[test]
+    fn ingest_delta_reports_only_new_findings() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let mut ledger = Ledger::new(spec);
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(&spec, &Seed::from_flat(&ops, 1), &cfg, None, None).unwrap();
+        let first = ledger.ingest(&res, Duration::ZERO);
+        assert!(!first.new_bugs.is_empty(), "resize workload finds bugs");
+        assert!(!first.new_candidates.is_empty());
+        // Re-ingesting the identical findings adds nothing.
+        let second = ledger.ingest(&res, Duration::from_secs(1));
+        assert!(second.is_empty(), "{second:?}");
     }
 
     #[test]

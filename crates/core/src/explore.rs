@@ -19,15 +19,17 @@ use rand::{Rng, SeedableRng};
 
 use pmrace_runtime::coverage::CoverageMap;
 use pmrace_runtime::strategy::InterleaveStrategy;
-use pmrace_runtime::RtError;
+use pmrace_runtime::{site_label, RtError, Site};
 use pmrace_sched::{
-    AccessQueue, DelayStrategy, PmraceStrategy, SkipStore, SyncPlan, SyncTuning, SystematicStrategy,
+    AccessQueue, DelayStrategy, PmraceStrategy, RecordingStrategy, ScheduleLog, SkipStore,
+    SyncPlan, SyncTuning, SystematicStrategy,
 };
 use pmrace_targets::TargetSpec;
 
 use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyKind};
 use crate::checkpoint::Checkpoint;
 use crate::mutator::OpMutator;
+use crate::schedule::{EventCapture, PlanCapture, ScheduleCapture, StrategyCapture};
 use crate::seed::Seed;
 
 /// Which tier produced a campaign.
@@ -65,6 +67,10 @@ pub struct ExploreConfig {
     /// Extra seeds to start the corpus from (e.g. loaded from a
     /// [`CorpusDir`](crate::corpus::CorpusDir)).
     pub initial_corpus: Vec<Seed>,
+    /// Capture each campaign's nondeterminism frontier (strategy RNG seeds,
+    /// realized skips, released access order) into
+    /// [`StepOutcome::capture`] so bugs can be turned into repro artifacts.
+    pub record_schedules: bool,
 }
 
 impl Default for ExploreConfig {
@@ -80,6 +86,7 @@ impl Default for ExploreConfig {
             tuning: SyncTuning::default(),
             ops_per_thread: 24,
             initial_corpus: Vec::new(),
+            record_schedules: false,
         }
     }
 }
@@ -97,6 +104,9 @@ pub struct StepOutcome {
     pub new_alias: usize,
     /// New branches contributed.
     pub new_branch: usize,
+    /// The campaign's captured schedule, when
+    /// [`ExploreConfig::record_schedules`] is on.
+    pub capture: Option<ScheduleCapture>,
 }
 
 /// Stateful three-tier explorer for one target.
@@ -205,27 +215,39 @@ impl Explorer {
         self.plans_on_seed = 0;
     }
 
-    fn build_strategy(&mut self) -> (Option<Arc<dyn InterleaveStrategy>>, Tier) {
+    fn build_strategy(&mut self) -> (Option<Arc<dyn InterleaveStrategy>>, Tier, PendingCapture) {
+        let record = self.cfg.record_schedules;
         match self.cfg.strategy {
-            StrategyKind::None => (None, Tier::Execution),
-            StrategyKind::Delay { max_delay_us } => (
-                Some(Arc::new(DelayStrategy::new(
-                    Duration::from_micros(max_delay_us),
-                    self.rng.random(),
-                ))),
-                Tier::Execution,
-            ),
-            StrategyKind::Systematic => (
-                Some(Arc::new(SystematicStrategy::new(
-                    self.cfg.campaign.threads,
-                    4,
-                    self.rng.random(),
-                ))),
-                Tier::Execution,
-            ),
+            StrategyKind::None => (None, Tier::Execution, PendingCapture::none()),
+            StrategyKind::Delay { max_delay_us } => {
+                let rng_seed: u64 = self.rng.random();
+                (
+                    Some(Arc::new(DelayStrategy::new(
+                        Duration::from_micros(max_delay_us),
+                        rng_seed,
+                    ))),
+                    Tier::Execution,
+                    PendingCapture::plain(StrategyCapture::Delay {
+                        max_delay_us,
+                        rng_seed,
+                    }),
+                )
+            }
+            StrategyKind::Systematic => {
+                let start: u32 = self.rng.random();
+                (
+                    Some(Arc::new(SystematicStrategy::new(
+                        self.cfg.campaign.threads,
+                        4,
+                        start,
+                    ))),
+                    Tier::Execution,
+                    PendingCapture::plain(StrategyCapture::Systematic { quantum: 4, start }),
+                )
+            }
             StrategyKind::Pmrace => {
                 if !self.cfg.enable_interleaving_tier {
-                    return (None, Tier::Execution);
+                    return (None, Tier::Execution, PendingCapture::none());
                 }
                 let mut tier = Tier::Execution;
                 if self.plan.is_none() || self.execs_on_plan >= self.cfg.execs_per_interleaving {
@@ -240,19 +262,87 @@ impl Explorer {
                 }
                 match &self.plan {
                     Some(plan) => {
-                        let strategy = PmraceStrategy::new(
+                        let rng_seed: u64 = self.rng.random();
+                        let strategy = Arc::new(PmraceStrategy::new(
                             plan.clone(),
                             self.cfg.campaign.threads,
                             Arc::clone(&self.skip_store),
                             self.cfg.tuning,
-                            self.rng.random(),
-                        );
-                        (Some(Arc::new(strategy)), tier)
+                            rng_seed,
+                        ));
+                        if record {
+                            // The realized skips and the plan must be read
+                            // off the concrete strategy *before* type
+                            // erasure; the released-access order is only
+                            // known after the campaign, so the shared log
+                            // travels in the pending capture.
+                            let skips = strategy
+                                .initial_skips()
+                                .iter()
+                                .map(|&(s, n)| (site_label(Site::from_id(s)).to_owned(), n))
+                                .collect();
+                            let log = Arc::new(ScheduleLog::new(plan.off));
+                            let pending = PendingCapture {
+                                strategy: Some(StrategyCapture::Pmrace {
+                                    plan: PlanCapture {
+                                        off: plan.off,
+                                        load_sites: labels_of(&plan.load_sites),
+                                        store_sites: labels_of(&plan.store_sites),
+                                    },
+                                    rng_seed,
+                                    skips,
+                                    events: Vec::new(),
+                                    truncated: false,
+                                }),
+                                log: Some(Arc::clone(&log)),
+                            };
+                            let recording = RecordingStrategy::new(strategy, log);
+                            (Some(Arc::new(recording)), tier, pending)
+                        } else {
+                            (Some(strategy), tier, PendingCapture::none())
+                        }
                     }
-                    None => (None, Tier::Execution),
+                    None => (None, Tier::Execution, PendingCapture::none()),
                 }
             }
         }
+    }
+
+    /// Finish a pending capture after the campaign ran: drain the schedule
+    /// log (if any) into the strategy capture and wrap the campaign's
+    /// execution parameters around it.
+    fn finish_capture(&self, pending: PendingCapture) -> Option<ScheduleCapture> {
+        if !self.cfg.record_schedules {
+            return None;
+        }
+        let mut strategy = pending.strategy.unwrap_or(StrategyCapture::None);
+        if let (
+            StrategyCapture::Pmrace {
+                events, truncated, ..
+            },
+            Some(log),
+        ) = (&mut strategy, &pending.log)
+        {
+            let (recorded, was_truncated) = log.snapshot();
+            *events = recorded
+                .iter()
+                .map(|e| EventCapture {
+                    is_load: e.is_load,
+                    site: site_label(e.site).to_owned(),
+                    tid: e.tid,
+                })
+                .collect();
+            *truncated = was_truncated;
+        }
+        Some(ScheduleCapture {
+            strategy,
+            threads: self.cfg.campaign.threads,
+            tuning: self.cfg.tuning,
+            eviction_interval_us: self.cfg.campaign.eviction_interval_us,
+            eadr: self.cfg.campaign.eadr,
+            deadline: self.cfg.campaign.deadline,
+            extra_whitelist: self.cfg.campaign.extra_whitelist.clone(),
+        })
     }
 
     /// Run one exploration step (one campaign).
@@ -282,7 +372,7 @@ impl Explorer {
             tier = Tier::Seed;
         }
 
-        let (strategy, strategy_tier) = self.build_strategy();
+        let (strategy, strategy_tier, pending) = self.build_strategy();
         if tier == Tier::Execution {
             tier = strategy_tier;
         }
@@ -321,14 +411,48 @@ impl Explorer {
         if new_alias == 0 && self.execs_on_plan >= 2 {
             self.execs_on_plan = self.cfg.execs_per_interleaving;
         }
+        let capture = self.finish_capture(pending);
         Ok(StepOutcome {
             result,
             seed: self.seed.clone(),
             tier,
             new_alias,
             new_branch,
+            capture,
         })
     }
+}
+
+/// What `build_strategy` knows before the campaign runs; completed into a
+/// [`ScheduleCapture`] afterwards (the event log fills during execution).
+struct PendingCapture {
+    strategy: Option<StrategyCapture>,
+    log: Option<Arc<ScheduleLog>>,
+}
+
+impl PendingCapture {
+    fn none() -> Self {
+        PendingCapture {
+            strategy: None,
+            log: None,
+        }
+    }
+
+    fn plain(strategy: StrategyCapture) -> Self {
+        PendingCapture {
+            strategy: Some(strategy),
+            log: None,
+        }
+    }
+}
+
+fn labels_of(sites: &std::collections::HashSet<u32>) -> Vec<String> {
+    let mut labels: Vec<String> = sites
+        .iter()
+        .map(|&s| site_label(Site::from_id(s)).to_owned())
+        .collect();
+    labels.sort_unstable();
+    labels
 }
 
 #[cfg(test)]
@@ -387,6 +511,29 @@ mod tests {
             let out = ex.step().unwrap();
             assert_ne!(out.tier, Tier::Interleaving);
         }
+    }
+
+    #[test]
+    fn recording_attaches_schedule_captures() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let mut cfg = fast_cfg(StrategyKind::Pmrace);
+        cfg.record_schedules = true;
+        let mut ex = Explorer::new(spec, cfg, 21).unwrap();
+        let mut saw_pmrace_capture = false;
+        for _ in 0..6 {
+            let out = ex.step().unwrap();
+            let cap = out.capture.expect("recording on: every step captures");
+            assert_eq!(cap.threads, 2);
+            if let StrategyCapture::Pmrace { plan, skips, .. } = &cap.strategy {
+                assert!(!plan.load_sites.is_empty());
+                assert_eq!(skips.len(), plan.load_sites.len());
+                saw_pmrace_capture = true;
+            }
+        }
+        assert!(
+            saw_pmrace_capture,
+            "pmrace steps with a plan must capture it"
+        );
     }
 
     #[test]

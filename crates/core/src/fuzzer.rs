@@ -1,6 +1,7 @@
 //! The top-level fuzzer: exploration workers, shared ledger, timelines.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -9,10 +10,37 @@ use pmrace_runtime::RtError;
 use pmrace_sched::SyncTuning;
 use pmrace_targets::{target_spec, TargetSpec};
 
-use crate::bugs::{DetectionStats, Ledger, UniqueBug};
+use crate::bugs::{DetectionStats, IngestDelta, Ledger, UniqueBug};
 use crate::campaign::{CampaignConfig, StrategyKind};
 use crate::corpus::CorpusDir;
-use crate::explore::{ExploreConfig, Explorer};
+use crate::explore::{ExploreConfig, Explorer, StepOutcome};
+
+/// Callback the fuzzer fires when a campaign contributes *new* unique
+/// findings, with the step's full outcome (seed, captured schedule) and the
+/// ledger delta. This is how the `pmrace-replay` crate auto-records repro
+/// artifacts without the core depending on it.
+#[derive(Clone)]
+pub struct RecordSink(Arc<RecordFn>);
+
+type RecordFn = dyn Fn(&StepOutcome, &IngestDelta) + Send + Sync;
+
+impl RecordSink {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(&StepOutcome, &IngestDelta) + Send + Sync + 'static) -> Self {
+        RecordSink(Arc::new(f))
+    }
+
+    /// Invoke the callback.
+    pub fn call(&self, out: &StepOutcome, delta: &IngestDelta) {
+        (self.0)(out, delta);
+    }
+}
+
+impl std::fmt::Debug for RecordSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RecordSink(..)")
+    }
+}
 
 /// Fuzzer configuration (defaults follow §6.1 scaled to simulator time).
 #[derive(Debug, Clone)]
@@ -53,6 +81,11 @@ pub struct FuzzConfig {
     pub eviction_interval_us: u64,
     /// RNG seed for deterministic runs.
     pub rng_seed: u64,
+    /// Fired with the step outcome and ledger delta whenever a campaign
+    /// finds something new; turning it on also enables schedule capture in
+    /// the explorers (see
+    /// [`ExploreConfig::record_schedules`](crate::explore::ExploreConfig)).
+    pub record: Option<RecordSink>,
 }
 
 impl FuzzConfig {
@@ -77,6 +110,7 @@ impl FuzzConfig {
             extra_whitelist: Vec::new(),
             eviction_interval_us: 0,
             rng_seed: 0xC0FFEE,
+            record: None,
         }
     }
 }
@@ -126,6 +160,12 @@ pub struct FuzzReport {
     pub alias_pairs: usize,
     /// Final global branch count.
     pub branches: usize,
+    /// Coverage-improving seeds that failed to persist to the corpus
+    /// directory (every failure is counted; a silently shrinking corpus
+    /// would corrupt later runs' starting points).
+    pub corpus_save_errors: usize,
+    /// First corpus-save failure message, when any occurred.
+    pub corpus_error: Option<String>,
 }
 
 /// PM-aware coverage-guided fuzzer (the `pmrace` entry point).
@@ -165,6 +205,7 @@ impl Fuzzer {
             tuning: self.cfg.tuning,
             ops_per_thread: self.cfg.ops_per_thread,
             initial_corpus: Vec::new(),
+            record_schedules: self.cfg.record.is_some(),
         }
     }
 
@@ -176,11 +217,16 @@ impl Fuzzer {
     pub fn run(&self) -> Result<FuzzReport, RtError> {
         let start = Instant::now();
         let corpus_dir = match &self.cfg.corpus_dir {
-            Some(dir) => Some(CorpusDir::open(dir).map_err(|_| RtError::Halted)?),
+            Some(dir) => Some(
+                CorpusDir::open(dir)
+                    .map_err(|e| RtError::Io(format!("corpus dir {}: {e}", dir.display())))?,
+            ),
             None => None,
         };
         let loaded_corpus = match &corpus_dir {
-            Some(c) => c.load_all().unwrap_or_default(),
+            Some(c) => c
+                .load_all()
+                .map_err(|e| RtError::Io(format!("corpus load: {e}")))?,
             None => Vec::new(),
         };
         let ledger = Mutex::new(Ledger::new(self.spec));
@@ -189,6 +235,9 @@ impl Fuzzer {
         let campaigns = AtomicUsize::new(0);
         let pm_accesses = std::sync::atomic::AtomicU64::new(0);
         let first_err = Mutex::new(None::<RtError>);
+        let corpus_save_errors = AtomicUsize::new(0);
+        let corpus_error = Mutex::new(None::<String>);
+        let record = self.cfg.record.clone();
 
         std::thread::scope(|scope| {
             for w in 0..self.cfg.workers.max(1) {
@@ -198,6 +247,9 @@ impl Fuzzer {
                 let campaigns = &campaigns;
                 let pm_accesses = &pm_accesses;
                 let first_err = &first_err;
+                let corpus_save_errors = &corpus_save_errors;
+                let corpus_error = &corpus_error;
+                let record = &record;
                 let mut cfg = self.explore_config();
                 cfg.initial_corpus = loaded_corpus.clone();
                 let corpus_dir = &corpus_dir;
@@ -229,14 +281,25 @@ impl Fuzzer {
                                     cov.merge_from(&out.result.coverage);
                                     (cov.alias_pairs(), cov.branches())
                                 };
-                                ledger.lock().ingest_with_seed(
+                                let delta = ledger.lock().ingest_with_seed(
                                     &out.result,
                                     elapsed,
                                     Some(&out.seed),
                                 );
+                                if !delta.is_empty() {
+                                    if let Some(sink) = record {
+                                        sink.call(&out, &delta);
+                                    }
+                                }
                                 if out.new_alias + out.new_branch > 0 {
                                     if let Some(corpus) = &corpus_dir {
-                                        let _ = corpus.save(&out.seed);
+                                        if let Err(e) = corpus.save(&out.seed) {
+                                            corpus_save_errors.fetch_add(1, Ordering::Relaxed);
+                                            let mut slot = corpus_error.lock();
+                                            if slot.is_none() {
+                                                *slot = Some(e.to_string());
+                                            }
+                                        }
                                     }
                                 }
                                 timeline.lock().push(CoverageSample {
@@ -278,6 +341,8 @@ impl Fuzzer {
             inter_times: ledger.inter_detection_times().to_vec(),
             alias_pairs: cov.alias_pairs(),
             branches: cov.branches(),
+            corpus_save_errors: corpus_save_errors.load(Ordering::Relaxed),
+            corpus_error: corpus_error.into_inner(),
         })
     }
 }
@@ -306,6 +371,66 @@ mod tests {
         assert!(report.execs_per_sec > 0.0);
         assert!(report.pm_accesses > 0);
         assert!(report.accesses_per_sec > 0.0);
+    }
+
+    #[test]
+    fn record_sink_fires_with_captures_on_new_findings() {
+        let mut cfg = FuzzConfig::new("P-CLHT");
+        cfg.max_campaigns = 4;
+        cfg.workers = 1;
+        cfg.threads = 2;
+        cfg.wall_budget = Duration::from_secs(20);
+        cfg.campaign_deadline = Duration::from_millis(300);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let captured = Arc::new(AtomicUsize::new(0));
+        let (f, c) = (Arc::clone(&fired), Arc::clone(&captured));
+        cfg.record = Some(RecordSink::new(move |out, delta| {
+            assert!(!delta.is_empty(), "sink must only fire on new findings");
+            f.fetch_add(1, Ordering::Relaxed);
+            if out.capture.is_some() {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+        assert!(report.campaigns >= 1);
+        let fired = fired.load(Ordering::Relaxed);
+        assert!(fired >= 1, "P-CLHT campaigns surface new candidates");
+        assert_eq!(
+            fired,
+            captured.load(Ordering::Relaxed),
+            "record mode must attach a schedule capture to every outcome"
+        );
+    }
+
+    #[test]
+    fn corpus_open_failure_carries_the_io_cause() {
+        let file = std::env::temp_dir().join(format!("pmrace-not-a-dir-{}", std::process::id()));
+        std::fs::write(&file, "occupied").unwrap();
+        let mut cfg = FuzzConfig::new("clevel");
+        cfg.corpus_dir = Some(file.clone());
+        let err = Fuzzer::new(cfg).unwrap().run().unwrap_err();
+        match err {
+            RtError::Io(msg) => assert!(msg.contains("corpus dir"), "{msg}"),
+            other => panic!("expected RtError::Io, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn corpus_save_failures_surface_in_the_report() {
+        let mut cfg = FuzzConfig::new("clevel");
+        cfg.max_campaigns = 2;
+        cfg.workers = 1;
+        cfg.threads = 2;
+        cfg.wall_budget = Duration::from_secs(20);
+        cfg.campaign_deadline = Duration::from_millis(200);
+        // /proc exists (so the corpus opens and lists cleanly) but rejects
+        // file creation: every attempted save must fail and be counted
+        // instead of silently dropped.
+        cfg.corpus_dir = Some(std::path::PathBuf::from("/proc"));
+        let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+        assert!(report.corpus_save_errors >= 1, "{report:?}");
+        assert!(report.corpus_error.is_some());
     }
 
     #[test]

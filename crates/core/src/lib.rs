@@ -38,13 +38,15 @@ pub mod explore;
 pub mod fuzzer;
 pub mod mutator;
 pub mod report_io;
+pub mod schedule;
 pub mod seed;
 pub mod textgen;
 pub mod validate;
 
-pub use bugs::{BugKind, DetectionStats, Ledger, UniqueBug};
+pub use bugs::{BugKind, DetectionStats, IngestDelta, Ledger, UniqueBug};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyKind};
-pub use fuzzer::{FuzzConfig, FuzzReport, Fuzzer};
+pub use fuzzer::{FuzzConfig, FuzzReport, Fuzzer, RecordSink};
 pub use mutator::OpMutator;
+pub use schedule::{EventCapture, PlanCapture, ScheduleCapture, StrategyCapture};
 pub use seed::Seed;
 pub use validate::Verdict;

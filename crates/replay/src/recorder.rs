@@ -1,0 +1,148 @@
+//! Auto-recording: turn the fuzzer's new findings into stored artifacts.
+//!
+//! The fuzzer deliberately knows nothing about repro artifacts — it only
+//! offers a [`RecordSink`] callback fired with the campaign's
+//! [`StepOutcome`] and the [`IngestDelta`] of findings that were *new*
+//! after deduplication. [`Recorder`] is the other half: it builds one
+//! [`Repro`] per new unique bug (and per new candidate pair) from the
+//! step's schedule capture and writes it to a [`ReproStore`], first-wins
+//! per signature so re-finding a known bug never churns the corpus.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmrace_core::explore::StepOutcome;
+use pmrace_core::{IngestDelta, RecordSink};
+
+use crate::artifact::{BugSignature, Repro};
+use crate::store::ReproStore;
+
+/// Collects repro artifacts for every new finding a fuzzing run reports.
+#[derive(Debug)]
+pub struct Recorder {
+    target: String,
+    store: ReproStore,
+    recorded: AtomicUsize,
+    errors: Mutex<Vec<String>>,
+}
+
+impl Recorder {
+    /// A recorder writing artifacts for `target` findings into `store`.
+    #[must_use]
+    pub fn new(target: &str, store: ReproStore) -> Arc<Self> {
+        Arc::new(Recorder {
+            target: target.to_owned(),
+            store,
+            recorded: AtomicUsize::new(0),
+            errors: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The sink to plug into [`FuzzConfig::record`](pmrace_core::FuzzConfig).
+    #[must_use]
+    pub fn sink(self: &Arc<Self>) -> RecordSink {
+        let this = Arc::clone(self);
+        RecordSink::new(move |out, delta| this.on_step(out, delta))
+    }
+
+    /// Artifacts written so far.
+    #[must_use]
+    pub fn recorded(&self) -> usize {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Store-write failures encountered so far (recording is best-effort:
+    /// a full disk must not abort the fuzzing run that found the bug).
+    #[must_use]
+    pub fn errors(&self) -> Vec<String> {
+        self.errors.lock().clone()
+    }
+
+    /// The store artifacts are written to.
+    #[must_use]
+    pub fn store(&self) -> &ReproStore {
+        &self.store
+    }
+
+    fn on_step(&self, out: &StepOutcome, delta: &IngestDelta) {
+        let Some(capture) = &out.capture else {
+            return;
+        };
+        let seed_text = out.seed.to_text();
+        for bug in &delta.new_bugs {
+            self.record(Repro::from_capture(
+                &self.target,
+                BugSignature::from_bug(bug),
+                &bug.description,
+                &seed_text,
+                capture,
+            ));
+        }
+        for (write, read) in &delta.new_candidates {
+            self.record(Repro::from_capture(
+                &self.target,
+                BugSignature::candidate(write, read),
+                "inconsistency candidate: read of non-persisted data",
+                &seed_text,
+                capture,
+            ));
+        }
+    }
+
+    fn record(&self, repro: Repro) {
+        if self.store.contains(&repro.signature) {
+            return;
+        }
+        match self.store.save(&repro) {
+            Ok(_) => {
+                self.recorded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.errors.lock().push(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    use pmrace_core::{FuzzConfig, Fuzzer, StrategyKind};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pmrace-rec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn fuzzing_with_a_recorder_fills_the_store() {
+        let dir = tmpdir("fuzz");
+        let recorder = Recorder::new("P-CLHT", ReproStore::open(&dir).unwrap());
+        let mut cfg = FuzzConfig::new("P-CLHT");
+        cfg.workers = 1;
+        cfg.max_campaigns = 30;
+        cfg.wall_budget = Duration::from_secs(25);
+        cfg.strategy = StrategyKind::Pmrace;
+        cfg.rng_seed = 7;
+        cfg.record = Some(recorder.sink());
+        let report = Fuzzer::new(cfg).unwrap().run().unwrap();
+        assert!(
+            !report.bugs.is_empty() || !report.candidate_only.is_empty(),
+            "the P-CLHT seed workloads reliably surface findings"
+        );
+        assert!(recorder.recorded() > 0, "new findings must be recorded");
+        assert!(recorder.errors().is_empty(), "{:?}", recorder.errors());
+        let stored = recorder.store().load_all().unwrap();
+        assert_eq!(stored.len(), recorder.recorded());
+        // Every artifact corresponds to a reported finding and replays the
+        // exact seed text of the campaign that exposed it.
+        for (_, repro) in &stored {
+            assert_eq!(repro.target, "P-CLHT");
+            assert!(!repro.seed_text.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,414 @@
+//! Replay a repro artifact and check that the recorded finding re-fires.
+//!
+//! Site ids are process-local (the registry hands them out lazily, in
+//! first-execution order), so an artifact can only carry *labels*. Replay
+//! therefore starts with a **recon campaign**: one unstrategized run of the
+//! recorded seed, which makes the target register every site the seed
+//! reaches and surfaces the shared-access table. Labels are then resolved
+//! back to this process's site ids / granule offset, and the replay
+//! campaigns run with the schedule re-imposed.
+//!
+//! Three fidelity levels:
+//!
+//! * [`ReplayMode::Strict`] re-enforces the *recorded access order* on the
+//!   watched granule with a [`ReplayStrategy`] — byte-for-byte the
+//!   interleaving that exposed the bug, with a divergence watchdog.
+//! * [`ReplayMode::Steer`] rebuilds the original conditional-wait scheduler
+//!   ([`PmraceStrategy`]) with the recorded RNG seed and *pinned* skip
+//!   counts (jitter off) — the paper's Fig. 6 mechanism, deterministically
+//!   re-parameterized.
+//! * [`ReplayMode::Free`] runs the seed alone (for findings that do not
+//!   need a schedule).
+//!
+//! Non-Pmrace schedules (delay / systematic) re-seed their strategies
+//! directly; they are deterministic given the recorded parameters.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pmrace_core::campaign::CampaignResult;
+use pmrace_core::{run_campaign, CampaignConfig, Ledger, Seed, UniqueBug};
+use pmrace_runtime::strategy::InterleaveStrategy;
+use pmrace_runtime::{site_by_label, site_label, RtError};
+use pmrace_sched::{
+    DelayStrategy, PmraceStrategy, ReplayEvent, ReplayStrategy, SyncPlan, SystematicStrategy,
+};
+use pmrace_targets::target_spec;
+
+use crate::artifact::{Repro, ScheduleSpec};
+
+/// How faithfully the recorded schedule is re-imposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Enforce the recorded per-granule access order exactly.
+    Strict,
+    /// Rebuild the recorded scheduler (seed + pinned skips) and let it run.
+    Steer,
+    /// Seed only; no interleaving strategy.
+    Free,
+}
+
+/// Replay knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Fidelity level.
+    pub mode: ReplayMode,
+    /// Replay campaigns to run before giving up (the checkers sample crash
+    /// points, so a faithfully reproduced interleaving may still need a
+    /// couple of observations).
+    pub attempts: usize,
+    /// How long a strictly gated access may wait for its turn before the
+    /// replay declares divergence and releases all gates.
+    pub watchdog: Duration,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            mode: ReplayMode::Strict,
+            attempts: 4,
+            watchdog: Duration::from_millis(250),
+        }
+    }
+}
+
+/// What a replay run established.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// `true` when the recorded signature re-fired.
+    pub matched: bool,
+    /// Campaigns executed (excluding recon).
+    pub attempts: usize,
+    /// Strict-mode divergence report from the last attempt, if any.
+    pub divergence: Option<String>,
+    /// Unique bugs the replay surfaced.
+    pub bugs: Vec<UniqueBug>,
+    /// Candidate-only pairs the replay surfaced.
+    pub candidates: Vec<(String, String)>,
+    /// Wall-clock time, recon included.
+    pub duration: Duration,
+}
+
+/// Replay `repro` and report whether its finding re-fired.
+///
+/// # Errors
+///
+/// [`RtError::Io`] for unusable artifacts (unknown target, malformed
+/// seed); target-construction failures propagate. A schedule that cannot
+/// be re-imposed (e.g. the seed no longer reaches the recorded sites) is
+/// *not* an error — it returns `matched: false` with a divergence message,
+/// which is what lets delta debugging probe reduced inputs safely.
+pub fn replay(repro: &Repro, opts: &ReplayOptions) -> Result<ReplayOutcome, RtError> {
+    let start = Instant::now();
+    let spec = target_spec(&repro.target)
+        .ok_or_else(|| RtError::Io(format!("unknown target '{}'", repro.target)))?;
+    let seed =
+        Seed::parse(&repro.seed_text).map_err(|e| RtError::Io(format!("repro seed: {e}")))?;
+    let cfg = CampaignConfig {
+        threads: repro.campaign.threads,
+        deadline: repro.deadline(),
+        capture_images: true,
+        max_images: 32,
+        eadr: repro.campaign.eadr,
+        eviction_interval_us: repro.campaign.eviction_interval_us,
+        extra_whitelist: repro.campaign.extra_whitelist.clone(),
+    };
+
+    // Recon: register sites, surface the shared-access table. Only needed
+    // when the schedule references sites; harmless to skip otherwise.
+    let needs_recon =
+        matches!(repro.schedule, ScheduleSpec::Pmrace { .. }) && opts.mode != ReplayMode::Free;
+    let recon = if needs_recon {
+        Some(run_campaign(&spec, &seed, &cfg, None, None)?)
+    } else {
+        None
+    };
+
+    let mut ledger = Ledger::new(spec);
+    let mut divergence = None;
+    let mut matched = false;
+    let mut attempts = 0;
+    for attempt in 0..opts.attempts {
+        let (strategy, strict) = match build_strategy(repro, opts, recon.as_ref(), attempt) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                // Unresolvable schedule: the finding cannot re-fire.
+                return Ok(ReplayOutcome {
+                    matched: false,
+                    attempts,
+                    divergence: Some(msg),
+                    bugs: ledger.bugs().into_iter().cloned().collect(),
+                    candidates: ledger.candidate_only_pairs(),
+                    duration: start.elapsed(),
+                });
+            }
+        };
+        let result = run_campaign(&spec, &seed, &cfg, strategy, None)?;
+        attempts += 1;
+        let _ = ledger.ingest_with_seed(&result, start.elapsed(), Some(&seed));
+        if let Some(strict) = strict {
+            divergence = strict.divergence();
+        }
+        let bugs: Vec<UniqueBug> = ledger.bugs().into_iter().cloned().collect();
+        let candidates = ledger.candidate_only_pairs();
+        if repro
+            .signature
+            .matches(&bugs, &candidates, ledger.bug_triples())
+        {
+            matched = true;
+            break;
+        }
+    }
+
+    Ok(ReplayOutcome {
+        matched,
+        attempts,
+        divergence,
+        bugs: ledger.bugs().into_iter().cloned().collect(),
+        candidates: ledger.candidate_only_pairs(),
+        duration: start.elapsed(),
+    })
+}
+
+/// The strategy for one replay attempt, plus the strict-mode handle for
+/// divergence reporting. `Err` carries a human-readable resolution failure.
+#[allow(clippy::type_complexity)]
+fn build_strategy(
+    repro: &Repro,
+    opts: &ReplayOptions,
+    recon: Option<&CampaignResult>,
+    attempt: usize,
+) -> Result<
+    (
+        Option<Arc<dyn InterleaveStrategy>>,
+        Option<Arc<ReplayStrategy>>,
+    ),
+    String,
+> {
+    if opts.mode == ReplayMode::Free {
+        return Ok((None, None));
+    }
+    match &repro.schedule {
+        ScheduleSpec::Free => Ok((None, None)),
+        ScheduleSpec::Delay {
+            max_delay_us,
+            rng_seed,
+        } => Ok((
+            Some(Arc::new(DelayStrategy::new(
+                Duration::from_micros(*max_delay_us),
+                // Perturb follow-up attempts: repeating a losing delay
+                // stream verbatim cannot observe anything new.
+                rng_seed.wrapping_add(attempt as u64),
+            ))),
+            None,
+        )),
+        ScheduleSpec::Systematic { quantum, start } => Ok((
+            Some(Arc::new(SystematicStrategy::new(
+                repro.campaign.threads,
+                *quantum,
+                *start,
+            ))),
+            None,
+        )),
+        ScheduleSpec::Pmrace {
+            off,
+            load_sites,
+            store_sites,
+            rng_seed,
+            skips,
+            events,
+            ..
+        } => {
+            let recon = recon.ok_or("internal: pmrace replay without recon")?;
+            let granule_off = resolve_off(recon, load_sites, store_sites).unwrap_or(*off);
+            if opts.mode == ReplayMode::Strict && !events.is_empty() {
+                let events: Vec<ReplayEvent> = events
+                    .iter()
+                    .map(|e| ReplayEvent {
+                        is_load: e.is_load,
+                        label: e.site.clone(),
+                        tid: e.tid,
+                    })
+                    .collect();
+                let strict = Arc::new(ReplayStrategy::new(granule_off, events, opts.watchdog));
+                return Ok((Some(strict.clone()), Some(strict)));
+            }
+            // Steer (and Strict fallback when no events were captured):
+            // rebuild the conditional-wait scheduler with pinned skips.
+            let plan = SyncPlan {
+                off: granule_off,
+                load_sites: resolve_sites(load_sites)?,
+                store_sites: resolve_sites(store_sites)?,
+            };
+            let pinned: HashMap<u32, u32> = skips
+                .iter()
+                .filter_map(|(label, n)| site_by_label(label).map(|s| (s.id(), *n)))
+                .collect();
+            Ok((
+                Some(Arc::new(PmraceStrategy::with_skips(
+                    plan,
+                    repro.campaign.threads,
+                    pinned,
+                    repro.campaign.tuning,
+                    *rng_seed,
+                ))),
+                None,
+            ))
+        }
+    }
+}
+
+/// Granule offset whose recon shared-access entry carries the recorded
+/// load *and* store labels. Pool allocation is deterministic per seed, so
+/// this normally agrees with the recorded offset — but re-resolving makes
+/// artifacts robust to allocator changes.
+fn resolve_off(recon: &CampaignResult, loads: &[String], stores: &[String]) -> Option<u64> {
+    recon
+        .shared
+        .iter()
+        .find(|e| {
+            e.load_sites
+                .iter()
+                .any(|(s, _)| loads.iter().any(|l| site_label(*s) == *l))
+                && e.store_sites
+                    .iter()
+                    .any(|(s, _)| stores.iter().any(|l| site_label(*s) == *l))
+        })
+        .map(|e| e.off)
+}
+
+fn resolve_sites(labels: &[String]) -> Result<HashSet<u32>, String> {
+    labels
+        .iter()
+        .map(|label| {
+            site_by_label(label)
+                .map(|s| s.id())
+                .ok_or_else(|| format!("site '{label}' never executed during recon"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{BugSignature, CampaignSpec, REPRO_VERSION};
+    use pmrace_sched::SyncTuning;
+    use pmrace_targets::Op;
+
+    fn free_repro(target: &str, seed: Seed, sig: BugSignature, deadline_us: u64) -> Repro {
+        Repro {
+            version: REPRO_VERSION,
+            target: target.to_owned(),
+            signature: sig,
+            description: "test repro".to_owned(),
+            seed_text: seed.to_text(),
+            campaign: CampaignSpec {
+                threads: seed.num_threads(),
+                deadline_us,
+                eadr: false,
+                eviction_interval_us: 0,
+                extra_whitelist: Vec::new(),
+                tuning: SyncTuning::default(),
+            },
+            schedule: ScheduleSpec::Free,
+        }
+    }
+
+    #[test]
+    fn hang_repro_replays_to_a_match() {
+        // Bug 5: the idempotent update leaks the bucket lock; the next
+        // insert on the bucket hangs. Deterministic from the seed alone.
+        let seed = Seed::new(vec![vec![
+            Op::Insert { key: 1, value: 1 },
+            Op::Update { key: 1, value: 1 },
+            Op::Insert { key: 1, value: 3 },
+        ]]);
+        let sig = BugSignature {
+            kind: "Hang".to_owned(),
+            write_label: String::new(),
+            read_label: String::new(),
+            effect_label: String::new(),
+        };
+        let repro = free_repro("P-CLHT", seed, sig, 150_000);
+        let out = replay(&repro, &ReplayOptions::default()).unwrap();
+        assert!(out.matched, "bugs: {:?}", out.bugs);
+        assert_eq!(out.attempts, 1, "a deterministic hang matches first try");
+    }
+
+    #[test]
+    fn unmatchable_signatures_report_no_match() {
+        let seed = Seed::new(vec![vec![Op::Get { key: 1 }]]);
+        let sig = BugSignature {
+            kind: "Inter".to_owned(),
+            write_label: "nonexistent.c:1".to_owned(),
+            read_label: String::new(),
+            effect_label: String::new(),
+        };
+        let repro = free_repro("P-CLHT", seed, sig, 100_000);
+        let opts = ReplayOptions {
+            attempts: 1,
+            ..ReplayOptions::default()
+        };
+        let out = replay(&repro, &opts).unwrap();
+        assert!(!out.matched);
+    }
+
+    #[test]
+    fn unknown_targets_are_io_errors() {
+        let seed = Seed::new(vec![vec![Op::Get { key: 1 }]]);
+        let repro = free_repro(
+            "no-such-system",
+            seed,
+            BugSignature::candidate("w", "r"),
+            1000,
+        );
+        let err = replay(&repro, &ReplayOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, RtError::Io(ref m) if m.contains("no-such-system")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unreachable_schedule_sites_surface_as_divergence_not_errors() {
+        // A pmrace schedule whose sites the (trivial) seed never executes:
+        // replay must finish with a divergence message, not an error —
+        // this is exactly what ddmin probes look like.
+        let seed = Seed::new(vec![vec![Op::Get { key: 1 }]]);
+        let mut repro = free_repro(
+            "P-CLHT",
+            seed,
+            BugSignature {
+                kind: "Inter".to_owned(),
+                write_label: "clht_lb_res.c:785".to_owned(),
+                read_label: String::new(),
+                effect_label: String::new(),
+            },
+            100_000,
+        );
+        // Labels no target registers (the site registry is process-global,
+        // so real labels could be registered by sibling tests).
+        repro.schedule = ScheduleSpec::Pmrace {
+            off: 64,
+            load_sites: vec!["replay-test.nonexistent:1".to_owned()],
+            store_sites: vec!["replay-test.nonexistent:2".to_owned()],
+            rng_seed: 1,
+            skips: Vec::new(),
+            events: Vec::new(),
+            truncated: false,
+        };
+        let out = replay(
+            &repro,
+            &ReplayOptions {
+                mode: ReplayMode::Steer,
+                attempts: 1,
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.matched);
+        let msg = out.divergence.expect("divergence must be reported");
+        assert!(msg.contains("never executed"), "{msg}");
+    }
+}

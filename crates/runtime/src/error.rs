@@ -17,6 +17,9 @@ pub enum RtError {
     Timeout,
     /// The session was cancelled (another thread hit a fatal condition).
     Halted,
+    /// A filesystem operation failed (corpus/repro stores); carries the
+    /// underlying cause so users see *why* instead of a bare halt.
+    Io(String),
 }
 
 impl fmt::Display for RtError {
@@ -25,6 +28,7 @@ impl fmt::Display for RtError {
             RtError::Pmem(e) => write!(f, "pm substrate error: {e}"),
             RtError::Timeout => write!(f, "campaign deadline elapsed"),
             RtError::Halted => write!(f, "session halted"),
+            RtError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
@@ -55,5 +59,12 @@ mod tests {
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&RtError::Timeout).is_none());
         assert!(!RtError::Halted.to_string().is_empty());
+    }
+
+    #[test]
+    fn io_variant_carries_the_cause() {
+        let e = RtError::Io("corpus dir /tmp/x: permission denied".to_owned());
+        assert!(e.to_string().contains("permission denied"));
+        assert!(Error::source(&e).is_none());
     }
 }

@@ -67,6 +67,20 @@ pub fn site_label(site: Site) -> &'static str {
         .map_or("<unknown site>", |s| s.label)
 }
 
+/// Look up a registered site by its exact label.
+///
+/// Sites register lazily on first execution of their call site, so this
+/// only finds labels whose code has already run in this process (replay
+/// tooling runs a recon campaign first for exactly that reason). Labels are
+/// unique per call site in practice; the first match wins.
+#[must_use]
+pub fn site_by_label(label: &str) -> Option<Site> {
+    let reg = registry().lock().expect("site registry poisoned");
+    reg.iter()
+        .position(|s| s.label == label)
+        .map(|id| Site { id: id as u32 })
+}
+
 /// Source location (`file:line`) where the site was declared.
 #[must_use]
 pub fn site_location(site: Site) -> &'static str {
@@ -104,6 +118,13 @@ mod tests {
         let bogus = Site { id: u32::MAX };
         assert!(!site_label(bogus).is_empty());
         assert!(!site_location(bogus).is_empty());
+    }
+
+    #[test]
+    fn lookup_by_label_finds_registered_sites_only() {
+        let s = register_site("file.rs:11", "lookup-probe");
+        assert_eq!(site_by_label("lookup-probe"), Some(s));
+        assert_eq!(site_by_label("never-registered-label"), None);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! [`AccessQueue`] is the priority queue of shared PM data accesses the
 //! fuzzer fetches entries from; [`SkipStore`] carries learned skip counts
 //! across campaigns of the same seed.
+//!
+//! For deterministic record/replay of detected bugs, [`RecordingStrategy`]
+//! wraps any strategy and logs the released access order on the watched
+//! granule into a [`ScheduleLog`], and [`ReplayStrategy`] re-enforces such
+//! a log as a condition-gated total order (see the `pmrace-replay` crate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +32,15 @@
 mod delay;
 mod pmrace_strategy;
 mod queue;
+mod record;
+mod replay_strategy;
 mod skip;
 mod systematic;
 
 pub use delay::DelayStrategy;
 pub use pmrace_strategy::{PmraceStrategy, SyncPlan, SyncTuning};
 pub use queue::{AccessQueue, QueueEntry};
+pub use record::{AccessEvent, RecordingStrategy, ScheduleLog, MAX_RECORDED_EVENTS};
+pub use replay_strategy::{ReplayEvent, ReplayStrategy};
 pub use skip::SkipStore;
 pub use systematic::SystematicStrategy;

@@ -20,7 +20,7 @@ use pmrace_runtime::strategy::{AccessCtx, InterleaveStrategy};
 use crate::{QueueEntry, SkipStore};
 
 /// Timing and hang-detection knobs of the Fig. 6 algorithm.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyncTuning {
     /// Poll interval inside `cond_wait` (the paper's `usleep(100)`).
     pub reader_poll: Duration,
@@ -100,6 +100,9 @@ pub struct PmraceStrategy {
     privileged: Mutex<Option<ThreadId>>,
     /// Remaining skips per load site this campaign (pitfall 3).
     skips: Mutex<HashMap<u32, u32>>,
+    /// The skips the campaign *started* with (learned + realized jitter),
+    /// frozen at construction so record/replay can pin them later.
+    initial_skips: Vec<(u32, u32)>,
     rng: Mutex<StdRng>,
     waits: AtomicUsize,
     signals: AtomicUsize,
@@ -120,7 +123,7 @@ impl PmraceStrategy {
         seed: u64,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let skips = plan
+        let skips: HashMap<u32, u32> = plan
             .load_sites
             .iter()
             .map(|&s| {
@@ -132,6 +135,54 @@ impl PmraceStrategy {
                 (s, skip_store.get(plan.off, s) + jitter)
             })
             .collect();
+        Self::build(plan, num_threads, skip_store, tuning, skips, rng)
+    }
+
+    /// Build a strategy with exact, pre-realized skip counts and no jitter.
+    ///
+    /// Used by schedule replay: a recorded campaign's realized skips (learned
+    /// base + drawn jitter, as returned by [`initial_skips`](Self::initial_skips))
+    /// are pinned verbatim so the sync points engage at the *same* dynamic
+    /// occurrences as in the recorded run.
+    #[must_use]
+    pub fn with_skips(
+        plan: SyncPlan,
+        num_threads: usize,
+        skips: HashMap<u32, u32>,
+        tuning: SyncTuning,
+        seed: u64,
+    ) -> Self {
+        // Jitter would re-randomize what the caller just pinned.
+        let tuning = SyncTuning {
+            skip_jitter: 0,
+            ..tuning
+        };
+        let full: HashMap<u32, u32> = plan
+            .load_sites
+            .iter()
+            .map(|&s| (s, skips.get(&s).copied().unwrap_or(0)))
+            .collect();
+        let rng = StdRng::seed_from_u64(seed);
+        Self::build(
+            plan,
+            num_threads,
+            Arc::new(SkipStore::new()),
+            tuning,
+            full,
+            rng,
+        )
+    }
+
+    fn build(
+        plan: SyncPlan,
+        num_threads: usize,
+        skip_store: Arc<SkipStore>,
+        tuning: SyncTuning,
+        skips: HashMap<u32, u32>,
+        rng: StdRng,
+    ) -> Self {
+        let mut initial_skips: Vec<(u32, u32)> = skips.iter().map(|(&s, &n)| (s, n)).collect();
+        initial_skips.sort_unstable();
         PmraceStrategy {
             plan,
             tuning,
@@ -143,10 +194,19 @@ impl PmraceStrategy {
             active: AtomicUsize::new(num_threads),
             privileged: Mutex::new(None),
             skips: Mutex::new(skips),
+            initial_skips,
             rng: Mutex::new(rng),
             waits: AtomicUsize::new(0),
             signals: AtomicUsize::new(0),
         }
+    }
+
+    /// The skip counts this campaign started with, per load site — the sum
+    /// of learned pitfall-3 skips and the jitter realized at construction.
+    /// Sorted by site id; feed to [`with_skips`](Self::with_skips) to replay.
+    #[must_use]
+    pub fn initial_skips(&self) -> &[(u32, u32)] {
+        &self.initial_skips
     }
 
     /// The plan being forced.
@@ -447,6 +507,35 @@ mod tests {
         strat.after_store(&ctx(64, s, 0, &cancelled));
         assert!(start.elapsed() < Duration::from_millis(1));
         assert_eq!(strat.signals_sent(), 1);
+    }
+
+    #[test]
+    fn with_skips_pins_realized_counts_without_jitter() {
+        let (l, s) = (site!("load-g"), site!("store-g"));
+        let jittery = SyncTuning {
+            skip_jitter: 8,
+            ..fast_tuning()
+        };
+        let recorded = PmraceStrategy::new(
+            plan_for(64, l, s),
+            2,
+            Arc::new(SkipStore::new()),
+            jittery,
+            42,
+        );
+        let skips: HashMap<u32, u32> = recorded.initial_skips().iter().copied().collect();
+        let replayed =
+            PmraceStrategy::with_skips(plan_for(64, l, s), 2, skips.clone(), jittery, 42);
+        assert_eq!(replayed.initial_skips(), recorded.initial_skips());
+        // The pinned skips bypass the wait exactly that many times.
+        let n = skips[&l.id()];
+        let cancelled = || false;
+        for _ in 0..n {
+            let start = Instant::now();
+            replayed.before_load(&ctx(64, l, 0, &cancelled));
+            assert!(start.elapsed() < Duration::from_millis(50));
+        }
+        assert_eq!(replayed.waits_entered(), 0);
     }
 
     #[test]

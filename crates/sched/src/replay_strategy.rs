@@ -1,0 +1,344 @@
+//! Deterministic schedule replay: re-enforce a recorded access order.
+//!
+//! [`ReplayStrategy`] takes the event log a
+//! [`RecordingStrategy`](crate::RecordingStrategy) captured for one granule
+//! and gates every matching access until all earlier events in the log have
+//! fired — a condition-gated total order on the racy address, with no
+//! timing dependence. Writers additionally *hold* after a store while the
+//! recorded schedule says other threads' loads observe the not-yet-flushed
+//! value (the event-gated analog of the Fig. 6 `writerWaiting` stall).
+//!
+//! When the target's control flow shifts (different build, minimized seed,
+//! drifted layout) the recorded schedule may become unsatisfiable. Instead
+//! of hanging, a watchdog declares *divergence*: gating is abandoned, the
+//! campaign runs to completion ungated, and the divergence is reported so
+//! the caller can distinguish "bug gone" from "schedule did not apply".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use pmrace_runtime::site_label;
+use pmrace_runtime::strategy::{AccessCtx, InterleaveStrategy};
+
+/// One schedule constraint: the occurrence of a (kind, site label, thread)
+/// triple at a fixed slot of the recorded order. Labels, not site ids —
+/// ids are process-local, labels are stable across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayEvent {
+    /// `true` for a load, `false` for a store.
+    pub is_load: bool,
+    /// Site label (e.g. `"clht_lb_res.c:417.read_ht_off"`).
+    pub label: String,
+    /// Driver thread that must perform this access.
+    pub tid: u32,
+}
+
+type EventKey = (bool, String, u32);
+
+/// Enforces a recorded per-address access order, condition-gated.
+#[derive(Debug)]
+pub struct ReplayStrategy {
+    granule: u64,
+    events: Vec<ReplayEvent>,
+    /// Slot indices per (kind, label, tid) triple, in recorded order: the
+    /// k-th arriving occurrence of a triple must run at `positions[k]`.
+    positions: HashMap<EventKey, Vec<usize>>,
+    /// For each store slot, the last following slot that is a load by a
+    /// *different* thread: the writer holds its flush until the cursor
+    /// passes it, so those loads deterministically observe non-persisted
+    /// data. `None` when no such window follows.
+    hold_until: Vec<Option<usize>>,
+    /// Slot granted last per thread (consumed by `after_store` holds).
+    pending_hold: Mutex<HashMap<u32, usize>>,
+    /// Occurrences of each triple seen so far this campaign.
+    seen: Mutex<HashMap<EventKey, usize>>,
+    /// Next slot to grant.
+    cursor: AtomicUsize,
+    diverged: AtomicBool,
+    divergence: Mutex<Option<String>>,
+    watchdog: Duration,
+    poll: Duration,
+}
+
+impl ReplayStrategy {
+    /// Replay `events` on the granule containing byte offset `off`.
+    /// `watchdog` bounds how long any access waits for its slot before the
+    /// schedule is declared divergent.
+    #[must_use]
+    pub fn new(off: u64, events: Vec<ReplayEvent>, watchdog: Duration) -> Self {
+        let mut positions: HashMap<EventKey, Vec<usize>> = HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            positions
+                .entry((e.is_load, e.label.clone(), e.tid))
+                .or_default()
+                .push(i);
+        }
+        let mut hold_until = vec![None; events.len()];
+        for (i, e) in events.iter().enumerate() {
+            if e.is_load {
+                continue;
+            }
+            // Walk the run of other-thread loads directly after this store.
+            let mut last = None;
+            for (j, f) in events.iter().enumerate().skip(i + 1) {
+                if f.is_load && f.tid != e.tid {
+                    last = Some(j);
+                } else {
+                    break;
+                }
+            }
+            hold_until[i] = last;
+        }
+        ReplayStrategy {
+            granule: off / 8,
+            events,
+            positions,
+            hold_until,
+            pending_hold: Mutex::new(HashMap::new()),
+            seen: Mutex::new(HashMap::new()),
+            cursor: AtomicUsize::new(0),
+            diverged: AtomicBool::new(false),
+            divergence: Mutex::new(None),
+            watchdog,
+            poll: Duration::from_micros(50),
+        }
+    }
+
+    /// Slots granted so far (== schedule length after a full replay).
+    #[must_use]
+    pub fn granted(&self) -> usize {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Number of slots in the schedule.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The divergence report, if the watchdog abandoned gating.
+    #[must_use]
+    pub fn divergence(&self) -> Option<String> {
+        self.divergence.lock().clone()
+    }
+
+    fn diverge(&self, why: String) {
+        let mut slot = self.divergence.lock();
+        if slot.is_none() {
+            *slot = Some(why);
+        }
+        self.diverged.store(true, Ordering::Release);
+    }
+
+    /// Wait until `cursor` reaches `target`; `true` on success, `false`
+    /// when cancelled or diverged (gates are open from then on).
+    fn await_cursor(&self, target: usize, ctx: &AccessCtx<'_>, why: &str) -> bool {
+        let start = Instant::now();
+        loop {
+            if self.cursor.load(Ordering::Acquire) >= target {
+                return true;
+            }
+            if self.diverged.load(Ordering::Acquire) || (ctx.cancelled)() {
+                return false;
+            }
+            if start.elapsed() >= self.watchdog {
+                let cur = self.cursor.load(Ordering::Acquire);
+                let expected = self.events.get(cur).map_or("<end>".to_owned(), |e| {
+                    format!(
+                        "{} {} by t{}",
+                        if e.is_load { "load" } else { "store" },
+                        e.label,
+                        e.tid
+                    )
+                });
+                self.diverge(format!(
+                    "watchdog after {:?} {why}: cursor stuck at slot {cur}/{} \
+                     (next expected: {expected}); t{} at {} never got its turn",
+                    self.watchdog,
+                    self.events.len(),
+                    ctx.tid.0,
+                    site_label(ctx.site),
+                ));
+                return false;
+            }
+            std::thread::sleep(self.poll);
+        }
+    }
+
+    fn gate(&self, is_load: bool, ctx: &AccessCtx<'_>) {
+        if self.diverged.load(Ordering::Acquire) || ctx.off / 8 != self.granule {
+            return;
+        }
+        let label = site_label(ctx.site);
+        let key: EventKey = (is_load, label.to_owned(), ctx.tid.0);
+        let slot = {
+            let Some(slots) = self.positions.get(&key) else {
+                return; // unconstrained access (not part of the schedule)
+            };
+            let mut seen = self.seen.lock();
+            let k = seen.entry(key.clone()).or_insert(0);
+            let idx = *k;
+            *k += 1;
+            match slots.get(idx) {
+                Some(&slot) => slot,
+                None => return, // beyond the recorded window: unconstrained
+            }
+        };
+        if self.await_cursor(slot, ctx, "waiting for slot") {
+            // Our slot: grant it and advance the order.
+            self.cursor.store(slot + 1, Ordering::Release);
+            if !is_load {
+                if let Some(until) = self.hold_until[slot] {
+                    self.pending_hold.lock().insert(ctx.tid.0, until);
+                }
+            }
+        }
+    }
+}
+
+impl InterleaveStrategy for ReplayStrategy {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn before_load(&self, ctx: &AccessCtx<'_>) {
+        self.gate(true, ctx);
+    }
+
+    fn before_store(&self, ctx: &AccessCtx<'_>) {
+        self.gate(false, ctx);
+    }
+
+    fn after_store(&self, ctx: &AccessCtx<'_>) {
+        if ctx.off / 8 != self.granule {
+            return;
+        }
+        let Some(until) = self.pending_hold.lock().remove(&ctx.tid.0) else {
+            return;
+        };
+        // Hold the flush until the recorded racy reads went through.
+        let _ = self.await_cursor(until + 1, ctx, "holding flush for readers");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::ThreadId;
+    use pmrace_runtime::site;
+    use std::sync::Arc;
+
+    fn ctx<'a>(
+        off: u64,
+        site: pmrace_runtime::Site,
+        tid: u32,
+        cancelled: &'a dyn Fn() -> bool,
+    ) -> AccessCtx<'a> {
+        AccessCtx {
+            off,
+            len: 8,
+            site,
+            tid: ThreadId(tid),
+            cancelled,
+        }
+    }
+
+    fn ev(is_load: bool, label: &str, tid: u32) -> ReplayEvent {
+        ReplayEvent {
+            is_load,
+            label: label.to_owned(),
+            tid,
+        }
+    }
+
+    #[test]
+    fn enforces_store_before_load_order() {
+        let (l, s) = (site!("rp-load"), site!("rp-store"));
+        let strat = Arc::new(ReplayStrategy::new(
+            64,
+            vec![ev(false, "rp-store", 0), ev(true, "rp-load", 1)],
+            Duration::from_secs(2),
+        ));
+        let strat2 = Arc::clone(&strat);
+        let reader = std::thread::spawn(move || {
+            let cancelled = || false;
+            let start = Instant::now();
+            strat2.before_load(&ctx(64, l, 1, &cancelled));
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let cancelled = || false;
+        strat.before_store(&ctx(64, s, 0, &cancelled));
+        // The writer's flush is held until the reader's slot fired.
+        let held = std::thread::scope(|scope| {
+            let h = scope.spawn(|| {
+                let start = Instant::now();
+                strat.after_store(&ctx(64, s, 0, &cancelled));
+                start.elapsed()
+            });
+            h.join().unwrap()
+        });
+        let waited = reader.join().unwrap();
+        assert!(waited >= Duration::from_millis(10), "reader ran early");
+        assert!(strat.divergence().is_none());
+        assert_eq!(strat.granted(), 2);
+        assert!(held < Duration::from_secs(2), "writer hold released");
+    }
+
+    #[test]
+    fn unconstrained_accesses_pass_through() {
+        let l = site!("rp-free-load");
+        let strat = ReplayStrategy::new(
+            64,
+            vec![ev(false, "some-store", 0)],
+            Duration::from_millis(200),
+        );
+        let cancelled = || false;
+        let start = Instant::now();
+        strat.before_load(&ctx(64, l, 0, &cancelled)); // label not in schedule
+        strat.before_load(&ctx(4096, l, 0, &cancelled)); // other granule
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(strat.granted(), 0);
+    }
+
+    #[test]
+    fn watchdog_reports_divergence_instead_of_hanging() {
+        let l = site!("rp-div-load");
+        // Schedule expects a store that will never happen before the load.
+        let strat = ReplayStrategy::new(
+            64,
+            vec![ev(false, "missing-store", 0), ev(true, "rp-div-load", 1)],
+            Duration::from_millis(50),
+        );
+        let cancelled = || false;
+        let start = Instant::now();
+        strat.before_load(&ctx(64, l, 1, &cancelled));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        let why = strat.divergence().expect("watchdog must report");
+        assert!(why.contains("missing-store"), "{why}");
+        // After divergence, every gate is open.
+        let start = Instant::now();
+        strat.before_load(&ctx(64, l, 1, &cancelled));
+        assert!(start.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn occurrences_beyond_the_window_are_unconstrained() {
+        let l = site!("rp-win-load");
+        let strat = ReplayStrategy::new(
+            64,
+            vec![ev(true, "rp-win-load", 0)],
+            Duration::from_millis(100),
+        );
+        let cancelled = || false;
+        strat.before_load(&ctx(64, l, 0, &cancelled)); // slot 0
+        let start = Instant::now();
+        strat.before_load(&ctx(64, l, 0, &cancelled)); // beyond the window
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(strat.granted(), 1);
+        assert!(strat.divergence().is_none());
+    }
+}

@@ -23,7 +23,9 @@
 //! - [`targets`] — the five evaluated PM systems, re-implemented with the
 //!   paper's bugs seeded;
 //! - [`core`] — the fuzzer (operation mutator, three-tier exploration,
-//!   post-failure validation, bug ledger).
+//!   post-failure validation, bug ledger);
+//! - [`replay`] — deterministic record/replay (schedule capture, repro
+//!   artifacts, ddmin minimization, the regression corpus).
 //!
 //! # Quickstart
 //!
@@ -60,6 +62,7 @@
 
 pub use pmrace_core as core;
 pub use pmrace_pmem as pmem;
+pub use pmrace_replay as replay;
 pub use pmrace_runtime as runtime;
 pub use pmrace_sched as sched;
 pub use pmrace_targets as targets;

@@ -1,0 +1,55 @@
+//! The replay regression gate: every checked-in repro artifact in
+//! `repros/` must still re-trigger its recorded bug.
+//!
+//! The corpus covers the paper's 14 Table 2 bugs (built and delta-debug
+//! minimized by `repro corpus repros/ --minimize`). A failure here means a
+//! change broke either a detector (the bug no longer fires), a target (the
+//! seeded bug is gone), or the replayer itself — all regressions.
+
+use pmrace::replay::{replay_corpus, ReplayOptions};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("repros")
+}
+
+#[test]
+fn checked_in_corpus_covers_the_14_table2_bugs() {
+    let results = replay_corpus(&corpus_dir(), &ReplayOptions::default()).unwrap();
+    assert_eq!(
+        results.len(),
+        14,
+        "expected one artifact per Table 2 bug, found {}",
+        results.len()
+    );
+    // The four finding classes are all represented.
+    for prefix in ["Inter:", "Intra:", "Sync:", "Candidate:", "Hang"] {
+        assert!(
+            results.iter().any(|r| r.key.starts_with(prefix)),
+            "no {prefix} artifact in the corpus"
+        );
+    }
+}
+
+#[test]
+fn every_corpus_artifact_retriggers_its_bug() {
+    let results = replay_corpus(&corpus_dir(), &ReplayOptions::default()).unwrap();
+    let failures: Vec<String> = results
+        .iter()
+        .filter(|r| !r.matched)
+        .map(|r| {
+            format!(
+                "{} ({}): {}",
+                r.key,
+                r.path.display(),
+                r.divergence.as_deref().unwrap_or("bug did not re-fire")
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of {} artifacts no longer reproduce:\n{}",
+        failures.len(),
+        results.len(),
+        failures.join("\n")
+    );
+}
