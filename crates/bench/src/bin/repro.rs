@@ -2,28 +2,72 @@
 //! and manage the record/replay regression corpus.
 //!
 //! ```text
-//! repro [--quick] [--seed N] <experiments...>
+//! repro [--quick] [--seed N] [--out-dir DIR] <experiments...>
 //! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10
 //!              eadr hotpath all
 //!
-//! repro replay [--steer|--free] [--attempts N] <artifact.json|corpus-dir>...
+//! repro replay [--steer|--free] [--attempts N] [--telemetry-out DIR]
+//!              <artifact.json|corpus-dir>...
 //!     Replay repro artifacts; exit 1 unless every recorded bug re-fires.
+//!     With --telemetry-out, write telemetry.json + trace.jsonl for the
+//!     replay run into DIR.
 //!
 //! repro corpus <dir> [--minimize]
 //!     Build (and validate by replay) the 14-bug Table 2 regression
 //!     corpus; --minimize additionally delta-debugs each artifact.
+//!
+//! repro stats [--top N] [--check-schema] <telemetry.json|trace.jsonl|dir>...
+//!     Render a per-phase time breakdown, campaign counters, and the
+//!     hottest instrumentation sites from a telemetry snapshot; with
+//!     --check-schema, exit 1 unless every snapshot validates against the
+//!     documented schema (docs/OBSERVABILITY.md).
 //! ```
 //!
 //! `table2/3/5/6` share one fuzzing sweep and are emitted together when any
-//! of them is requested.
+//! of them is requested. `--out-dir` redirects machine-readable outputs
+//! (currently `BENCH_hotpath.json`) away from the working directory.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use pmrace_bench::{figs, hotpath, tables, Budget};
 use pmrace_replay::{
     build_corpus, minimize, replay, replay_corpus, MinimizeOptions, ReplayMode, ReplayOptions,
     ReproStore,
 };
+use pmrace_telemetry as telemetry;
+
+/// Flags that consume the following argument; everything else that does
+/// not start with `--` is a positional.
+const VALUE_FLAGS: &[&str] = &[
+    "--attempts",
+    "--telemetry-out",
+    "--top",
+    "--seed",
+    "--out-dir",
+];
+
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if VALUE_FLAGS.contains(&args[i].as_str()) {
+            i += 2;
+            continue;
+        }
+        if !args[i].starts_with("--") {
+            out.push(args[i].clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn replay_options(args: &[String]) -> ReplayOptions {
     let mut opts = ReplayOptions::default();
@@ -48,17 +92,21 @@ fn replay_options(args: &[String]) -> ReplayOptions {
 /// recorded bug.
 fn cmd_replay(args: &[String]) -> ! {
     let opts = replay_options(args);
-    let paths: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
-        .collect();
+    let telemetry_out = flag_value(args, "--telemetry-out").map(PathBuf::from);
+    if telemetry_out.is_some() {
+        telemetry::set_enabled(true);
+    }
+    let paths = positionals(args);
     if paths.is_empty() {
-        eprintln!("usage: repro replay [--steer|--free] [--attempts N] <artifact|dir>...");
+        eprintln!(
+            "usage: repro replay [--steer|--free] [--attempts N] \
+             [--telemetry-out DIR] <artifact|dir>..."
+        );
         std::process::exit(2);
     }
     let mut failures = 0usize;
     let mut total = 0usize;
-    for arg in paths {
+    for arg in &paths {
         let path = Path::new(arg);
         let entries = if path.is_dir() {
             match replay_corpus(path, &opts) {
@@ -101,7 +149,79 @@ fn cmd_replay(args: &[String]) -> ! {
         total - failures,
         total
     );
+    if let Some(dir) = &telemetry_out {
+        if let Err(e) = write_telemetry(dir) {
+            eprintln!("[replay] telemetry: {e}");
+            std::process::exit(1);
+        }
+        println!("[replay] wrote telemetry to {}", dir.display());
+    }
     std::process::exit(i32::from(failures > 0));
+}
+
+/// Snapshot the telemetry registry into `dir` (`telemetry.json` +
+/// `trace.jsonl`), resolving hot-site ids through the runtime's registry.
+fn write_telemetry(dir: &Path) -> std::io::Result<()> {
+    let resolve = |id: u32| {
+        let site = pmrace_runtime::Site::from_id(id);
+        let label = pmrace_runtime::site_label(site);
+        (label != "<unknown site>")
+            .then(|| format!("{label} ({})", pmrace_runtime::site_location(site)))
+    };
+    telemetry::snapshot::write_snapshot(dir, &resolve)?;
+    telemetry::snapshot::write_trace_jsonl(dir)?;
+    Ok(())
+}
+
+/// `repro stats`: render one or more telemetry snapshots for humans.
+fn cmd_stats(args: &[String]) -> ! {
+    let top = flag_value(args, "--top")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(10);
+    let paths: Vec<PathBuf> = positionals(args).iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        eprintln!(
+            "usage: repro stats [--top N] [--check-schema] \
+             <telemetry.json|trace.jsonl|dir>..."
+        );
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--check-schema") {
+        let files = match telemetry::stats::resolve_inputs(&paths) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("[stats] {e}");
+                std::process::exit(1);
+            }
+        };
+        for f in files
+            .iter()
+            .filter(|f| f.extension().is_some_and(|e| e == "json"))
+        {
+            let text = match std::fs::read_to_string(f) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("[stats] {}: {e}", f.display());
+                    std::process::exit(1);
+                }
+            };
+            if let Err(e) = telemetry::snapshot::validate_snapshot_text(&text) {
+                eprintln!("[stats] {}: schema violation: {e}", f.display());
+                std::process::exit(1);
+            }
+            println!("[stats] schema ok: {}", f.display());
+        }
+    }
+    match telemetry::stats::render_stats(&paths, top) {
+        Ok(report) => {
+            println!("{report}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[stats] {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `repro corpus <dir> [--minimize]`: build the validated Table 2 corpus.
@@ -180,20 +300,15 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("replay") => cmd_replay(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {}
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
+    let seed = flag_value(&args, "--seed")
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0xC0FFEE);
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
-        .collect();
+    let positional = positionals(&args);
+    let mut wanted: Vec<&str> = positional.iter().map(String::as_str).collect();
     const KNOWN: &[&str] = &[
         "table1", "table2", "table3", "table4", "table5", "table6", "fig8", "fig9", "fig10",
         "eadr", "hotpath", "all",
@@ -269,10 +384,13 @@ fn main() {
             // Quick numbers are noisy; don't clobber the tracked full run.
             eprintln!("[repro] --quick: not rewriting BENCH_hotpath.json");
         } else {
+            let out_dir =
+                flag_value(&args, "--out-dir").map_or_else(|| PathBuf::from("."), PathBuf::from);
+            let out = out_dir.join("BENCH_hotpath.json");
             let json = hotpath::to_json(&cells);
-            match std::fs::write("BENCH_hotpath.json", &json) {
-                Ok(()) => eprintln!("[repro] wrote BENCH_hotpath.json"),
-                Err(e) => eprintln!("[repro] could not write BENCH_hotpath.json: {e}"),
+            match std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&out, &json)) {
+                Ok(()) => eprintln!("[repro] wrote {}", out.display()),
+                Err(e) => eprintln!("[repro] could not write {}: {e}", out.display()),
             }
         }
     }

@@ -12,6 +12,7 @@ use pmrace_runtime::session::SharedAccessEntry;
 use pmrace_runtime::strategy::InterleaveStrategy;
 use pmrace_runtime::{RtError, Session, SessionConfig, SyncVarAnnotation};
 use pmrace_targets::TargetSpec;
+use pmrace_telemetry as telemetry;
 
 use crate::checkpoint::Checkpoint;
 use crate::seed::Seed;
@@ -137,6 +138,10 @@ pub fn run_campaign(
             ..SessionConfig::default()
         },
     );
+    // Pool acquisition (checkpoint restore) is traced separately inside
+    // `Checkpoint::restore_cached`; the execution span covers target
+    // init/recovery plus the driver threads.
+    let _span = telemetry::span(telemetry::Phase::Execution);
     let target = if checkpoint.is_some() && !cfg.eadr {
         (spec.recover)(&session)?
     } else {
@@ -197,6 +202,17 @@ pub fn run_campaign(
     let annotations = session.annotations();
     let pm_accesses = session.pm_accesses();
     let findings = session.finish();
+    if telemetry::enabled() {
+        telemetry::add(telemetry::Counter::ExecCampaigns, 1);
+        if findings.hang {
+            telemetry::add(telemetry::Counter::ExecHangs, 1);
+        }
+        let errs = op_errors.load(Ordering::Relaxed);
+        if errs > 0 {
+            telemetry::add(telemetry::Counter::ExecOpErrors, errs as u64);
+        }
+        telemetry::metrics::record_duration(telemetry::Histogram::CampaignNs, start.elapsed());
+    }
     Ok(CampaignResult {
         findings,
         coverage,

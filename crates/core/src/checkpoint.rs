@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 use pmrace_pmem::{Pool, PoolOpts, PoolSnapshot};
 use pmrace_runtime::{RtError, Session, SessionConfig};
 use pmrace_targets::TargetSpec;
+use pmrace_telemetry as telemetry;
 
 /// A reusable snapshot of a freshly initialized target pool.
 #[derive(Debug)]
@@ -31,6 +32,8 @@ impl Checkpoint {
     ///
     /// Propagates target initialization errors.
     pub fn create(spec: &TargetSpec) -> Result<Self, RtError> {
+        let _span = telemetry::span(telemetry::Phase::CheckpointCreate);
+        telemetry::add(telemetry::Counter::CheckpointCreates, 1);
         let pool = Arc::new(Pool::new((spec.pool)()));
         let session = Session::new(
             pool,
@@ -50,6 +53,8 @@ impl Checkpoint {
     /// heavy initialization).
     #[must_use]
     pub fn restore(&self) -> Arc<Pool> {
+        let _span = telemetry::span(telemetry::Phase::CheckpointRestore);
+        telemetry::add(telemetry::Counter::CheckpointRestores, 1);
         let pool = Pool::new(PoolOpts::with_size(self.snapshot.volatile().len()));
         pool.restore(&self.snapshot)
             .expect("checkpoint snapshot matches its own pool size");
@@ -77,13 +82,19 @@ impl Checkpoint {
     pub fn restore_cached(&self) -> Arc<Pool> {
         let mut cache = self.cache.lock();
         if let Some(pool) = cache.take() {
+            let span = telemetry::span(telemetry::Phase::CheckpointRestore);
             if Arc::strong_count(&pool) == 1
                 && pool.size() == self.snapshot.volatile().len()
                 && self.restore_into(&pool).is_ok()
             {
+                telemetry::add(telemetry::Counter::CheckpointRestores, 1);
+                telemetry::add(telemetry::Counter::CheckpointCacheHits, 1);
                 *cache = Some(Arc::clone(&pool));
                 return pool;
             }
+            // The in-place path missed; the fallback `restore` opens its
+            // own span, so close this one without double-counting.
+            drop(span);
         }
         let pool = self.restore();
         *cache = Some(Arc::clone(&pool));

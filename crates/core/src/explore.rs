@@ -25,6 +25,7 @@ use pmrace_sched::{
     SyncPlan, SyncTuning, SystematicStrategy,
 };
 use pmrace_targets::TargetSpec;
+use pmrace_telemetry as telemetry;
 
 use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyKind};
 use crate::checkpoint::Checkpoint;
@@ -192,6 +193,7 @@ impl Explorer {
     }
 
     fn next_seed(&mut self) {
+        let _span = telemetry::span(telemetry::Phase::SeedGen);
         if !self.populate_done || self.stalled_seeds >= 2 {
             // The first seed switch (and any coverage stall) runs the
             // populate phase (§4.5): an insert flood with spread keys that
@@ -199,14 +201,17 @@ impl Explorer {
             self.populate_done = true;
             self.seed = self.mutator.populate();
             self.stalled_seeds = 0;
+            telemetry::add(telemetry::Counter::SeedPopulated, 1);
         } else if self.rng.random_ratio(1, 3) {
             // Fresh generator seeds keep diversity up: pure corpus
             // evolution orbits its ancestors and can miss behaviours none
             // of them trigger.
             self.seed = self.mutator.generate();
+            telemetry::add(telemetry::Counter::SeedGenerated, 1);
         } else {
             let (seed, _strategy) = self.mutator.evolve(&self.corpus);
             self.seed = seed;
+            telemetry::add(telemetry::Counter::SeedEvolved, 1);
         }
         self.queue.reset_explored();
         self.skip_store = Arc::new(SkipStore::new());
@@ -256,6 +261,7 @@ impl Explorer {
                         self.execs_on_plan = 0;
                         self.plans_on_seed += 1;
                         tier = Tier::Interleaving;
+                        telemetry::add(telemetry::Counter::PlanPlanned, 1);
                     } else {
                         self.plan = None;
                     }
@@ -395,6 +401,14 @@ impl Explorer {
         )?;
         self.campaigns += 1;
         self.queue.merge(&result.shared);
+        if telemetry::enabled() {
+            // Worker-local depth; with several workers the last writer
+            // wins, which is fine for a level gauge.
+            telemetry::metrics::gauge_set(
+                telemetry::Gauge::QueueDepth,
+                self.queue.unexplored() as u64,
+            );
+        }
         let (new_alias, new_branch) = self.coverage.merge_from(&result.coverage);
         if new_alias + new_branch > 0 {
             self.stalled_seeds = 0;

@@ -9,6 +9,7 @@ use pmrace_runtime::coverage::CoverageMap;
 use pmrace_runtime::RtError;
 use pmrace_sched::SyncTuning;
 use pmrace_targets::{target_spec, TargetSpec};
+use pmrace_telemetry as telemetry;
 
 use crate::bugs::{DetectionStats, IngestDelta, Ledger, UniqueBug};
 use crate::campaign::{CampaignConfig, StrategyKind};
@@ -86,6 +87,13 @@ pub struct FuzzConfig {
     /// the explorers (see
     /// [`ExploreConfig::record_schedules`](crate::explore::ExploreConfig)).
     pub record: Option<RecordSink>,
+    /// Turn the telemetry registry on and write `telemetry.json` +
+    /// `trace.jsonl` into this directory when the run finishes (see
+    /// `docs/OBSERVABILITY.md` for the schema).
+    pub telemetry_dir: Option<std::path::PathBuf>,
+    /// Print a human-readable progress line to stderr at this interval
+    /// (also turns the telemetry registry on).
+    pub progress_interval: Option<Duration>,
 }
 
 impl FuzzConfig {
@@ -111,6 +119,8 @@ impl FuzzConfig {
             eviction_interval_us: 0,
             rng_seed: 0xC0FFEE,
             record: None,
+            telemetry_dir: None,
+            progress_interval: None,
         }
     }
 }
@@ -216,6 +226,13 @@ impl Fuzzer {
     /// Propagates target-construction failures from workers.
     pub fn run(&self) -> Result<FuzzReport, RtError> {
         let start = Instant::now();
+        if self.cfg.telemetry_dir.is_some() || self.cfg.progress_interval.is_some() {
+            telemetry::set_enabled(true);
+        }
+        telemetry::metrics::gauge_set(
+            telemetry::Gauge::FuzzWorkers,
+            self.cfg.workers.max(1) as u64,
+        );
         let corpus_dir = match &self.cfg.corpus_dir {
             Some(dir) => Some(
                 CorpusDir::open(dir)
@@ -238,8 +255,18 @@ impl Fuzzer {
         let corpus_save_errors = AtomicUsize::new(0);
         let corpus_error = Mutex::new(None::<String>);
         let record = self.cfg.record.clone();
+        let reporter_stop = std::sync::atomic::AtomicBool::new(false);
 
         std::thread::scope(|scope| {
+            // The progress reporter lives alongside the workers and is told
+            // to stop only after every worker has been joined, so its last
+            // line reflects the final counter values.
+            let reporter = self.cfg.progress_interval.map(|every| {
+                let stop = &reporter_stop;
+                let campaigns = &campaigns;
+                scope.spawn(move || progress_loop(start, every, stop, campaigns))
+            });
+            let mut workers = Vec::new();
             for w in 0..self.cfg.workers.max(1) {
                 let ledger = &ledger;
                 let global_cov = &global_cov;
@@ -257,7 +284,7 @@ impl Fuzzer {
                 let rng_seed = self.cfg.rng_seed ^ (w as u64).wrapping_mul(0x9E37_79B9);
                 let max_campaigns = self.cfg.max_campaigns;
                 let wall_budget = self.cfg.wall_budget;
-                scope.spawn(move || {
+                workers.push(scope.spawn(move || {
                     let mut explorer = match Explorer::new(spec, cfg, rng_seed) {
                         Ok(e) => e,
                         Err(e) => {
@@ -281,6 +308,14 @@ impl Fuzzer {
                                     cov.merge_from(&out.result.coverage);
                                     (cov.alias_pairs(), cov.branches())
                                 };
+                                telemetry::metrics::gauge_set(
+                                    telemetry::Gauge::CovAliasPairs,
+                                    alias as u64,
+                                );
+                                telemetry::metrics::gauge_set(
+                                    telemetry::Gauge::CovBranches,
+                                    branches as u64,
+                                );
                                 let delta = ledger.lock().ingest_with_seed(
                                     &out.result,
                                     elapsed,
@@ -295,10 +330,13 @@ impl Fuzzer {
                                     if let Some(corpus) = &corpus_dir {
                                         if let Err(e) = corpus.save(&out.seed) {
                                             corpus_save_errors.fetch_add(1, Ordering::Relaxed);
+                                            telemetry::add(telemetry::Counter::CorpusSaveErrors, 1);
                                             let mut slot = corpus_error.lock();
                                             if slot.is_none() {
                                                 *slot = Some(e.to_string());
                                             }
+                                        } else {
+                                            telemetry::add(telemetry::Counter::CorpusSaved, 1);
                                         }
                                     }
                                 }
@@ -314,7 +352,14 @@ impl Fuzzer {
                             }
                         }
                     }
-                });
+                }));
+            }
+            for h in workers {
+                let _ = h.join();
+            }
+            reporter_stop.store(true, Ordering::Release);
+            if let Some(h) = reporter {
+                let _ = h.join();
             }
         });
 
@@ -322,11 +367,12 @@ impl Fuzzer {
             return Err(e);
         }
         let elapsed = start.elapsed();
+        let emit_span = telemetry::span(telemetry::Phase::ReportEmit);
         let ledger = ledger.into_inner();
         let cov = global_cov.into_inner();
         let total = campaigns.load(Ordering::Relaxed);
         let total_accesses = pm_accesses.load(Ordering::Relaxed);
-        Ok(FuzzReport {
+        let report = FuzzReport {
             target: self.spec.name,
             stats: ledger.stats(),
             bugs: ledger.bugs().into_iter().cloned().collect(),
@@ -343,7 +389,62 @@ impl Fuzzer {
             branches: cov.branches(),
             corpus_save_errors: corpus_save_errors.load(Ordering::Relaxed),
             corpus_error: corpus_error.into_inner(),
-        })
+        };
+        // Close the span before snapshotting so the report_emit phase shows
+        // up in its own telemetry.json.
+        drop(emit_span);
+        if let Some(dir) = &self.cfg.telemetry_dir {
+            let resolve = |id: u32| {
+                let site = pmrace_runtime::Site::from_id(id);
+                let label = pmrace_runtime::site_label(site);
+                (label != "<unknown site>")
+                    .then(|| format!("{label} ({})", pmrace_runtime::site_location(site)))
+            };
+            telemetry::snapshot::write_snapshot(dir, &resolve)
+                .map_err(|e| RtError::Io(format!("telemetry dir {}: {e}", dir.display())))?;
+            telemetry::snapshot::write_trace_jsonl(dir)
+                .map_err(|e| RtError::Io(format!("telemetry dir {}: {e}", dir.display())))?;
+        }
+        Ok(report)
+    }
+}
+
+/// Periodic human-readable progress line (one per
+/// [`FuzzConfig::progress_interval`] tick), rendered from the telemetry
+/// registry onto stderr.
+fn progress_loop(
+    start: Instant,
+    every: Duration,
+    stop: &std::sync::atomic::AtomicBool,
+    campaigns: &AtomicUsize,
+) {
+    use telemetry::metrics::{counter, gauge};
+    use telemetry::{Counter as C, Gauge as G};
+    let every = every.max(Duration::from_millis(10));
+    let poll = Duration::from_millis(10).min(every);
+    let mut next = start + every;
+    loop {
+        while Instant::now() < next {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(poll);
+        }
+        next += every;
+        let elapsed = start.elapsed().as_secs_f64();
+        let done = campaigns.load(Ordering::Relaxed);
+        eprintln!(
+            "[pmrace] {elapsed:7.1}s  campaigns {done} ({:.1}/s)  cov {} alias / {} branches  \
+             plans {}/{} fired  inconsistencies {}  validations {} ({} bugs)",
+            done as f64 / elapsed.max(1e-9),
+            gauge(G::CovAliasPairs),
+            gauge(G::CovBranches),
+            counter(C::PlanAlternationsFired),
+            counter(C::PlanPlanned),
+            counter(C::CheckerInconsistencies),
+            counter(C::ValidateRuns),
+            counter(C::ValidateBugs),
+        );
     }
 }
 

@@ -23,6 +23,7 @@ use pmrace_runtime::report::{InconsistencyRecord, SyncUpdateRecord};
 use pmrace_runtime::whitelist::Whitelist;
 use pmrace_runtime::{RtError, Session, SessionConfig};
 use pmrace_targets::TargetSpec;
+use pmrace_telemetry as telemetry;
 
 /// Classification of a detected inconsistency after validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,9 +63,28 @@ fn recovery_session(pool: Arc<Pool>) -> Arc<Session> {
     )
 }
 
+/// Record a validation run and its verdict in the telemetry registry.
+fn tally(verdict: Verdict) -> Verdict {
+    use telemetry::Counter as C;
+    telemetry::add(C::ValidateRuns, 1);
+    let per_verdict = match verdict {
+        Verdict::Bug => C::ValidateBugs,
+        Verdict::ValidatedFp => C::ValidateFps,
+        Verdict::WhitelistedFp => C::ValidateWhitelistedFps,
+        Verdict::Unvalidated => C::ValidateUnvalidated,
+    };
+    telemetry::add(per_verdict, 1);
+    verdict
+}
+
 /// Validate one inter-/intra-thread inconsistency.
 #[must_use]
 pub fn validate_inconsistency(spec: &TargetSpec, rec: &InconsistencyRecord) -> Verdict {
+    let _span = telemetry::span(telemetry::Phase::Validation);
+    tally(validate_inconsistency_impl(spec, rec))
+}
+
+fn validate_inconsistency_impl(spec: &TargetSpec, rec: &InconsistencyRecord) -> Verdict {
     if rec.whitelisted {
         return Verdict::WhitelistedFp;
     }
@@ -100,6 +120,11 @@ pub fn validate_inconsistency(spec: &TargetSpec, rec: &InconsistencyRecord) -> V
 /// Validate one synchronization inconsistency.
 #[must_use]
 pub fn validate_sync(spec: &TargetSpec, rec: &SyncUpdateRecord) -> Verdict {
+    let _span = telemetry::span(telemetry::Phase::Validation);
+    tally(validate_sync_impl(spec, rec))
+}
+
+fn validate_sync_impl(spec: &TargetSpec, rec: &SyncUpdateRecord) -> Verdict {
     let Some(img) = rec.crash_image.as_deref() else {
         return Verdict::Unvalidated;
     };

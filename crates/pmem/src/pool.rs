@@ -19,6 +19,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, MutexGuard};
+use pmrace_telemetry as telemetry;
 use rand::Rng;
 
 use crate::image::{
@@ -567,6 +568,7 @@ impl Pool {
     ///
     /// Returns [`PmemError::OutOfBounds`] for accesses past the pool end.
     pub fn clwb(&self, off: u64, len: usize, tid: ThreadId) -> Result<(), PmemError> {
+        let t0 = telemetry::enabled().then(std::time::Instant::now);
         self.check(off, len.max(1))?;
         let line = CACHE_LINE as u64;
         let start = off / line * line;
@@ -603,6 +605,9 @@ impl Pool {
                 self.pending_shards.fetch_or(1u64 << s, Ordering::Relaxed);
             }
         }
+        if let Some(t0) = t0 {
+            telemetry::metrics::record_duration(telemetry::Histogram::PmFlushNs, t0.elapsed());
+        }
         Ok(())
     }
 
@@ -614,11 +619,15 @@ impl Pool {
     ///
     /// Infallible today; returns `Result` for API stability.
     pub fn sfence(&self, tid: ThreadId) -> Result<(), PmemError> {
+        let t0 = telemetry::enabled().then(std::time::Instant::now);
         // Only visit shards that may hold queued write-backs. This thread's
         // own clwb bits are always visible here (program order); see the
         // field docs for why stale bits from other threads don't matter.
         let mask = self.pending_shards.load(Ordering::Relaxed);
         if mask == 0 {
+            if let Some(t0) = t0 {
+                telemetry::metrics::record_duration(telemetry::Histogram::PmFenceNs, t0.elapsed());
+            }
             return Ok(());
         }
         for (s, slot) in self.shards.iter().enumerate() {
@@ -652,6 +661,9 @@ impl Pool {
                 self.pending_shards
                     .fetch_and(!(1u64 << s), Ordering::Relaxed);
             }
+        }
+        if let Some(t0) = t0 {
+            telemetry::metrics::record_duration(telemetry::Histogram::PmFenceNs, t0.elapsed());
         }
         Ok(())
     }
@@ -850,6 +862,7 @@ impl Pool {
             self.pending_shards
                 .fetch_and(!(1u64 << s), Ordering::Relaxed);
         }
+        telemetry::add(telemetry::Counter::PmEvictions, 1);
         Some(g * GRANULE as u64)
     }
 

@@ -142,7 +142,7 @@ pub struct EventSpec {
 }
 
 /// The serialized schedule, mirroring
-/// [`StrategyCapture`](pmrace_core::schedule::StrategyCapture).
+/// [`StrategyCapture`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScheduleSpec {
     /// No strategy: the bug reproduces from the seed alone.

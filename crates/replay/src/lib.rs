@@ -16,7 +16,7 @@
 //!    access order with a divergence watchdog; [`ReplayMode::Steer`]
 //!    rebuilds the original scheduler deterministically) and the replay
 //!    asserts the recorded [`BugSignature`] fires again.
-//! 3. **Minimize** — [`minimize`] delta-debugs ([`ddmin`]) the seed
+//! 3. **Minimize** — [`minimize()`] delta-debugs ([`ddmin`]) the seed
 //!    operations and the schedule constraints down to 1-minimal, fully
 //!    revalidating every accepted reduction.
 //! 4. **Regress** — [`build_corpus`] records replay-validated artifacts

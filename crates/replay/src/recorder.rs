@@ -14,6 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use pmrace_core::explore::StepOutcome;
 use pmrace_core::{IngestDelta, RecordSink};
+use pmrace_telemetry as telemetry;
 
 use crate::artifact::{BugSignature, Repro};
 use crate::store::ReproStore;
@@ -69,6 +70,7 @@ impl Recorder {
         let Some(capture) = &out.capture else {
             return;
         };
+        let _span = telemetry::span(telemetry::Phase::RecordCapture);
         let seed_text = out.seed.to_text();
         for bug in &delta.new_bugs {
             self.record(Repro::from_capture(
@@ -97,6 +99,7 @@ impl Recorder {
         match self.store.save(&repro) {
             Ok(_) => {
                 self.recorded.fetch_add(1, Ordering::Relaxed);
+                telemetry::add(telemetry::Counter::RecordCaptures, 1);
             }
             Err(e) => self.errors.lock().push(e.to_string()),
         }

@@ -35,6 +35,7 @@ use pmrace_sched::{
     DelayStrategy, PmraceStrategy, ReplayEvent, ReplayStrategy, SyncPlan, SystematicStrategy,
 };
 use pmrace_targets::target_spec;
+use pmrace_telemetry as telemetry;
 
 use crate::artifact::{Repro, ScheduleSpec};
 
@@ -120,6 +121,7 @@ pub fn replay(repro: &Repro, opts: &ReplayOptions) -> Result<ReplayOutcome, RtEr
     let needs_recon =
         matches!(repro.schedule, ScheduleSpec::Pmrace { .. }) && opts.mode != ReplayMode::Free;
     let recon = if needs_recon {
+        let _span = telemetry::span(telemetry::Phase::ReplayRecon);
         Some(run_campaign(&spec, &seed, &cfg, None, None)?)
     } else {
         None
@@ -134,6 +136,7 @@ pub fn replay(repro: &Repro, opts: &ReplayOptions) -> Result<ReplayOutcome, RtEr
             Ok(pair) => pair,
             Err(msg) => {
                 // Unresolvable schedule: the finding cannot re-fire.
+                telemetry::add(telemetry::Counter::ReplayDivergences, 1);
                 return Ok(ReplayOutcome {
                     matched: false,
                     attempts,
@@ -144,11 +147,18 @@ pub fn replay(repro: &Repro, opts: &ReplayOptions) -> Result<ReplayOutcome, RtEr
                 });
             }
         };
-        let result = run_campaign(&spec, &seed, &cfg, strategy, None)?;
+        let result = {
+            let _span = telemetry::span(telemetry::Phase::ReplayAttempt);
+            telemetry::add(telemetry::Counter::ReplayAttempts, 1);
+            run_campaign(&spec, &seed, &cfg, strategy, None)?
+        };
         attempts += 1;
         let _ = ledger.ingest_with_seed(&result, start.elapsed(), Some(&seed));
         if let Some(strict) = strict {
             divergence = strict.divergence();
+            if divergence.is_some() {
+                telemetry::add(telemetry::Counter::ReplayDivergences, 1);
+            }
         }
         let bugs: Vec<UniqueBug> = ledger.bugs().into_iter().cloned().collect();
         let candidates = ledger.candidate_only_pairs();
@@ -157,6 +167,7 @@ pub fn replay(repro: &Repro, opts: &ReplayOptions) -> Result<ReplayOutcome, RtEr
             .matches(&bugs, &candidates, ledger.bug_triples())
         {
             matched = true;
+            telemetry::add(telemetry::Counter::ReplayMatches, 1);
             break;
         }
     }

@@ -13,7 +13,7 @@
 //! on a coverage lock (the paper keeps its bitmap in shared memory for the
 //! same reason). Direct mapping trades exactness for speed: two granules that
 //! collide on a slot evict each other's last access (losing, never
-//! fabricating, an alias pair) — with [`LAST_SLOTS`] slots indexed by the low
+//! fabricating, an alias pair) — with `LAST_SLOTS` slots indexed by the low
 //! granule bits, granules of pools up to `LAST_SLOTS * 8` bytes never
 //! collide at all, and the slot's tag bits keep colliding granules apart.
 

@@ -11,7 +11,7 @@
 //!   direct-mapped atomic last-access table), touched by every access
 //!   through `&self`;
 //! - **taint shadow memory and access statistics** live as one combined
-//!   [`GranuleShadow`] record in 64 stripes keyed by `granule % 64` — an
+//!   `GranuleShadow` record in 64 stripes keyed by `granule % 64` — an
 //!   access to one granule locks exactly one stripe and resolves one hash
 //!   entry, and the pool's shard layout already spreads neighbouring cache
 //!   lines over different stripes;
@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use pmrace_pmem::{LoadInfo, PersistState, Pool, ThreadId};
+use pmrace_telemetry as telemetry;
 
 use crate::checker::{AccessEvent, Checker};
 use crate::coverage::{CoverageMap, Persistency};
@@ -156,6 +157,22 @@ struct Stripe {
 
 fn stripe_of(g: u64) -> usize {
     (g % STRIPES as u64) as usize
+}
+
+/// Count freshly minted inconsistency records (total and whitelisted) in
+/// the telemetry registry.
+fn note_inconsistencies(new_records: &[InconsistencyRecord]) {
+    if !telemetry::enabled() || new_records.is_empty() {
+        return;
+    }
+    telemetry::add(
+        telemetry::Counter::CheckerInconsistencies,
+        new_records.len() as u64,
+    );
+    let whitelisted = new_records.iter().filter(|r| r.whitelisted).count() as u64;
+    if whitelisted > 0 {
+        telemetry::add(telemetry::Counter::CheckerWhitelisted, whitelisted);
+    }
 }
 
 /// Rare-event report state: candidate minting and the three report streams.
@@ -312,7 +329,7 @@ impl Session {
     /// Deadline/halt check; flags the campaign as hung when the deadline
     /// passes.
     ///
-    /// The deadline clock is sampled every [`Session::CHECK_STRIDE`] calls
+    /// The deadline clock is sampled every `CHECK_STRIDE` calls
     /// (always including the first call of a fresh session); an expired
     /// observation latches in the hang flag so every subsequent call fails
     /// without touching the clock.
@@ -399,6 +416,10 @@ impl Session {
             Persistency::Persisted
         };
         self.pm_events.fetch_add(1, Ordering::Relaxed);
+        if telemetry::enabled() {
+            telemetry::add(telemetry::Counter::PmLoads, 1);
+            telemetry::metrics::site_access(site.id());
+        }
         self.trace.push(tid, TraceKind::Load, site, off, len);
         let mut taint = TaintSet::empty();
         for g in granules(off, len) {
@@ -424,6 +445,13 @@ impl Session {
             let id = match reports.candidate_index.get(&key) {
                 Some(&id) => id,
                 None => {
+                    telemetry::add(
+                        match kind {
+                            CandidateKind::Inter => telemetry::Counter::CheckerCandidatesInter,
+                            CandidateKind::Intra => telemetry::Counter::CheckerCandidatesIntra,
+                        },
+                        1,
+                    );
                     let id = u32::try_from(reports.candidates.len()).expect("candidate overflow");
                     reports.candidate_index.insert(key, id);
                     reports.candidates.push(Candidate {
@@ -476,6 +504,17 @@ impl Session {
             Persistency::Unpersisted
         };
         self.pm_events.fetch_add(1, Ordering::Relaxed);
+        if telemetry::enabled() {
+            telemetry::add(
+                if non_temporal {
+                    telemetry::Counter::PmNtStores
+                } else {
+                    telemetry::Counter::PmStores
+                },
+                1,
+            );
+            telemetry::metrics::site_access(site.id());
+        }
         self.trace.push(
             tid,
             if non_temporal {
@@ -586,6 +625,7 @@ impl Session {
                 },
             });
         }
+        note_inconsistencies(&new_records);
         reports.inconsistencies.extend(new_records);
 
         // PM Synchronization Inconsistency: store into an annotated region.
@@ -604,6 +644,7 @@ impl Session {
             if capture {
                 reports.images_captured += 1;
             }
+            telemetry::add(telemetry::Counter::CheckerSyncUpdates, 1);
             reports.sync_updates.push(SyncUpdateRecord {
                 var_name: ann.name.clone(),
                 var_off: ann.off,
@@ -671,11 +712,16 @@ impl Session {
                 crash_image: None,
             });
         }
+        note_inconsistencies(&new_records);
         reports.inconsistencies.extend(new_records);
     }
 
     pub(crate) fn on_clwb(&self, off: u64, len: usize, site: Site, tid: ThreadId) {
         self.pm_events.fetch_add(1, Ordering::Relaxed);
+        if telemetry::enabled() {
+            telemetry::add(telemetry::Counter::PmFlushes, 1);
+            telemetry::metrics::site_access(site.id());
+        }
         self.trace.push(tid, TraceKind::Clwb, site, off, len);
         let state_before = self.range_state(off, len);
         self.run_checkers(|c, out| {
@@ -694,6 +740,7 @@ impl Session {
 
     pub(crate) fn on_sfence(&self, tid: ThreadId) {
         self.pm_events.fetch_add(1, Ordering::Relaxed);
+        telemetry::add(telemetry::Counter::PmFences, 1);
         self.run_checkers(|c, out| c.on_sfence(tid, out));
     }
 

@@ -273,6 +273,7 @@ impl PmView {
         if let Some(s) = &strategy {
             s.before_store(&ctx);
         }
+        pmrace_telemetry::add(pmrace_telemetry::Counter::PmCas, 1);
         let state_before = self.session.range_state(off.value(), 8);
         let (swapped, observed, info) = self.session.pool().cas_u64(
             off.value(),

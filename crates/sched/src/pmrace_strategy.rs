@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use pmrace_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -244,11 +245,13 @@ impl PmraceStrategy {
             if let Some(s) = skips.get_mut(&ctx.site.id()) {
                 if *s > 0 {
                     *s -= 1; // sync.skip--
+                    telemetry::add(telemetry::Counter::PlanSkipsConsumed, 1);
                     return;
                 }
             }
         }
         self.waits.fetch_add(1, Ordering::Relaxed);
+        telemetry::add(telemetry::Counter::PlanWaits, 1);
         let blocked = BlockGuard::enter(&self.blocked);
         let mut iters: u32 = 0;
         while !self.m.load(Ordering::Acquire) {
@@ -266,6 +269,7 @@ impl PmraceStrategy {
                 if priv_tid.is_none() {
                     let pick = self.rng.lock().random_range(0..self.num_threads as u32);
                     *priv_tid = Some(ThreadId(pick));
+                    telemetry::add(telemetry::Counter::PlanPrivilegedDrafts, 1);
                 }
                 if *priv_tid == Some(ctx.tid) {
                     break;
@@ -277,6 +281,7 @@ impl PmraceStrategy {
                 // lines 6/21).
                 self.sync_enabled.store(false, Ordering::Release);
                 self.skip_store.bump(self.plan.off, ctx.site.id());
+                telemetry::add(telemetry::Counter::PlanSyncDisabled, 1);
                 break;
             }
         }
@@ -289,6 +294,7 @@ impl PmraceStrategy {
         }
         if !self.m.swap(true, Ordering::AcqRel) {
             self.signals.fetch_add(1, Ordering::Relaxed);
+            telemetry::add(telemetry::Counter::PlanAlternationsFired, 1);
             // Stall the writer so readers run their sync-point loads before
             // this store is flushed.
             std::thread::sleep(self.tuning.writer_wait);

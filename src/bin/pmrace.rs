@@ -6,13 +6,18 @@
 //!                      [--strategy pmrace|delay|none|systematic] [--threads N]
 //!                      [--eadr] [--no-checkpoint] [--seed N]
 //!                      [--report-dir DIR] [--corpus-dir DIR] [--whitelist RULE]...
+//!                      [--telemetry DIR] [--progress SECS]
 //! pmrace replay <target> <seed-file>
 //! ```
 //!
 //! `fuzz` runs the PM-aware coverage-guided fuzzer and prints the unique
 //! bugs; with `--report-dir` it also writes one detailed report file per
-//! bug (including the triggering seed). `replay` re-executes a seed file
-//! from such a report and prints the raw checker findings.
+//! bug (including the triggering seed). `--telemetry DIR` turns the
+//! observability layer on and writes `telemetry.json` + `trace.jsonl` into
+//! DIR when the run finishes (render them with `repro stats DIR`;
+//! schema in `docs/OBSERVABILITY.md`), and `--progress SECS` prints a
+//! progress line to stderr every SECS seconds. `replay` re-executes a seed
+//! file from such a report and prints the raw checker findings.
 
 use std::time::Duration;
 
@@ -24,7 +29,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pmrace list\n  pmrace fuzz <target> [--secs N] [--campaigns N] \
          [--workers N] [--threads N] [--strategy pmrace|delay|none|systematic] [--eadr] \
-         [--no-checkpoint] [--seed N] [--report-dir DIR] [--corpus-dir DIR] [--whitelist RULE]...\n  pmrace replay <target> <seed-file>"
+         [--no-checkpoint] [--seed N] [--report-dir DIR] [--corpus-dir DIR] [--whitelist RULE]... \
+         [--telemetry DIR] [--progress SECS]\n  pmrace replay <target> <seed-file>"
     );
     std::process::exit(2);
 }
@@ -98,6 +104,14 @@ fn main() {
                 i += 1;
             }
             cfg.use_checkpoint = !args.iter().any(|a| a == "--no-checkpoint");
+            if let Some(dir) = flag_value(&args, "--telemetry") {
+                cfg.telemetry_dir = Some(dir.into());
+            }
+            if let Some(secs) = flag_value(&args, "--progress").and_then(|v| v.parse::<f64>().ok())
+            {
+                cfg.progress_interval = Some(Duration::from_secs_f64(secs.max(0.05)));
+            }
+            let telemetry_dir = cfg.telemetry_dir.clone();
 
             println!(
                 "fuzzing {target} for {:?} ({} workers, {} strategy{})...",
@@ -143,6 +157,12 @@ fn main() {
                     Ok(paths) => println!("\nwrote {} report file(s) under {dir}", paths.len()),
                     Err(e) => eprintln!("failed to write reports: {e}"),
                 }
+            }
+            if let Some(dir) = telemetry_dir {
+                println!(
+                    "wrote telemetry.json + trace.jsonl under {} (render with `repro stats`)",
+                    dir.display()
+                );
             }
         }
         Some("replay") => {

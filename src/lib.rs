@@ -25,7 +25,9 @@
 //! - [`core`] — the fuzzer (operation mutator, three-tier exploration,
 //!   post-failure validation, bug ledger);
 //! - [`replay`] — deterministic record/replay (schedule capture, repro
-//!   artifacts, ddmin minimization, the regression corpus).
+//!   artifacts, ddmin minimization, the regression corpus);
+//! - [`telemetry`] — the observability layer (lock-free metrics registry,
+//!   phase spans, `telemetry.json` snapshots; see `docs/OBSERVABILITY.md`).
 //!
 //! # Quickstart
 //!
@@ -66,6 +68,7 @@ pub use pmrace_replay as replay;
 pub use pmrace_runtime as runtime;
 pub use pmrace_sched as sched;
 pub use pmrace_targets as targets;
+pub use pmrace_telemetry as telemetry;
 
 pub use pmrace_core::{FuzzConfig, FuzzReport, Fuzzer, Ledger, OpMutator, Seed, StrategyKind};
 pub use pmrace_pmem::{Pool, PoolOpts};
