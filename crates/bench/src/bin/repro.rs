@@ -2,9 +2,12 @@
 //! and manage the record/replay regression corpus.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--out-dir DIR] <experiments...>
+//! repro [--quick] [--seed N] [--out-dir DIR] [--check-against FILE]
+//!       <experiments...>
 //! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10
 //!              eadr hotpath all
+//!     With --check-against, exit 1 unless the hotpath run produces every
+//!     cell named in FILE (the CI schema guard for BENCH_hotpath.json).
 //!
 //! repro replay [--steer|--free] [--attempts N] [--telemetry-out DIR]
 //!              <artifact.json|corpus-dir>...
@@ -44,6 +47,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--top",
     "--seed",
     "--out-dir",
+    "--check-against",
 ];
 
 fn positionals(args: &[String]) -> Vec<String> {
@@ -380,6 +384,32 @@ fn main() {
         eprintln!("[repro] measuring contended hot-path throughput...");
         let cells = hotpath::run_matrix(quick);
         println!("{}", hotpath::render(&cells));
+        // Schema-drift guard: every cell name present in the committed
+        // BENCH_hotpath.json must still be produced by the bench code, so a
+        // renamed or dropped cell cannot silently break the tracked perf
+        // trajectory.
+        if let Some(committed) = flag_value(&args, "--check-against") {
+            let text = match std::fs::read_to_string(&committed) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("[repro] --check-against {committed}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let missing: Vec<String> = hotpath::cell_names_in_json(&text)
+                .into_iter()
+                .filter(|name| !cells.iter().any(|c| &c.name == name))
+                .collect();
+            if missing.is_empty() {
+                eprintln!("[repro] hotpath cells match {committed}");
+            } else {
+                eprintln!(
+                    "[repro] hotpath run is missing cells present in {committed}: {}",
+                    missing.join(", ")
+                );
+                std::process::exit(1);
+            }
+        }
         if quick {
             // Quick numbers are noisy; don't clobber the tracked full run.
             eprintln!("[repro] --quick: not rewriting BENCH_hotpath.json");

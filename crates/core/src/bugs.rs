@@ -112,6 +112,59 @@ impl IngestDelta {
     }
 }
 
+/// Pending work between [`Ledger::begin_ingest`] and
+/// [`Ledger::finish_ingest`]: which of a campaign's deduplicated new
+/// detections still need post-failure validation.
+///
+/// Ingestion is split into three phases so the expensive part — recovery
+/// executions — runs *outside* whatever lock guards the ledger:
+/// `begin_ingest` (under the lock) dedupes and reserves index slots,
+/// [`IngestPlan::validate`] (lock-free) runs recovery, and `finish_ingest`
+/// (under the lock) applies verdicts in input order, keeping bug minting
+/// deterministic regardless of validation concurrency.
+#[derive(Debug)]
+pub struct IngestPlan {
+    spec: TargetSpec,
+    elapsed: Duration,
+    /// Indices into `result.findings.inconsistencies` needing validation.
+    incons: Vec<usize>,
+    /// Indices into `result.findings.sync_updates` needing validation.
+    syncs: Vec<usize>,
+    /// Verdicts for `incons[..incons_verdicts.len()]`.
+    incons_verdicts: Vec<Verdict>,
+    /// Verdicts for `syncs[..sync_verdicts.len()]`.
+    sync_verdicts: Vec<Verdict>,
+    new_candidates: Vec<(String, String)>,
+}
+
+impl IngestPlan {
+    /// `true` while some planned record still lacks a verdict; when false,
+    /// [`Ledger::finish_ingest`] is pure bookkeeping and callers can skip
+    /// the unlocked validation window entirely.
+    #[must_use]
+    pub fn needs_validation(&self) -> bool {
+        self.incons_verdicts.len() < self.incons.len()
+            || self.sync_verdicts.len() < self.syncs.len()
+    }
+
+    /// Phase 2 of ingestion: run post-failure validation for every planned
+    /// record. Requires no ledger access, so callers may drop the ledger
+    /// lock around it; `result` must be the same campaign result the plan
+    /// was created from. Idempotent — already-validated records are
+    /// skipped.
+    pub fn validate(&mut self, result: &CampaignResult) {
+        while self.incons_verdicts.len() < self.incons.len() {
+            let rec = &result.findings.inconsistencies[self.incons[self.incons_verdicts.len()]];
+            self.incons_verdicts
+                .push(validate_inconsistency(&self.spec, rec));
+        }
+        while self.sync_verdicts.len() < self.syncs.len() {
+            let upd = &result.findings.sync_updates[self.syncs[self.sync_verdicts.len()]];
+            self.sync_verdicts.push(validate_sync(&self.spec, upd));
+        }
+    }
+}
+
 /// Aggregate detection statistics — the raw material of Tables 3 and 6.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DetectionStats {
@@ -195,8 +248,26 @@ impl Ledger {
         elapsed: Duration,
         seed: Option<&crate::Seed>,
     ) -> IngestDelta {
-        let mut delta = IngestDelta::default();
-        let seed_text = seed.map(crate::Seed::to_text);
+        let plan = self.begin_ingest(result, elapsed);
+        self.finish_ingest(plan, result, seed)
+    }
+
+    /// Phase 1 of ingestion: dedupe the campaign's findings against the
+    /// ledger's indices and plan which new detections need post-failure
+    /// validation. Cheap (no recovery executions) — designed to run under
+    /// the lock guarding the ledger. Reserving dedup-index slots here means
+    /// a concurrent worker holding an identical detection will not validate
+    /// it a second time.
+    pub fn begin_ingest(&mut self, result: &CampaignResult, elapsed: Duration) -> IngestPlan {
+        let mut plan = IngestPlan {
+            spec: self.spec,
+            elapsed,
+            incons: Vec::new(),
+            syncs: Vec::new(),
+            incons_verdicts: Vec::new(),
+            sync_verdicts: Vec::new(),
+            new_candidates: Vec::new(),
+        };
         self.stats.campaigns += 1;
         self.stats.annotations = self.stats.annotations.max(result.annotations.len());
 
@@ -209,15 +280,15 @@ impl Ledger {
                     CandidateKind::Inter => self.stats.inter_candidates += 1,
                     CandidateKind::Intra => self.stats.intra_candidates += 1,
                 }
-                delta.new_candidates.push((w, r));
+                plan.new_candidates.push((w, r));
             }
         }
 
-        for rec in &result.findings.inconsistencies {
+        for (i, rec) in result.findings.inconsistencies.iter().enumerate() {
             let w = site_label(rec.candidate.write_site).to_owned();
             let r = site_label(rec.candidate.read_site).to_owned();
             let e = site_label(rec.effect_site).to_owned();
-            if !self.incons_index.insert((w.clone(), r.clone(), e.clone())) {
+            if !self.incons_index.insert((w, r, e)) {
                 continue;
             }
             match rec.candidate.kind {
@@ -227,7 +298,45 @@ impl Ledger {
                 }
                 CandidateKind::Intra => self.stats.intra += 1,
             }
-            let verdict = validate_inconsistency(&self.spec, rec);
+            plan.incons.push(i);
+        }
+
+        for (i, upd) in result.findings.sync_updates.iter().enumerate() {
+            if !self.sync_index.insert(upd.var_name.clone()) {
+                continue;
+            }
+            self.stats.sync += 1;
+            plan.syncs.push(i);
+        }
+        plan
+    }
+
+    /// Phase 3 of ingestion: apply the plan's verdicts (in input order, so
+    /// the outcome is independent of validation concurrency), mint new
+    /// unique bugs, and fold in perf/hang findings. Runs validation itself
+    /// for anything [`IngestPlan::validate`] has not covered yet, so
+    /// `begin_ingest` + `finish_ingest` alone is equivalent to
+    /// [`Ledger::ingest`]. `result` must be the same campaign result the
+    /// plan was created from.
+    pub fn finish_ingest(
+        &mut self,
+        mut plan: IngestPlan,
+        result: &CampaignResult,
+        seed: Option<&crate::Seed>,
+    ) -> IngestDelta {
+        plan.validate(result); // no-op when already validated off-lock
+        let elapsed = plan.elapsed;
+        let mut delta = IngestDelta {
+            new_bugs: Vec::new(),
+            new_candidates: std::mem::take(&mut plan.new_candidates),
+        };
+        let seed_text = seed.map(crate::Seed::to_text);
+
+        for (&i, &verdict) in plan.incons.iter().zip(&plan.incons_verdicts) {
+            let rec = &result.findings.inconsistencies[i];
+            let w = site_label(rec.candidate.write_site).to_owned();
+            let r = site_label(rec.candidate.read_site).to_owned();
+            let e = site_label(rec.effect_site).to_owned();
             match verdict {
                 Verdict::ValidatedFp => self.stats.validated_fp += 1,
                 Verdict::WhitelistedFp => self.stats.whitelisted_fp += 1,
@@ -263,12 +372,8 @@ impl Ledger {
             }
         }
 
-        for upd in &result.findings.sync_updates {
-            if !self.sync_index.insert(upd.var_name.clone()) {
-                continue;
-            }
-            self.stats.sync += 1;
-            let verdict = validate_sync(&self.spec, upd);
+        for (&i, &verdict) in plan.syncs.iter().zip(&plan.sync_verdicts) {
+            let upd = &result.findings.sync_updates[i];
             match verdict {
                 Verdict::ValidatedFp => self.stats.sync_validated_fp += 1,
                 Verdict::WhitelistedFp => self.stats.sync_validated_fp += 1,

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmrace_pmem::{Pool, PoolOpts, PoolSnapshot};
+use pmrace_pmem::{Pool, PoolOpts, PoolSnapshot, RestoreMode, GRANULE};
 use pmrace_runtime::{RtError, Session, SessionConfig};
 use pmrace_targets::TargetSpec;
 use pmrace_telemetry as telemetry;
@@ -73,6 +73,20 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// Reset an existing pool to the checkpointed image, copying back only
+    /// the granules the last campaign dirtied when `pool` was last restored
+    /// from this checkpoint (O(dirty) instead of O(pool size)); otherwise
+    /// equivalent to [`Checkpoint::restore_into`], to which it falls back
+    /// when the dirty set exceeds a quarter of the pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pool` was not created with the checkpoint's pool size.
+    pub fn restore_delta(&self, pool: &Pool) -> Result<RestoreMode, RtError> {
+        let max_dirty = self.snapshot.volatile().len() / GRANULE / 4;
+        Ok(pool.restore_delta(&self.snapshot, max_dirty)?)
+    }
+
     /// Restore from the checkpoint, recycling the pool retired by the
     /// previous `restore_cached` call when nothing else still references it
     /// (campaigns hand their pool back simply by dropping the session).
@@ -85,7 +99,7 @@ impl Checkpoint {
             let span = telemetry::span(telemetry::Phase::CheckpointRestore);
             if Arc::strong_count(&pool) == 1
                 && pool.size() == self.snapshot.volatile().len()
-                && self.restore_into(&pool).is_ok()
+                && self.restore_delta(&pool).is_ok()
             {
                 telemetry::add(telemetry::Counter::CheckpointRestores, 1);
                 telemetry::add(telemetry::Counter::CheckpointCacheHits, 1);
@@ -154,6 +168,41 @@ mod tests {
         // Wrong-sized pool is rejected, not clobbered.
         let small = Pool::new(PoolOpts::with_size(4096));
         assert!(cp.restore_into(&small).is_err());
+    }
+
+    #[test]
+    fn restore_delta_resets_a_dirtied_pool_in_place() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let cp = Checkpoint::create(&spec).unwrap();
+        let pool = cp.restore();
+        let baseline = pool.crash_image().unwrap();
+        for round in 0..3 {
+            {
+                let session = Session::new(Arc::clone(&pool), SessionConfig::default());
+                let target = (spec.recover)(&session).unwrap();
+                let v = session.view(ThreadId(0));
+                target
+                    .exec(
+                        &v,
+                        &Op::Insert {
+                            key: round,
+                            value: 2,
+                        },
+                    )
+                    .unwrap();
+            }
+            assert_ne!(pool.crash_image().unwrap().bytes(), baseline.bytes());
+            let mode = cp.restore_delta(&pool).unwrap();
+            assert!(
+                matches!(mode, RestoreMode::Delta { .. }),
+                "round {round}: restored-from-checkpoint pool takes the delta path, got {mode:?}"
+            );
+            assert_eq!(pool.crash_image().unwrap().bytes(), baseline.bytes());
+        }
+        // A pool that never met this checkpoint falls back to a full copy.
+        let foreign = Pool::new(PoolOpts::with_size(pool.size()));
+        assert_eq!(cp.restore_delta(&foreign).unwrap(), RestoreMode::Full);
+        assert_eq!(foreign.crash_image().unwrap().bytes(), baseline.bytes());
     }
 
     #[test]

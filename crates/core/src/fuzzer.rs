@@ -82,6 +82,11 @@ pub struct FuzzConfig {
     pub eviction_interval_us: u64,
     /// RNG seed for deterministic runs.
     pub rng_seed: u64,
+    /// Memoize post-failure validation verdicts across campaigns (see
+    /// [`crate::validate::set_validation_cache`]). On by default; verdicts
+    /// are pure functions of their cache key, so this changes recovery
+    /// volume, never the reported bug set.
+    pub validation_cache: bool,
     /// Fired with the step outcome and ledger delta whenever a campaign
     /// finds something new; turning it on also enables schedule capture in
     /// the explorers (see
@@ -118,6 +123,7 @@ impl FuzzConfig {
             extra_whitelist: Vec::new(),
             eviction_interval_us: 0,
             rng_seed: 0xC0FFEE,
+            validation_cache: true,
             record: None,
             telemetry_dir: None,
             progress_interval: None,
@@ -229,6 +235,7 @@ impl Fuzzer {
         if self.cfg.telemetry_dir.is_some() || self.cfg.progress_interval.is_some() {
             telemetry::set_enabled(true);
         }
+        crate::validate::set_validation_cache(self.cfg.validation_cache);
         telemetry::metrics::gauge_set(
             telemetry::Gauge::FuzzWorkers,
             self.cfg.workers.max(1) as u64,
@@ -316,11 +323,18 @@ impl Fuzzer {
                                     telemetry::Gauge::CovBranches,
                                     branches as u64,
                                 );
-                                let delta = ledger.lock().ingest_with_seed(
-                                    &out.result,
-                                    elapsed,
-                                    Some(&out.seed),
-                                );
+                                // Three-phase ingest: dedup under the lock,
+                                // recovery executions (the expensive part)
+                                // outside it so workers validate
+                                // concurrently, verdicts applied under the
+                                // lock again.
+                                let delta = {
+                                    let mut plan = ledger.lock().begin_ingest(&out.result, elapsed);
+                                    plan.validate(&out.result);
+                                    ledger
+                                        .lock()
+                                        .finish_ingest(plan, &out.result, Some(&out.seed))
+                                };
                                 if !delta.is_empty() {
                                     if let Some(sink) = record {
                                         sink.call(&out, &delta);

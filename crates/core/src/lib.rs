@@ -43,10 +43,10 @@ pub mod seed;
 pub mod textgen;
 pub mod validate;
 
-pub use bugs::{BugKind, DetectionStats, IngestDelta, Ledger, UniqueBug};
+pub use bugs::{BugKind, DetectionStats, IngestDelta, IngestPlan, Ledger, UniqueBug};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyKind};
 pub use fuzzer::{FuzzConfig, FuzzReport, Fuzzer, RecordSink};
 pub use mutator::OpMutator;
 pub use schedule::{EventCapture, PlanCapture, ScheduleCapture, StrategyCapture};
 pub use seed::Seed;
-pub use validate::Verdict;
+pub use validate::{set_validation_cache, validation_cache_enabled, Verdict};

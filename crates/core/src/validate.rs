@@ -14,10 +14,26 @@
 //!
 //! Whitelisted detections (PMDK transactional allocation, checksum-guarded
 //! regions) are classified without running recovery.
+//!
+//! # Verdict memoization
+//!
+//! Recovery executions dominate validation cost, and campaigns keep
+//! re-detecting the same inconsistency at the same crash state. Verdicts
+//! are therefore memoized in a process-global striped cache keyed by the
+//! validation inputs: the target, the record's effect identity, and the
+//! crash image's content key (base-image id + overlay hash — equal keys
+//! imply identical surviving bytes). A cache hit skips the recovery
+//! execution entirely; since a verdict is a pure function of its key, the
+//! cache can never change *which* bugs are reported, only how often
+//! recovery runs ([`set_validation_cache`] turns it off for A/B tests).
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use pmrace_pmem::Pool;
 use pmrace_runtime::report::{InconsistencyRecord, SyncUpdateRecord};
 use pmrace_runtime::whitelist::Whitelist;
@@ -50,6 +66,86 @@ impl std::fmt::Display for Verdict {
     }
 }
 
+/// Whether verdict memoization is active (default: on).
+static CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the process-global validation verdict cache.
+///
+/// Verdicts are deterministic in their cache key, so toggling this changes
+/// recovery-execution volume but never the reported bug set
+/// (`tests/determinism.rs` pins that contract).
+pub fn set_validation_cache(enabled: bool) {
+    CACHE_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the validation verdict cache is currently enabled.
+#[must_use]
+pub fn validation_cache_enabled() -> bool {
+    CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+const CACHE_STRIPES: usize = 16;
+/// Per-stripe entry bound; a full stripe is cleared (verdicts are
+/// recomputable, so eviction is only a perf event, never a correctness
+/// one).
+const CACHE_STRIPE_CAPACITY: usize = 4096;
+
+/// Exact validation inputs (no lossy hashing: a key collision could
+/// otherwise return the wrong verdict and silently change the bug set).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Incons {
+        target: &'static str,
+        effect_off: u64,
+        effect_len: usize,
+        image: (u64, u64),
+    },
+    Sync {
+        target: &'static str,
+        var_off: u64,
+        expected_init: u64,
+        image: (u64, u64),
+    },
+}
+
+struct VerdictCache {
+    stripes: Vec<Mutex<HashMap<CacheKey, Verdict>>>,
+}
+
+fn cache() -> &'static VerdictCache {
+    static CACHE: OnceLock<VerdictCache> = OnceLock::new();
+    CACHE.get_or_init(|| VerdictCache {
+        stripes: (0..CACHE_STRIPES).map(|_| Mutex::default()).collect(),
+    })
+}
+
+fn stripe_of(key: &CacheKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % CACHE_STRIPES as u64) as usize
+}
+
+/// Look up a memoized verdict, counting the hit/miss.
+fn cache_get(key: &CacheKey) -> Option<Verdict> {
+    let hit = cache().stripes[stripe_of(key)].lock().get(key).copied();
+    telemetry::add(
+        match hit {
+            Some(_) => telemetry::Counter::ValidateCacheHit,
+            None => telemetry::Counter::ValidateCacheMiss,
+        },
+        1,
+    );
+    hit
+}
+
+fn cache_put(key: CacheKey, verdict: Verdict) {
+    let mut stripe = cache().stripes[stripe_of(&key)].lock();
+    if stripe.len() >= CACHE_STRIPE_CAPACITY {
+        stripe.clear();
+    }
+    stripe.insert(key, verdict);
+}
+
 fn recovery_session(pool: Arc<Pool>) -> Arc<Session> {
     Session::new(
         pool,
@@ -78,10 +174,33 @@ fn tally(verdict: Verdict) -> Verdict {
 }
 
 /// Validate one inter-/intra-thread inconsistency.
+///
+/// Consults the verdict cache first: a hit skips the recovery execution
+/// (`validate.cache_hit`); only misses run recovery and count toward
+/// `validate.runs`. Whitelisted and image-less records bypass the cache —
+/// they are already O(1) to classify.
 #[must_use]
 pub fn validate_inconsistency(spec: &TargetSpec, rec: &InconsistencyRecord) -> Verdict {
     let _span = telemetry::span(telemetry::Phase::Validation);
-    tally(validate_inconsistency_impl(spec, rec))
+    let key = (validation_cache_enabled() && !rec.whitelisted && rec.effect_len != 0)
+        .then_some(rec.crash_image.as_deref())
+        .flatten()
+        .map(|img| CacheKey::Incons {
+            target: spec.name,
+            effect_off: rec.effect_off,
+            effect_len: rec.effect_len,
+            image: img.cache_key(),
+        });
+    if let Some(key) = &key {
+        if let Some(verdict) = cache_get(key) {
+            return verdict;
+        }
+    }
+    let verdict = tally(validate_inconsistency_impl(spec, rec));
+    if let Some(key) = key {
+        cache_put(key, verdict);
+    }
+    verdict
 }
 
 fn validate_inconsistency_impl(spec: &TargetSpec, rec: &InconsistencyRecord) -> Verdict {
@@ -118,10 +237,31 @@ fn validate_inconsistency_impl(spec: &TargetSpec, rec: &InconsistencyRecord) -> 
 }
 
 /// Validate one synchronization inconsistency.
+///
+/// Cache-assisted like [`validate_inconsistency`]; only records carrying a
+/// crash image are memoizable.
 #[must_use]
 pub fn validate_sync(spec: &TargetSpec, rec: &SyncUpdateRecord) -> Verdict {
     let _span = telemetry::span(telemetry::Phase::Validation);
-    tally(validate_sync_impl(spec, rec))
+    let key = validation_cache_enabled()
+        .then_some(rec.crash_image.as_deref())
+        .flatten()
+        .map(|img| CacheKey::Sync {
+            target: spec.name,
+            var_off: rec.var_off,
+            expected_init: rec.expected_init,
+            image: img.cache_key(),
+        });
+    if let Some(key) = &key {
+        if let Some(verdict) = cache_get(key) {
+            return verdict;
+        }
+    }
+    let verdict = tally(validate_sync_impl(spec, rec));
+    if let Some(key) = key {
+        cache_put(key, verdict);
+    }
+    verdict
 }
 
 fn validate_sync_impl(spec: &TargetSpec, rec: &SyncUpdateRecord) -> Verdict {

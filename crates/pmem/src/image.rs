@@ -167,9 +167,23 @@ pub(crate) struct Shard {
     pub(crate) dirty: Vec<u32>,
     /// Membership flags for `dirty` (no duplicate entries).
     dirty_flag: Vec<bool>,
-    /// Local granules ever written (`meta.seq != 0`); lets snapshot/restore
-    /// touch only written metadata instead of sweeping the whole pool.
+    /// Local granules whose metadata was ever set since the last
+    /// [`Shard::clear_tracking`]; lets snapshot/restore touch only written
+    /// metadata instead of sweeping the whole pool. May contain granules
+    /// whose meta was later reset to default (a delta restore of a
+    /// never-snapshotted granule); consumers filter on `seq != 0`.
     pub(crate) touched: Vec<u32>,
+    /// Membership flags for `touched` (no duplicate entries).
+    touched_flag: Vec<bool>,
+    /// Restore epoch: bumped at the end of every pool restore. Granules
+    /// stamped with the current epoch are exactly those whose metadata
+    /// changed since the last restore — the O(dirty) working set that delta
+    /// restore copies back and copy-on-write crash images overlay.
+    epoch: u32,
+    /// Per-granule epoch stamp (`0` = never stamped).
+    epoch_stamp: Vec<u32>,
+    /// Local granules stamped with the current epoch, in stamp order.
+    pub(crate) epoch_list: Vec<u32>,
 }
 
 impl Shard {
@@ -182,21 +196,44 @@ impl Shard {
             dirty: Vec::new(),
             dirty_flag: vec![false; lines * GRANULES_PER_LINE as usize],
             touched: Vec::new(),
+            touched_flag: vec![false; lines * GRANULES_PER_LINE as usize],
+            epoch: 1,
+            epoch_stamp: vec![0; lines * GRANULES_PER_LINE as usize],
+            epoch_list: Vec::new(),
         }
     }
 
-    /// Overwrite granule metadata, keeping the touched and dirty lists
-    /// consistent.
+    /// Overwrite granule metadata, keeping the touched, dirty, and epoch
+    /// lists consistent.
     pub(crate) fn set_meta(&mut self, lg: u32, m: GranuleMeta) {
         let i = lg as usize;
-        if self.meta[i].seq == 0 {
+        if !self.touched_flag[i] {
+            self.touched_flag[i] = true;
             self.touched.push(lg);
+        }
+        if self.epoch_stamp[i] != self.epoch {
+            self.epoch_stamp[i] = self.epoch;
+            self.epoch_list.push(lg);
         }
         self.meta[i] = m;
         if m.state.is_unpersisted() && !self.dirty_flag[i] {
             self.dirty_flag[i] = true;
             self.dirty.push(lg);
         }
+    }
+
+    /// Close the current restore epoch: everything stamped so far becomes
+    /// "already restored"; the next epoch starts empty. Called at the *end*
+    /// of both restore paths so the restore's own metadata writes do not
+    /// pollute the new epoch.
+    pub(crate) fn end_epoch(&mut self) {
+        self.epoch_list.clear();
+        self.epoch = self.epoch.checked_add(1).unwrap_or_else(|| {
+            // ~4 billion restores: recycle stamps rather than alias epoch 0
+            // ("never stamped") with a live epoch.
+            self.epoch_stamp.fill(0);
+            1
+        });
     }
 
     /// Drop dirty-list entries whose granule is `Clean` again.
@@ -213,8 +250,8 @@ impl Shard {
         });
     }
 
-    /// Forget all list/flag state (restore path). Metadata of previously
-    /// touched granules is reset to default.
+    /// Forget all list/flag state (full-restore path). Metadata of
+    /// previously touched granules is reset to default.
     pub(crate) fn clear_tracking(&mut self) {
         for &lg in &self.dirty {
             self.dirty_flag[lg as usize] = false;
@@ -222,6 +259,7 @@ impl Shard {
         self.dirty.clear();
         for &lg in &self.touched {
             self.meta[lg as usize] = GranuleMeta::default();
+            self.touched_flag[lg as usize] = false;
         }
         self.touched.clear();
         self.pending.clear();
@@ -341,5 +379,24 @@ mod tests {
         shard.set_meta(3, GranuleMeta { seq: 3, ..dirty });
         assert_eq!(shard.dirty, vec![3]);
         assert_eq!(shard.touched, vec![3], "touched only records first write");
+    }
+
+    #[test]
+    fn epoch_list_tracks_writes_since_last_restore() {
+        let mut shard = Shard::new(1);
+        let m = GranuleMeta {
+            state: PersistState::Dirty,
+            seq: 1,
+            ..GranuleMeta::default()
+        };
+        shard.set_meta(2, m);
+        shard.set_meta(2, m); // no duplicate entry
+        shard.set_meta(5, m);
+        assert_eq!(shard.epoch_list, vec![2, 5]);
+        shard.end_epoch();
+        assert!(shard.epoch_list.is_empty(), "restore closes the epoch");
+        shard.set_meta(2, m);
+        assert_eq!(shard.epoch_list, vec![2], "re-stamped under the new epoch");
+        assert_eq!(shard.touched, vec![2, 5], "touched spans epochs");
     }
 }

@@ -16,7 +16,9 @@
 //! destination shard lock(s), so a whole-image reader (holding every lock)
 //! always observes a counter consistent with the metadata it reads.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 use pmrace_telemetry as telemetry;
@@ -24,10 +26,14 @@ use rand::Rng;
 
 use crate::image::{
     global_granule, granule_of, granules, lines_of_shard, local_byte, local_granule,
-    shard_of_granule, shard_of_line, Shard, GRANULE, N_SHARDS,
+    shard_of_granule, shard_of_line, Shard, GRANULE, GRANULES_PER_LINE, N_SHARDS,
 };
-use crate::snapshot::{CrashImage, PoolSnapshot};
+use crate::snapshot::{BaseImage, CrashImage, PoolSnapshot};
 use crate::{GranuleMeta, PersistState, PmemError, SiteTag, ThreadId, CACHE_LINE};
+
+/// Shared base plus granule-keyed overlay — the raw material of a
+/// copy-on-write [`CrashImage`] capture.
+type CowCapture = (Arc<BaseImage>, BTreeMap<u64, [u8; GRANULE]>);
 
 /// Worse of two persistency states: `Dirty` dominates, then `Flushing`.
 fn worst_state(a: PersistState, b: PersistState) -> PersistState {
@@ -202,6 +208,27 @@ pub struct Pool {
     pending_shards: AtomicU64,
     size: usize,
     opts: PoolOpts,
+    /// Persistent base image of the snapshot this pool was last restored
+    /// from (`None` until the first restore). While set, the pool's
+    /// persistent image is guaranteed to differ from the base only at
+    /// granules in the shards' epoch lists, which enables delta restore and
+    /// copy-on-write crash images. Lock order: taken while shard locks are
+    /// held (leaf).
+    base: Mutex<Option<Arc<BaseImage>>>,
+}
+
+/// How a [`Pool::restore_delta`] call was actually performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreMode {
+    /// Full image copy: first restore of this pool from this snapshot, or
+    /// the dirty set exceeded the caller's threshold.
+    Full,
+    /// Only the granules written since the previous restore were copied
+    /// back.
+    Delta {
+        /// Number of granules copied.
+        granules: usize,
+    },
 }
 
 fn new_shards(size: usize) -> Box<[Mutex<Shard>]> {
@@ -254,6 +281,7 @@ impl Pool {
             pending_shards: AtomicU64::new(0),
             size: opts.size,
             opts,
+            base: Mutex::new(None),
         };
         pool.run_init_cost();
         pool
@@ -285,6 +313,7 @@ impl Pool {
             pending_shards: AtomicU64::new(0),
             size,
             opts: PoolOpts::with_size(size),
+            base: Mutex::new(None),
         })
     }
 
@@ -874,8 +903,50 @@ impl Pool {
     /// Infallible today; returns `Result` for API stability.
     pub fn crash_image(&self) -> Result<CrashImage, PmemError> {
         let guards = self.lock_all();
+        if let Some((base, overlay)) = self.cow_overlay(&guards) {
+            return Ok(Self::finish_cow(base, overlay));
+        }
         let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
         Ok(CrashImage::from_bytes(gather_from(&refs, self.size, true)))
+    }
+
+    /// Copy-on-write capture: when this pool was restored from a snapshot,
+    /// its persistent image differs from the snapshot's base only at epoch-
+    /// listed granules (every persistent-image mutation sets metadata on the
+    /// same granule under the same shard lock), so the current persistent
+    /// bytes of those granules form a complete overlay over the shared base.
+    /// Returns `None` when no base is tracked or the dirty set is denser
+    /// than half the pool (a plain copy is cheaper then).
+    fn cow_overlay(&self, guards: &[MutexGuard<'_, Shard>]) -> Option<CowCapture> {
+        let base = self.base.lock().clone()?;
+        if base.bytes().len() != self.size {
+            return None;
+        }
+        let dirty: usize = guards.iter().map(|g| g.epoch_list.len()).sum();
+        if dirty * GRANULE > self.size / 2 {
+            return None;
+        }
+        let mut overlay = BTreeMap::new();
+        for (s, shard) in guards.iter().enumerate() {
+            for &lg in &shard.epoch_list {
+                let lb = lg as usize * GRANULE;
+                let mut chunk = [0u8; GRANULE];
+                chunk.copy_from_slice(&shard.persistent[lb..lb + GRANULE]);
+                overlay.insert(global_granule(s, lg) * GRANULE as u64, chunk);
+            }
+        }
+        Some((base, overlay))
+    }
+
+    fn finish_cow(base: Arc<BaseImage>, overlay: BTreeMap<u64, [u8; GRANULE]>) -> CrashImage {
+        let overlay: Vec<(u64, [u8; GRANULE])> = overlay.into_iter().collect();
+        if telemetry::enabled() {
+            telemetry::metrics::record(
+                telemetry::Histogram::CrashImageOverlayBytes,
+                (overlay.len() * GRANULE) as u64,
+            );
+        }
+        CrashImage::from_overlay(base, overlay)
     }
 
     /// Crash snapshot in which the given volatile byte ranges are forced
@@ -893,6 +964,30 @@ impl Pool {
             self.check(off, len)?;
         }
         let guards = self.lock_all();
+        if let Some((base, mut overlay)) = self.cow_overlay(&guards) {
+            for &(off, len) in ranges {
+                if len == 0 {
+                    continue;
+                }
+                for g in granules(off, len) {
+                    let shard = &guards[shard_of_granule(g)];
+                    let lb = local_granule(g) as usize * GRANULE;
+                    let chunk = overlay.entry(g * GRANULE as u64).or_insert_with(|| {
+                        let mut c = [0u8; GRANULE];
+                        c.copy_from_slice(&shard.persistent[lb..lb + GRANULE]);
+                        c
+                    });
+                    // Force exactly the requested bytes, not the whole
+                    // granule, matching the dense path's byte-exact patch.
+                    let g_start = g * GRANULE as u64;
+                    let seg_start = off.max(g_start);
+                    let seg_end = (off + len as u64).min(g_start + GRANULE as u64);
+                    let (a, b) = ((seg_start - g_start) as usize, (seg_end - g_start) as usize);
+                    chunk[a..b].copy_from_slice(&shard.volatile[lb + a..lb + b]);
+                }
+            }
+            return Ok(Self::finish_cow(base, overlay));
+        }
         let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
         let mut bytes = gather_from(&refs, self.size, true);
         let line = CACHE_LINE as u64;
@@ -923,7 +1018,12 @@ impl Pool {
         let mut meta = std::collections::HashMap::new();
         for (s, shard) in refs.iter().enumerate() {
             for &lg in &shard.touched {
-                meta.insert(global_granule(s, lg), shard.meta[lg as usize]);
+                let m = shard.meta[lg as usize];
+                // The touched list may hold granules whose meta reverted to
+                // default (delta-restored without a snapshot entry).
+                if m.seq != 0 {
+                    meta.insert(global_granule(s, lg), m);
+                }
             }
         }
         PoolSnapshot::new(volatile, persistent, meta, self.seq.load(Ordering::Relaxed))
@@ -942,6 +1042,71 @@ impl Pool {
             });
         }
         let mut guards = self.lock_all();
+        self.restore_full_locked(&mut guards, snap);
+        Ok(())
+    }
+
+    /// Restore from `snap`, copying back only the granules written since
+    /// the last restore when this pool was last restored from the *same*
+    /// snapshot (O(dirty) instead of O(pool size)). Falls back to the full
+    /// copy on the first restore, on a snapshot change, or when more than
+    /// `max_dirty` granules are dirty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidImage`] if the snapshot size differs from
+    /// this pool's size.
+    pub fn restore_delta(
+        &self,
+        snap: &PoolSnapshot,
+        max_dirty: usize,
+    ) -> Result<RestoreMode, PmemError> {
+        if snap.volatile().len() != self.size {
+            return Err(PmemError::InvalidImage {
+                reason: "snapshot size mismatch",
+            });
+        }
+        let mut guards = self.lock_all();
+        let restorable = self
+            .base
+            .lock()
+            .as_ref()
+            .is_some_and(|b| b.id() == snap.base_id());
+        let total: usize = guards.iter().map(|g| g.epoch_list.len()).sum();
+        if !restorable || total > max_dirty {
+            self.restore_full_locked(&mut guards, snap);
+            return Ok(RestoreMode::Full);
+        }
+        let (vol, per, meta_map) = (snap.volatile(), snap.persistent(), snap.meta());
+        let mut lines: Vec<u64> = Vec::with_capacity(total);
+        for (s, shard) in guards.iter_mut().enumerate() {
+            let list = std::mem::take(&mut shard.epoch_list);
+            for &lg in &list {
+                let g = global_granule(s, lg);
+                let off = g as usize * GRANULE;
+                // The tail granule of an odd-sized pool is partial in the
+                // dense snapshot; its padding bytes are unwritable and stay
+                // zero in the shard.
+                let n = GRANULE.min(self.size - off);
+                let lb = lg as usize * GRANULE;
+                shard.volatile[lb..lb + n].copy_from_slice(&vol[off..off + n]);
+                shard.persistent[lb..lb + n].copy_from_slice(&per[off..off + n]);
+                shard.set_meta(lg, meta_map.get(&g).copied().unwrap_or_default());
+                lines.push(g / GRANULES_PER_LINE);
+            }
+            shard.pending.clear();
+        }
+        if telemetry::enabled() {
+            lines.sort_unstable();
+            lines.dedup();
+            telemetry::metrics::record(telemetry::Histogram::RestoreDirtyLines, lines.len() as u64);
+        }
+        self.finish_restore(&mut guards, snap);
+        Ok(RestoreMode::Delta { granules: total })
+    }
+
+    /// Full-copy restore body, with all shard locks held.
+    fn restore_full_locked(&self, guards: &mut [MutexGuard<'_, Shard>], snap: &PoolSnapshot) {
         for shard in guards.iter_mut() {
             shard.clear_tracking();
         }
@@ -953,9 +1118,20 @@ impl Pool {
         for (&g, &m) in snap.meta() {
             guards[shard_of_granule(g)].set_meta(local_granule(g), m);
         }
+        self.finish_restore(guards, snap);
+    }
+
+    /// Common restore epilogue: close the epoch (the restore's own metadata
+    /// writes must not count as post-restore dirt), reset the pool-wide
+    /// counters, and remember the snapshot's base for delta restore and COW
+    /// crash images.
+    fn finish_restore(&self, guards: &mut [MutexGuard<'_, Shard>], snap: &PoolSnapshot) {
+        for shard in guards.iter_mut() {
+            shard.end_epoch();
+        }
         self.seq.store(snap.seq(), Ordering::Relaxed);
         self.pending_shards.store(0, Ordering::Relaxed);
-        Ok(())
+        *self.base.lock() = Some(Arc::clone(snap.base()));
     }
 }
 
@@ -1137,6 +1313,85 @@ mod tests {
         assert_eq!(p.load_u64(72).unwrap().0, 2);
         assert_eq!(p.meta_at(72).state, PersistState::Dirty);
         assert_eq!(p.crash_image().unwrap().load_u64(72).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_delta_matches_full_restore() {
+        let p = pool();
+        p.store_u64(64, 1, T0, TAG).unwrap();
+        p.persist(64, 8, T0).unwrap();
+        p.store_u64(72, 2, T0, TAG).unwrap();
+        let snap = p.snapshot();
+        // First restore from this snapshot is necessarily a full copy.
+        assert_eq!(
+            p.restore_delta(&snap, usize::MAX).unwrap(),
+            RestoreMode::Full
+        );
+        for round in 0..3 {
+            // Dirty a few granules in different shards, some persisted.
+            p.ntstore_u64(64, 100 + round, T0, TAG).unwrap();
+            p.store_u64(4096, 7, T1, TAG).unwrap();
+            p.store_u64(131, 9, T0, TAG).unwrap(); // cross-granule
+            p.persist(4096, 8, T1).unwrap();
+            let mode = p.restore_delta(&snap, usize::MAX).unwrap();
+            assert!(matches!(mode, RestoreMode::Delta { granules } if granules >= 4));
+            assert_eq!(p.load_u64(64).unwrap().0, 1);
+            assert_eq!(p.load_u64(72).unwrap().0, 2);
+            assert_eq!(p.load_u64(4096).unwrap().0, 0);
+            assert_eq!(p.load_u64(128).unwrap().0, 0);
+            assert_eq!(p.meta_at(72).state, PersistState::Dirty);
+            assert_eq!(p.meta_at(4096).state, PersistState::Clean);
+            assert_eq!(p.crash_image().unwrap().load_u64(64).unwrap(), 1);
+            assert_eq!(p.crash_image().unwrap().load_u64(4096).unwrap(), 0);
+        }
+        // Over-threshold dirt falls back to the full path and stays correct.
+        p.store_u64(200, 3, T0, TAG).unwrap();
+        assert_eq!(p.restore_delta(&snap, 0).unwrap(), RestoreMode::Full);
+        assert_eq!(p.load_u64(200).unwrap().0, 0);
+    }
+
+    #[test]
+    fn cow_crash_image_equals_dense_capture() {
+        let p = pool();
+        let fresh = Pool::new(p.opts());
+        p.store_u64(64, 1, T0, TAG).unwrap();
+        p.persist(64, 8, T0).unwrap();
+        let snap = p.snapshot();
+        p.restore(&snap).unwrap(); // enables COW capture
+        let ops = |q: &Pool| {
+            q.store_u64(72, 5, T0, TAG).unwrap();
+            q.ntstore_u64(4096, 6, T1, TAG).unwrap();
+            q.store_u64(131, 9, T0, TAG).unwrap();
+        };
+        // Same ops on a never-restored pool (dense captures) except the
+        // snapshot-time store, replayed to align the images.
+        fresh.store_u64(64, 1, T0, TAG).unwrap();
+        fresh.persist(64, 8, T0).unwrap();
+        ops(&p);
+        ops(&fresh);
+        let cow = p.crash_image().unwrap();
+        let dense = fresh.crash_image().unwrap();
+        assert!(cow.overlay_bytes() > 0, "capture used the COW path");
+        assert_eq!(dense.overlay_bytes(), 0, "never-restored pool is dense");
+        assert_eq!(cow, dense);
+        assert_eq!(cow.bytes(), dense.bytes());
+        // Forced-persist ranges compose with the overlay byte-exactly.
+        let ranges = [(72u64, 8usize), (130, 3)];
+        let cow_f = p.crash_image_persisting(&ranges).unwrap();
+        let dense_f = fresh.crash_image_persisting(&ranges).unwrap();
+        assert_eq!(cow_f, dense_f);
+        assert_eq!(cow_f.load_u64(72).unwrap(), 5);
+    }
+
+    #[test]
+    fn restore_delta_rejects_size_mismatch() {
+        let p = Pool::new(PoolOpts::with_size(64));
+        let other = Pool::new(PoolOpts::with_size(128));
+        let snap = other.snapshot();
+        assert!(matches!(
+            p.restore_delta(&snap, usize::MAX).unwrap_err(),
+            PmemError::InvalidImage { .. }
+        ));
     }
 
     #[test]

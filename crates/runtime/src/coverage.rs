@@ -44,6 +44,16 @@ pub enum Persistency {
     Unpersisted,
 }
 
+/// One CPU cache line of last-access slots. Adjacent granules map to
+/// adjacent slots, so one `LastLine` covers exactly one PM cache line
+/// (8 granules); the 64-byte alignment pins each block to its own CPU
+/// cache line, so threads working disjoint PM lines never false-share a
+/// coverage line (an unaligned `Box<[AtomicU64]>` lets blocks straddle
+/// two CPU lines, coupling neighbouring PM lines under contention).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct LastLine([AtomicU64; 8]);
+
 /// Packs one last-access record into a slot word:
 /// `[63] present | [62:47] granule tag | [46:17] site | [16:1] tid |
 /// [0] persistency`. The tag is the granule bits above the slot index, so a
@@ -64,7 +74,7 @@ pub struct CoverageMap {
     branch: Box<[AtomicU8]>,
     alias_count: AtomicUsize,
     branch_count: AtomicUsize,
-    last: Box<[AtomicU64]>,
+    last: Box<[LastLine]>,
 }
 
 impl Default for CoverageMap {
@@ -88,7 +98,11 @@ impl Clone for CoverageMap {
             last: self
                 .last
                 .iter()
-                .map(|slot| AtomicU64::new(slot.load(Ordering::Relaxed)))
+                .map(|line| {
+                    LastLine(std::array::from_fn(|i| {
+                        AtomicU64::new(line.0[i].load(Ordering::Relaxed))
+                    }))
+                })
                 .collect(),
         }
     }
@@ -105,7 +119,7 @@ impl CoverageMap {
             branch: zeroed(),
             alias_count: AtomicUsize::new(0),
             branch_count: AtomicUsize::new(0),
-            last: (0..LAST_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            last: (0..LAST_SLOTS / 8).map(|_| LastLine::default()).collect(),
         }
     }
 
@@ -137,7 +151,7 @@ impl CoverageMap {
     ) -> bool {
         let slot = (granule & (LAST_SLOTS as u64 - 1)) as usize;
         let packed = pack_last(granule, site, tid, persistency);
-        let prev = self.last[slot].swap(packed, Ordering::Relaxed);
+        let prev = self.last[slot >> 3].0[slot & 7].swap(packed, Ordering::Relaxed);
         if prev & LAST_PRESENT == 0 || (prev ^ packed) >> 47 != 0 {
             // Empty slot, or a colliding granule got evicted: no pair.
             return false;
@@ -204,8 +218,10 @@ impl CoverageMap {
     /// Forget per-address last-access state (campaign boundary) while
     /// keeping accumulated bitmaps.
     pub fn reset_last_access(&self) {
-        for slot in self.last.iter() {
-            slot.store(0, Ordering::Relaxed);
+        for line in self.last.iter() {
+            for slot in line.0.iter() {
+                slot.store(0, Ordering::Relaxed);
+            }
         }
     }
 }

@@ -149,11 +149,25 @@ struct GranuleShadow {
 
 /// One stripe of the per-granule shadow state. Combined so the common store
 /// hook (taint update + stats update on the same granule) takes one lock and
-/// one hash lookup, not several.
+/// one hash lookup, not several. Cache-line aligned so adjacent stripes'
+/// mutexes never share a CPU line (threads hash to different stripes by
+/// design; unaligned, their lock traffic would still collide).
+#[repr(align(64))]
 #[derive(Debug, Default)]
 struct Stripe {
     shadow: FxHashMap<u64, GranuleShadow>,
 }
+
+/// One 64-byte-padded PM-event counter cell; threads bump the cell indexed
+/// by their `ThreadId` so the hot instrumentation hooks never contend on a
+/// single shared cache line ([`Session::pm_accesses`] sums the cells).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct EventCell(AtomicU64);
+
+/// Number of [`EventCell`]s (covers the paper's 4-thread campaigns with
+/// headroom; higher thread ids wrap).
+const EVENT_CELLS: usize = 8;
 
 fn stripe_of(g: u64) -> usize {
     (g % STRIPES as u64) as usize
@@ -215,7 +229,7 @@ pub struct Session {
     /// Deadline-expired latch; also strided-sample state for [`Session::check`].
     hang: AtomicBool,
     check_ctr: AtomicU32,
-    pm_events: AtomicU64,
+    pm_events: [EventCell; EVENT_CELLS],
 }
 
 impl std::fmt::Debug for Session {
@@ -252,7 +266,7 @@ impl Session {
             halted: AtomicBool::new(false),
             hang: AtomicBool::new(false),
             check_ctr: AtomicU32::new(0),
-            pm_events: AtomicU64::new(0),
+            pm_events: Default::default(),
         })
     }
 
@@ -364,7 +378,17 @@ impl Session {
     /// feeds the fuzzer's accesses/sec throughput meter.
     #[must_use]
     pub fn pm_accesses(&self) -> u64 {
-        self.pm_events.load(Ordering::Relaxed)
+        self.pm_events
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    #[inline]
+    fn pm_event(&self, tid: ThreadId) {
+        self.pm_events[tid.0 as usize % EVENT_CELLS]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn strategy(&self) -> Arc<dyn InterleaveStrategy> {
@@ -415,7 +439,7 @@ impl Session {
         } else {
             Persistency::Persisted
         };
-        self.pm_events.fetch_add(1, Ordering::Relaxed);
+        self.pm_event(tid);
         if telemetry::enabled() {
             telemetry::add(telemetry::Counter::PmLoads, 1);
             telemetry::metrics::site_access(site.id());
@@ -503,7 +527,7 @@ impl Session {
         } else {
             Persistency::Unpersisted
         };
-        self.pm_events.fetch_add(1, Ordering::Relaxed);
+        self.pm_event(tid);
         if telemetry::enabled() {
             telemetry::add(
                 if non_temporal {
@@ -717,7 +741,7 @@ impl Session {
     }
 
     pub(crate) fn on_clwb(&self, off: u64, len: usize, site: Site, tid: ThreadId) {
-        self.pm_events.fetch_add(1, Ordering::Relaxed);
+        self.pm_event(tid);
         if telemetry::enabled() {
             telemetry::add(telemetry::Counter::PmFlushes, 1);
             telemetry::metrics::site_access(site.id());
@@ -739,7 +763,7 @@ impl Session {
     }
 
     pub(crate) fn on_sfence(&self, tid: ThreadId) {
-        self.pm_events.fetch_add(1, Ordering::Relaxed);
+        self.pm_event(tid);
         telemetry::add(telemetry::Counter::PmFences, 1);
         self.run_checkers(|c, out| c.on_sfence(tid, out));
     }

@@ -71,6 +71,8 @@ metric_enum! {
     ValidateFps => "validate.fps",
     ValidateWhitelistedFps => "validate.whitelisted_fps",
     ValidateUnvalidated => "validate.unvalidated",
+    ValidateCacheHit => "validate.cache_hit",
+    ValidateCacheMiss => "validate.cache_miss",
     CheckpointCreates => "checkpoint.creates",
     CheckpointRestores => "checkpoint.restores",
     CheckpointCacheHits => "checkpoint.cache_hits",
@@ -92,11 +94,15 @@ metric_enum! {
 }
 
 metric_enum! {
-    /// Log2-bucketed value distributions (values in nanoseconds).
+    /// Log2-bucketed value distributions. The `*_ns` histograms hold
+    /// nanoseconds; `restore.dirty_lines` holds cache-line counts and
+    /// `crash_image.overlay_bytes` holds byte counts.
     Histogram :
     PmFlushNs => "pm.flush_ns",
     PmFenceNs => "pm.fence_ns",
     CampaignNs => "exec.campaign_ns",
+    RestoreDirtyLines => "restore.dirty_lines",
+    CrashImageOverlayBytes => "crash_image.overlay_bytes",
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();

@@ -1,0 +1,164 @@
+//! Equivalence contracts of the O(dirty) outer loop: the delta restore and
+//! copy-on-write crash-image paths must be observationally identical to the
+//! full-copy paths they replace — same volatile and persistent images, same
+//! granule metadata, same captured crash state — for any workload.
+
+use std::sync::Arc;
+
+use pmrace::pmem::{CrashImage, Pool, PoolOpts, RestoreMode, SiteTag, ThreadId};
+use pmrace::{Session, SessionConfig};
+use pmrace_runtime::site;
+
+const T0: ThreadId = ThreadId(0);
+const TAG: SiteTag = SiteTag(1);
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A pseudo-random but fully deterministic campaign-shaped workload: a mix
+/// of stores, non-temporal stores, flushes, and fences from four threads.
+fn apply_workload(p: &Pool, round: u64) {
+    let mut s = 0x5eed ^ round;
+    let granules = p.size() as u64 / 8;
+    for _ in 0..200 {
+        let r = lcg(&mut s);
+        let off = (r % granules) * 8;
+        let t = ThreadId((r >> 8) as u32 % 4);
+        let tag = SiteTag((r % 100) as u32 + 1);
+        match r % 5 {
+            0 | 1 => {
+                p.store_u64(off, r, t, tag).unwrap();
+            }
+            2 => {
+                p.ntstore_u64(off, r, t, tag).unwrap();
+            }
+            3 => {
+                p.store_u64(off, r, t, tag).unwrap();
+                p.clwb(off, 8, t).unwrap();
+            }
+            _ => p.sfence(t).unwrap(),
+        }
+    }
+    p.persist(0, 64, T0).unwrap();
+}
+
+/// Full observable-state comparison: persistent image, volatile image, and
+/// per-granule metadata (state, writer, tag, sequence), plus the derived
+/// views campaigns consume.
+fn assert_pools_identical(a: &Pool, b: &Pool, when: &str) {
+    assert_eq!(a.size(), b.size());
+    assert_eq!(
+        a.crash_image().unwrap(),
+        b.crash_image().unwrap(),
+        "persistent images differ {when}"
+    );
+    for off in (0..a.size() as u64).step_by(8) {
+        assert_eq!(
+            a.load_u64(off).unwrap().0,
+            b.load_u64(off).unwrap().0,
+            "volatile word at {off} differs {when}"
+        );
+        assert_eq!(
+            a.meta_at(off),
+            b.meta_at(off),
+            "granule meta at {off} differs {when}"
+        );
+    }
+    assert_eq!(
+        a.unpersisted_regions(),
+        b.unpersisted_regions(),
+        "unpersisted regions differ {when}"
+    );
+    assert_eq!(a.store_seq(), b.store_seq(), "store seq differs {when}");
+}
+
+#[test]
+fn restore_delta_is_byte_identical_to_full_restore() {
+    let src = Pool::new(PoolOpts::with_size(1 << 16));
+    for k in 0..64u64 {
+        src.ntstore_u64(k * 72, k + 1, T0, TAG).unwrap();
+    }
+    let snap = src.snapshot();
+    let full = Pool::new(PoolOpts::with_size(src.size()));
+    full.restore(&snap).unwrap();
+    let delta = Pool::new(PoolOpts::with_size(src.size()));
+    delta.restore(&snap).unwrap();
+
+    for round in 0..6u64 {
+        apply_workload(&full, round);
+        apply_workload(&delta, round);
+        assert_pools_identical(&full, &delta, "after identical workloads");
+        full.restore(&snap).unwrap();
+        let mode = delta.restore_delta(&snap, usize::MAX).unwrap();
+        assert!(
+            matches!(mode, RestoreMode::Delta { granules } if granules > 0),
+            "round {round}: expected the delta path, got {mode:?}"
+        );
+        assert_pools_identical(&full, &delta, "after full vs delta restore");
+    }
+
+    // The threshold fallback (dirty set too large for delta) must be just
+    // as invisible.
+    apply_workload(&full, 99);
+    apply_workload(&delta, 99);
+    full.restore(&snap).unwrap();
+    assert_eq!(delta.restore_delta(&snap, 0).unwrap(), RestoreMode::Full);
+    assert_pools_identical(&full, &delta, "after threshold fallback");
+}
+
+#[test]
+fn cow_crash_images_match_eager_captures_through_the_session() {
+    // Identical starting state built two ways: `cow` is restored from a
+    // snapshot (so captures ride the shared-base overlay path), `eager`
+    // never met a snapshot (so captures copy the whole image). The same
+    // instrumented workload must produce byte-identical crash images at
+    // every capture point.
+    let init = |p: &Pool| {
+        for k in 0..32u64 {
+            p.ntstore_u64(4096 + k * 8, k + 1, T0, TAG).unwrap();
+        }
+    };
+    let src = Pool::new(PoolOpts::with_size(1 << 16));
+    init(&src);
+    let snap = src.snapshot();
+    let cow = Arc::new(Pool::new(PoolOpts::with_size(src.size())));
+    cow.restore(&snap).unwrap();
+    let eager = Arc::new(Pool::new(PoolOpts::with_size(src.size())));
+    init(&eager);
+
+    let run = |pool: &Arc<Pool>| -> Vec<CrashImage> {
+        let session = Session::new(Arc::clone(pool), SessionConfig::default());
+        let a = session.view(ThreadId(0));
+        let b = session.view(ThreadId(1));
+        let mut images = Vec::new();
+        for i in 0..24u64 {
+            let off = 4096 + (i % 40) * 8;
+            match i % 4 {
+                0 => a.store_u64(off, i + 100, site!("equiv.w")).unwrap(),
+                1 => {
+                    let _ = b.load_u64(off, site!("equiv.r")).unwrap();
+                }
+                2 => a.clwb(off, 8, site!("equiv.flush")).unwrap(),
+                _ => a.sfence().unwrap(),
+            }
+            images.push(pool.crash_image().unwrap());
+        }
+        images
+    };
+
+    let cow_images = run(&cow);
+    let eager_images = run(&eager);
+    assert_eq!(cow_images.len(), eager_images.len());
+    for (i, (c, e)) in cow_images.iter().zip(&eager_images).enumerate() {
+        assert_eq!(c, e, "crash image at capture point {i} diverged");
+        assert_eq!(e.overlay_bytes(), 0, "eager pool must capture densely");
+    }
+    assert!(
+        cow_images.iter().any(|c| c.overlay_bytes() > 0),
+        "restored pool never took the copy-on-write capture path"
+    );
+}
