@@ -1,0 +1,199 @@
+//! The process-global target registry.
+//!
+//! One flat, append-only table mapping target names to [`TargetSpec`]s.
+//! Registration order is preserved and is the iteration order of
+//! [`all_targets`] — the replay corpus and Table 2 iteration depend on a
+//! deterministic order, so the registry never sorts or rehashes.
+//!
+//! Rust has no life-before-main, so nothing registers itself merely by
+//! being linked in: the built-in systems are registered by
+//! `pmrace_targets::register_builtins()` (idempotent), and plugin targets
+//! call [`register_target`] from their own setup code.
+
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+use pmrace_runtime::RtError;
+
+use crate::TargetSpec;
+
+static REGISTRY: OnceLock<RwLock<Vec<TargetSpec>>> = OnceLock::new();
+
+fn registry() -> &'static RwLock<Vec<TargetSpec>> {
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Error returned by [`register_target`] when the name is already taken.
+///
+/// Target names are the key repro artifacts, the validation cache and the
+/// CLI resolve by, so two specs must never share one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateTarget {
+    /// The contested name.
+    pub name: String,
+}
+
+impl std::fmt::Display for DuplicateTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "target {:?} is already registered; target names must be unique",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for DuplicateTarget {}
+
+/// Register a target, making it resolvable by name for fuzzing,
+/// validation and replay. Thread-safe; order of registration is the order
+/// [`all_targets`] reports.
+///
+/// # Errors
+///
+/// Rejects a spec whose name is already registered (re-registering the
+/// same workload is almost always a harness bug; make registration
+/// idempotent on the caller's side, e.g. with [`std::sync::Once`]).
+pub fn register_target(spec: TargetSpec) -> Result<(), DuplicateTarget> {
+    let mut reg = registry().write();
+    if reg.iter().any(|s| s.name == spec.name) {
+        return Err(DuplicateTarget {
+            name: spec.name.to_owned(),
+        });
+    }
+    reg.push(spec);
+    Ok(())
+}
+
+/// Look a registered target up by name.
+#[must_use]
+pub fn resolve_target(name: &str) -> Option<TargetSpec> {
+    registry().read().iter().find(|s| s.name == name).copied()
+}
+
+/// Every registered target, in registration order (deterministic: the
+/// registry is append-only and never reorders).
+#[must_use]
+pub fn all_targets() -> Vec<TargetSpec> {
+    registry().read().clone()
+}
+
+/// Look a target up by name, or fail with [`RtError::UnknownTarget`]
+/// whose message lists the names that *are* registered.
+///
+/// # Errors
+///
+/// [`RtError::UnknownTarget`] when `name` is not registered.
+pub fn resolve_target_or_err(name: &str) -> Result<TargetSpec, RtError> {
+    resolve_target(name).ok_or_else(|| {
+        let names: Vec<&str> = registry().read().iter().map(|s| s.name).collect();
+        let known = if names.is_empty() {
+            "(none — register targets first, e.g. pmrace_targets::register_builtins())".to_owned()
+        } else {
+            names.join(", ")
+        };
+        RtError::UnknownTarget(format!("{name:?}; registered targets: {known}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmrace_pmem::PoolOpts;
+
+    fn dummy(name: &'static str) -> TargetSpec {
+        TargetSpec::new(
+            name,
+            |_| Err(RtError::Halted),
+            |_| Err(RtError::Halted),
+            PoolOpts::small,
+        )
+    }
+
+    // The registry is process-global and shared by every test in this
+    // binary, so tests use unique name prefixes and assert on their own
+    // slice of the table, never on its absolute contents.
+
+    #[test]
+    fn registration_resolves_and_preserves_order() {
+        for n in ["reg-ord-a", "reg-ord-b", "reg-ord-c"] {
+            register_target(dummy(n)).unwrap();
+        }
+        assert_eq!(resolve_target("reg-ord-b").unwrap().name, "reg-ord-b");
+        let mine: Vec<&str> = all_targets()
+            .iter()
+            .map(|s| s.name)
+            .filter(|n| n.starts_with("reg-ord-"))
+            .collect();
+        assert_eq!(mine, vec!["reg-ord-a", "reg-ord-b", "reg-ord-c"]);
+        // Deterministic: repeated reads see the identical order.
+        let again: Vec<&str> = all_targets()
+            .iter()
+            .map(|s| s.name)
+            .filter(|n| n.starts_with("reg-ord-"))
+            .collect();
+        assert_eq!(mine, again);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_with_a_clear_error() {
+        register_target(dummy("reg-dup")).unwrap();
+        let err = register_target(dummy("reg-dup")).unwrap_err();
+        assert_eq!(err.name, "reg-dup");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("\"reg-dup\"") && msg.contains("already registered"),
+            "{msg}"
+        );
+        // The first registration survives.
+        assert!(resolve_target("reg-dup").is_some());
+    }
+
+    #[test]
+    fn concurrent_registration_is_safe() {
+        const NAMES: [&str; 8] = [
+            "reg-conc-0",
+            "reg-conc-1",
+            "reg-conc-2",
+            "reg-conc-3",
+            "reg-conc-4",
+            "reg-conc-5",
+            "reg-conc-6",
+            "reg-conc-7",
+        ];
+        std::thread::scope(|s| {
+            for name in NAMES {
+                s.spawn(move || {
+                    // Every thread races one unique and one contested
+                    // registration; exactly one thread wins the latter.
+                    register_target(dummy(name)).unwrap();
+                    let _ = register_target(dummy("reg-conc-shared"));
+                });
+            }
+        });
+        for name in NAMES {
+            assert!(resolve_target(name).is_some(), "{name} lost");
+        }
+        let shared = all_targets()
+            .iter()
+            .filter(|s| s.name == "reg-conc-shared")
+            .count();
+        assert_eq!(shared, 1, "contested name registered exactly once");
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_a_listing_error() {
+        register_target(dummy("reg-known")).unwrap();
+        let err = resolve_target_or_err("reg-definitely-not-there").unwrap_err();
+        let RtError::UnknownTarget(msg) = &err else {
+            panic!("wrong variant: {err:?}");
+        };
+        assert!(msg.contains("\"reg-definitely-not-there\""), "{msg}");
+        assert!(msg.contains("registered targets:"), "{msg}");
+        assert!(msg.contains("reg-known"), "{msg}");
+        assert_eq!(
+            resolve_target_or_err("reg-known").unwrap().name,
+            "reg-known"
+        );
+    }
+}

@@ -9,9 +9,9 @@
 use std::collections::{BTreeMap, HashSet};
 use std::time::Duration;
 
+use pmrace_api::TargetSpec;
 use pmrace_runtime::report::CandidateKind;
 use pmrace_runtime::site_label;
-use pmrace_targets::TargetSpec;
 
 use crate::campaign::CampaignResult;
 use crate::validate::{validate_inconsistency, validate_sync, Verdict};

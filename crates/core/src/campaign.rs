@@ -5,13 +5,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pmrace_api::TargetSpec;
 use pmrace_pmem::{Pool, ThreadId};
 use pmrace_runtime::coverage::CoverageMap;
 use pmrace_runtime::report::Findings;
 use pmrace_runtime::session::SharedAccessEntry;
 use pmrace_runtime::strategy::InterleaveStrategy;
 use pmrace_runtime::{RtError, Session, SessionConfig, SyncVarAnnotation};
-use pmrace_targets::TargetSpec;
 use pmrace_telemetry as telemetry;
 
 use crate::checkpoint::Checkpoint;
@@ -147,6 +147,11 @@ pub fn run_campaign(
     } else {
         (spec.init)(&session)?
     };
+    // Checker-arming hook (§4.3): the spec gets one shot at the session
+    // before driver threads start, e.g. to add target-specific checkers.
+    if let Some(arm) = spec.arm {
+        arm(&session);
+    }
     if let Some(strategy) = strategy {
         session.set_strategy(strategy);
     }
@@ -234,6 +239,23 @@ mod tests {
             .map(|k| Op::Insert { key: k, value: k })
             .collect();
         Seed::from_flat(&ops, threads)
+    }
+
+    #[test]
+    fn arm_hook_fires_once_per_campaign_before_drivers() {
+        static ARMED: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let spec = target_spec("P-CLHT").unwrap().with_arm(|_session| {
+            ARMED.fetch_add(1, Ordering::Relaxed);
+        });
+        run_campaign(
+            &spec,
+            &insert_seed(2),
+            &CampaignConfig::default(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(ARMED.load(Ordering::Relaxed), 1);
     }
 
     #[test]

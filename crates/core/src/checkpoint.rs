@@ -9,9 +9,9 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use pmrace_api::TargetSpec;
 use pmrace_pmem::{Pool, PoolOpts, PoolSnapshot, RestoreMode, GRANULE};
 use pmrace_runtime::{RtError, Session, SessionConfig};
-use pmrace_targets::TargetSpec;
 use pmrace_telemetry as telemetry;
 
 /// A reusable snapshot of a freshly initialized target pool.

@@ -17,6 +17,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use pmrace_api::TargetSpec;
 use pmrace_runtime::coverage::CoverageMap;
 use pmrace_runtime::strategy::InterleaveStrategy;
 use pmrace_runtime::{site_label, RtError, Site};
@@ -24,7 +25,6 @@ use pmrace_sched::{
     AccessQueue, DelayStrategy, PmraceStrategy, RecordingStrategy, ScheduleLog, SkipStore,
     SyncPlan, SyncTuning, SystematicStrategy,
 };
-use pmrace_targets::TargetSpec;
 use pmrace_telemetry as telemetry;
 
 use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyKind};
@@ -147,7 +147,12 @@ impl Explorer {
     ///
     /// Propagates checkpoint-creation (target init) errors.
     pub fn new(spec: TargetSpec, cfg: ExploreConfig, rng_seed: u64) -> Result<Self, RtError> {
-        let mut mutator = OpMutator::new(rng_seed, cfg.campaign.threads, cfg.ops_per_thread);
+        let mut mutator = OpMutator::with_hints(
+            rng_seed,
+            cfg.campaign.threads,
+            cfg.ops_per_thread,
+            spec.hints,
+        );
         let seed = mutator.generate();
         // The corpus starts with a populate seed too: the insert flood that
         // triggers resize/split mechanisms (§4.5) — plus any seeds carried

@@ -5,10 +5,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use pmrace_api::TargetSpec;
 use pmrace_runtime::coverage::CoverageMap;
 use pmrace_runtime::RtError;
 use pmrace_sched::SyncTuning;
-use pmrace_targets::{target_spec, TargetSpec};
 use pmrace_telemetry as telemetry;
 
 use crate::bugs::{DetectionStats, IngestDelta, Ledger, UniqueBug};
@@ -192,14 +192,29 @@ pub struct Fuzzer {
 }
 
 impl Fuzzer {
-    /// Build a fuzzer for the configured target.
+    /// Build a fuzzer for the configured target, resolving `cfg.target`
+    /// through the process-global registry
+    /// ([`pmrace_api::resolve_target`]). Built-in targets must have been
+    /// registered first (`pmrace_targets::register_builtins()`); plugin
+    /// targets resolve the same way after
+    /// [`pmrace_api::register_target`].
     ///
     /// # Errors
     ///
-    /// Returns [`RtError::Halted`] if the target name is unknown.
+    /// Returns [`RtError::UnknownTarget`] — whose message lists the names
+    /// that *are* registered — if the target name does not resolve.
     pub fn new(cfg: FuzzConfig) -> Result<Self, RtError> {
-        let spec = target_spec(&cfg.target).ok_or(RtError::Halted)?;
+        let spec = pmrace_api::resolve_target_or_err(&cfg.target)?;
         Ok(Fuzzer { cfg, spec })
+    }
+
+    /// Build a fuzzer directly from a spec, bypassing the registry —
+    /// for harnesses that construct [`TargetSpec`]s programmatically.
+    /// `cfg.target` is ignored in favor of `spec.name`.
+    #[must_use]
+    pub fn with_spec(mut cfg: FuzzConfig, spec: TargetSpec) -> Self {
+        cfg.target = spec.name.to_owned();
+        Fuzzer { cfg, spec }
     }
 
     fn explore_config(&self) -> ExploreConfig {
@@ -466,13 +481,36 @@ fn progress_loop(
 mod tests {
     use super::*;
 
+    fn register() {
+        pmrace_targets::register_builtins();
+    }
+
     #[test]
-    fn unknown_target_is_rejected() {
-        assert!(Fuzzer::new(FuzzConfig::new("nope")).is_err());
+    fn unknown_target_is_rejected_with_a_listing_error() {
+        register();
+        let err = Fuzzer::new(FuzzConfig::new("nope")).unwrap_err();
+        let RtError::UnknownTarget(msg) = &err else {
+            panic!("expected UnknownTarget, got {err:?}");
+        };
+        assert!(msg.contains("\"nope\""), "{msg}");
+        assert!(
+            msg.contains("P-CLHT"),
+            "error lists registered names: {msg}"
+        );
+    }
+
+    #[test]
+    fn with_spec_bypasses_the_registry() {
+        register();
+        let spec = pmrace_targets::target_spec("clevel").unwrap();
+        let fuzzer = Fuzzer::with_spec(FuzzConfig::new("ignored"), spec);
+        assert_eq!(fuzzer.cfg.target, "clevel");
+        assert_eq!(fuzzer.spec.name, "clevel");
     }
 
     #[test]
     fn short_run_produces_a_report() {
+        register();
         let mut cfg = FuzzConfig::new("clevel");
         cfg.max_campaigns = 4;
         cfg.wall_budget = Duration::from_secs(20);
@@ -490,6 +528,7 @@ mod tests {
 
     #[test]
     fn record_sink_fires_with_captures_on_new_findings() {
+        register();
         let mut cfg = FuzzConfig::new("P-CLHT");
         cfg.max_campaigns = 4;
         cfg.workers = 1;
@@ -519,6 +558,7 @@ mod tests {
 
     #[test]
     fn corpus_open_failure_carries_the_io_cause() {
+        register();
         let file = std::env::temp_dir().join(format!("pmrace-not-a-dir-{}", std::process::id()));
         std::fs::write(&file, "occupied").unwrap();
         let mut cfg = FuzzConfig::new("clevel");
@@ -533,6 +573,7 @@ mod tests {
 
     #[test]
     fn corpus_save_failures_surface_in_the_report() {
+        register();
         let mut cfg = FuzzConfig::new("clevel");
         cfg.max_campaigns = 2;
         cfg.workers = 1;
@@ -550,6 +591,7 @@ mod tests {
 
     #[test]
     fn concurrent_workers_share_the_ledger() {
+        register();
         let mut cfg = FuzzConfig::new("clevel");
         cfg.max_campaigns = 6;
         cfg.workers = 3;

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
 
-use pmrace_targets::Op;
+use pmrace_api::{Op, SeedHints};
 
 use crate::seed::Seed;
 
@@ -34,59 +34,91 @@ pub enum Evolution {
 #[derive(Debug)]
 pub struct OpMutator {
     rng: StdRng,
-    /// Small hot key range: similar keys collide on shared PM addresses.
-    key_range: u64,
+    /// Per-target seed grammar ([`SeedHints`]); the default reproduces the
+    /// small hot key range (similar keys collide on shared PM addresses)
+    /// and op mix the built-in targets are tuned for.
+    hints: SeedHints,
     threads: usize,
     ops_per_thread: usize,
 }
 
 impl OpMutator {
     /// Create a mutator for seeds with `threads` driver threads of
-    /// `ops_per_thread` operations, deterministic under `rng_seed`.
+    /// `ops_per_thread` operations, deterministic under `rng_seed`, using
+    /// the default seed grammar.
     #[must_use]
     pub fn new(rng_seed: u64, threads: usize, ops_per_thread: usize) -> Self {
+        Self::with_hints(rng_seed, threads, ops_per_thread, SeedHints::DEFAULT)
+    }
+
+    /// Create a mutator shaping seeds per a target's [`SeedHints`]. With
+    /// [`SeedHints::DEFAULT`] the RNG draw sequence is bit-for-bit the one
+    /// [`OpMutator::new`] produces, so built-in targets and the replay
+    /// corpus are unaffected by the hints plumbing.
+    #[must_use]
+    pub fn with_hints(
+        rng_seed: u64,
+        threads: usize,
+        ops_per_thread: usize,
+        hints: SeedHints,
+    ) -> Self {
         OpMutator {
             rng: StdRng::seed_from_u64(rng_seed),
-            key_range: 24,
+            hints: hints.normalized(),
             threads: threads.max(1),
             ops_per_thread: ops_per_thread.max(1),
         }
     }
 
     fn key(&mut self) -> u64 {
-        // Zipf-ish: half the draws land on the 4 hottest keys.
+        // Zipf-ish: half the draws land on the hottest keys.
         if self.rng.random_bool(0.5) {
-            self.rng.random_range(1..=4)
+            self.rng.random_range(1..=self.hints.hot_keys)
         } else {
-            self.rng.random_range(1..=self.key_range)
+            self.rng.random_range(1..=self.hints.key_range)
         }
     }
 
     fn op(&mut self) -> Op {
         let key = self.key();
-        match self.rng.random_range(0..100u32) {
-            0..48 => Op::Insert {
+        let w = self.hints.weights;
+        let roll = self.rng.random_range(0..w.total());
+        if roll < w.insert {
+            Op::Insert {
                 key,
-                value: self.rng.random_range(1..32),
-            },
-            48..68 => Op::Get { key },
-            // Updates are rare: in P-CLHT a successful update leaks its
-            // bucket lock (seeded Bug 5) and hangs the rest of the
-            // campaign, so update-heavy seeds explore very little.
-            68..73 => Op::Update {
+                value: self.value(),
+            }
+        } else if roll < w.insert + w.get {
+            Op::Get { key }
+        } else if roll < w.insert + w.get + w.update {
+            // Updates are rare by default: in P-CLHT a successful update
+            // leaks its bucket lock (seeded Bug 5) and hangs the rest of
+            // the campaign, so update-heavy seeds explore very little.
+            Op::Update {
                 key,
-                value: self.rng.random_range(1..32),
-            },
-            73..82 => Op::Delete { key },
-            82..92 => Op::Incr {
+                value: self.value(),
+            }
+        } else if roll < w.insert + w.get + w.update + w.delete {
+            Op::Delete { key }
+        } else if roll < w.insert + w.get + w.update + w.delete + w.incr {
+            Op::Incr {
                 key,
-                by: self.rng.random_range(1..16),
-            },
-            _ => Op::Decr {
+                by: self.step(),
+            }
+        } else {
+            Op::Decr {
                 key,
-                by: self.rng.random_range(1..16),
-            },
+                by: self.step(),
+            }
         }
+    }
+
+    fn value(&mut self) -> u64 {
+        self.rng.random_range(1..self.hints.max_value)
+    }
+
+    fn step(&mut self) -> u64 {
+        self.rng.random_range(1..self.hints.max_step)
     }
 
     /// Generate a fresh random seed.
@@ -102,8 +134,8 @@ impl OpMutator {
         let total = self.threads * self.ops_per_thread * 2;
         let ops: Vec<Op> = (0..total)
             .map(|i| Op::Insert {
-                key: (i as u64 % (self.key_range * 4)) + 1,
-                value: self.rng.random_range(1..32),
+                key: (i as u64 % (self.hints.key_range * 4)) + 1,
+                value: self.value(),
             })
             .collect();
         Seed::from_flat(&ops, self.threads)
@@ -149,21 +181,21 @@ impl OpMutator {
         ops[i] = match ops[i] {
             Op::Insert { .. } => Op::Insert {
                 key: new_key,
-                value: self.rng.random_range(1..32),
+                value: self.value(),
             },
             Op::Update { .. } => Op::Update {
                 key: new_key,
-                value: self.rng.random_range(1..32),
+                value: self.value(),
             },
             Op::Delete { .. } => Op::Delete { key: new_key },
             Op::Get { .. } => Op::Get { key: new_key },
             Op::Incr { .. } => Op::Incr {
                 key: new_key,
-                by: self.rng.random_range(1..16),
+                by: self.step(),
             },
             Op::Decr { .. } => Op::Decr {
                 key: new_key,
-                by: self.rng.random_range(1..16),
+                by: self.step(),
             },
         };
         Seed::from_flat(&ops, base.num_threads())
@@ -279,6 +311,45 @@ mod tests {
         assert_eq!(grown.num_ops(), base.num_ops() + 1);
         let shrunk = m.delete_op(&base);
         assert_eq!(shrunk.num_ops(), base.num_ops() - 1);
+    }
+
+    #[test]
+    fn hints_shape_the_grammar() {
+        use pmrace_api::OpWeights;
+        let hints = SeedHints {
+            key_range: 6,
+            hot_keys: 2,
+            max_value: 5,
+            max_step: 2,
+            weights: OpWeights {
+                insert: 3,
+                get: 0,
+                update: 0,
+                delete: 1,
+                incr: 0,
+                decr: 0,
+            },
+        };
+        let mut m = OpMutator::with_hints(11, 2, 64, hints);
+        for op in m.generate().flatten() {
+            assert!(
+                matches!(op, Op::Insert { .. } | Op::Delete { .. }),
+                "weights exclude {op}"
+            );
+            assert!(op.key() >= 1 && op.key() <= 6, "key {}", op.key());
+            if let Op::Insert { value, .. } = op {
+                assert!((1..5).contains(&value), "value {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_hints_are_the_legacy_grammar() {
+        // `new` and `with_hints(DEFAULT)` must draw identical sequences:
+        // the replay corpus and determinism suite depend on it.
+        let a = OpMutator::new(7, 4, 8).generate();
+        let b = OpMutator::with_hints(7, 4, 8, SeedHints::DEFAULT).generate();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Structured fuzzing seeds: operation sequences per driver thread (§4.5).
 
-use pmrace_targets::Op;
+use pmrace_api::Op;
 
 /// One seed: for each driver thread, the sequence of operations it issues.
 ///

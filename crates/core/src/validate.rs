@@ -34,11 +34,11 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use pmrace_api::TargetSpec;
 use pmrace_pmem::Pool;
 use pmrace_runtime::report::{InconsistencyRecord, SyncUpdateRecord};
 use pmrace_runtime::whitelist::Whitelist;
 use pmrace_runtime::{RtError, Session, SessionConfig};
-use pmrace_targets::TargetSpec;
 use pmrace_telemetry as telemetry;
 
 /// Classification of a detected inconsistency after validation.

@@ -15,13 +15,14 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pmrace_api::Op;
 use pmrace_core::schedule::{EventCapture, PlanCapture, ScheduleCapture, StrategyCapture};
 use pmrace_core::{run_campaign, BugKind, CampaignConfig, CampaignResult, Ledger, Seed};
 use pmrace_runtime::{site_label, RtError, Site};
 use pmrace_sched::{
     PmraceStrategy, RecordingStrategy, ScheduleLog, SkipStore, SyncPlan, SyncTuning,
 };
-use pmrace_targets::{target_spec, Op};
+use pmrace_targets::target_spec;
 
 use crate::artifact::{BugSignature, Repro};
 use crate::replayer::{replay, ReplayOptions};

@@ -13,9 +13,9 @@
 //! re-fires on all of them — minimization can only ever shrink an
 //! artifact, never weaken it. A test budget caps the quadratic worst case.
 
+use pmrace_api::Op;
 use pmrace_core::Seed;
 use pmrace_runtime::RtError;
-use pmrace_targets::Op;
 
 use crate::artifact::{Repro, ScheduleSpec};
 use crate::replayer::{replay, ReplayOptions};
@@ -261,7 +261,7 @@ mod tests {
 
     #[test]
     fn rebuild_seed_preserves_thread_assignment() {
-        use pmrace_targets::Op;
+        use pmrace_api::Op;
         let items = vec![
             (0, Op::Insert { key: 1, value: 1 }),
             (2, Op::Get { key: 1 }),

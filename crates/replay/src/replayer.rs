@@ -34,7 +34,6 @@ use pmrace_runtime::{site_by_label, site_label, RtError};
 use pmrace_sched::{
     DelayStrategy, PmraceStrategy, ReplayEvent, ReplayStrategy, SyncPlan, SystematicStrategy,
 };
-use pmrace_targets::target_spec;
 use pmrace_telemetry as telemetry;
 
 use crate::artifact::{Repro, ScheduleSpec};
@@ -95,15 +94,21 @@ pub struct ReplayOutcome {
 ///
 /// # Errors
 ///
-/// [`RtError::Io`] for unusable artifacts (unknown target, malformed
-/// seed); target-construction failures propagate. A schedule that cannot
+/// [`RtError::UnknownTarget`] when the artifact's target name does not
+/// resolve against the process-global registry (built-ins are registered
+/// implicitly; plugin targets must be registered before replay) and
+/// [`RtError::Io`] for otherwise unusable artifacts (malformed seed);
+/// target-construction failures propagate. A schedule that cannot
 /// be re-imposed (e.g. the seed no longer reaches the recorded sites) is
 /// *not* an error — it returns `matched: false` with a divergence message,
 /// which is what lets delta debugging probe reduced inputs safely.
 pub fn replay(repro: &Repro, opts: &ReplayOptions) -> Result<ReplayOutcome, RtError> {
     let start = Instant::now();
-    let spec = target_spec(&repro.target)
-        .ok_or_else(|| RtError::Io(format!("unknown target '{}'", repro.target)))?;
+    // Artifacts carry a target *name*; resolution goes through the
+    // registry so checked-in repros and plugin-target repros replay
+    // through one path.
+    pmrace_targets::register_builtins();
+    let spec = pmrace_api::resolve_target_or_err(&repro.target)?;
     let seed =
         Seed::parse(&repro.seed_text).map_err(|e| RtError::Io(format!("repro seed: {e}")))?;
     let cfg = CampaignConfig {
@@ -304,8 +309,8 @@ fn resolve_sites(labels: &[String]) -> Result<HashSet<u32>, String> {
 mod tests {
     use super::*;
     use crate::artifact::{BugSignature, CampaignSpec, REPRO_VERSION};
+    use pmrace_api::Op;
     use pmrace_sched::SyncTuning;
-    use pmrace_targets::Op;
 
     fn free_repro(target: &str, seed: Seed, sig: BugSignature, deadline_us: u64) -> Repro {
         Repro {
@@ -366,7 +371,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_targets_are_io_errors() {
+    fn unknown_targets_fail_with_a_listing_error() {
         let seed = Seed::new(vec![vec![Op::Get { key: 1 }]]);
         let repro = free_repro(
             "no-such-system",
@@ -376,7 +381,8 @@ mod tests {
         );
         let err = replay(&repro, &ReplayOptions::default()).unwrap_err();
         assert!(
-            matches!(err, RtError::Io(ref m) if m.contains("no-such-system")),
+            matches!(err, RtError::UnknownTarget(ref m)
+                if m.contains("no-such-system") && m.contains("P-CLHT")),
             "{err}"
         );
     }

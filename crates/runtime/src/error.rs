@@ -20,6 +20,11 @@ pub enum RtError {
     /// A filesystem operation failed (corpus/repro stores); carries the
     /// underlying cause so users see *why* instead of a bare halt.
     Io(String),
+    /// A target name did not resolve against the target registry. The
+    /// message is pre-built by the resolver (`pmrace-api`) and names the
+    /// targets that *are* registered, so the user sees their options
+    /// instead of a bare failure.
+    UnknownTarget(String),
 }
 
 impl fmt::Display for RtError {
@@ -29,6 +34,7 @@ impl fmt::Display for RtError {
             RtError::Timeout => write!(f, "campaign deadline elapsed"),
             RtError::Halted => write!(f, "session halted"),
             RtError::Io(msg) => write!(f, "io error: {msg}"),
+            RtError::UnknownTarget(msg) => write!(f, "unknown target {msg}"),
         }
     }
 }
@@ -59,6 +65,15 @@ mod tests {
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&RtError::Timeout).is_none());
         assert!(!RtError::Halted.to_string().is_empty());
+    }
+
+    #[test]
+    fn unknown_target_names_the_alternatives() {
+        let e = RtError::UnknownTarget("\"nope\"; registered targets: P-CLHT, CCEH".to_owned());
+        let msg = e.to_string();
+        assert!(msg.starts_with("unknown target"), "{msg}");
+        assert!(msg.contains("nope") && msg.contains("P-CLHT"), "{msg}");
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

@@ -45,12 +45,12 @@ pub struct Cceh {
 }
 
 /// Registration entry for the fuzzer.
-pub static SPEC: TargetSpec = TargetSpec {
-    name: "CCEH",
-    init: |session| Ok(Arc::new(Cceh::init(session)?) as Arc<dyn Target>),
-    recover: |session| Ok(Arc::new(Cceh::recover(session)?) as Arc<dyn Target>),
-    pool: || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
-};
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "CCEH",
+    |session| Ok(Arc::new(Cceh::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(Cceh::recover(session)?) as Arc<dyn Target>),
+    || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
+);
 
 impl Cceh {
     /// Format the pool and build a fresh 2-segment table.

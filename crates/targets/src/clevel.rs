@@ -47,12 +47,12 @@ pub struct Clevel {
 }
 
 /// Registration entry for the fuzzer.
-pub static SPEC: TargetSpec = TargetSpec {
-    name: "clevel",
-    init: |session| Ok(Arc::new(Clevel::init(session)?) as Arc<dyn Target>),
-    recover: |session| Ok(Arc::new(Clevel::recover(session)?) as Arc<dyn Target>),
-    pool: || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
-};
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "clevel",
+    |session| Ok(Arc::new(Clevel::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(Clevel::recover(session)?) as Arc<dyn Target>),
+    || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
+);
 
 impl Clevel {
     /// Format the pool and construct the index inside a PMDK transaction —

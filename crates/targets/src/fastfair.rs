@@ -50,12 +50,12 @@ pub struct FastFair {
 }
 
 /// Registration entry for the fuzzer.
-pub static SPEC: TargetSpec = TargetSpec {
-    name: "FAST-FAIR",
-    init: |session| Ok(Arc::new(FastFair::init(session)?) as Arc<dyn Target>),
-    recover: |session| Ok(Arc::new(FastFair::recover(session)?) as Arc<dyn Target>),
-    pool: || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
-};
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "FAST-FAIR",
+    |session| Ok(Arc::new(FastFair::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(FastFair::recover(session)?) as Arc<dyn Target>),
+    || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
+);
 
 impl FastFair {
     /// Format the pool and build a tree with one empty leaf.

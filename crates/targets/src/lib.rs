@@ -1,7 +1,7 @@
 //! Concurrent persistent-memory systems under test.
 //!
 //! Rust re-implementations of the five systems PMRace evaluates (Table 1),
-//! written against the instrumented [`PmView`] API
+//! written against the instrumented [`PmView`](pmrace_runtime::PmView) API
 //! and seeded with the bugs the paper reports (Table 2):
 //!
 //! | module | system | concurrency | seeded bugs |
@@ -12,11 +12,19 @@
 //! | [`fastfair`] | FAST-FAIR B+-tree | node locks | 8 |
 //! | [`memkv`] | memcached-pmem key-value store | item/LRU locks | 9–14 |
 //!
-//! All targets implement [`Target`] and are exposed through [`TargetSpec`]
-//! so the fuzzer can drive any of them uniformly: `init` formats a fresh
-//! pool and builds the structure, `recover` reopens an existing pool the way
-//! the system's restart path would (running its recovery code under the
-//! session's checkers — that is what post-failure validation observes).
+//! All targets implement the public [`Target`] trait from `pmrace-api`
+//! and are exposed through [`TargetSpec`] so the fuzzer can drive any of
+//! them uniformly: `init` formats a fresh pool and builds the structure,
+//! `recover` reopens an existing pool the way the system's restart path
+//! would (running its recovery code under the session's checkers — that
+//! is what post-failure validation observes).
+//!
+//! Rust has no life-before-main, so the built-ins reach the process-global
+//! registry through [`register_builtins`] (idempotent); the long-standing
+//! [`all_targets`] / [`target_spec`] entry points call it implicitly, so
+//! existing harness code keeps working unchanged. Out-of-tree workloads
+//! skip this crate entirely and call
+//! [`pmrace_api::register_target`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,150 +37,13 @@ pub mod memkv;
 pub mod pclht;
 pub mod util;
 
-use std::sync::Arc;
+use std::sync::Once;
 
-use pmrace_pmem::PoolOpts;
-use pmrace_runtime::{PmView, RtError, Session};
+pub use pmrace_api::{Op, OpResult, Target, TargetCtor, TargetSpec};
 
-/// One request a driver thread issues against a target (the operation
-/// alphabet of the fuzzer's structured seeds, §4.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Op {
-    /// Insert `key -> value` (memcached `set`/`add`).
-    Insert {
-        /// Key.
-        key: u64,
-        /// Value.
-        value: u64,
-    },
-    /// Update an existing key (memcached `replace`).
-    Update {
-        /// Key.
-        key: u64,
-        /// New value.
-        value: u64,
-    },
-    /// Remove a key.
-    Delete {
-        /// Key.
-        key: u64,
-    },
-    /// Look a key up.
-    Get {
-        /// Key.
-        key: u64,
-    },
-    /// Add to a numeric value (memcached `incr`; other targets treat it as
-    /// read-modify-write update).
-    Incr {
-        /// Key.
-        key: u64,
-        /// Amount.
-        by: u64,
-    },
-    /// Subtract from a numeric value (memcached `decr`).
-    Decr {
-        /// Key.
-        key: u64,
-        /// Amount.
-        by: u64,
-    },
-}
-
-impl Op {
-    /// The key this operation addresses.
-    #[must_use]
-    pub fn key(&self) -> u64 {
-        match *self {
-            Op::Insert { key, .. }
-            | Op::Update { key, .. }
-            | Op::Delete { key }
-            | Op::Get { key }
-            | Op::Incr { key, .. }
-            | Op::Decr { key, .. } => key,
-        }
-    }
-}
-
-impl std::fmt::Display for Op {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match *self {
-            Op::Insert { key, value } => write!(f, "insert {key}={value}"),
-            Op::Update { key, value } => write!(f, "update {key}={value}"),
-            Op::Delete { key } => write!(f, "delete {key}"),
-            Op::Get { key } => write!(f, "get {key}"),
-            Op::Incr { key, by } => write!(f, "incr {key}+{by}"),
-            Op::Decr { key, by } => write!(f, "decr {key}-{by}"),
-        }
-    }
-}
-
-/// Outcome of one operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OpResult {
-    /// Mutation applied.
-    Done,
-    /// Lookup hit with the stored value.
-    Found(u64),
-    /// Key absent (lookup miss, failed update/delete).
-    Missing,
-}
-
-/// A concurrent PM system under test.
-pub trait Target: Send + Sync {
-    /// System name (matches Table 1).
-    fn name(&self) -> &'static str;
-
-    /// Execute one operation on behalf of the worker thread owning `view`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates runtime errors; [`RtError::Timeout`] means the campaign
-    /// deadline fired (possible hang bug).
-    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError>;
-
-    /// Read-only lookup (used by differential tests).
-    ///
-    /// # Errors
-    ///
-    /// Propagates runtime errors.
-    fn get(&self, view: &PmView, key: u64) -> Result<Option<u64>, RtError> {
-        match self.exec(view, &Op::Get { key })? {
-            OpResult::Found(v) => Ok(Some(v)),
-            _ => Ok(None),
-        }
-    }
-}
-
-/// Constructor building a target instance over a session.
-pub type TargetCtor = fn(&Arc<Session>) -> Result<Arc<dyn Target>, RtError>;
-
-/// Constructor table entry for a target system.
-#[derive(Clone, Copy)]
-pub struct TargetSpec {
-    /// System name.
-    pub name: &'static str,
-    /// Format a fresh pool and build an empty instance (registers sync-var
-    /// annotations on the session).
-    pub init: TargetCtor,
-    /// Reopen an existing pool running the system's recovery code.
-    pub recover: TargetCtor,
-    /// Pool options this target wants.
-    pub pool: fn() -> PoolOpts,
-}
-
-impl std::fmt::Debug for TargetSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TargetSpec")
-            .field("name", &self.name)
-            .finish()
-    }
-}
-
-/// Specs of all five evaluated systems, in Table 1 order.
-#[must_use]
-pub fn all_targets() -> Vec<TargetSpec> {
-    vec![
+/// Specs of all five built-in systems, in Table 1 order.
+fn builtin_specs() -> [TargetSpec; 5] {
+    [
         pclht::SPEC,
         clevel::SPEC,
         cceh::SPEC,
@@ -181,10 +52,39 @@ pub fn all_targets() -> Vec<TargetSpec> {
     ]
 }
 
-/// Look a target up by name.
+/// Register the five built-in systems with the process-global target
+/// registry (in Table 1 order). Idempotent and thread-safe: call it from
+/// any entry point that resolves targets by name; repeat calls are free.
+pub fn register_builtins() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        for spec in builtin_specs() {
+            pmrace_api::register_target(spec)
+                .expect("built-in target names are unique and registered once");
+        }
+    });
+}
+
+/// Specs of all five evaluated systems, in Table 1 order.
+///
+/// Exactly the built-ins, regardless of what else has been registered —
+/// Table 2 iteration and the evaluation sweeps depend on this stable
+/// five-element list. For *every* registered target (built-in plus
+/// plugins, registration order) use
+/// [`pmrace_api::all_targets`]. Implicitly
+/// ensures the built-ins are registered.
+#[must_use]
+pub fn all_targets() -> Vec<TargetSpec> {
+    register_builtins();
+    builtin_specs().to_vec()
+}
+
+/// Look a target up by name in the process-global registry, after making
+/// sure the built-ins are registered. Resolves plugin targets too.
 #[must_use]
 pub fn target_spec(name: &str) -> Option<TargetSpec> {
-    all_targets().into_iter().find(|s| s.name == name)
+    register_builtins();
+    pmrace_api::resolve_target(name)
 }
 
 #[cfg(test)]
@@ -200,6 +100,25 @@ mod tests {
         );
         assert!(target_spec("CCEH").is_some());
         assert!(target_spec("nope").is_none());
+    }
+
+    #[test]
+    fn builtins_land_in_the_global_registry_in_table_order() {
+        register_builtins();
+        register_builtins(); // idempotent
+        let registered: Vec<&str> = pmrace_api::all_targets()
+            .iter()
+            .map(|s| s.name)
+            .filter(|n| all_targets().iter().any(|s| s.name == *n))
+            .collect();
+        assert_eq!(
+            registered,
+            vec!["P-CLHT", "clevel", "CCEH", "FAST-FAIR", "memcached-pmem"]
+        );
+        assert_eq!(
+            pmrace_api::resolve_target_or_err("P-CLHT").unwrap().name,
+            "P-CLHT"
+        );
     }
 
     #[test]

@@ -83,12 +83,12 @@ pub struct MemKv {
 }
 
 /// Registration entry for the fuzzer.
-pub static SPEC: TargetSpec = TargetSpec {
-    name: "memcached-pmem",
-    init: |session| Ok(Arc::new(MemKv::init(session)?) as Arc<dyn Target>),
-    recover: |session| Ok(Arc::new(MemKv::recover(session)?) as Arc<dyn Target>),
-    pool: pmrace_pmem::PoolOpts::small,
-};
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "memcached-pmem",
+    |session| Ok(Arc::new(MemKv::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(MemKv::recover(session)?) as Arc<dyn Target>),
+    pmrace_pmem::PoolOpts::small,
+);
 
 impl MemKv {
     /// Format the pool (memcached-pmem maps it with the lightweight

@@ -67,12 +67,12 @@ pub struct Pclht {
 }
 
 /// Registration entry for the fuzzer.
-pub static SPEC: TargetSpec = TargetSpec {
-    name: "P-CLHT",
-    init: |session| Ok(Arc::new(Pclht::init(session)?) as Arc<dyn Target>),
-    recover: |session| Ok(Arc::new(Pclht::recover(session)?) as Arc<dyn Target>),
-    pool: || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
-};
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "P-CLHT",
+    |session| Ok(Arc::new(Pclht::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(Pclht::recover(session)?) as Arc<dyn Target>),
+    || pmrace_pmem::PoolOpts::small().heavy(), // libpmemobj-style init
+);
 
 impl Pclht {
     /// Format the session's pool and build an empty table.

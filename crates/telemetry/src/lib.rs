@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod jsonstr;
 pub mod metrics;
 pub mod snapshot;
 pub mod stats;

@@ -7,6 +7,12 @@
 //!   a PM-bandwidth performance bug), and
 //! - a custom `FenceStormChecker` defined right here, flagging back-to-back
 //!   `sfence` instructions with no stores in between (wasted ordering).
+//!
+//! Part 1 arms them on a hand-built session. Part 2 does the same thing
+//! fleet-wide through the public target API: a [`pmrace::TargetSpec`]
+//! carrying an *arm hook* is registered under a new name, and every
+//! campaign the fuzzer runs against that name gets the checkers installed
+//! automatically — no engine changes.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -90,5 +96,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fence storm must be flagged"
     );
     println!("\nboth checkers fired — the framework is extensible without touching the core.");
+
+    // Part 2: the same checkers, armed on every fuzzing campaign via the
+    // registry. The arm hook runs right after target construction in each
+    // campaign session, so the checkers see the whole fleet's PM traffic.
+    pmrace::register_builtins();
+    let mut spec = pmrace::target_spec("P-CLHT")
+        .expect("built-in")
+        .with_arm(|session| {
+            session.add_checker(Arc::new(RedundantFlushChecker));
+            session.add_checker(Arc::new(FenceStormChecker::default()));
+        });
+    spec.name = "P-CLHT+checkers";
+    pmrace::register_target(spec)?;
+
+    let mut cfg = pmrace::FuzzConfig::new("P-CLHT+checkers");
+    cfg.wall_budget = std::time::Duration::from_secs(10);
+    cfg.max_campaigns = 60;
+    cfg.workers = 2;
+    let report = pmrace::Fuzzer::new(cfg)?.run()?;
+    let perf: Vec<_> = report
+        .bugs
+        .iter()
+        .filter(|b| matches!(b.kind, pmrace::core::BugKind::Perf))
+        .collect();
+    println!(
+        "\nfuzzing with armed checkers: {} campaigns, {} perf findings",
+        report.campaigns,
+        perf.len()
+    );
+    for bug in &perf {
+        println!("- {bug}");
+    }
+    assert!(
+        !perf.is_empty(),
+        "armed checkers surface performance findings through the stock fuzzer"
+    );
     Ok(())
 }

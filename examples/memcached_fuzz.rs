@@ -53,6 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n== fuzzing memcached-pmem for PM concurrency bugs ==");
+    // Targets resolve by name through the process-global registry.
+    pmrace::register_builtins();
     let mut cfg = FuzzConfig::new("memcached-pmem");
     cfg.strategy = StrategyKind::Pmrace;
     cfg.wall_budget = Duration::from_secs(25);

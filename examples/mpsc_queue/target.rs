@@ -1,0 +1,269 @@
+//! A persistent multi-producer/single-consumer ring queue — the *plugin*
+//! target proving PMRace's public target API.
+//!
+//! Everything here goes through the `pmrace` facade: the [`Target`] trait,
+//! the [`TargetSpec`] builders, and the process-global registry. Nothing
+//! in `crates/targets` or `crates/core` knows this workload exists; it is
+//! registered at runtime by the example binary and by
+//! `tests/plugin_target.rs`.
+//!
+//! The queue is *strictly* MPSC: driver thread 0 is the single consumer
+//! and every other driver thread produces (see [`Target::exec`]), so the
+//! racy reads below only ever observe another thread's unflushed writes.
+//! Two PM inter-thread inconsistency bugs are planted, in the style of the
+//! log-free persistent queues the paper evaluates against:
+//!
+//! 1. **Unflushed tail** (`mpsc_queue.c:88` / `mpsc_queue.c:131` /
+//!    `mpsc_queue.c:138`) — producers reserve a slot by CAS-advancing
+//!    `TAIL`, which is *never persisted*. A consumer racy-reads `TAIL` and
+//!    durably logs the observed high-water mark. A crash loses the tail
+//!    advance but keeps the log: the recovered queue never held that many
+//!    items.
+//! 2. **Unflushed slot** (`mpsc_queue.c:97` / `mpsc_queue.c:142` /
+//!    `mpsc_queue.c:149`) — the producer fills its reserved slot with a
+//!    plain store and returns without a flush. The consumer pops the item
+//!    and durably logs the popped value. A crash loses the slot contents
+//!    while the durable log claims the value was consumed.
+//!
+//! Recovery rewinds both cursors (consistent with the unpersisted tail)
+//! but — like the real bugs — never heals the durable log cells, so
+//! post-failure validation classifies both findings as genuine bugs.
+
+use std::sync::Arc;
+
+use pmrace::pmem::PmAllocator;
+use pmrace::runtime::{site, PmView, RtError, Session};
+use pmrace::{Op, OpResult, OpWeights, SeedHints, Target, TargetSpec};
+
+// Root object layout: two cursors, two durable log cells, then the ring.
+const Q_HEAD: u64 = 0;
+const Q_TAIL: u64 = 8;
+const Q_WATERMARK: u64 = 16;
+const Q_LAST_POPPED: u64 = 24;
+const Q_SLOTS: u64 = 32;
+/// Ring capacity in items; small so campaigns wrap the ring constantly.
+const CAP: u64 = 8;
+const ROOT_SIZE: usize = (Q_SLOTS + CAP * 8) as usize;
+
+/// Bounded optimistic retries before an op gives up (keeps contended
+/// campaigns from spinning to the deadline).
+const MAX_TRIES: u32 = 64;
+
+/// Seed grammar for a queue: no keyed updates, an enqueue/dequeue-heavy
+/// mix, and small values that make popped items easy to eyeball.
+const HINTS: SeedHints = SeedHints {
+    key_range: 8,
+    hot_keys: 3,
+    max_value: 16,
+    max_step: 4,
+    weights: OpWeights {
+        insert: 40,
+        get: 10,
+        update: 0,
+        delete: 35,
+        incr: 5,
+        decr: 10,
+    },
+};
+
+/// The queue instance bound to a session's pool.
+#[derive(Debug)]
+pub struct MpscQueue {
+    root: u64,
+}
+
+/// Registration entry: hand this to `pmrace::register_target`.
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "mpsc-queue",
+    |session| Ok(Arc::new(MpscQueue::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(MpscQueue::recover(session)?) as Arc<dyn Target>),
+    pmrace::pmem::PoolOpts::small,
+)
+.with_hints(HINTS);
+
+impl MpscQueue {
+    /// Format the session's pool and build an empty queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn init(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(pmrace::pmem::ThreadId(0));
+        let alloc = PmAllocator::format(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.alloc(ROOT_SIZE, view.tid())?;
+        alloc.set_root(root, view.tid())?;
+        view.ntstore_u64(root + Q_HEAD, 0u64, site!("mpsc.init.head"))?;
+        view.ntstore_u64(root + Q_TAIL, 0u64, site!("mpsc.init.tail"))?;
+        view.ntstore_u64(root + Q_WATERMARK, 0u64, site!("mpsc.init.watermark"))?;
+        view.ntstore_u64(root + Q_LAST_POPPED, 0u64, site!("mpsc.init.last_popped"))?;
+        for s in 0..CAP {
+            view.ntstore_u64(root + Q_SLOTS + s * 8, 0u64, site!("mpsc.init.zero_slot"))?;
+        }
+        Ok(MpscQueue { root })
+    }
+
+    /// Reopen an existing pool. Both cursors rewind to zero — consistent
+    /// with the never-persisted tail — but the durable log cells
+    /// (`WATERMARK`, `LAST_POPPED`) are deliberately left alone: that is
+    /// what makes the planted inconsistencies real bugs rather than
+    /// recovery-healed false positives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn recover(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(pmrace::pmem::ThreadId(0));
+        let alloc = PmAllocator::open(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.root()?;
+        view.ntstore_u64(root + Q_HEAD, 0u64, site!("mpsc.recover.head"))?;
+        view.ntstore_u64(root + Q_TAIL, 0u64, site!("mpsc.recover.tail"))?;
+        Ok(MpscQueue { root })
+    }
+
+    /// Reserve a slot by CAS on `TAIL`, then fill it.
+    ///
+    /// Both planted *write* sites live here: the CAS leaves `TAIL`
+    /// unpersisted (`mpsc_queue.c:88`), and the slot fill is a plain store
+    /// with no flush (`mpsc_queue.c:97`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors ([`RtError::Timeout`] on hangs).
+    pub fn enqueue(&self, view: &PmView, item: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("mpsc.enqueue"));
+        let mut tries = 0;
+        loop {
+            let tail = view.load_u64(self.root + Q_TAIL, site!("mpsc.enq.read_tail"))?;
+            let head = view.load_u64(self.root + Q_HEAD, site!("mpsc.enq.read_head"))?;
+            if tail.value().wrapping_sub(head.value()) >= CAP {
+                return Ok(OpResult::Missing); // ring full
+            }
+            // Bug 1 write side: the reservation is published by CAS and
+            // never flushed — a crash rolls the tail back.
+            let (won, _) = view.cas_u64(
+                self.root + Q_TAIL,
+                tail.value(),
+                tail.value().wrapping_add(1),
+                site!("mpsc_queue.c:88.advance_tail"),
+            )?;
+            if won {
+                let slot = self.root + Q_SLOTS + (tail.value() % CAP) * 8;
+                // Bug 2 write side: the payload is a plain store with no
+                // persist before the item becomes visible to the consumer.
+                view.store_u64(slot, item, site!("mpsc_queue.c:97.store_slot"))?;
+                return Ok(OpResult::Done);
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(OpResult::Missing);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Pop the front item and durably log what was observed. Only the
+    /// single consumer thread calls this, so `HEAD` needs no CAS.
+    ///
+    /// Both planted *read* and *effect* sites live here: the racy `TAIL`
+    /// read (`mpsc_queue.c:131`) flows into the durable watermark log
+    /// (`mpsc_queue.c:138`), and the racy slot read (`mpsc_queue.c:142`)
+    /// flows into the durable pop log (`mpsc_queue.c:149`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn dequeue(&self, view: &PmView) -> Result<OpResult, RtError> {
+        view.branch(site!("mpsc.dequeue"));
+        let head = view.load_u64(self.root + Q_HEAD, site!("mpsc.deq.read_head"))?;
+        // Bug 1 read side: another thread's unflushed CAS.
+        let tail = view.load_u64(self.root + Q_TAIL, site!("mpsc_queue.c:131.read_tail"))?;
+        if head.value() == tail.value() {
+            // Empty; still log the observed high-water mark — the
+            // durable side effect of Bug 1.
+            view.ntstore_u64(
+                self.root + Q_WATERMARK,
+                tail,
+                site!("mpsc_queue.c:138.log_watermark"),
+            )?;
+            return Ok(OpResult::Missing);
+        }
+        let slot = self.root + Q_SLOTS + (head.value() % CAP) * 8;
+        // Bug 2 read side: the producer's unflushed payload.
+        let item = view.load_u64(slot, site!("mpsc_queue.c:142.read_slot"))?;
+        view.store_u64(
+            self.root + Q_HEAD,
+            head.value().wrapping_add(1),
+            site!("mpsc.deq.advance_head"),
+        )?;
+        view.persist(self.root + Q_HEAD, 8, site!("mpsc.deq.flush_head"))?;
+        // Bug 1 durable side effect.
+        view.ntstore_u64(
+            self.root + Q_WATERMARK,
+            tail,
+            site!("mpsc_queue.c:138.log_watermark"),
+        )?;
+        // Bug 2 durable side effect.
+        view.ntstore_u64(
+            self.root + Q_LAST_POPPED,
+            item.clone(),
+            site!("mpsc_queue.c:149.log_popped"),
+        )?;
+        Ok(OpResult::Found(item.value()))
+    }
+
+    /// Read the front of the queue without popping; logs the watermark
+    /// like a dequeue (shares Bug 1's effect site).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn peek(&self, view: &PmView) -> Result<OpResult, RtError> {
+        view.branch(site!("mpsc.peek"));
+        let head = view.load_u64(self.root + Q_HEAD, site!("mpsc.peek.read_head"))?;
+        let tail = view.load_u64(self.root + Q_TAIL, site!("mpsc_queue.c:131.read_tail"))?;
+        if head.value() == tail.value() {
+            return Ok(OpResult::Missing);
+        }
+        view.ntstore_u64(
+            self.root + Q_WATERMARK,
+            tail,
+            site!("mpsc_queue.c:138.log_watermark"),
+        )?;
+        let slot = self.root + Q_SLOTS + (head.value() % CAP) * 8;
+        let item = view.load_u64(slot, site!("mpsc.peek.read_slot"))?;
+        Ok(OpResult::Found(item.value()))
+    }
+}
+
+/// Pack an op's key/value into a queue item (nonzero so empty slots stay
+/// distinguishable when debugging pool dumps).
+fn encode(key: u64, value: u64) -> u64 {
+    (key << 8 | (value & 0xff)).max(1)
+}
+
+impl Target for MpscQueue {
+    fn name(&self) -> &'static str {
+        "mpsc-queue"
+    }
+
+    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError> {
+        // MPSC role split: driver thread 0 is the single consumer, every
+        // other driver thread is a producer. The racy reads in
+        // dequeue/peek therefore only ever observe *other* threads'
+        // unflushed writes — the planted bugs are strictly inter-thread.
+        if view.tid() == pmrace::pmem::ThreadId(0) {
+            match *op {
+                Op::Get { .. } => self.peek(view),
+                _ => self.dequeue(view),
+            }
+        } else {
+            match *op {
+                Op::Insert { key, value } | Op::Update { key, value } => {
+                    self.enqueue(view, encode(key, value))
+                }
+                Op::Incr { key, by } | Op::Decr { key, by } => self.enqueue(view, encode(key, by)),
+                Op::Delete { key } | Op::Get { key } => self.enqueue(view, encode(key, 0)),
+            }
+        }
+    }
+}

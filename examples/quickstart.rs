@@ -20,6 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
 
+    // Targets resolve by name through the process-global registry.
+    pmrace::register_builtins();
     let mut cfg = FuzzConfig::new(&target);
     cfg.wall_budget = Duration::from_secs(secs);
     cfg.max_campaigns = 10_000;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pmrace list
+//! pmrace fuzz --list-targets
 //! pmrace fuzz <target> [--secs N] [--campaigns N] [--workers N]
 //!                      [--strategy pmrace|delay|none|systematic] [--threads N]
 //!                      [--eadr] [--no-checkpoint] [--seed N]
@@ -12,7 +13,9 @@
 //!
 //! `fuzz` runs the PM-aware coverage-guided fuzzer and prints the unique
 //! bugs; with `--report-dir` it also writes one detailed report file per
-//! bug (including the triggering seed). `--telemetry DIR` turns the
+//! bug (including the triggering seed). `fuzz --list-targets` prints every
+//! target registered with the process-global registry (the built-ins plus
+//! any runtime-registered plugins; `list` shows just the paper's five). `--telemetry DIR` turns the
 //! observability layer on and writes `telemetry.json` + `trace.jsonl` into
 //! DIR when the run finishes (render them with `repro stats DIR`;
 //! schema in `docs/OBSERVABILITY.md`), and `--progress SECS` prints a
@@ -27,7 +30,8 @@ use pmrace::{all_targets, target_spec, FuzzConfig, Fuzzer, Seed, StrategyKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  pmrace list\n  pmrace fuzz <target> [--secs N] [--campaigns N] \
+        "usage:\n  pmrace list\n  pmrace fuzz --list-targets\n  \
+         pmrace fuzz <target> [--secs N] [--campaigns N] \
          [--workers N] [--threads N] [--strategy pmrace|delay|none|systematic] [--eadr] \
          [--no-checkpoint] [--seed N] [--report-dir DIR] [--corpus-dir DIR] [--whitelist RULE]... \
          [--telemetry DIR] [--progress SECS]\n  pmrace replay <target> <seed-file>"
@@ -43,6 +47,9 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 }
 
 fn main() {
+    // Targets resolve by name through the process-global registry; make
+    // the five built-ins available before anything looks one up.
+    pmrace::register_builtins();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -51,14 +58,18 @@ fn main() {
                 println!("  {}", spec.name);
             }
         }
+        Some("fuzz") if args.iter().any(|a| a == "--list-targets") => {
+            // Everything currently registered — built-ins plus whatever
+            // plugin targets this process registered at runtime.
+            println!("registered targets (registration order):");
+            for spec in pmrace::api::all_targets() {
+                println!("  {}", spec.name);
+            }
+        }
         Some("fuzz") => {
             let Some(target) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 usage();
             };
-            if target_spec(target).is_none() {
-                eprintln!("unknown target {target:?}; try `pmrace list`");
-                std::process::exit(2);
-            }
             let mut cfg = FuzzConfig::new(target);
             cfg.wall_budget = Duration::from_secs(
                 flag_value(&args, "--secs")
@@ -125,7 +136,19 @@ fn main() {
                 },
                 if cfg.eadr { ", eADR model" } else { "" },
             );
-            let report = match Fuzzer::new(cfg).and_then(|f| f.run()) {
+            let fuzzer = match Fuzzer::new(cfg) {
+                Ok(f) => f,
+                Err(e @ pmrace::runtime::RtError::UnknownTarget(_)) => {
+                    eprintln!("error: {e}");
+                    eprintln!("hint: `pmrace fuzz --list-targets` shows what this binary knows");
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("fuzzing failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let report = match fuzzer.run() {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("fuzzing failed: {e}");

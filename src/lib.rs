@@ -14,6 +14,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! - [`api`] — the public target API (the [`Target`] trait,
+//!   [`TargetSpec`], seed-grammar hints, and the process-global target
+//!   registry out-of-tree workloads plug into);
 //! - [`pmem`] — software PM substrate (volatile/persistent images,
 //!   cache-line persistency states, crash snapshots, persistent allocator);
 //! - [`runtime`] — instrumentation runtime (hooked access layer, taint,
@@ -39,6 +42,7 @@
 //! use std::time::Duration;
 //!
 //! # fn main() -> Result<(), pmrace::runtime::RtError> {
+//! pmrace::register_builtins(); // targets resolve through the registry
 //! let mut cfg = FuzzConfig::new("clevel");
 //! cfg.max_campaigns = 3;
 //! cfg.threads = 2;
@@ -55,13 +59,17 @@
 //! # Ok(()) }
 //! ```
 //!
-//! See `examples/` for targeted bug hunts, custom checkers, and protocol
-//! fuzzing, and `crates/bench` for the harness regenerating every table and
-//! figure of the paper's evaluation.
+//! See `examples/` for targeted bug hunts, custom checkers, plugin
+//! targets (`examples/mpsc_queue/`) and protocol fuzzing, and
+//! `crates/bench` for the harness regenerating every table and figure of
+//! the paper's evaluation. To fuzz your *own* PM data structure, implement
+//! [`Target`], build a [`TargetSpec`], and hand it to
+//! [`register_target`] — see "Adding your own target" in the README.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pmrace_api as api;
 pub use pmrace_core as core;
 pub use pmrace_pmem as pmem;
 pub use pmrace_replay as replay;
@@ -70,7 +78,11 @@ pub use pmrace_sched as sched;
 pub use pmrace_targets as targets;
 pub use pmrace_telemetry as telemetry;
 
+pub use pmrace_api::{
+    register_target, resolve_target, DuplicateTarget, Op, OpResult, OpWeights, SeedHints, Target,
+    TargetCtor, TargetSpec,
+};
 pub use pmrace_core::{FuzzConfig, FuzzReport, Fuzzer, Ledger, OpMutator, Seed, StrategyKind};
 pub use pmrace_pmem::{Pool, PoolOpts};
 pub use pmrace_runtime::{PmView, Session, SessionConfig};
-pub use pmrace_targets::{all_targets, target_spec, Op, OpResult, Target};
+pub use pmrace_targets::{all_targets, register_builtins, target_spec};

@@ -26,6 +26,7 @@ fn deterministic_cfg(rng_seed: u64) -> FuzzConfig {
 }
 
 fn bug_set(rng_seed: u64) -> BTreeSet<(String, String, String)> {
+    pmrace::register_builtins();
     let report = Fuzzer::new(deterministic_cfg(rng_seed))
         .unwrap()
         .run()
@@ -68,6 +69,7 @@ fn validation_cache_does_not_change_the_bug_set() {
     // Both runs live in one test because the cache toggle is
     // process-global; running them back to back keeps each run's setting
     // stable for its whole duration.
+    pmrace::register_builtins();
     let run = |cache: bool| {
         let mut cfg = deterministic_cfg(42);
         cfg.validation_cache = cache;

@@ -6,6 +6,7 @@ use std::time::Duration;
 use pmrace::{all_targets, FuzzConfig, Fuzzer, StrategyKind};
 
 fn quick_cfg(target: &str) -> FuzzConfig {
+    pmrace::register_builtins();
     let mut cfg = FuzzConfig::new(target);
     cfg.max_campaigns = 6;
     cfg.wall_budget = Duration::from_secs(20);

@@ -9,6 +9,7 @@ use pmrace::{target_spec, FuzzConfig, Fuzzer, Seed};
 
 #[test]
 fn reports_round_trip_through_replay() {
+    pmrace::register_builtins();
     let mut cfg = FuzzConfig::new("P-CLHT");
     cfg.max_campaigns = 60;
     cfg.wall_budget = Duration::from_secs(30);
@@ -49,6 +50,7 @@ fn reports_round_trip_through_replay() {
 
 #[test]
 fn inter_bug_reports_carry_diagnostics() {
+    pmrace::register_builtins();
     let mut cfg = FuzzConfig::new("P-CLHT");
     cfg.max_campaigns = 120;
     cfg.wall_budget = Duration::from_secs(45);

@@ -21,6 +21,7 @@ fn tmpdir() -> std::path::PathBuf {
 #[test]
 fn fuzz_run_emits_schema_valid_consistent_telemetry() {
     let dir = tmpdir();
+    pmrace::register_builtins();
     let mut cfg = FuzzConfig::new("P-CLHT");
     cfg.max_campaigns = 6;
     cfg.workers = 2;
