@@ -290,6 +290,35 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
         ops: val_iters,
         elapsed: start.elapsed(),
     });
+
+    // Fleet scaling: whole-fuzzer aggregate execs/sec (campaigns/sec) at
+    // increasing worker counts, on a fixed wall budget. Campaigns are
+    // scheduler-sleep-bound (the Fig. 6 scheduler parks threads in µs–ms
+    // waits), so a fleet overlaps those sleeps productively even on a
+    // single CPU; this cell is the tracked scaling curve the shared
+    // frontier / sharded ledger must keep near-linear.
+    pmrace_targets::register_builtins();
+    let budget = Duration::from_millis(if quick { 700 } else { 4_000 });
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut cfg = pmrace_core::FuzzConfig::new("FAST-FAIR");
+        cfg.workers = workers;
+        cfg.threads = 2;
+        cfg.max_campaigns = usize::MAX;
+        cfg.wall_budget = budget;
+        cfg.campaign_deadline = Duration::from_millis(400);
+        cfg.rng_seed = 0xF1EE7 ^ workers as u64;
+        let report = pmrace_core::Fuzzer::new(cfg)
+            .expect("FAST-FAIR is registered")
+            .run()
+            .expect("fleet bench run");
+        cells.push(HotpathCell {
+            name: "fleet_execs".to_owned(),
+            threads: workers,
+            disjoint: true,
+            ops: report.campaigns as u64,
+            elapsed: report.elapsed,
+        });
+    }
     cells
 }
 
@@ -384,9 +413,16 @@ mod tests {
             "checkpoint_restore_delta",
             "crash_image_capture",
             "validate_cached",
+            "fleet_execs",
         ] {
             assert!(names.iter().any(|n| n == required), "missing {required}");
         }
+        // One fleet cell per worker count, each with real campaigns.
+        let fleet: Vec<_> = cells.iter().filter(|c| c.name == "fleet_execs").collect();
+        assert_eq!(
+            fleet.iter().map(|c| c.threads).collect::<Vec<_>>(),
+            [1, 2, 4, 8]
+        );
     }
 
     #[test]

@@ -452,6 +452,18 @@ impl Ledger {
         delta
     }
 
+    /// Fold in campaigns that a concurrent front
+    /// ([`SharedLedger`](crate::fleet::SharedLedger)) absorbed without
+    /// routing them through `begin_ingest`: campaigns whose findings were
+    /// all already-known signatures. Their only ledger-visible effects are
+    /// the campaign/hang tallies and the annotation high-water mark, which
+    /// this applies in one shot at fleet shutdown.
+    pub fn absorb_fast_path(&mut self, campaigns: usize, hangs: usize, annotations: usize) {
+        self.stats.campaigns += campaigns;
+        self.stats.hangs += hangs;
+        self.stats.annotations = self.stats.annotations.max(annotations);
+    }
+
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> DetectionStats {

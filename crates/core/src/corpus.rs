@@ -43,16 +43,41 @@ impl CorpusDir {
     /// Persist a seed (idempotent: content-hashed file names). Returns the
     /// path, or `None` if an identical seed was already stored.
     ///
+    /// Safe under concurrent savers (fleet workers, or whole processes
+    /// sharing a corpus directory): the seed is written to a private temp
+    /// file and *published* with an atomic link to the final name, so a
+    /// reader never observes a half-written seed and two racing savers of
+    /// the same seed resolve to one writer plus one dedup hit — never a
+    /// clobber.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&self, seed: &Seed) -> std::io::Result<Option<PathBuf>> {
         let path = self.file_for(seed);
         if path.exists() {
-            return Ok(None);
+            return Ok(None); // fast path; the link below re-checks atomically
         }
-        std::fs::write(&path, seed.to_text())?;
-        Ok(Some(path))
+        // The temp name must not end in `.txt` (a concurrent `load_all`
+        // could read it mid-write) and must be unique per call (two fleet
+        // workers saving the same seed must not share one temp file).
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, seed.to_text())?;
+        // `hard_link` fails with `AlreadyExists` instead of replacing, which
+        // is exactly the create-exclusive publish we need (`rename` would
+        // silently clobber a concurrent winner's file mid-read).
+        let published = match std::fs::hard_link(&tmp, &path) {
+            Ok(()) => Ok(Some(path)),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) => Err(e),
+        };
+        let _ = std::fs::remove_file(&tmp);
+        published
     }
 
     /// Load every parsable seed in the directory (unparsable files are
@@ -91,13 +116,22 @@ impl CorpusDir {
             .count())
     }
 
-    /// `true` when no seeds are stored.
+    /// `true` when no seeds are stored. Returns on the first `.txt` entry
+    /// instead of counting the whole directory — on a campaign-scale corpus
+    /// (thousands of seeds) the difference matters for callers probing
+    /// emptiness in a loop.
     ///
     /// # Errors
     ///
     /// Propagates directory-listing errors.
     pub fn is_empty(&self) -> std::io::Result<bool> {
-        Ok(self.len()? == 0)
+        for entry in std::fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            if entry.path().extension().is_some_and(|x| x == "txt") {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -138,6 +172,47 @@ mod tests {
         assert!(corpus.save(&seed).unwrap().is_some());
         assert!(corpus.save(&seed).unwrap().is_none());
         assert_eq!(corpus.len().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_of_one_seed_yield_one_file_and_one_winner() {
+        let dir = tmpdir("race");
+        let corpus = CorpusDir::open(&dir).unwrap();
+        let seed = OpMutator::new(7, 2, 4).generate();
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (corpus, seed, winners) = (&corpus, &seed, &winners);
+                scope.spawn(move || {
+                    if corpus.save(seed).unwrap().is_some() {
+                        winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            winners.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "exactly one saver may claim the write"
+        );
+        assert_eq!(corpus.len().unwrap(), 1);
+        // No temp litter: the directory holds only the published seed.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        assert_eq!(corpus.load_all().unwrap(), vec![seed]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn is_empty_tracks_published_seeds_only() {
+        let dir = tmpdir("empty");
+        let corpus = CorpusDir::open(&dir).unwrap();
+        assert!(corpus.is_empty().unwrap());
+        // Non-seed litter (e.g. an abandoned temp file) does not count.
+        std::fs::write(dir.join("seed-dead.tmp.1.2"), "partial").unwrap();
+        assert!(corpus.is_empty().unwrap());
+        corpus.save(&OpMutator::new(9, 2, 4).generate()).unwrap();
+        assert!(!corpus.is_empty().unwrap());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -29,6 +29,7 @@ use pmrace_telemetry as telemetry;
 
 use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyKind};
 use crate::checkpoint::Checkpoint;
+use crate::fleet::SharedCorpus;
 use crate::mutator::OpMutator;
 use crate::schedule::{EventCapture, PlanCapture, ScheduleCapture, StrategyCapture};
 use crate::seed::Seed;
@@ -122,12 +123,31 @@ pub struct Explorer {
     plan: Option<SyncPlan>,
     execs_on_plan: usize,
     plans_on_seed: usize,
-    coverage: CoverageMap,
+    /// Coverage frontier novelty is judged against. Owned (fresh map) for a
+    /// standalone explorer; in a fleet every worker shares one map, so
+    /// "new coverage" means new *fleet-wide* — wait-free atomic merges, no
+    /// lock (see [`CoverageMap::merge_from`]).
+    coverage: Arc<CoverageMap>,
+    /// Cross-worker seed pool this explorer publishes to / imports from.
+    fleet: Option<FleetLink>,
     checkpoint: Option<Checkpoint>,
     rng: StdRng,
     campaigns: usize,
     stalled_seeds: usize,
     populate_done: bool,
+}
+
+/// An explorer's membership in a fleet: the shared pool, its worker index,
+/// and the import cursor (last pool epoch this explorer has seen).
+struct FleetLink {
+    pool: Arc<SharedCorpus>,
+    worker: usize,
+    cursor: u64,
+    /// Freshest sibling seed imported in the latest batch; the next
+    /// seed-tier switch steals it (evolves from it directly) instead of
+    /// drawing from the mixed corpus, so cross-worker discoveries propagate
+    /// within one seed cycle.
+    stolen: Option<Seed>,
 }
 
 impl std::fmt::Debug for Explorer {
@@ -147,6 +167,45 @@ impl Explorer {
     ///
     /// Propagates checkpoint-creation (target init) errors.
     pub fn new(spec: TargetSpec, cfg: ExploreConfig, rng_seed: u64) -> Result<Self, RtError> {
+        Self::build(spec, cfg, rng_seed, Arc::new(CoverageMap::new()), None)
+    }
+
+    /// Create a fleet-member explorer: coverage novelty is judged against
+    /// the shared `frontier` (so "new" means new fleet-wide, and the merge
+    /// is wait-free — no lock), and coverage-improving seeds are exchanged
+    /// through `pool`, publishing to stripe `worker` and importing from the
+    /// sibling stripes. The RNG stream is untouched by fleet membership:
+    /// imports change *which* seeds get evolved, never how this worker's
+    /// `StdRng` draws, and a single-worker fleet has no sibling stripes, so
+    /// `workers=1` runs are byte-identical to a standalone explorer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint-creation (target init) errors.
+    pub fn with_fleet(
+        spec: TargetSpec,
+        cfg: ExploreConfig,
+        rng_seed: u64,
+        frontier: Arc<CoverageMap>,
+        pool: Arc<SharedCorpus>,
+        worker: usize,
+    ) -> Result<Self, RtError> {
+        let link = FleetLink {
+            pool,
+            worker,
+            cursor: 0,
+            stolen: None,
+        };
+        Self::build(spec, cfg, rng_seed, frontier, Some(link))
+    }
+
+    fn build(
+        spec: TargetSpec,
+        cfg: ExploreConfig,
+        rng_seed: u64,
+        coverage: Arc<CoverageMap>,
+        fleet: Option<FleetLink>,
+    ) -> Result<Self, RtError> {
         let mut mutator = OpMutator::with_hints(
             rng_seed,
             cfg.campaign.threads,
@@ -175,7 +234,8 @@ impl Explorer {
             plan: None,
             execs_on_plan: 0,
             plans_on_seed: 0,
-            coverage: CoverageMap::new(),
+            coverage,
+            fleet,
             checkpoint,
             rng: StdRng::seed_from_u64(rng_seed ^ 0xABCD),
             campaigns: 0,
@@ -190,15 +250,44 @@ impl Explorer {
         self.campaigns
     }
 
-    /// Coverage counters `(alias_pairs, branches)` accumulated by this
-    /// explorer.
+    /// Coverage counters `(alias_pairs, branches)` of the frontier this
+    /// explorer judges novelty against — its own map standalone, the shared
+    /// fleet frontier under [`Explorer::with_fleet`].
     #[must_use]
     pub fn coverage_counts(&self) -> (usize, usize) {
         (self.coverage.alias_pairs(), self.coverage.branches())
     }
 
+    /// Pull everything siblings published since the last look into the
+    /// local corpus and remember the freshest import as a steal candidate.
+    fn import_from_fleet(&mut self) {
+        let imports = match self.fleet.as_mut() {
+            Some(link) => {
+                let (imports, cursor) = link.pool.import_since(link.worker, link.cursor);
+                link.cursor = cursor;
+                if imports.is_empty() {
+                    return;
+                }
+                link.stolen = imports.last().cloned();
+                imports
+            }
+            None => return,
+        };
+        crate::fleet::note_imports(imports.len());
+        for seed in imports {
+            if !self.corpus.contains(&seed) {
+                self.corpus.push(seed);
+                if self.corpus.len() > 16 {
+                    self.corpus.remove(0);
+                }
+            }
+        }
+    }
+
     fn next_seed(&mut self) {
         let _span = telemetry::span(telemetry::Phase::SeedGen);
+        self.import_from_fleet();
+        let has_stolen = self.fleet.as_ref().is_some_and(|f| f.stolen.is_some());
         if !self.populate_done || self.stalled_seeds >= 2 {
             // The first seed switch (and any coverage stall) runs the
             // populate phase (§4.5): an insert flood with spread keys that
@@ -207,6 +296,20 @@ impl Explorer {
             self.seed = self.mutator.populate();
             self.stalled_seeds = 0;
             telemetry::add(telemetry::Counter::SeedPopulated, 1);
+        } else if has_stolen && self.rng.random_ratio(1, 2) {
+            // Work-stealing: evolve straight from the freshest sibling
+            // discovery instead of the mixed corpus, so a seed that
+            // unlocked coverage on another worker is being mutated here
+            // within one seed cycle.
+            let stolen = self
+                .fleet
+                .as_mut()
+                .and_then(|f| f.stolen.take())
+                .expect("checked above");
+            let (seed, _strategy) = self.mutator.evolve(std::slice::from_ref(&stolen));
+            self.seed = seed;
+            crate::fleet::note_steal();
+            telemetry::add(telemetry::Counter::SeedEvolved, 1);
         } else if self.rng.random_ratio(1, 3) {
             // Fresh generator seeds keep diversity up: pure corpus
             // evolution orbits its ancestors and can miss behaviours none
@@ -422,6 +525,11 @@ impl Explorer {
                 if self.corpus.len() > 16 {
                     self.corpus.remove(0);
                 }
+            }
+            // Frontier-advancing seeds are fleet property: publish so the
+            // sibling workers can evolve them too.
+            if let Some(link) = &self.fleet {
+                link.pool.publish(link.worker, &self.seed);
             }
         } else if tier == Tier::Seed {
             self.stalled_seeds += 1;

@@ -1,0 +1,443 @@
+//! Fleet plumbing for multi-worker fuzzing: the shared cross-worker seed
+//! pool and the signature-striped bug-ledger front.
+//!
+//! The paper ran 13 parallel fuzzing workers for 20 hours (§6.1). A fleet
+//! only beats 13 independent fuzzers if workers *share* their discoveries
+//! without serializing on them:
+//!
+//! - [`SharedCorpus`] is a sharded in-memory seed pool — one stripe per
+//!   worker, each under its own lock. A worker that unlocks new coverage
+//!   publishes the seed to its stripe; siblings import everything published
+//!   since their last look (and sometimes *steal* the freshest import as
+//!   their next seed outright), so a good seed from worker 0 is being
+//!   mutated by workers 1..N within a few campaigns. Workers never touch
+//!   each other's RNG streams: imports change *which* seeds are evolved,
+//!   not how the per-worker `StdRng` draws, so seeded runs stay replayable
+//!   and recorded repros stay valid.
+//! - [`SharedLedger`] fronts the deduplicating [`Ledger`] with per-stripe
+//!   signature filters. The common campaign carries nothing new; such
+//!   campaigns are absorbed by the stripe locks (selected by signature
+//!   hash) without ever taking the global ledger lock. Only campaigns with
+//!   at least one globally-fresh signature fall through to the real
+//!   `begin_ingest`, and post-failure validation still runs outside every
+//!   lock, so cache-miss recovery executions from different workers stay
+//!   fully concurrent.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use pmrace_api::TargetSpec;
+use pmrace_runtime::report::CandidateKind;
+use pmrace_runtime::site_label;
+use pmrace_telemetry as telemetry;
+
+use crate::bugs::{IngestDelta, IngestPlan, Ledger};
+use crate::campaign::CampaignResult;
+use crate::seed::Seed;
+
+/// Seeds kept per stripe; the oldest publication is dropped beyond this
+/// (mirrors the explorer's own 16-seed corpus window).
+const STRIPE_CAP: usize = 32;
+
+/// One worker's publication stripe.
+#[derive(Debug, Default)]
+struct Stripe {
+    /// `(publication epoch, seed)`, ascending by epoch.
+    seeds: Mutex<Vec<(u64, Seed)>>,
+}
+
+/// Sharded cross-worker seed pool with work-stealing imports.
+///
+/// Publications go to the publishing worker's own stripe, so publishing
+/// never contends with another worker's publish. Imports scan sibling
+/// stripes for epochs newer than the importer's cursor; each stripe is
+/// locked briefly and independently.
+#[derive(Debug)]
+pub struct SharedCorpus {
+    stripes: Box<[Stripe]>,
+    /// Global publication clock; also the "anything new?" fast path —
+    /// importers compare it against their cursor before touching stripes.
+    epoch: AtomicU64,
+}
+
+impl SharedCorpus {
+    /// Pool with one stripe per worker.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        SharedCorpus {
+            stripes: (0..workers.max(1)).map(|_| Stripe::default()).collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of stripes (= fleet workers).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Publish a coverage-improving seed from `worker`. Identical seeds
+    /// already in the stripe are skipped (dedup under the stripe lock).
+    pub fn publish(&self, worker: usize, seed: &Seed) {
+        let stripe = &self.stripes[worker % self.stripes.len()];
+        let mut seeds = stripe.seeds.lock();
+        if seeds.iter().any(|(_, s)| s == seed) {
+            return;
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        seeds.push((epoch, seed.clone()));
+        if seeds.len() > STRIPE_CAP {
+            seeds.remove(0);
+        }
+    }
+
+    /// Import every seed published by *sibling* stripes since `cursor`,
+    /// oldest first. Returns the imports and the new cursor to store.
+    /// A worker's own stripe is skipped: its publications are already in
+    /// its local corpus, and skipping keeps a single-worker fleet
+    /// byte-identical to the pre-fleet explorer.
+    #[must_use]
+    pub fn import_since(&self, worker: usize, cursor: u64) -> (Vec<Seed>, u64) {
+        let now = self.epoch.load(Ordering::Acquire);
+        if now <= cursor {
+            return (Vec::new(), cursor);
+        }
+        let own = worker % self.stripes.len();
+        let mut fresh: Vec<(u64, Seed)> = Vec::new();
+        for (i, stripe) in self.stripes.iter().enumerate() {
+            if i == own {
+                continue;
+            }
+            let seeds = stripe.seeds.lock();
+            for (epoch, seed) in seeds.iter().rev() {
+                if *epoch <= cursor {
+                    break; // ascending per stripe: the rest is older
+                }
+                fresh.push((*epoch, seed.clone()));
+            }
+        }
+        fresh.sort_by_key(|(epoch, _)| *epoch);
+        (fresh.into_iter().map(|(_, s)| s).collect(), now)
+    }
+}
+
+/// Signature of one deduplicable finding, exactly mirroring the keys the
+/// [`Ledger`] indexes use. Hang is tracked separately (a single flag).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SigKey {
+    /// Candidate `(write label, read label, kind)`.
+    Cand(String, String, CandidateKind),
+    /// Inconsistency `(write, read, effect)` labels.
+    Incons(String, String, String),
+    /// Sync var name.
+    Sync(String),
+    /// Perf issue `(checker, site label)`.
+    Perf(String, String),
+}
+
+/// Signature stripes in the ledger front (power of two).
+const SIG_STRIPES: usize = 16;
+
+/// Concurrent front for the deduplicating bug [`Ledger`].
+///
+/// `begin_ingest` probes each finding's signature against a per-stripe
+/// `HashSet` (stripe chosen by signature hash). Campaigns whose findings
+/// are all already-seen are absorbed right there — their statistics land
+/// in side atomics and the global ledger lock is never taken. Campaigns
+/// with a fresh signature take the inner lock for the real (cheap)
+/// [`Ledger::begin_ingest`]; the expensive recovery validation then runs
+/// with no lock held, and `finish_ingest` re-locks briefly to apply
+/// verdicts. Exactly-once minting holds because the stripe insert is the
+/// linearization point: whichever worker first inserts a signature goes to
+/// the inner ledger with it.
+#[derive(Debug)]
+pub struct SharedLedger {
+    inner: Mutex<Ledger>,
+    stripes: [Mutex<HashSet<SigKey>>; SIG_STRIPES],
+    /// Campaigns absorbed by the fast path (inner ledger never saw them).
+    fast_campaigns: AtomicUsize,
+    /// Hang campaigns absorbed by the fast path.
+    fast_hangs: AtomicUsize,
+    /// Whether some worker already owns minting the (single) hang bug.
+    hang_claimed: AtomicBool,
+    /// Max annotations count seen on the fast path.
+    annotations: AtomicUsize,
+}
+
+impl SharedLedger {
+    /// Empty sharded ledger for a target.
+    #[must_use]
+    pub fn new(spec: TargetSpec) -> Self {
+        SharedLedger {
+            inner: Mutex::new(Ledger::new(spec)),
+            stripes: std::array::from_fn(|_| Mutex::new(HashSet::new())),
+            fast_campaigns: AtomicUsize::new(0),
+            fast_hangs: AtomicUsize::new(0),
+            hang_claimed: AtomicBool::new(false),
+            annotations: AtomicUsize::new(0),
+        }
+    }
+
+    fn stripe_of(key: &SigKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & (SIG_STRIPES - 1)
+    }
+
+    /// Probe-insert `key`; `true` when this call was the first to see it.
+    fn claim(&self, key: SigKey) -> bool {
+        let stripe = Self::stripe_of(&key);
+        self.stripes[stripe].lock().insert(key)
+    }
+
+    /// Phase 1 under striped locks: dedup the campaign's findings by
+    /// signature. Returns `None` when nothing is globally new — the caller
+    /// skips validation and `finish_ingest` entirely (the global ledger
+    /// lock is not taken). Returns the inner ledger's [`IngestPlan`]
+    /// otherwise.
+    pub fn begin_ingest(&self, result: &CampaignResult, elapsed: Duration) -> Option<IngestPlan> {
+        self.annotations
+            .fetch_max(result.annotations.len(), Ordering::Relaxed);
+        let mut fresh = false;
+        for cand in &result.findings.candidates {
+            let key = SigKey::Cand(
+                site_label(cand.write_site).to_owned(),
+                site_label(cand.read_site).to_owned(),
+                cand.kind,
+            );
+            fresh |= self.claim(key);
+        }
+        for rec in &result.findings.inconsistencies {
+            let key = SigKey::Incons(
+                site_label(rec.candidate.write_site).to_owned(),
+                site_label(rec.candidate.read_site).to_owned(),
+                site_label(rec.effect_site).to_owned(),
+            );
+            fresh |= self.claim(key);
+        }
+        for upd in &result.findings.sync_updates {
+            fresh |= self.claim(SigKey::Sync(upd.var_name.clone()));
+        }
+        for issue in &result.findings.perf_issues {
+            let key = SigKey::Perf(issue.checker.to_owned(), site_label(issue.site).to_owned());
+            fresh |= self.claim(key);
+        }
+        if result.findings.hang && !self.hang_claimed.swap(true, Ordering::AcqRel) {
+            fresh = true;
+        }
+        if !fresh {
+            // Everything already seen: absorb the campaign's bookkeeping
+            // without the global lock.
+            self.fast_campaigns.fetch_add(1, Ordering::Relaxed);
+            if result.findings.hang {
+                self.fast_hangs.fetch_add(1, Ordering::Relaxed);
+            }
+            return None;
+        }
+        Some(self.inner.lock().begin_ingest(result, elapsed))
+    }
+
+    /// Phase 3 under the inner lock: apply verdicts and mint unique bugs.
+    /// Call [`IngestPlan::validate`] between the phases, off-lock.
+    pub fn finish_ingest(
+        &self,
+        plan: IngestPlan,
+        result: &CampaignResult,
+        seed: Option<&Seed>,
+    ) -> IngestDelta {
+        self.inner.lock().finish_ingest(plan, result, seed)
+    }
+
+    /// Tear down into the inner [`Ledger`], folding the fast-path
+    /// statistics (absorbed campaigns/hangs, annotation max) back in. The
+    /// result is indistinguishable from having ingested every campaign
+    /// through the slow path.
+    #[must_use]
+    pub fn into_ledger(self) -> Ledger {
+        let mut ledger = self.inner.into_inner();
+        ledger.absorb_fast_path(
+            self.fast_campaigns.into_inner(),
+            self.fast_hangs.into_inner(),
+            self.annotations.into_inner(),
+        );
+        ledger
+    }
+}
+
+/// Count a cross-worker seed import batch in the fleet telemetry.
+pub(crate) fn note_imports(n: usize) {
+    if n > 0 {
+        telemetry::add(telemetry::Counter::FleetSharedSeeds, n as u64);
+    }
+}
+
+/// Count one work-steal (a sibling seed adopted as the current seed).
+pub(crate) fn note_steal() {
+    telemetry::add(telemetry::Counter::FleetSteals, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use crate::mutator::OpMutator;
+    use pmrace_targets::{target_spec, Op};
+
+    #[test]
+    fn publish_and_import_flow_across_stripes() {
+        let pool = SharedCorpus::new(3);
+        let mut m = OpMutator::new(1, 2, 4);
+        let (a, b, c) = (m.generate(), m.generate(), m.generate());
+        pool.publish(0, &a);
+        pool.publish(1, &b);
+        // Worker 2 sees both siblings' seeds, oldest first.
+        let (got, cursor) = pool.import_since(2, 0);
+        assert_eq!(got, vec![a.clone(), b.clone()]);
+        // Nothing new: the cursor short-circuits.
+        let (got, cursor2) = pool.import_since(2, cursor);
+        assert!(got.is_empty());
+        assert_eq!(cursor, cursor2);
+        // A later publication arrives alone.
+        pool.publish(0, &c);
+        let (got, _) = pool.import_since(2, cursor);
+        assert_eq!(got, vec![c]);
+        // Workers never import their own stripe.
+        let (got, _) = pool.import_since(0, 0);
+        assert_eq!(got, vec![b]);
+    }
+
+    #[test]
+    fn duplicate_publications_are_dropped() {
+        let pool = SharedCorpus::new(2);
+        let seed = OpMutator::new(2, 2, 4).generate();
+        pool.publish(0, &seed);
+        pool.publish(0, &seed);
+        let (got, _) = pool.import_since(1, 0);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn stripes_are_bounded() {
+        let pool = SharedCorpus::new(2);
+        let mut m = OpMutator::new(3, 2, 4);
+        let seeds: Vec<Seed> = (0..STRIPE_CAP + 8).map(|_| m.generate()).collect();
+        for s in &seeds {
+            pool.publish(0, s);
+        }
+        let (got, _) = pool.import_since(1, 0);
+        assert_eq!(got.len(), STRIPE_CAP, "oldest publications evicted");
+        assert_eq!(got.last(), seeds.last(), "newest kept");
+    }
+
+    #[test]
+    fn sharded_ledger_matches_plain_ingest() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let seed = Seed::from_flat(&ops, 1);
+        let res = run_campaign(&spec, &seed, &cfg, None, None).unwrap();
+
+        let mut plain = Ledger::new(spec);
+        plain.ingest(&res, Duration::ZERO);
+        plain.ingest(&res, Duration::from_secs(1));
+
+        let shared = SharedLedger::new(spec);
+        let plan = shared
+            .begin_ingest(&res, Duration::ZERO)
+            .expect("first campaign has fresh findings");
+        let mut plan = plan;
+        plan.validate(&res);
+        let delta = shared.finish_ingest(plan, &res, None);
+        assert!(!delta.new_bugs.is_empty());
+        // Identical findings again: absorbed without a plan.
+        assert!(
+            shared.begin_ingest(&res, Duration::from_secs(1)).is_none(),
+            "all-duplicate campaign must take the fast path"
+        );
+        let ledger = shared.into_ledger();
+        assert_eq!(ledger.stats(), plain.stats(), "stats must not drift");
+        assert_eq!(
+            ledger.bugs().len(),
+            plain.bugs().len(),
+            "unique-bug sets must match"
+        );
+    }
+
+    #[test]
+    fn concurrent_ingest_of_identical_results_mints_once() {
+        let spec = target_spec("P-CLHT").unwrap();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let seed = Seed::from_flat(&ops, 1);
+        let res = run_campaign(&spec, &seed, &cfg, None, None).unwrap();
+        let shared = SharedLedger::new(spec);
+        let minted = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (shared, res, minted) = (&shared, &res, &minted);
+                scope.spawn(move || {
+                    if let Some(mut plan) = shared.begin_ingest(res, Duration::ZERO) {
+                        plan.validate(res);
+                        let delta = shared.finish_ingest(plan, res, None);
+                        minted.fetch_add(delta.new_bugs.len(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let ledger = shared.into_ledger();
+        assert_eq!(ledger.stats().campaigns, 4);
+        assert_eq!(
+            minted.load(Ordering::Relaxed),
+            ledger.bugs().len(),
+            "every unique bug must be minted exactly once across workers"
+        );
+    }
+
+    #[test]
+    fn fast_path_counts_hangs() {
+        let spec = target_spec("clevel").unwrap();
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let seed = Seed::from_flat(&[Op::Insert { key: 1, value: 1 }], 1);
+        let mut res = run_campaign(&spec, &seed, &cfg, None, None).unwrap();
+        res.findings.hang = true;
+        let shared = SharedLedger::new(spec);
+        for i in 0..3u64 {
+            if let Some(mut plan) = shared.begin_ingest(&res, Duration::from_millis(i)) {
+                plan.validate(&res);
+                let _ = shared.finish_ingest(plan, &res, None);
+            }
+        }
+        let ledger = shared.into_ledger();
+        let stats = ledger.stats();
+        assert_eq!(stats.campaigns, 3);
+        assert_eq!(stats.hangs, 3, "fast-path hangs must still be counted");
+        assert_eq!(
+            ledger
+                .bugs()
+                .iter()
+                .filter(|b| b.kind == crate::bugs::BugKind::Hang)
+                .count(),
+            1
+        );
+    }
+}

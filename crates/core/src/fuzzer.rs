@@ -1,4 +1,9 @@
-//! The top-level fuzzer: exploration workers, shared ledger, timelines.
+//! The top-level fuzzer: a fleet of exploration workers over a shared
+//! wait-free coverage frontier, a sharded cross-worker seed pool, and a
+//! signature-striped bug ledger (see [`crate::fleet`]). Workers exchange
+//! discoveries but share no locks on the campaign hot path: coverage
+//! merges are atomic, duplicate findings are absorbed by striped filters,
+//! and timelines accumulate in per-worker buffers merged at shutdown.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -11,10 +16,11 @@ use pmrace_runtime::RtError;
 use pmrace_sched::SyncTuning;
 use pmrace_telemetry as telemetry;
 
-use crate::bugs::{DetectionStats, IngestDelta, Ledger, UniqueBug};
+use crate::bugs::{DetectionStats, IngestDelta, UniqueBug};
 use crate::campaign::{CampaignConfig, StrategyKind};
 use crate::corpus::CorpusDir;
 use crate::explore::{ExploreConfig, Explorer, StepOutcome};
+use crate::fleet::{SharedCorpus, SharedLedger};
 
 /// Callback the fuzzer fires when a campaign contributes *new* unique
 /// findings, with the step's full outcome (seed, captured schedule) and the
@@ -268,9 +274,14 @@ impl Fuzzer {
                 .map_err(|e| RtError::Io(format!("corpus load: {e}")))?,
             None => Vec::new(),
         };
-        let ledger = Mutex::new(Ledger::new(self.spec));
-        let global_cov = Mutex::new(CoverageMap::new());
-        let timeline = Mutex::new(Vec::<CoverageSample>::new());
+        let worker_count = self.cfg.workers.max(1);
+        // Fleet state: no campaign-hot-path locks. The frontier is merged
+        // into atomically by the explorers themselves, the seed pool is
+        // striped per worker, and the ledger front absorbs all-duplicate
+        // campaigns under signature-stripe locks.
+        let ledger = SharedLedger::new(self.spec);
+        let frontier = Arc::new(CoverageMap::new());
+        let pool = Arc::new(SharedCorpus::new(worker_count));
         let campaigns = AtomicUsize::new(0);
         let pm_accesses = std::sync::atomic::AtomicU64::new(0);
         let first_err = Mutex::new(None::<RtError>);
@@ -279,6 +290,9 @@ impl Fuzzer {
         let record = self.cfg.record.clone();
         let reporter_stop = std::sync::atomic::AtomicBool::new(false);
 
+        // Per-worker timeline buffers, merged (and time-sorted) after the
+        // scope joins — the workers never contend on a timeline lock.
+        let mut timeline: Vec<CoverageSample> = Vec::new();
         std::thread::scope(|scope| {
             // The progress reporter lives alongside the workers and is told
             // to stop only after every worker has been joined, so its last
@@ -289,10 +303,10 @@ impl Fuzzer {
                 scope.spawn(move || progress_loop(start, every, stop, campaigns))
             });
             let mut workers = Vec::new();
-            for w in 0..self.cfg.workers.max(1) {
+            for w in 0..worker_count {
                 let ledger = &ledger;
-                let global_cov = &global_cov;
-                let timeline = &timeline;
+                let frontier = Arc::clone(&frontier);
+                let pool = Arc::clone(&pool);
                 let campaigns = &campaigns;
                 let pm_accesses = &pm_accesses;
                 let first_err = &first_err;
@@ -307,29 +321,32 @@ impl Fuzzer {
                 let max_campaigns = self.cfg.max_campaigns;
                 let wall_budget = self.cfg.wall_budget;
                 workers.push(scope.spawn(move || {
-                    let mut explorer = match Explorer::new(spec, cfg, rng_seed) {
-                        Ok(e) => e,
-                        Err(e) => {
-                            *first_err.lock() = Some(e);
-                            return;
-                        }
-                    };
+                    let mut local_timeline = Vec::<CoverageSample>::new();
+                    let mut explorer =
+                        match Explorer::with_fleet(spec, cfg, rng_seed, frontier, pool, w) {
+                            Ok(e) => e,
+                            Err(e) => {
+                                *first_err.lock() = Some(e);
+                                return local_timeline;
+                            }
+                        };
                     loop {
                         if campaigns.load(Ordering::Relaxed) >= max_campaigns
                             || start.elapsed() >= wall_budget
                         {
-                            return;
+                            return local_timeline;
                         }
                         match explorer.step() {
                             Ok(out) => {
                                 campaigns.fetch_add(1, Ordering::Relaxed);
                                 pm_accesses.fetch_add(out.result.pm_accesses, Ordering::Relaxed);
+                                telemetry::metrics::worker_exec(w);
                                 let elapsed = start.elapsed();
-                                let (alias, branches) = {
-                                    let cov = global_cov.lock();
-                                    cov.merge_from(&out.result.coverage);
-                                    (cov.alias_pairs(), cov.branches())
-                                };
+                                // The explorer merged this campaign into the
+                                // shared frontier already (wait-free); the
+                                // counters here are a racy-but-monotone
+                                // snapshot for the sample and gauges.
+                                let (alias, branches) = explorer.coverage_counts();
                                 telemetry::metrics::gauge_set(
                                     telemetry::Gauge::CovAliasPairs,
                                     alias as u64,
@@ -338,21 +355,24 @@ impl Fuzzer {
                                     telemetry::Gauge::CovBranches,
                                     branches as u64,
                                 );
-                                // Three-phase ingest: dedup under the lock,
-                                // recovery executions (the expensive part)
-                                // outside it so workers validate
+                                if out.new_alias + out.new_branch > 0 {
+                                    telemetry::add(telemetry::Counter::FleetFrontierHits, 1);
+                                }
+                                // Three-phase ingest: dedup under signature
+                                // stripes (all-duplicate campaigns never
+                                // touch the global ledger lock), recovery
+                                // executions (the expensive part) outside
+                                // every lock so workers validate
                                 // concurrently, verdicts applied under the
-                                // lock again.
-                                let delta = {
-                                    let mut plan = ledger.lock().begin_ingest(&out.result, elapsed);
+                                // inner lock.
+                                if let Some(mut plan) = ledger.begin_ingest(&out.result, elapsed) {
                                     plan.validate(&out.result);
-                                    ledger
-                                        .lock()
-                                        .finish_ingest(plan, &out.result, Some(&out.seed))
-                                };
-                                if !delta.is_empty() {
-                                    if let Some(sink) = record {
-                                        sink.call(&out, &delta);
+                                    let delta =
+                                        ledger.finish_ingest(plan, &out.result, Some(&out.seed));
+                                    if !delta.is_empty() {
+                                        if let Some(sink) = record {
+                                            sink.call(&out, &delta);
+                                        }
                                     }
                                 }
                                 if out.new_alias + out.new_branch > 0 {
@@ -369,7 +389,7 @@ impl Fuzzer {
                                         }
                                     }
                                 }
-                                timeline.lock().push(CoverageSample {
+                                local_timeline.push(CoverageSample {
                                     at: elapsed,
                                     alias_pairs: alias,
                                     branches,
@@ -377,28 +397,30 @@ impl Fuzzer {
                             }
                             Err(e) => {
                                 *first_err.lock() = Some(e);
-                                return;
+                                return local_timeline;
                             }
                         }
                     }
                 }));
             }
             for h in workers {
-                let _ = h.join();
+                if let Ok(local) = h.join() {
+                    timeline.extend(local);
+                }
             }
             reporter_stop.store(true, Ordering::Release);
             if let Some(h) = reporter {
                 let _ = h.join();
             }
         });
+        timeline.sort_by_key(|s| s.at);
 
         if let Some(e) = first_err.into_inner() {
             return Err(e);
         }
         let elapsed = start.elapsed();
         let emit_span = telemetry::span(telemetry::Phase::ReportEmit);
-        let ledger = ledger.into_inner();
-        let cov = global_cov.into_inner();
+        let ledger = ledger.into_ledger();
         let total = campaigns.load(Ordering::Relaxed);
         let total_accesses = pm_accesses.load(Ordering::Relaxed);
         let report = FuzzReport {
@@ -412,10 +434,10 @@ impl Fuzzer {
             execs_per_sec: total as f64 / elapsed.as_secs_f64().max(1e-9),
             pm_accesses: total_accesses,
             accesses_per_sec: total_accesses as f64 / elapsed.as_secs_f64().max(1e-9),
-            coverage_timeline: timeline.into_inner(),
+            coverage_timeline: timeline,
             inter_times: ledger.inter_detection_times().to_vec(),
-            alias_pairs: cov.alias_pairs(),
-            branches: cov.branches(),
+            alias_pairs: frontier.alias_pairs(),
+            branches: frontier.branches(),
             corpus_save_errors: corpus_save_errors.load(Ordering::Relaxed),
             corpus_error: corpus_error.into_inner(),
         };
@@ -440,7 +462,8 @@ impl Fuzzer {
 
 /// Periodic human-readable progress line (one per
 /// [`FuzzConfig::progress_interval`] tick), rendered from the telemetry
-/// registry onto stderr.
+/// registry onto stderr. Multi-worker runs get a second line with the
+/// per-worker execs/s split so a stalled or starved worker is visible.
 fn progress_loop(
     start: Instant,
     every: Duration,
@@ -474,6 +497,19 @@ fn progress_loop(
             counter(C::ValidateRuns),
             counter(C::ValidateBugs),
         );
+        let per_worker = telemetry::metrics::worker_execs();
+        if per_worker.len() > 1 {
+            use std::fmt::Write as _;
+            let mut parts = String::new();
+            for (w, execs) in per_worker {
+                let _ = write!(parts, " w{w} {:.1}/s", execs as f64 / elapsed.max(1e-9));
+            }
+            eprintln!(
+                "[pmrace] per-worker execs/s:{parts}  steals {}  shared seeds {}",
+                counter(C::FleetSteals),
+                counter(C::FleetSharedSeeds),
+            );
+        }
     }
 }
 

@@ -188,6 +188,19 @@ impl CoverageMap {
         self.alias_count.load(Ordering::Relaxed)
     }
 
+    /// Both coverage counters `(alias_pairs, branches)` in one call — the
+    /// read side of the fleet's shared frontier. Each counter is a single
+    /// relaxed atomic load, so concurrent fuzzing workers sample the global
+    /// frontier without any lock (the pair is not a consistent cut across
+    /// both counters, which a level gauge does not need).
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize) {
+        (
+            self.alias_count.load(Ordering::Relaxed),
+            self.branch_count.load(Ordering::Relaxed),
+        )
+    }
+
     /// Number of distinct branches observed.
     #[must_use]
     pub fn branches(&self) -> usize {
@@ -196,6 +209,13 @@ impl CoverageMap {
 
     /// Merge another map into this one (fuzzer's global accumulation).
     /// Returns `(new_alias_bits, new_branch_bits)` contributed by `other`.
+    ///
+    /// Wait-free: bitmap bytes are OR-ed in with `fetch_or` and the
+    /// counters bumped atomically, so a fleet of fuzzing workers can use
+    /// one `CoverageMap` as their shared coverage frontier and merge
+    /// per-campaign maps concurrently — each worker's return value counts
+    /// exactly the bits *it* contributed first, never double-counting a
+    /// bit that raced in from a sibling worker.
     pub fn merge_from(&self, other: &CoverageMap) -> (usize, usize) {
         let or_in = |dst: &[AtomicU8], src: &[AtomicU8]| -> usize {
             let mut new = 0usize;
@@ -305,6 +325,35 @@ mod tests {
         assert_eq!((na, nb), (0, 0));
         assert_eq!(global.alias_pairs(), 1);
         assert_eq!(global.branches(), 1);
+    }
+
+    #[test]
+    fn concurrent_merges_into_a_shared_frontier_count_each_bit_once() {
+        // Fleet contract: N workers merging overlapping campaign maps into
+        // one frontier must attribute every new bit to exactly one worker.
+        let frontier = CoverageMap::new();
+        let local = CoverageMap::new();
+        for g in 0..64u64 {
+            let (w, r) = (site!("fw"), site!("fr"));
+            local.record_access(g, w, T0, Persistency::Unpersisted);
+            local.record_access(g, r, T1, Persistency::Unpersisted);
+            local.record_branch(if g % 2 == 0 { w } else { r });
+        }
+        let expect = (local.alias_pairs(), local.branches());
+        let totals: Vec<(usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (f, l) = (&frontier, &local);
+                    scope.spawn(move || f.merge_from(l))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let sum = totals
+            .iter()
+            .fold((0, 0), |acc, t| (acc.0 + t.0, acc.1 + t.1));
+        assert_eq!(sum, expect, "bits attributed more or less than once");
+        assert_eq!(frontier.counts(), expect);
     }
 
     #[test]

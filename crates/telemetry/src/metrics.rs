@@ -76,6 +76,9 @@ metric_enum! {
     CheckpointCreates => "checkpoint.creates",
     CheckpointRestores => "checkpoint.restores",
     CheckpointCacheHits => "checkpoint.cache_hits",
+    FleetSteals => "fleet.steals",
+    FleetSharedSeeds => "fleet.shared_seeds",
+    FleetFrontierHits => "fleet.frontier_hits",
     RecordCaptures => "record.captures",
     ReplayAttempts => "replay.attempts",
     ReplayMatches => "replay.matches",
@@ -120,6 +123,11 @@ pub const HIST_BUCKETS: usize = 40;
 /// `trace.sites_dropped` instead of aliasing.
 pub const SITE_SLOTS: usize = 4096;
 
+/// Capacity of the per-worker campaign-execution table. Worker indices
+/// past the table saturate into the last slot (the fleet cap is far below
+/// this; the paper ran 13 workers).
+pub const WORKER_SLOTS: usize = 64;
+
 /// One shard's worth of counter cells, padded to its own cache line pair.
 #[repr(align(128))]
 struct Row<const N: usize> {
@@ -159,6 +167,7 @@ static COUNTERS: [Row<N_COUNTERS>; SHARDS] = [const { Row::new() }; SHARDS];
 static GAUGES: [AtomicU64; N_GAUGES] = [const { AtomicU64::new(0) }; N_GAUGES];
 static HISTS: [HistShard; SHARDS] = [const { HistShard::new() }; SHARDS];
 static SITE_HEAT: [AtomicU64; SITE_SLOTS] = [const { AtomicU64::new(0) }; SITE_SLOTS];
+static WORKER_EXECS: [AtomicU64; WORKER_SLOTS] = [const { AtomicU64::new(0) }; WORKER_SLOTS];
 
 /// Add `n` to a counter. No-op (one relaxed load, one branch) when
 /// telemetry is disabled.
@@ -276,6 +285,32 @@ pub fn top_sites(n: usize) -> Vec<(u32, u64)> {
     hot
 }
 
+/// Count one completed fuzzing campaign for worker `worker` (a dense fleet
+/// worker index). Indices past [`WORKER_SLOTS`] saturate into the last
+/// slot. Each worker writes only its own cell, so concurrent workers never
+/// contend. No-op when disabled.
+#[inline]
+pub fn worker_exec(worker: usize) {
+    if !enabled() {
+        return;
+    }
+    WORKER_EXECS[worker.min(WORKER_SLOTS - 1)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Per-worker campaign counts as `(worker_index, campaigns)`, ascending by
+/// worker index, skipping workers that ran nothing.
+#[must_use]
+pub fn worker_execs() -> Vec<(usize, u64)> {
+    WORKER_EXECS
+        .iter()
+        .enumerate()
+        .filter_map(|(w, cell)| {
+            let v = cell.load(Ordering::Relaxed);
+            (v > 0).then_some((w, v))
+        })
+        .collect()
+}
+
 /// Zero all counters, gauges, histograms and site heat. Called from
 /// [`crate::reset`].
 pub(crate) fn reset_metrics() {
@@ -296,6 +331,9 @@ pub(crate) fn reset_metrics() {
         }
     }
     for cell in &SITE_HEAT {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in &WORKER_EXECS {
         cell.store(0, Ordering::Relaxed);
     }
 }
@@ -379,6 +417,23 @@ mod tests {
         assert_eq!(bucket_of(1023), 9);
         assert_eq!(bucket_of(1024), 10);
         assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn worker_execs_track_per_worker_and_saturate() {
+        let _g = lock_registry();
+        crate::set_enabled(true);
+        crate::reset();
+        worker_exec(0);
+        worker_exec(0);
+        worker_exec(3);
+        worker_exec(WORKER_SLOTS + 10); // saturates into the last slot
+        crate::set_enabled(false);
+        assert_eq!(worker_execs(), vec![(0, 2), (3, 1), (WORKER_SLOTS - 1, 1)]);
+        crate::set_enabled(true);
+        crate::reset();
+        crate::set_enabled(false);
+        assert!(worker_execs().is_empty(), "reset must clear the table");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! validator the CI job runs against it.
 //!
 //! A [`Snapshot`] is a point-in-time read of the whole registry. Its JSON
-//! form is **schema version 1**, documented field by field in
+//! form is **schema version 2**, documented field by field in
 //! `docs/OBSERVABILITY.md`:
 //!
 //! ```json
@@ -16,6 +16,8 @@
 //!                                    "buckets": [[6, 7], [7, 2]] }, ... },
 //!   "phases":     { "execution": { "count": 480, "total_us": 3812345 },
 //!                   ... every catalog phase ... },
+//!   "worker_execs": [ { "worker": 0, "execs": 241 },
+//!                     ... one entry per fleet worker that ran ... ],
 //!   "top_sites":  [ { "site": "clevel.rs:88 bucket_cas", "accesses": 812 } ]
 //! }
 //! ```
@@ -35,8 +37,10 @@ use crate::metrics::{self, Counter, Gauge, Histogram};
 use crate::trace::{self, Phase};
 
 /// Version stamped into `telemetry.json`; bump on any schema change and
-/// update `docs/OBSERVABILITY.md` in the same commit.
-pub const SCHEMA_VERSION: u64 = 1;
+/// update `docs/OBSERVABILITY.md` in the same commit. Version 2 added the
+/// required top-level `worker_execs` array (per-fleet-worker campaign
+/// counts).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// How many of the hottest sites a snapshot carries.
 pub const TOP_SITES: usize = 20;
@@ -93,6 +97,9 @@ pub struct Snapshot {
     pub phases: Vec<PhaseStat>,
     /// The hottest sites, hottest first (at most [`TOP_SITES`]).
     pub top_sites: Vec<SiteStat>,
+    /// Campaigns completed per fleet worker, ascending worker index
+    /// (workers that ran nothing are omitted).
+    pub worker_execs: Vec<(usize, u64)>,
 }
 
 impl Snapshot {
@@ -139,6 +146,7 @@ impl Snapshot {
                     accesses,
                 })
                 .collect(),
+            worker_execs: metrics::worker_execs(),
         }
     }
 
@@ -158,7 +166,7 @@ impl Snapshot {
         self.phases.iter().find(|p| p.name == name)
     }
 
-    /// Serialize to schema-version-1 JSON (pretty-printed, one leaf per
+    /// Serialize to schema-version-2 JSON (pretty-printed, one leaf per
     /// line — the exact format [`validate_snapshot_text`] checks).
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -225,6 +233,15 @@ impl Snapshot {
                 "    {{\"site\": {site}, \"accesses\": {}}}{comma}",
                 s.accesses
             );
+        }
+        out.push_str("  ],\n  \"worker_execs\": [\n");
+        for (i, (w, n)) in self.worker_execs.iter().enumerate() {
+            let comma = if i + 1 == self.worker_execs.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(out, "    {{\"worker\": {w}, \"execs\": {n}}}{comma}");
         }
         out.push_str("  ]\n}\n");
         out
@@ -301,7 +318,7 @@ fn check_uint_map(doc: &Value, field: &str, expected: &[&str]) -> Result<(), Str
     Ok(())
 }
 
-/// Validate a `telemetry.json` document against schema version 1: correct
+/// Validate a `telemetry.json` document against schema version 2: correct
 /// version, all required top-level fields, every cataloged counter / gauge
 /// / histogram / phase present with the right shape, and no un-cataloged
 /// names anywhere.
@@ -395,6 +412,26 @@ pub fn validate_snapshot_text(text: &str) -> Result<(), String> {
         }
         prev = n;
     }
+
+    let workers = doc
+        .get("worker_execs")
+        .and_then(Value::as_arr)
+        .ok_or("missing array \"worker_execs\"")?;
+    let mut prev_worker = None;
+    for w in workers {
+        let idx = w
+            .get("worker")
+            .and_then(Value::as_u64)
+            .ok_or("worker_execs: entry missing integer \"worker\"")?;
+        w.get("execs")
+            .and_then(Value::as_u64)
+            .filter(|n| *n > 0)
+            .ok_or("worker_execs: entry missing positive integer \"execs\"")?;
+        if prev_worker.is_some_and(|p| idx <= p) {
+            return Err("worker_execs: worker indices not strictly ascending".to_string());
+        }
+        prev_worker = Some(idx);
+    }
     Ok(())
 }
 
@@ -447,7 +484,7 @@ mod tests {
             .unwrap_err()
             .contains("exec.bogus"));
 
-        let wrong_version = good.replacen("\"version\": 1", "\"version\": 99", 1);
+        let wrong_version = good.replacen("\"version\": 2", "\"version\": 99", 1);
         assert!(validate_snapshot_text(&wrong_version)
             .unwrap_err()
             .contains("99"));

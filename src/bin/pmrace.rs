@@ -13,7 +13,16 @@
 //!
 //! `fuzz` runs the PM-aware coverage-guided fuzzer and prints the unique
 //! bugs; with `--report-dir` it also writes one detailed report file per
-//! bug (including the triggering seed). `fuzz --list-targets` prints every
+//! bug (including the triggering seed). `--workers N` runs a fleet of N
+//! exploration workers sharing one wait-free coverage frontier and a
+//! sharded cross-worker seed pool: a seed that unlocks coverage on one
+//! worker is evolved by the others within a few campaigns, duplicate
+//! findings are absorbed without a global lock, and campaigns are
+//! scheduler-sleep-bound, so aggregate execs/sec scales near-linearly even
+//! on a single CPU (`repro hotpath`'s `fleet_execs` cells track the curve).
+//! Each worker draws from its own deterministic RNG stream, so seeded runs
+//! stay replayable; with `--progress`, multi-worker runs print a per-worker
+//! execs/s split. `fuzz --list-targets` prints every
 //! target registered with the process-global registry (the built-ins plus
 //! any runtime-registered plugins; `list` shows just the paper's five). `--telemetry DIR` turns the
 //! observability layer on and writes `telemetry.json` + `trace.jsonl` into
