@@ -36,7 +36,8 @@
 mod registry;
 
 pub use registry::{
-    all_targets, register_target, resolve_target, resolve_target_or_err, DuplicateTarget,
+    all_targets, ensure_registered, register_target, resolve_target, resolve_target_or_err,
+    DuplicateTarget,
 };
 
 /// Shared JSON string-literal escaping and unescaping.

@@ -65,6 +65,52 @@ pub fn register_target(spec: TargetSpec) -> Result<(), DuplicateTarget> {
     Ok(())
 }
 
+/// Register `spec` if its name is free, succeed silently if *the same
+/// spec* is already present, and reject a *different* spec under the same
+/// name.
+///
+/// This is the concurrent-first-call-safe form of idempotent registration:
+/// fleet workers all race their suite's `register_*()` on startup, and a
+/// caller-side `Once` only serializes callers of *that* function — two
+/// suites (or a test binary and a library) registering the same spec
+/// through different entry points still collide. Sameness is judged by the
+/// spec's function pointers and hints under the registry's write lock, so
+/// exactly one copy lands no matter how many threads race.
+///
+/// # Errors
+///
+/// Rejects a spec whose name is registered with different contents —
+/// that is a real conflict, not a redundant call.
+pub fn ensure_registered(spec: TargetSpec) -> Result<(), DuplicateTarget> {
+    let mut reg = registry().write();
+    if let Some(existing) = reg.iter().find(|s| s.name == spec.name) {
+        if same_spec(existing, &spec) {
+            return Ok(());
+        }
+        return Err(DuplicateTarget {
+            name: spec.name.to_owned(),
+        });
+    }
+    reg.push(spec);
+    Ok(())
+}
+
+/// Two specs are the same registration if every field matches; functions
+/// compare by address, which is exactly right here — "the same spec"
+/// means the same `static` handed to `ensure_registered` twice.
+fn same_spec(a: &TargetSpec, b: &TargetSpec) -> bool {
+    a.name == b.name
+        && std::ptr::fn_addr_eq(a.init, b.init)
+        && std::ptr::fn_addr_eq(a.recover, b.recover)
+        && std::ptr::fn_addr_eq(a.pool, b.pool)
+        && a.hints == b.hints
+        && match (a.arm, b.arm) {
+            (None, None) => true,
+            (Some(x), Some(y)) => std::ptr::fn_addr_eq(x, y),
+            _ => false,
+        }
+}
+
 /// Look a registered target up by name.
 #[must_use]
 pub fn resolve_target(name: &str) -> Option<TargetSpec> {
@@ -179,6 +225,46 @@ mod tests {
             .filter(|s| s.name == "reg-conc-shared")
             .count();
         assert_eq!(shared, 1, "contested name registered exactly once");
+    }
+
+    #[test]
+    fn racing_idempotent_registration_of_one_spec_lands_exactly_once() {
+        // The fleet-startup shape: many workers race ensure_registered
+        // with the *same* spec on first call. Every call must succeed and
+        // exactly one copy must land — no Once on the caller's side.
+        static SPEC_NAME: &str = "reg-race-idem";
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        ensure_registered(dummy(SPEC_NAME))
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), Ok(()), "idempotent call must win");
+            }
+        });
+        let copies = all_targets().iter().filter(|s| s.name == SPEC_NAME).count();
+        assert_eq!(copies, 1, "the contested spec registered exactly once");
+    }
+
+    #[test]
+    fn ensure_registered_rejects_a_conflicting_spec_under_the_same_name() {
+        ensure_registered(dummy("reg-race-conflict")).unwrap();
+        // Same name, different init fn: a genuine conflict, not a retry.
+        let conflicting = TargetSpec::new(
+            "reg-race-conflict",
+            |_| Err(RtError::Timeout),
+            |_| Err(RtError::Halted),
+            PoolOpts::small,
+        );
+        let err = ensure_registered(conflicting).unwrap_err();
+        assert_eq!(err.name, "reg-race-conflict");
+        // And the redundant re-registration of the original still succeeds.
+        ensure_registered(dummy("reg-race-conflict")).unwrap();
     }
 
     #[test]

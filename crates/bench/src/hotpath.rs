@@ -319,6 +319,34 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
             elapsed: report.elapsed,
         });
     }
+
+    // CAS-retry hot path: whole-fuzzer campaigns/sec against a lock-free
+    // target whose control flow is CAS-retry loops rather than locks.
+    // Every failed CAS attempt is a scheduler decision point
+    // (`on_cas_fail` bounded-storm gating), so this cell tracks the
+    // end-to-end cost of retry-aware scheduling as driver threads grow —
+    // the companion curve to `fleet_execs` for the lock-free suite.
+    pmrace_lockfree::register_lockfree();
+    for &threads in &[2usize, 4] {
+        let mut cfg = pmrace_core::FuzzConfig::new("treiber-stack");
+        cfg.workers = 2;
+        cfg.threads = threads;
+        cfg.max_campaigns = usize::MAX;
+        cfg.wall_budget = budget;
+        cfg.campaign_deadline = Duration::from_millis(400);
+        cfg.rng_seed = 0xCA5 ^ threads as u64;
+        let report = pmrace_core::Fuzzer::new(cfg)
+            .expect("treiber-stack is registered")
+            .run()
+            .expect("cas-retry bench run");
+        cells.push(HotpathCell {
+            name: "cas_retry_execs".to_owned(),
+            threads,
+            disjoint: true,
+            ops: report.campaigns as u64,
+            elapsed: report.elapsed,
+        });
+    }
     cells
 }
 
@@ -414,6 +442,7 @@ mod tests {
             "crash_image_capture",
             "validate_cached",
             "fleet_execs",
+            "cas_retry_execs",
         ] {
             assert!(names.iter().any(|n| n == required), "missing {required}");
         }
@@ -423,6 +452,12 @@ mod tests {
             fleet.iter().map(|c| c.threads).collect::<Vec<_>>(),
             [1, 2, 4, 8]
         );
+        // One CAS-retry cell per driver-thread count.
+        let cas: Vec<_> = cells
+            .iter()
+            .filter(|c| c.name == "cas_retry_execs")
+            .collect();
+        assert_eq!(cas.iter().map(|c| c.threads).collect::<Vec<_>>(), [2, 4]);
     }
 
     #[test]

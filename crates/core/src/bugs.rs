@@ -331,6 +331,14 @@ impl Ledger {
             new_candidates: std::mem::take(&mut plan.new_candidates),
         };
         let seed_text = seed.map(crate::Seed::to_text);
+        // Write sites that published via CAS (lock-free targets): their
+        // reports call out the publication mechanism, since the racy window
+        // sits between the successful CAS and the missing flush.
+        let cas_writers: HashSet<u32> = result
+            .shared
+            .iter()
+            .flat_map(|e| e.cas_sites.iter().map(|&(s, _)| s.id()))
+            .collect();
 
         for (&i, &verdict) in plan.incons.iter().zip(&plan.incons_verdicts) {
             let rec = &result.findings.inconsistencies[i];
@@ -357,7 +365,12 @@ impl Ledger {
                             read_label: r.clone(),
                             effect_label: e.clone(),
                             description: format!(
-                                "read non-persisted data written at {w}, durable side effect ({}) at {e}",
+                                "read non-persisted data {}written at {w}, durable side effect ({}) at {e}",
+                                if cas_writers.contains(&rec.candidate.write_site.id()) {
+                                    "CAS-published "
+                                } else {
+                                    ""
+                                },
                                 rec.kind
                             ),
                             verdict,

@@ -402,6 +402,7 @@ impl Explorer {
                                         off: plan.off,
                                         load_sites: labels_of(&plan.load_sites),
                                         store_sites: labels_of(&plan.store_sites),
+                                        cas_sites: labels_of(&plan.cas_sites),
                                     },
                                     rng_seed,
                                     skips,
@@ -652,7 +653,10 @@ mod tests {
             let cap = out.capture.expect("recording on: every step captures");
             assert_eq!(cap.threads, 2);
             if let StrategyCapture::Pmrace { plan, skips, .. } = &cap.strategy {
-                assert!(!plan.load_sites.is_empty());
+                assert!(
+                    !plan.load_sites.is_empty() || !plan.cas_sites.is_empty(),
+                    "a plan needs at least one load or CAS sync point"
+                );
                 assert_eq!(skips.len(), plan.load_sites.len());
                 saw_pmrace_capture = true;
             }

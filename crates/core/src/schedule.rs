@@ -26,6 +26,9 @@ pub struct PlanCapture {
     pub load_sites: Vec<String>,
     /// Labels of the signalling store sites, sorted.
     pub store_sites: Vec<String>,
+    /// Labels of the CAS sites whose failed attempts are stalled as retry
+    /// decision points, sorted.
+    pub cas_sites: Vec<String>,
 }
 
 /// One released access to the watched granule (label-based
@@ -110,6 +113,7 @@ mod tests {
                     off: 64,
                     load_sites: vec!["l".to_owned()],
                     store_sites: vec!["s".to_owned()],
+                    cas_sites: Vec::new(),
                 },
                 rng_seed: 7,
                 skips: vec![("l".to_owned(), 2)],

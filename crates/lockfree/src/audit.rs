@@ -1,0 +1,208 @@
+//! Exactly-once recovery audit for the lock-free suite.
+//!
+//! The detectability contract every structure in this suite honors: after
+//! a crash and recovery, each element the pre-crash execution durably
+//! published is recovered **exactly once** — no lost elements, no
+//! duplicated (resurrected) elements, nothing that was never inserted.
+//! [`check_exactly_once`] is the multiset comparison the crash-image
+//! tests (and external harnesses) run against a structure's
+//! `elements(..)` walk; the planted bugs are precisely the shapes that
+//! violate it when the crash lands inside their racy windows.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violation of exactly-once recovery semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditError {
+    /// An expected element is missing from the recovered structure
+    /// (e.g. a push whose publication CAS was never flushed).
+    Lost(u64),
+    /// A recovered element appears more often than expected (e.g. a
+    /// deletion whose mark was `clwb`'d but never fenced resurrects).
+    Duplicated(u64),
+    /// A recovered element was never expected at all (torn pointer walked
+    /// into garbage).
+    Unexpected(u64),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Lost(v) => write!(f, "lost element {v:#x} after recovery"),
+            AuditError::Duplicated(v) => write!(f, "element {v:#x} recovered more than once"),
+            AuditError::Unexpected(v) => write!(f, "recovered element {v:#x} was never inserted"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Multiset-compare the recovered elements against the expected ones.
+///
+/// Order-insensitive on purpose: a stack recovers LIFO, a queue FIFO,
+/// a list in key order — exactly-once is about membership with
+/// multiplicity, not traversal order.
+///
+/// # Errors
+///
+/// The first violation found, preferring [`AuditError::Unexpected`] /
+/// [`AuditError::Duplicated`] (surplus) over [`AuditError::Lost`]
+/// (deficit) so torn-walk garbage isn't masked by unrelated losses.
+pub fn check_exactly_once(expected: &[u64], recovered: &[u64]) -> Result<(), AuditError> {
+    let mut want: HashMap<u64, i64> = HashMap::new();
+    for &v in expected {
+        *want.entry(v).or_insert(0) += 1;
+    }
+    for &v in recovered {
+        match want.get_mut(&v) {
+            Some(n) if *n > 0 => *n -= 1,
+            Some(_) => return Err(AuditError::Duplicated(v)),
+            None => return Err(AuditError::Unexpected(v)),
+        }
+    }
+    if let Some((&v, _)) = want.iter().find(|(_, &n)| n > 0) {
+        return Err(AuditError::Lost(v));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use pmrace_pmem::{Pool, ThreadId};
+
+    use super::*;
+    use crate::testutil::{fresh_session, recovery_session};
+    use crate::{list::HarrisList, queue::MsQueue, stack::TreiberStack};
+
+    /// Crash image with *every* granule forced persistent — the
+    /// no-crash-window baseline each structure must recover exactly.
+    fn fully_persisted_image(pool: &Pool) -> pmrace_pmem::CrashImage {
+        pool.crash_image_persisting(&[(0, pool.size())]).unwrap()
+    }
+
+    #[test]
+    fn audit_flags_lost_duplicated_and_unexpected() {
+        assert_eq!(check_exactly_once(&[1, 2, 3], &[3, 1, 2]), Ok(()));
+        assert_eq!(check_exactly_once(&[1, 2], &[1]), Err(AuditError::Lost(2)));
+        assert_eq!(
+            check_exactly_once(&[1, 2], &[1, 2, 2]),
+            Err(AuditError::Duplicated(2))
+        );
+        assert_eq!(
+            check_exactly_once(&[1], &[1, 9]),
+            Err(AuditError::Unexpected(9))
+        );
+        // Multiset, not set: duplicates in `expected` are honored.
+        assert_eq!(check_exactly_once(&[5, 5], &[5, 5]), Ok(()));
+        assert_eq!(check_exactly_once(&[5, 5], &[5]), Err(AuditError::Lost(5)));
+    }
+
+    #[test]
+    fn stack_recovers_exactly_once_from_a_fully_persisted_image() {
+        let session = fresh_session();
+        let stack = TreiberStack::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [10u64, 20, 30] {
+            stack.push(&view, v).unwrap();
+        }
+        let img = fully_persisted_image(session.pool());
+        let s2 = recovery_session(Arc::new(Pool::from_crash_image(&img).unwrap()));
+        let rec = TreiberStack::recover(&s2).unwrap();
+        let got = rec.elements(&s2.view(ThreadId(0))).unwrap();
+        assert_eq!(check_exactly_once(&[10, 20, 30], &got), Ok(()));
+    }
+
+    #[test]
+    fn stack_audit_detects_the_unflushed_publication() {
+        let session = fresh_session();
+        let stack = TreiberStack::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [10u64, 20, 30] {
+            stack.push(&view, v).unwrap();
+        }
+        // No forced persistence: the publication CASes are still dirty.
+        let img = session.pool().crash_image().unwrap();
+        let s2 = recovery_session(Arc::new(Pool::from_crash_image(&img).unwrap()));
+        let rec = TreiberStack::recover(&s2).unwrap();
+        let got = rec.elements(&s2.view(ThreadId(0))).unwrap();
+        assert!(matches!(
+            check_exactly_once(&[10, 20, 30], &got),
+            Err(AuditError::Lost(_))
+        ));
+    }
+
+    #[test]
+    fn queue_recovers_exactly_once_from_a_fully_persisted_image() {
+        let session = fresh_session();
+        let q = MsQueue::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [4u64, 5, 6] {
+            q.enqueue(&view, v).unwrap();
+        }
+        let img = fully_persisted_image(session.pool());
+        let s2 = recovery_session(Arc::new(Pool::from_crash_image(&img).unwrap()));
+        let rec = MsQueue::recover(&s2).unwrap();
+        let got = rec.elements(&s2.view(ThreadId(0))).unwrap();
+        assert_eq!(check_exactly_once(&[4, 5, 6], &got), Ok(()));
+    }
+
+    #[test]
+    fn queue_audit_detects_the_unflushed_link() {
+        let session = fresh_session();
+        let q = MsQueue::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [4u64, 5, 6] {
+            q.enqueue(&view, v).unwrap();
+        }
+        let img = session.pool().crash_image().unwrap();
+        let s2 = recovery_session(Arc::new(Pool::from_crash_image(&img).unwrap()));
+        let rec = MsQueue::recover(&s2).unwrap();
+        let got = rec.elements(&s2.view(ThreadId(0))).unwrap();
+        assert!(matches!(
+            check_exactly_once(&[4, 5, 6], &got),
+            Err(AuditError::Lost(_))
+        ));
+    }
+
+    #[test]
+    fn list_recovers_exactly_once_and_flags_the_unfenced_mark() {
+        let session = fresh_session();
+        let list = HarrisList::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for k in [1u64, 2, 3] {
+            list.insert(&view, k, k + 100).unwrap();
+        }
+        // Fully persisted pre-delete state recovers exactly once.
+        let img = fully_persisted_image(session.pool());
+        let s2 = recovery_session(Arc::new(Pool::from_crash_image(&img).unwrap()));
+        let rec = HarrisList::recover(&s2).unwrap();
+        let keys: Vec<u64> = rec
+            .elements(&s2.view(ThreadId(0)))
+            .unwrap()
+            .iter()
+            .map(|e| e.0)
+            .collect();
+        assert_eq!(check_exactly_once(&[1, 2, 3], &keys), Ok(()));
+        // Now delete on the *live* pool: the mark is clwb'd but never
+        // fenced, so a plain crash image resurrects the victim while the
+        // expected post-delete set no longer contains it.
+        list.delete(&view, 2).unwrap();
+        let img = session.pool().crash_image().unwrap();
+        let s3 = recovery_session(Arc::new(Pool::from_crash_image(&img).unwrap()));
+        let rec = HarrisList::recover(&s3).unwrap();
+        let keys: Vec<u64> = rec
+            .elements(&s3.view(ThreadId(0)))
+            .unwrap()
+            .iter()
+            .map(|e| e.0)
+            .collect();
+        assert_eq!(
+            check_exactly_once(&[1, 3], &keys),
+            Err(AuditError::Unexpected(2)),
+            "the durably-logged deletion came back: bug 1's crash shape"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Lock-free persistent data-structure target suite.
+//!
+//! Three classic lock-free structures rebuilt on persistent memory and
+//! written directly against the instrumented CAS
+//! ([`PmView::cas_u64`](pmrace_runtime::PmView::cas_u64)), each seeded
+//! with realistic inter-thread PM inconsistencies in the publication
+//! path — the bug shapes PMRace's CAS-retry-aware scheduling is built to
+//! expose:
+//!
+//! | module | structure | planted bugs |
+//! |---|---|---|
+//! | [`stack`] | Treiber stack | unflushed CAS-published top; unflushed payload behind a durable link |
+//! | [`list`] | Harris-style sorted list | `clwb` without `sfence` on the deletion mark (helping path logs it); unflushed payload |
+//! | [`queue`] | Michael–Scott queue | unflushed linking CAS (helping producer logs the repair); unflushed payload |
+//!
+//! Every structure allocates nodes from a bounded CAS-advanced arena,
+//! bounds its optimistic retry loops (failed [`cas_u64`] attempts are the
+//! scheduler's retry decision points), and implements `recover` the way a
+//! restart path would: rebuild structural invariants from what actually
+//! persisted, *without* touching the durable log cells the planted bugs
+//! taint. The [`audit`] module states the detectability contract those
+//! recoveries are tested against: every durably published element comes
+//! back exactly once.
+//!
+//! Like the built-ins, the suite reaches the process-global registry
+//! through an idempotent, race-safe entry point: [`register_lockfree`].
+//!
+//! [`cas_u64`]: pmrace_runtime::PmView::cas_u64
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod list;
+pub mod queue;
+pub mod stack;
+#[cfg(test)]
+mod testutil;
+
+pub use pmrace_api::{Op, OpResult, Target, TargetSpec};
+
+/// Specs of the three lock-free structures, in table order.
+fn suite_specs() -> [TargetSpec; 3] {
+    [stack::SPEC, list::SPEC, queue::SPEC]
+}
+
+/// Register the lock-free suite with the process-global target registry.
+/// Idempotent and thread-safe (concurrent first calls from racing fleet
+/// workers are fine); repeat calls are free.
+pub fn register_lockfree() {
+    for spec in suite_specs() {
+        pmrace_api::ensure_registered(spec)
+            .expect("lock-free target names are unique across suites");
+    }
+}
+
+/// Specs of the three lock-free structures, in table order. Implicitly
+/// ensures the suite is registered.
+#[must_use]
+pub fn lockfree_specs() -> Vec<TargetSpec> {
+    register_lockfree();
+    suite_specs().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_registers_idempotently_and_resolves_by_name() {
+        register_lockfree();
+        register_lockfree();
+        let names: Vec<&str> = lockfree_specs().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["treiber-stack", "harris-list", "ms-queue"]);
+        for name in names {
+            assert!(
+                pmrace_api::resolve_target(name).is_some(),
+                "{name} must resolve from the global registry"
+            );
+        }
+    }
+
+    #[test]
+    fn suite_grammars_differ_from_the_default() {
+        for spec in lockfree_specs() {
+            assert_ne!(
+                spec.hints,
+                pmrace_api::SeedHints::DEFAULT,
+                "{} ships its own grammar",
+                spec.name
+            );
+        }
+    }
+}

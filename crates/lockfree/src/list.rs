@@ -1,0 +1,593 @@
+//! A persistent Harris-style lock-free sorted list with two planted bugs.
+//!
+//! Nodes are reserved from a bounded CAS-advanced arena and linked in key
+//! order. Deletion is two-phase in the Harris style: the deleter only
+//! *logically* deletes, CAS-setting the mark bit in the victim's `next`
+//! pointer; physical unlinking is left to whichever traversal next
+//! encounters the marked node, which *helps* by unlinking it and durably
+//! logging the repair. Two PM inter-thread inconsistencies are planted:
+//!
+//! 1. **Missing fence on the mark** (`hlist.c:88` / `hlist.c:65` /
+//!    `hlist.c:70`) — the deleter issues a `clwb` on the marked pointer
+//!    but never the `sfence`, so the mark is still in flight when a
+//!    helping thread reads it, unlinks the node, and durably logs the
+//!    marked pointer value. A crash drops the in-flight mark (and the
+//!    helper's never-persisted view of it): the node resurrects while
+//!    the durable unlink log claims it was removed.
+//! 2. **Unflushed payload behind a durable link** (`hlist.c:49` /
+//!    `hlist.c:103` / `hlist.c:105`) — the key and the links are durable
+//!    by publication time, but the payload is a plain store with no
+//!    persist. A concurrent `get` reads the payload and durably logs it;
+//!    a crash loses the payload while the find log claims the value.
+//!
+//! Recovery walks the persisted links, completes pending (durable)
+//! deletions, truncates at torn pointers, and rewinds the arena cursor —
+//! but never heals the durable log cells, so post-failure validation
+//! classifies both findings as genuine.
+
+use std::sync::Arc;
+
+use pmrace_api::{Op, OpResult, OpWeights, SeedHints, Target, TargetSpec};
+use pmrace_pmem::{PmAllocator, PoolOpts, ThreadId};
+use pmrace_runtime::{site, PmView, RtError, Session};
+
+// Root layout: head sentinel's next pointer, two durable log cells, the
+// node-arena cursor, then the node arena. Every field sits on its own
+// cache line: `clwb` write-back covers whole 64-byte lines, so
+// co-locating the deliberately-unflushed payload with the link/key cells
+// the code *does* persist would drag it to durability by false sharing.
+const HEAD_NEXT: u64 = 0;
+/// Durable log: the payload a lookup observed (bug 2's effect cell).
+const FIND_LOG: u64 = 64;
+/// Durable log: the marked pointer a (helping) unlink removed (bug 1's
+/// effect cell).
+const UNLINK_LOG: u64 = 128;
+const NODE_CURSOR: u64 = 192;
+const NODES: u64 = 256;
+/// Node layout: next pointer (mark in bit 0) and key share the first
+/// cache line (both durable by publication time); the payload sits on
+/// its own line so link flushes cannot flush it along.
+const NODE_NEXT: u64 = 0;
+const NODE_KEY: u64 = 8;
+const NODE_VAL: u64 = 64;
+const NODE_SIZE: u64 = 128;
+/// Logical-deletion mark: bit 0 of a node's `next` pointer (node offsets
+/// are 8-aligned, so the bit is free).
+const MARK: u64 = 1;
+/// Arena capacity in nodes.
+const CAP: u64 = 128;
+const ROOT_SIZE: usize = (NODES + CAP * NODE_SIZE) as usize;
+
+/// Bounded optimistic retries before an op gives up.
+const MAX_TRIES: u32 = 64;
+
+/// Keyed grammar on a tiny key space: inserts, updates, and deletes all
+/// collide on the same few nodes, keeping marks and helping traffic hot.
+const HINTS: SeedHints = SeedHints {
+    key_range: 6,
+    hot_keys: 3,
+    max_value: 16,
+    max_step: 4,
+    weights: OpWeights {
+        insert: 40,
+        get: 8,
+        update: 22,
+        delete: 26,
+        incr: 2,
+        decr: 2,
+    },
+};
+
+/// The list instance bound to a session's pool.
+#[derive(Debug)]
+pub struct HarrisList {
+    root: u64,
+}
+
+/// Registration entry for the suite (`register_lockfree`).
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "harris-list",
+    |session| Ok(Arc::new(HarrisList::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(HarrisList::recover(session)?) as Arc<dyn Target>),
+    PoolOpts::small,
+)
+.with_hints(HINTS);
+
+/// What a search found: the address of the pointer field referencing
+/// `curr`, the candidate node (0 at end of list), and its key.
+struct Found {
+    pred_addr: u64,
+    curr: u64,
+    curr_key: u64,
+}
+
+impl HarrisList {
+    /// Format the session's pool and build an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn init(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(ThreadId(0));
+        let alloc = PmAllocator::format(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.alloc(ROOT_SIZE, view.tid())?;
+        alloc.set_root(root, view.tid())?;
+        view.ntstore_u64(root + HEAD_NEXT, 0u64, site!("hlist.init.head"))?;
+        view.ntstore_u64(root + FIND_LOG, 0u64, site!("hlist.init.find_log"))?;
+        view.ntstore_u64(root + UNLINK_LOG, 0u64, site!("hlist.init.unlink_log"))?;
+        view.ntstore_u64(root + NODE_CURSOR, 0u64, site!("hlist.init.cursor"))?;
+        Ok(HarrisList { root })
+    }
+
+    /// Reopen an existing pool: walk the persisted links, complete any
+    /// durable pending deletions (marked nodes are unlinked), truncate at
+    /// the first torn pointer, and rewind the arena cursor past the
+    /// highest reachable slot. The durable log cells are deliberately
+    /// left alone — that is what makes the planted inconsistencies real
+    /// bugs rather than recovery-healed false positives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn recover(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(ThreadId(0));
+        let alloc = PmAllocator::open(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.root()?;
+        let list = HarrisList { root };
+        let mut high_water = 0u64;
+        let mut steps = 0u64;
+        let mut pred_addr = root + HEAD_NEXT;
+        let mut curr = view
+            .load_u64(pred_addr, site!("hlist.recover.read_head"))?
+            .value();
+        while curr != 0 {
+            let Some(idx) = list.node_index(curr) else {
+                view.ntstore_u64(pred_addr, 0u64, site!("hlist.recover.truncate"))?;
+                break;
+            };
+            steps += 1;
+            if steps > CAP {
+                view.ntstore_u64(pred_addr, 0u64, site!("hlist.recover.break_cycle"))?;
+                break;
+            }
+            high_water = high_water.max(idx + 1);
+            let next = view
+                .load_u64(curr + NODE_NEXT, site!("hlist.recover.read_next"))?
+                .value();
+            if next & MARK != 0 {
+                // A durably marked node: complete the deletion.
+                view.ntstore_u64(pred_addr, next & !MARK, site!("hlist.recover.unlink"))?;
+                curr = next & !MARK;
+                continue;
+            }
+            pred_addr = curr + NODE_NEXT;
+            curr = next;
+        }
+        view.ntstore_u64(
+            root + NODE_CURSOR,
+            high_water,
+            site!("hlist.recover.cursor"),
+        )?;
+        Ok(list)
+    }
+
+    /// Pool offset of node `idx`'s base.
+    fn node_off(&self, idx: u64) -> u64 {
+        self.root + NODES + idx * NODE_SIZE
+    }
+
+    /// Inverse of [`Self::node_off`]: `Some(idx)` iff `off` is a valid
+    /// node base inside the arena.
+    fn node_index(&self, off: u64) -> Option<u64> {
+        let base = self.root + NODES;
+        if off < base {
+            return None;
+        }
+        let rel = off - base;
+        let idx = rel / NODE_SIZE;
+        (rel.is_multiple_of(NODE_SIZE) && idx < CAP).then_some(idx)
+    }
+
+    /// Reserve one arena node by CAS-advancing the cursor.
+    fn alloc_node(&self, view: &PmView) -> Result<Option<u64>, RtError> {
+        let mut tries = 0;
+        loop {
+            let cur = view
+                .load_u64(self.root + NODE_CURSOR, site!("hlist.c:41.read_cursor"))?
+                .value();
+            if cur >= CAP {
+                return Ok(None);
+            }
+            let (won, _) = view.cas_u64(
+                self.root + NODE_CURSOR,
+                cur,
+                cur + 1,
+                site!("hlist.c:44.alloc_node"),
+            )?;
+            if won {
+                view.persist(self.root + NODE_CURSOR, 8, site!("hlist.c:45.flush_cursor"))?;
+                return Ok(Some(self.node_off(cur)));
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(None);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Walk to the first node with key ≥ `key`, helping any pending
+    /// deletion met on the way.
+    ///
+    /// The helping path carries bug 1's *read* and *effect*: the marked
+    /// pointer is re-read at `hlist.c:65` (the deleter's `clwb` without
+    /// `sfence` leaves it non-persisted, so the read is racy) and then
+    /// durably logged at `hlist.c:70` once the unlink lands.
+    ///
+    /// Returns `None` when the walk budget is exhausted (torn pointer,
+    /// cycle, or too much contention).
+    fn search(&self, view: &PmView, key: u64) -> Result<Option<Found>, RtError> {
+        let mut restarts = 0;
+        'restart: loop {
+            let mut pred_addr = self.root + HEAD_NEXT;
+            let mut curr = view
+                .load_u64(pred_addr, site!("hlist.c:58.read_head"))?
+                .value();
+            let mut steps = 0u64;
+            while curr != 0 {
+                if self.node_index(curr).is_none() {
+                    return Ok(None); // torn pointer
+                }
+                steps += 1;
+                if steps > CAP + 2 {
+                    return Ok(None); // cycle
+                }
+                let next = view.load_u64(curr + NODE_NEXT, site!("hlist.c:61.read_next"))?;
+                if next.value() & MARK != 0 {
+                    // Bug 1 read side: the deleter's mark was clwb'd but
+                    // never fenced, so this observes in-flight data.
+                    let marked =
+                        view.load_u64(curr + NODE_NEXT, site!("hlist.c:65.read_marked"))?;
+                    let succ = marked.value() & !MARK;
+                    let (won, _) =
+                        view.cas_u64(pred_addr, curr, succ, site!("hlist.c:67.help_unlink"))?;
+                    if won {
+                        // The unlink itself is deliberately unpersisted —
+                        // the helper trusts the deleter's mark (which was
+                        // never fenced durable either). Only the repair
+                        // log below is made durable.
+                        // Bug 1 durable side effect: log the repair.
+                        view.ntstore_u64(
+                            self.root + UNLINK_LOG,
+                            marked,
+                            site!("hlist.c:70.log_unlink"),
+                        )?;
+                        curr = succ;
+                        continue;
+                    }
+                    restarts += 1;
+                    if restarts >= MAX_TRIES {
+                        return Ok(None);
+                    }
+                    view.spin_yield()?;
+                    continue 'restart;
+                }
+                let k = view
+                    .load_u64(curr + NODE_KEY, site!("hlist.c:73.read_key"))?
+                    .value();
+                if k >= key {
+                    return Ok(Some(Found {
+                        pred_addr,
+                        curr,
+                        curr_key: k,
+                    }));
+                }
+                pred_addr = curr + NODE_NEXT;
+                curr = next.value();
+            }
+            return Ok(Some(Found {
+                pred_addr,
+                curr: 0,
+                curr_key: 0,
+            }));
+        }
+    }
+
+    /// Insert `key -> val` (or update the payload in place if present).
+    ///
+    /// Bug 2's *write* site lives here: the payload store (`hlist.c:49`)
+    /// is never flushed, even though the key and the publication link are
+    /// durable by the time the node is reachable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors ([`RtError::Timeout`] on hangs).
+    pub fn insert(&self, view: &PmView, key: u64, val: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("hlist.insert"));
+        let mut node = 0u64;
+        let mut tries = 0;
+        loop {
+            let Some(found) = self.search(view, key)? else {
+                return Ok(OpResult::Missing);
+            };
+            if found.curr != 0 && found.curr_key == key {
+                // Bug 2 write side (update flavor): in-place payload store,
+                // no persist.
+                view.store_u64(found.curr + NODE_VAL, val, site!("hlist.c:49.store_val"))?;
+                return Ok(OpResult::Done);
+            }
+            if node == 0 {
+                let Some(n) = self.alloc_node(view)? else {
+                    return Ok(OpResult::Missing);
+                };
+                node = n;
+                view.ntstore_u64(node + NODE_KEY, key, site!("hlist.c:46.store_key"))?;
+                // Bug 2 write side (insert flavor): the payload is a plain
+                // store with no persist before the node is published.
+                view.store_u64(node + NODE_VAL, val, site!("hlist.c:49.store_val"))?;
+            }
+            view.store_u64(node + NODE_NEXT, found.curr, site!("hlist.c:76.store_link"))?;
+            // The links *are* durable before and after publication — only
+            // the payload (bug 2) travels unflushed.
+            view.persist(node + NODE_NEXT, 8, site!("hlist.c:77.flush_link"))?;
+            let (won, _) = view.cas_u64(
+                found.pred_addr,
+                found.curr,
+                node,
+                site!("hlist.c:79.publish"),
+            )?;
+            if won {
+                view.persist(found.pred_addr, 8, site!("hlist.c:81.flush_publish"))?;
+                return Ok(OpResult::Done);
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(OpResult::Missing);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Delete `key` Harris-style: logical deletion only — CAS the mark
+    /// bit in, leave the physical unlink to the next traversal that
+    /// encounters the node (the helping path in `search`).
+    ///
+    /// Bug 1's *write* site lives here: the marking CAS (`hlist.c:88`) is
+    /// followed by a `clwb` but **no `sfence`** — the mark never becomes
+    /// durable before helpers act on it (the deleter trusts the
+    /// write-back to land, which nothing fences).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn delete(&self, view: &PmView, key: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("hlist.delete"));
+        let mut tries = 0;
+        loop {
+            let Some(found) = self.search(view, key)? else {
+                return Ok(OpResult::Missing);
+            };
+            if found.curr == 0 || found.curr_key != key {
+                // Not there (yet): linger briefly instead of giving up — a
+                // deleter racing fresh inserters, so campaigns overlap the
+                // roles.
+                tries += 1;
+                if tries >= MAX_TRIES {
+                    return Ok(OpResult::Missing);
+                }
+                view.spin_yield()?;
+                continue;
+            }
+            let next = view
+                .load_u64(found.curr + NODE_NEXT, site!("hlist.c:86.read_next_del"))?
+                .value();
+            if next & MARK != 0 {
+                return Ok(OpResult::Missing); // another deleter won
+            }
+            // Bug 1 write side: logical deletion by CAS...
+            let (won, _) = view.cas_u64(
+                found.curr + NODE_NEXT,
+                next,
+                next | MARK,
+                site!("hlist.c:88.mark"),
+            )?;
+            if won {
+                // ...followed by a clwb with a missing sfence: the mark is
+                // scheduled for write-back but never fenced durable. The
+                // physical unlink is left to the next traversal's helping
+                // path, which acts on this still-in-flight mark.
+                view.clwb(found.curr + NODE_NEXT, 8, site!("hlist.c:89.clwb_mark"))?;
+                return Ok(OpResult::Done);
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(OpResult::Missing);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Look `key` up and durably log the observed payload.
+    ///
+    /// Bug 2's *read* and *effect* sites live here: the racy payload read
+    /// (`hlist.c:103`) flows into the durable find log (`hlist.c:105`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn get(&self, view: &PmView, key: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("hlist.get"));
+        let mut tries = 0;
+        loop {
+            let Some(found) = self.search(view, key)? else {
+                return Ok(OpResult::Missing);
+            };
+            if found.curr == 0 || found.curr_key != key {
+                // Not there (yet): linger briefly instead of giving up — a
+                // reader racing fresh inserters, so campaigns overlap the
+                // roles.
+                tries += 1;
+                if tries >= MAX_TRIES {
+                    return Ok(OpResult::Missing);
+                }
+                view.spin_yield()?;
+                continue;
+            }
+            // Bug 2 read side: the inserter's unflushed payload.
+            let val = view.load_u64(found.curr + NODE_VAL, site!("hlist.c:103.read_val"))?;
+            // Bug 2 durable side effect.
+            view.ntstore_u64(
+                self.root + FIND_LOG,
+                val.clone(),
+                site!("hlist.c:105.log_find"),
+            )?;
+            return Ok(OpResult::Found(val.value()));
+        }
+    }
+
+    /// Unmarked `(key, payload)` pairs in list order — the recovery
+    /// audit's view of the structure. Bounded and cycle-checked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn elements(&self, view: &PmView) -> Result<Vec<(u64, u64)>, RtError> {
+        let mut out = Vec::new();
+        let mut curr = view
+            .load_u64(self.root + HEAD_NEXT, site!("hlist.audit.read_head"))?
+            .value();
+        while curr != 0 && self.node_index(curr).is_some() && out.len() < CAP as usize {
+            let next = view
+                .load_u64(curr + NODE_NEXT, site!("hlist.audit.read_next"))?
+                .value();
+            if next & MARK == 0 {
+                out.push((
+                    view.load_u64(curr + NODE_KEY, site!("hlist.audit.read_key"))?
+                        .value(),
+                    view.load_u64(curr + NODE_VAL, site!("hlist.audit.read_val"))?
+                        .value(),
+                ));
+            }
+            curr = next & !MARK;
+        }
+        Ok(out)
+    }
+}
+
+/// Pack an op's key/value into a payload (nonzero so a lost, zeroed
+/// payload is distinguishable from a stored one).
+fn encode(key: u64, value: u64) -> u64 {
+    (key << 8 | (value & 0xff)).max(1)
+}
+
+impl Target for HarrisList {
+    fn name(&self) -> &'static str {
+        "harris-list"
+    }
+
+    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError> {
+        // Role split: driver thread 0 reads and deletes, every other
+        // driver thread inserts/updates. Marks therefore come from thread
+        // 0 and are helped by other threads' searches, and payload reads
+        // in `get` only observe other threads' unflushed stores — both
+        // planted bugs are strictly inter-thread.
+        if view.tid() == ThreadId(0) {
+            match *op {
+                Op::Delete { key } | Op::Decr { key, .. } => self.delete(view, key),
+                Op::Insert { key, .. }
+                | Op::Update { key, .. }
+                | Op::Get { key }
+                | Op::Incr { key, .. } => self.get(view, key),
+            }
+        } else {
+            match *op {
+                Op::Insert { key, value } | Op::Update { key, value } => {
+                    self.insert(view, key, encode(key, value))
+                }
+                Op::Incr { key, by } | Op::Decr { key, by } => {
+                    self.insert(view, key, encode(key, by))
+                }
+                Op::Get { key } | Op::Delete { key } => self.insert(view, key, encode(key, 0)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fresh_session, recovery_session};
+    use pmrace_pmem::Pool;
+
+    #[test]
+    fn insert_get_delete_roundtrip_single_thread() {
+        let session = fresh_session();
+        let list = HarrisList::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for k in [3u64, 1, 2] {
+            assert_eq!(list.insert(&view, k, k * 100).unwrap(), OpResult::Done);
+        }
+        assert_eq!(list.get(&view, 2).unwrap(), OpResult::Found(200));
+        // Sorted order regardless of insertion order.
+        let keys: Vec<u64> = list.elements(&view).unwrap().iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(list.delete(&view, 2).unwrap(), OpResult::Done);
+        assert_eq!(list.get(&view, 2).unwrap(), OpResult::Missing);
+        // Update in place.
+        assert_eq!(list.insert(&view, 1, 111).unwrap(), OpResult::Done);
+        assert_eq!(list.get(&view, 1).unwrap(), OpResult::Found(111));
+    }
+
+    #[test]
+    fn unflushed_payload_is_lost_behind_the_durable_link() {
+        let session = fresh_session();
+        let list = HarrisList::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        list.insert(&view, 5, 555).unwrap();
+        // Key and links are durable; the payload store never was.
+        let img = session.pool().crash_image().unwrap();
+        let pool = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = recovery_session(pool);
+        let rec = HarrisList::recover(&s2).unwrap();
+        let v2 = s2.view(ThreadId(0));
+        assert_eq!(
+            rec.elements(&v2).unwrap(),
+            vec![(5, 0)],
+            "node survives, payload is lost: bug 2's crash shape"
+        );
+    }
+
+    #[test]
+    fn unfenced_mark_resurrects_the_deleted_node_across_a_crash() {
+        let session = fresh_session();
+        let list = HarrisList::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for k in [1u64, 2, 3] {
+            list.insert(&view, k, k).unwrap();
+        }
+        assert_eq!(list.delete(&view, 2).unwrap(), OpResult::Done);
+        let keys: Vec<u64> = list.elements(&view).unwrap().iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![1, 3], "runtime view: 2 is gone");
+        // Another thread's traversal walks past the marked node and
+        // helps: it unlinks (unpersisted) and durably logs the removal.
+        // Its own sfence (inside the unlink persist) does not drain the
+        // *deleter's* pending mark write-back — fences are per-thread —
+        // so the mark stays in flight.
+        let helper = session.view(ThreadId(1));
+        assert_eq!(list.get(&helper, 3).unwrap(), OpResult::Found(3));
+        // The mark was clwb'd but never fenced and the unlink was never
+        // persisted — only the durable unlink log survives the crash.
+        let img = session.pool().crash_image().unwrap();
+        assert_ne!(
+            img.load_u64(list.root + UNLINK_LOG).unwrap(),
+            0,
+            "the removal is durably logged"
+        );
+        let pool = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = recovery_session(pool);
+        let rec = HarrisList::recover(&s2).unwrap();
+        let v2 = s2.view(ThreadId(0));
+        let keys: Vec<u64> = rec.elements(&v2).unwrap().iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![1, 2, 3], "2 resurrected: bug 1's crash shape");
+    }
+}

@@ -1,0 +1,480 @@
+//! A persistent Michael–Scott queue with two planted CAS-publication bugs.
+//!
+//! The classic two-CAS enqueue: link the new node onto `tail.next`, then
+//! swing `TAIL`. A producer that finds `tail.next` already taken *helps*
+//! by swinging `TAIL` over the half-linked node and durably logging the
+//! repair. Two PM inter-thread inconsistencies are planted:
+//!
+//! 1. **Unflushed link CAS** (`msq.c:62` / `msq.c:59` / `msq.c:72`) — the
+//!    linking CAS that publishes the new node on `tail.next` is never
+//!    persisted. A helping producer racy-reads the half-linked pointer
+//!    and durably logs the repair it performed. A crash drops the link:
+//!    the recovered queue never held the node the repair log references.
+//! 2. **Unflushed payload behind the link** (`msq.c:52` / `msq.c:90` /
+//!    `msq.c:95`) — the node payload is a plain store with no persist. A
+//!    consumer reads the payload and durably logs the dequeued value; a
+//!    crash loses the payload while the durable log claims it was
+//!    consumed.
+//!
+//! Recovery walks the persisted links from `HEAD`, truncates at the first
+//! lost link, repairs `TAIL` to the last reachable node, and rewinds the
+//! arena cursor — but never heals the durable log cells, so post-failure
+//! validation classifies both findings as genuine.
+
+use std::sync::Arc;
+
+use pmrace_api::{Op, OpResult, OpWeights, SeedHints, Target, TargetSpec};
+use pmrace_pmem::{PmAllocator, PoolOpts, ThreadId};
+use pmrace_runtime::{site, PmView, RtError, Session};
+
+// Root layout: head/tail pointers, two durable log cells, the node-arena
+// cursor, then the node arena. Slot 0 is the initial dummy node. Every
+// field sits on its own cache line: `clwb` write-back covers whole
+// 64-byte lines, so co-locating the deliberately-unflushed cells (links,
+// payloads) with the head/tail/cursor cells the code *does* persist
+// would drag them to durability by false sharing.
+const Q_HEAD: u64 = 0;
+const Q_TAIL: u64 = 64;
+/// Durable log: the last dequeued payload (bug 2's effect cell).
+const DEQ_LOG: u64 = 128;
+/// Durable log: the half-linked pointer a helping producer swung `TAIL`
+/// over (bug 1's effect cell).
+const REPAIR_LOG: u64 = 192;
+const NODE_CURSOR: u64 = 256;
+const NODES: u64 = 320;
+/// Node layout: next pointer and payload on separate cache lines.
+const NODE_NEXT: u64 = 0;
+const NODE_VAL: u64 = 64;
+const NODE_SIZE: u64 = 128;
+/// Arena capacity in nodes (slot 0 is the dummy).
+const CAP: u64 = 256;
+const ROOT_SIZE: usize = (NODES + CAP * NODE_SIZE) as usize;
+
+/// Bounded optimistic retries before an op gives up.
+const MAX_TRIES: u32 = 64;
+
+/// Enqueue/dequeue-heavy grammar; the helping path (bug 1) needs at
+/// least two concurrent producers, so campaigns should run ≥3 threads.
+const HINTS: SeedHints = SeedHints {
+    key_range: 8,
+    hot_keys: 3,
+    max_value: 16,
+    max_step: 4,
+    weights: OpWeights {
+        insert: 44,
+        get: 8,
+        update: 0,
+        delete: 36,
+        incr: 6,
+        decr: 6,
+    },
+};
+
+/// The queue instance bound to a session's pool.
+#[derive(Debug)]
+pub struct MsQueue {
+    root: u64,
+}
+
+/// Registration entry for the suite (`register_lockfree`).
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "ms-queue",
+    |session| Ok(Arc::new(MsQueue::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(MsQueue::recover(session)?) as Arc<dyn Target>),
+    PoolOpts::small,
+)
+.with_hints(HINTS);
+
+impl MsQueue {
+    /// Format the session's pool and build an empty queue (a persisted
+    /// dummy node that both `HEAD` and `TAIL` reference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn init(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(ThreadId(0));
+        let alloc = PmAllocator::format(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.alloc(ROOT_SIZE, view.tid())?;
+        alloc.set_root(root, view.tid())?;
+        let q = MsQueue { root };
+        let dummy = q.node_off(0);
+        view.ntstore_u64(dummy + NODE_NEXT, 0u64, site!("msq.init.dummy_next"))?;
+        view.ntstore_u64(dummy + NODE_VAL, 0u64, site!("msq.init.dummy_val"))?;
+        view.ntstore_u64(root + Q_HEAD, dummy, site!("msq.init.head"))?;
+        view.ntstore_u64(root + Q_TAIL, dummy, site!("msq.init.tail"))?;
+        view.ntstore_u64(root + DEQ_LOG, 0u64, site!("msq.init.deq_log"))?;
+        view.ntstore_u64(root + REPAIR_LOG, 0u64, site!("msq.init.repair_log"))?;
+        view.ntstore_u64(root + NODE_CURSOR, 1u64, site!("msq.init.cursor"))?;
+        Ok(q)
+    }
+
+    /// Reopen an existing pool: walk the persisted links from `HEAD`,
+    /// truncate at the first torn/lost link, repair `TAIL` to the last
+    /// reachable node, and rewind the arena cursor past the reachable
+    /// high-water mark. The durable log cells are deliberately left
+    /// alone — that is what makes the planted inconsistencies real bugs
+    /// rather than recovery-healed false positives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn recover(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(ThreadId(0));
+        let alloc = PmAllocator::open(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.root()?;
+        let q = MsQueue { root };
+        let mut head = view
+            .load_u64(root + Q_HEAD, site!("msq.recover.read_head"))?
+            .value();
+        if q.node_index(head).is_none() {
+            // Torn head: re-anchor on a fresh dummy in slot 0.
+            let dummy = q.node_off(0);
+            view.ntstore_u64(dummy + NODE_NEXT, 0u64, site!("msq.recover.redummy"))?;
+            view.ntstore_u64(root + Q_HEAD, dummy, site!("msq.recover.rehead"))?;
+            head = dummy;
+        }
+        let mut high_water = q.node_index(head).unwrap_or(0) + 1;
+        let mut last = head;
+        let mut steps = 0u64;
+        let mut cursor = view
+            .load_u64(head + NODE_NEXT, site!("msq.recover.read_next"))?
+            .value();
+        while cursor != 0 {
+            let Some(idx) = q.node_index(cursor) else {
+                // The link CAS was never flushed: truncate here.
+                view.ntstore_u64(last + NODE_NEXT, 0u64, site!("msq.recover.truncate"))?;
+                break;
+            };
+            steps += 1;
+            if steps > CAP {
+                view.ntstore_u64(last + NODE_NEXT, 0u64, site!("msq.recover.break_cycle"))?;
+                break;
+            }
+            high_water = high_water.max(idx + 1);
+            last = cursor;
+            cursor = view
+                .load_u64(cursor + NODE_NEXT, site!("msq.recover.read_link"))?
+                .value();
+        }
+        // TAIL may lag or overshoot what survived: repair it.
+        view.ntstore_u64(root + Q_TAIL, last, site!("msq.recover.tail"))?;
+        view.ntstore_u64(root + NODE_CURSOR, high_water, site!("msq.recover.cursor"))?;
+        Ok(q)
+    }
+
+    /// Pool offset of node `idx`'s base.
+    fn node_off(&self, idx: u64) -> u64 {
+        self.root + NODES + idx * NODE_SIZE
+    }
+
+    /// Inverse of [`Self::node_off`]: `Some(idx)` iff `off` is a valid
+    /// node base inside the arena.
+    fn node_index(&self, off: u64) -> Option<u64> {
+        let base = self.root + NODES;
+        if off < base {
+            return None;
+        }
+        let rel = off - base;
+        let idx = rel / NODE_SIZE;
+        (rel.is_multiple_of(NODE_SIZE) && idx < CAP).then_some(idx)
+    }
+
+    /// Reserve one arena node by CAS-advancing the cursor.
+    fn alloc_node(&self, view: &PmView) -> Result<Option<u64>, RtError> {
+        let mut tries = 0;
+        loop {
+            let cur = view
+                .load_u64(self.root + NODE_CURSOR, site!("msq.c:41.read_cursor"))?
+                .value();
+            if cur >= CAP {
+                return Ok(None);
+            }
+            let (won, _) = view.cas_u64(
+                self.root + NODE_CURSOR,
+                cur,
+                cur + 1,
+                site!("msq.c:44.alloc_node"),
+            )?;
+            if won {
+                view.persist(self.root + NODE_CURSOR, 8, site!("msq.c:45.flush_cursor"))?;
+                return Ok(Some(self.node_off(cur)));
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(None);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Enqueue an item with the two-CAS Michael–Scott protocol.
+    ///
+    /// Both planted *write* sites live here — the payload store is never
+    /// flushed (`msq.c:52`) and the linking CAS is never flushed
+    /// (`msq.c:62`) — and so do bug 1's *read* (`msq.c:59`, another
+    /// producer's half-linked pointer) and *effect* (`msq.c:72`, the
+    /// durable repair log on the helping path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors ([`RtError::Timeout`] on hangs).
+    pub fn enqueue(&self, view: &PmView, item: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("msq.enqueue"));
+        let Some(node) = self.alloc_node(view)? else {
+            return Ok(OpResult::Missing);
+        };
+        // Bug 2 write side: the payload is a plain store with no persist
+        // before the node becomes reachable.
+        view.store_u64(node + NODE_VAL, item, site!("msq.c:52.store_val"))?;
+        view.ntstore_u64(node + NODE_NEXT, 0u64, site!("msq.c:54.init_link"))?;
+        let mut tries = 0;
+        loop {
+            let tail = view
+                .load_u64(self.root + Q_TAIL, site!("msq.c:58.read_tail"))?
+                .value();
+            if self.node_index(tail).is_none() {
+                return Ok(OpResult::Missing); // torn tail
+            }
+            // Bug 1 read side: another producer's unflushed linking CAS.
+            let next = view.load_u64(tail + NODE_NEXT, site!("msq.c:59.read_next"))?;
+            if next.value() == 0 {
+                // Bug 1 write side: the publication CAS on tail.next is
+                // never flushed — a crash drops the link.
+                let (won, _) = view.cas_u64(tail + NODE_NEXT, 0, node, site!("msq.c:62.link"))?;
+                if won {
+                    // Between the two CASes the queue is half-linked and
+                    // other producers may help: the classic Michael–Scott
+                    // window, surfaced to the scheduler as a decision
+                    // point.
+                    view.spin_yield()?;
+                    let _ =
+                        view.cas_u64(self.root + Q_TAIL, tail, node, site!("msq.c:65.swing_tail"))?;
+                    view.persist(self.root + Q_TAIL, 8, site!("msq.c:66.flush_tail"))?;
+                    return Ok(OpResult::Done);
+                }
+            } else if self.node_index(next.value()).is_some() {
+                // Helping path: swing TAIL over the half-linked node...
+                let (helped, _) = view.cas_u64(
+                    self.root + Q_TAIL,
+                    tail,
+                    next.value(),
+                    site!("msq.c:69.help_swing"),
+                )?;
+                if helped {
+                    view.persist(self.root + Q_TAIL, 8, site!("msq.c:70.flush_tail2"))?;
+                    // Bug 1 durable side effect: log the repair we
+                    // performed, sourced from the racy read above.
+                    view.ntstore_u64(self.root + REPAIR_LOG, next, site!("msq.c:72.log_repair"))?;
+                }
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(OpResult::Missing);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Dequeue the front item and durably log what was observed.
+    ///
+    /// Bug 2's *read* and *effect* sites live here: the racy payload read
+    /// (`msq.c:90`) flows into the durable dequeue log (`msq.c:95`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn dequeue(&self, view: &PmView) -> Result<OpResult, RtError> {
+        view.branch(site!("msq.dequeue"));
+        let mut tries = 0;
+        loop {
+            let head = view
+                .load_u64(self.root + Q_HEAD, site!("msq.c:80.read_head"))?
+                .value();
+            if self.node_index(head).is_none() {
+                return Ok(OpResult::Missing);
+            }
+            let tail = view
+                .load_u64(self.root + Q_TAIL, site!("msq.c:82.read_tail2"))?
+                .value();
+            let next = view
+                .load_u64(head + NODE_NEXT, site!("msq.c:83.read_next2"))?
+                .value();
+            if next == 0 {
+                // Empty: linger briefly instead of giving up — a consumer
+                // racing fresh producers, so campaigns overlap the roles.
+                tries += 1;
+                if tries >= MAX_TRIES {
+                    return Ok(OpResult::Missing);
+                }
+                view.spin_yield()?;
+                continue;
+            }
+            if self.node_index(next).is_none() {
+                return Ok(OpResult::Missing); // torn link
+            }
+            if head == tail {
+                // TAIL lags behind a half-finished enqueue: help it along
+                // before consuming, like the textbook algorithm.
+                let _ = view.cas_u64(
+                    self.root + Q_TAIL,
+                    tail,
+                    next,
+                    site!("msq.c:86.help_swing2"),
+                )?;
+                view.persist(self.root + Q_TAIL, 8, site!("msq.c:87.flush_tail3"))?;
+            } else {
+                // Bug 2 read side: the producer's unflushed payload.
+                let val = view.load_u64(next + NODE_VAL, site!("msq.c:90.read_val"))?;
+                let (won, _) = view.cas_u64(
+                    self.root + Q_HEAD,
+                    head,
+                    next,
+                    site!("msq.c:92.advance_head"),
+                )?;
+                if won {
+                    view.persist(self.root + Q_HEAD, 8, site!("msq.c:93.flush_head"))?;
+                    // Bug 2 durable side effect.
+                    view.ntstore_u64(self.root + DEQ_LOG, val.clone(), site!("msq.c:95.log_deq"))?;
+                    return Ok(OpResult::Found(val.value()));
+                }
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(OpResult::Missing);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Read the front payload without consuming it (no durable side
+    /// effect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn peek(&self, view: &PmView) -> Result<OpResult, RtError> {
+        view.branch(site!("msq.peek"));
+        let head = view
+            .load_u64(self.root + Q_HEAD, site!("msq.peek.read_head"))?
+            .value();
+        if self.node_index(head).is_none() {
+            return Ok(OpResult::Missing);
+        }
+        let next = view
+            .load_u64(head + NODE_NEXT, site!("msq.peek.read_next"))?
+            .value();
+        if next == 0 || self.node_index(next).is_none() {
+            return Ok(OpResult::Missing);
+        }
+        let val = view.load_u64(next + NODE_VAL, site!("msq.peek.read_val"))?;
+        Ok(OpResult::Found(val.value()))
+    }
+
+    /// Payloads currently queued, front first (dummy excluded) — the
+    /// recovery audit's view of the structure. Bounded and cycle-checked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn elements(&self, view: &PmView) -> Result<Vec<u64>, RtError> {
+        let mut out = Vec::new();
+        let head = view
+            .load_u64(self.root + Q_HEAD, site!("msq.audit.read_head"))?
+            .value();
+        if self.node_index(head).is_none() {
+            return Ok(out);
+        }
+        let mut cursor = view
+            .load_u64(head + NODE_NEXT, site!("msq.audit.read_next"))?
+            .value();
+        while cursor != 0 && self.node_index(cursor).is_some() && out.len() < CAP as usize {
+            out.push(
+                view.load_u64(cursor + NODE_VAL, site!("msq.audit.read_val"))?
+                    .value(),
+            );
+            cursor = view
+                .load_u64(cursor + NODE_NEXT, site!("msq.audit.read_link"))?
+                .value();
+        }
+        Ok(out)
+    }
+}
+
+/// Pack an op's key/value into a payload (nonzero so a lost, zeroed
+/// payload is distinguishable from a stored one).
+fn encode(key: u64, value: u64) -> u64 {
+    (key << 8 | (value & 0xff)).max(1)
+}
+
+impl Target for MsQueue {
+    fn name(&self) -> &'static str {
+        "ms-queue"
+    }
+
+    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError> {
+        // Role split: driver thread 0 is the single consumer, every other
+        // driver thread produces. Bug 2 is inter-thread by construction;
+        // bug 1's helping path needs two racing producers, so campaigns
+        // should run ≥3 threads.
+        if view.tid() == ThreadId(0) {
+            match *op {
+                Op::Get { .. } => self.peek(view),
+                _ => self.dequeue(view),
+            }
+        } else {
+            match *op {
+                Op::Insert { key, value } | Op::Update { key, value } => {
+                    self.enqueue(view, encode(key, value))
+                }
+                Op::Incr { key, by } | Op::Decr { key, by } => self.enqueue(view, encode(key, by)),
+                Op::Delete { key } | Op::Get { key } => self.enqueue(view, encode(key, 0)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fresh_session, recovery_session};
+    use pmrace_pmem::Pool;
+
+    #[test]
+    fn enqueue_dequeue_is_fifo_single_thread() {
+        let session = fresh_session();
+        let q = MsQueue::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [11u64, 22, 33] {
+            assert_eq!(q.enqueue(&view, v).unwrap(), OpResult::Done);
+        }
+        assert_eq!(q.peek(&view).unwrap(), OpResult::Found(11));
+        assert_eq!(q.dequeue(&view).unwrap(), OpResult::Found(11));
+        assert_eq!(q.dequeue(&view).unwrap(), OpResult::Found(22));
+        assert_eq!(q.dequeue(&view).unwrap(), OpResult::Found(33));
+        assert_eq!(q.dequeue(&view).unwrap(), OpResult::Missing);
+    }
+
+    #[test]
+    fn unflushed_links_mean_enqueues_roll_back_across_a_crash() {
+        let session = fresh_session();
+        let q = MsQueue::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [7u64, 8, 9] {
+            q.enqueue(&view, v).unwrap();
+        }
+        // The linking CASes were never flushed: only the dummy survives.
+        let img = session.pool().crash_image().unwrap();
+        let pool = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = recovery_session(pool);
+        let rec = MsQueue::recover(&s2).unwrap();
+        let v2 = s2.view(ThreadId(0));
+        assert!(
+            rec.elements(&v2).unwrap().is_empty(),
+            "lost enqueues: bug 1's crash shape"
+        );
+        // Recovery repaired TAIL and rewound the cursor: still usable.
+        assert_eq!(rec.enqueue(&v2, 1).unwrap(), OpResult::Done);
+        assert_eq!(rec.dequeue(&v2).unwrap(), OpResult::Found(1));
+    }
+}

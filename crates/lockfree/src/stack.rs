@@ -1,0 +1,439 @@
+//! A persistent Treiber stack with two planted CAS-publication bugs.
+//!
+//! Pushes reserve a node from a bounded in-pool arena (itself a lock-free
+//! CAS-advanced cursor), fill it, durably link it, and publish it by CAS
+//! on `TOP`. Pops race the publishers on `TOP` and durably log what they
+//! observed. Two PM inter-thread inconsistencies are planted, both in the
+//! shape PMRace reports for log-free persistent structures:
+//!
+//! 1. **Unflushed CAS-published `TOP`** (`tstack.c:63` / `tstack.c:74` /
+//!    `tstack.c:89`) — the push CAS publishes the new node but never
+//!    persists `TOP`. A concurrent pop racy-reads `TOP` and durably logs
+//!    the observed source pointer. A crash rolls `TOP` back to the old
+//!    node while the pop log claims an element that was never durably
+//!    pushed was consumed.
+//! 2. **Unflushed payload behind a durable link** (`tstack.c:52` /
+//!    `tstack.c:86` / `tstack.c:91`) — the node's `next` link *is*
+//!    flushed before publication, but the payload is a plain store with
+//!    no persist. A pop reads the payload and durably logs the value; a
+//!    crash loses the payload while the durable log claims it.
+//!
+//! Recovery rewinds the structural cursors defensively (bounded,
+//! cycle-checked walk) but — like the real bugs — never heals the durable
+//! log cells, so post-failure validation classifies both findings as
+//! genuine.
+
+use std::sync::Arc;
+
+use pmrace_api::{Op, OpResult, OpWeights, SeedHints, Target, TargetSpec};
+use pmrace_pmem::{PmAllocator, PoolOpts, ThreadId};
+use pmrace_runtime::{site, PmView, RtError, Session};
+
+// Root layout: top pointer, two durable log cells, node-arena cursor,
+// then the node arena itself. Every field sits on its own cache line:
+// `clwb` write-back covers whole 64-byte lines, so co-locating the
+// deliberately-unflushed cells (TOP, payloads) with cells the code *does*
+// persist (cursor, links) would drag them to durability by false sharing.
+const TOP: u64 = 0;
+/// Durable log: the `TOP` value a pop observed (bug 1's effect cell).
+const POP_SRC_LOG: u64 = 64;
+/// Durable log: the last popped payload (bug 2's effect cell).
+const POP_LOG: u64 = 128;
+const NODE_CURSOR: u64 = 192;
+const NODES: u64 = 256;
+/// Node layout: `next` pointer and payload on separate cache lines, so
+/// flushing the link (`tstack.c:60`) cannot flush the payload with it.
+const NODE_NEXT: u64 = 0;
+const NODE_VAL: u64 = 64;
+const NODE_SIZE: u64 = 128;
+/// Arena capacity in nodes; bounded so campaigns exhaust and re-walk it.
+const CAP: u64 = 256;
+const ROOT_SIZE: usize = (NODES + CAP * NODE_SIZE) as usize;
+
+/// Bounded optimistic retries before an op gives up (keeps contended
+/// campaigns from spinning to the deadline).
+const MAX_TRIES: u32 = 64;
+
+/// Push/pop-heavy grammar: keys only flavor payloads, so a small hot
+/// range maximizes cross-thread traffic on `TOP`.
+const HINTS: SeedHints = SeedHints {
+    key_range: 12,
+    hot_keys: 3,
+    max_value: 16,
+    max_step: 6,
+    weights: OpWeights {
+        insert: 42,
+        get: 8,
+        update: 0,
+        delete: 38,
+        incr: 4,
+        decr: 8,
+    },
+};
+
+/// The stack instance bound to a session's pool.
+#[derive(Debug)]
+pub struct TreiberStack {
+    root: u64,
+}
+
+/// Registration entry for the suite (`register_lockfree`).
+pub static SPEC: TargetSpec = TargetSpec::new(
+    "treiber-stack",
+    |session| Ok(Arc::new(TreiberStack::init(session)?) as Arc<dyn Target>),
+    |session| Ok(Arc::new(TreiberStack::recover(session)?) as Arc<dyn Target>),
+    PoolOpts::small,
+)
+.with_hints(HINTS);
+
+impl TreiberStack {
+    /// Format the session's pool and build an empty stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn init(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(ThreadId(0));
+        let alloc = PmAllocator::format(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.alloc(ROOT_SIZE, view.tid())?;
+        alloc.set_root(root, view.tid())?;
+        view.ntstore_u64(root + TOP, 0u64, site!("tstack.init.top"))?;
+        view.ntstore_u64(root + POP_SRC_LOG, 0u64, site!("tstack.init.pop_src_log"))?;
+        view.ntstore_u64(root + POP_LOG, 0u64, site!("tstack.init.pop_log"))?;
+        view.ntstore_u64(root + NODE_CURSOR, 0u64, site!("tstack.init.cursor"))?;
+        Ok(TreiberStack { root })
+    }
+
+    /// Reopen an existing pool: walk the stack defensively (bounded,
+    /// cycle-checked), truncate at the first dangling link, and rewind the
+    /// arena cursor past the reachable high-water mark. The durable log
+    /// cells are deliberately left alone — that is what makes the planted
+    /// inconsistencies real bugs rather than recovery-healed false
+    /// positives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool/allocator errors.
+    pub fn recover(session: &Arc<Session>) -> Result<Self, RtError> {
+        let view = session.view(ThreadId(0));
+        let alloc = PmAllocator::open(Arc::clone(session.pool()), view.tid())?;
+        let root = alloc.root()?;
+        let stack = TreiberStack { root };
+        let mut high_water = 0u64;
+        let mut steps = 0u64;
+        let mut cursor = view
+            .load_u64(root + TOP, site!("tstack.recover.read_top"))?
+            .value();
+        while cursor != 0 {
+            let Some(idx) = stack.node_index(cursor) else {
+                // Dangling top/link (e.g. the unflushed-TOP crash):
+                // truncate the stack here.
+                view.ntstore_u64(root + TOP, 0u64, site!("tstack.recover.truncate"))?;
+                break;
+            };
+            steps += 1;
+            if steps > CAP {
+                // Cycle: a torn link closed a loop. Empty the stack.
+                view.ntstore_u64(root + TOP, 0u64, site!("tstack.recover.break_cycle"))?;
+                break;
+            }
+            high_water = high_water.max(idx + 1);
+            cursor = view
+                .load_u64(cursor + NODE_NEXT, site!("tstack.recover.read_link"))?
+                .value();
+        }
+        view.ntstore_u64(
+            root + NODE_CURSOR,
+            high_water,
+            site!("tstack.recover.cursor"),
+        )?;
+        Ok(stack)
+    }
+
+    /// Pool offset of node `idx`'s base.
+    fn node_off(&self, idx: u64) -> u64 {
+        self.root + NODES + idx * NODE_SIZE
+    }
+
+    /// Inverse of [`Self::node_off`]: `Some(idx)` iff `off` is a valid
+    /// node base inside the arena.
+    fn node_index(&self, off: u64) -> Option<u64> {
+        let base = self.root + NODES;
+        if off < base {
+            return None;
+        }
+        let rel = off - base;
+        let idx = rel / NODE_SIZE;
+        (rel.is_multiple_of(NODE_SIZE) && idx < CAP).then_some(idx)
+    }
+
+    /// Reserve one arena node by CAS-advancing the cursor.
+    fn alloc_node(&self, view: &PmView) -> Result<Option<u64>, RtError> {
+        let mut tries = 0;
+        loop {
+            let cur = view
+                .load_u64(self.root + NODE_CURSOR, site!("tstack.c:38.read_cursor"))?
+                .value();
+            if cur >= CAP {
+                return Ok(None); // arena exhausted
+            }
+            let (won, _) = view.cas_u64(
+                self.root + NODE_CURSOR,
+                cur,
+                cur + 1,
+                site!("tstack.c:41.alloc_node"),
+            )?;
+            if won {
+                view.persist(
+                    self.root + NODE_CURSOR,
+                    8,
+                    site!("tstack.c:42.flush_cursor"),
+                )?;
+                return Ok(Some(self.node_off(cur)));
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(None);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Push an item: fill a node, durably link it, publish it by CAS.
+    ///
+    /// Both planted *write* sites live here: the payload store is never
+    /// flushed (`tstack.c:52`), and the winning publication CAS leaves
+    /// `TOP` unpersisted (`tstack.c:63`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors ([`RtError::Timeout`] on hangs).
+    pub fn push(&self, view: &PmView, item: u64) -> Result<OpResult, RtError> {
+        view.branch(site!("tstack.push"));
+        let Some(node) = self.alloc_node(view)? else {
+            return Ok(OpResult::Missing);
+        };
+        // Bug 2 write side: the payload is a plain store with no persist
+        // before the node becomes reachable.
+        view.store_u64(node + NODE_VAL, item, site!("tstack.c:52.store_payload"))?;
+        let mut tries = 0;
+        loop {
+            let top = view
+                .load_u64(self.root + TOP, site!("tstack.c:58.read_top"))?
+                .value();
+            view.store_u64(node + NODE_NEXT, top, site!("tstack.c:59.store_link"))?;
+            // The link *is* durable before publication — only the payload
+            // (bug 2) and the publication itself (bug 1) are not.
+            view.persist(node + NODE_NEXT, 8, site!("tstack.c:60.flush_link"))?;
+            // Bug 1 write side: the publication is CAS'd in and never
+            // flushed — a crash rolls the top back.
+            let (won, _) =
+                view.cas_u64(self.root + TOP, top, node, site!("tstack.c:63.publish_top"))?;
+            if won {
+                return Ok(OpResult::Done);
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(OpResult::Missing);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Pop the top item and durably log what was observed.
+    ///
+    /// Both planted *read* and *effect* sites live here: the racy `TOP`
+    /// read (`tstack.c:74`) flows into the durable pop-source log
+    /// (`tstack.c:89`), and the racy payload read (`tstack.c:86`) flows
+    /// into the durable pop log (`tstack.c:91`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn pop(&self, view: &PmView) -> Result<OpResult, RtError> {
+        view.branch(site!("tstack.pop"));
+        let mut tries = 0;
+        loop {
+            // Bug 1 read side: another thread's unflushed publication CAS.
+            let top = view.load_u64(self.root + TOP, site!("tstack.c:74.read_top"))?;
+            if top.value() == 0 {
+                // Empty: linger briefly instead of giving up — a consumer
+                // racing fresh producers, so campaigns overlap the roles.
+                tries += 1;
+                if tries >= MAX_TRIES {
+                    return Ok(OpResult::Missing);
+                }
+                view.spin_yield()?;
+                continue;
+            }
+            if self.node_index(top.value()).is_none() {
+                // Torn top (seen mid-crash in validation recovery runs).
+                return Ok(OpResult::Missing);
+            }
+            let next = view.load_u64(top.value() + NODE_NEXT, site!("tstack.c:79.read_link"))?;
+            let (won, _) = view.cas_u64(
+                self.root + TOP,
+                top.value(),
+                next,
+                site!("tstack.c:81.pop_top"),
+            )?;
+            if won {
+                // Bug 2 read side: the pusher's unflushed payload.
+                let val =
+                    view.load_u64(top.value() + NODE_VAL, site!("tstack.c:86.read_payload"))?;
+                // Bug 1 durable side effect: log where we popped from.
+                view.ntstore_u64(
+                    self.root + POP_SRC_LOG,
+                    top.clone(),
+                    site!("tstack.c:89.log_pop_src"),
+                )?;
+                // Bug 2 durable side effect.
+                view.ntstore_u64(
+                    self.root + POP_LOG,
+                    val.clone(),
+                    site!("tstack.c:91.log_popped"),
+                )?;
+                return Ok(OpResult::Found(val.value()));
+            }
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return Ok(OpResult::Missing);
+            }
+            view.spin_yield()?;
+        }
+    }
+
+    /// Read the top payload without popping (no durable side effect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn peek(&self, view: &PmView) -> Result<OpResult, RtError> {
+        view.branch(site!("tstack.peek"));
+        let top = view.load_u64(self.root + TOP, site!("tstack.peek.read_top"))?;
+        if top.value() == 0 || self.node_index(top.value()).is_none() {
+            return Ok(OpResult::Missing);
+        }
+        let val = view.load_u64(top.value() + NODE_VAL, site!("tstack.peek.read_payload"))?;
+        Ok(OpResult::Found(val.value()))
+    }
+
+    /// Payloads currently on the stack, top first — the recovery audit's
+    /// view of the structure. Bounded and cycle-checked like recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn elements(&self, view: &PmView) -> Result<Vec<u64>, RtError> {
+        let mut out = Vec::new();
+        let mut cursor = view
+            .load_u64(self.root + TOP, site!("tstack.audit.read_top"))?
+            .value();
+        while cursor != 0 && self.node_index(cursor).is_some() && out.len() < CAP as usize {
+            out.push(
+                view.load_u64(cursor + NODE_VAL, site!("tstack.audit.read_payload"))?
+                    .value(),
+            );
+            cursor = view
+                .load_u64(cursor + NODE_NEXT, site!("tstack.audit.read_link"))?
+                .value();
+        }
+        Ok(out)
+    }
+}
+
+/// Pack an op's key/value into a payload (nonzero so empty slots stay
+/// distinguishable in pool dumps).
+fn encode(key: u64, value: u64) -> u64 {
+    (key << 8 | (value & 0xff)).max(1)
+}
+
+impl Target for TreiberStack {
+    fn name(&self) -> &'static str {
+        "treiber-stack"
+    }
+
+    fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError> {
+        // Role split (same shape as the mpsc-queue example): driver thread
+        // 0 pops/peeks, every other driver thread pushes. The racy reads
+        // in `pop` therefore only ever observe *other* threads' unflushed
+        // publication CAS / payload — the planted bugs are strictly
+        // inter-thread.
+        if view.tid() == ThreadId(0) {
+            match *op {
+                Op::Get { .. } => self.peek(view),
+                _ => self.pop(view),
+            }
+        } else {
+            match *op {
+                Op::Insert { key, value } | Op::Update { key, value } => {
+                    self.push(view, encode(key, value))
+                }
+                Op::Incr { key, by } | Op::Decr { key, by } => self.push(view, encode(key, by)),
+                Op::Delete { key } | Op::Get { key } => self.push(view, encode(key, 0)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fresh_session, recovery_session};
+    use pmrace_pmem::Pool;
+
+    #[test]
+    fn push_pop_roundtrip_single_thread() {
+        let session = fresh_session();
+        let stack = TreiberStack::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [11u64, 22, 33] {
+            assert_eq!(stack.push(&view, v).unwrap(), OpResult::Done);
+        }
+        assert_eq!(stack.peek(&view).unwrap(), OpResult::Found(33));
+        assert_eq!(stack.pop(&view).unwrap(), OpResult::Found(33));
+        assert_eq!(stack.pop(&view).unwrap(), OpResult::Found(22));
+        assert_eq!(stack.pop(&view).unwrap(), OpResult::Found(11));
+        assert_eq!(stack.pop(&view).unwrap(), OpResult::Missing);
+    }
+
+    #[test]
+    fn unflushed_top_means_pushes_roll_back_across_a_crash() {
+        let session = fresh_session();
+        let stack = TreiberStack::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        for v in [7u64, 8, 9] {
+            stack.push(&view, v).unwrap();
+        }
+        // The publication CAS never persists TOP: the crash image holds
+        // the initial (persisted) empty top.
+        let img = session.pool().crash_image().unwrap();
+        let pool = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = recovery_session(pool);
+        let rec = TreiberStack::recover(&s2).unwrap();
+        let v2 = s2.view(ThreadId(0));
+        assert!(
+            rec.elements(&v2).unwrap().is_empty(),
+            "lost pushes: bug 1's crash shape"
+        );
+    }
+
+    #[test]
+    fn recovery_truncates_dangling_top_and_rewinds_cursor() {
+        let session = fresh_session();
+        let stack = TreiberStack::init(&session).unwrap();
+        let view = session.view(ThreadId(0));
+        stack.push(&view, 5).unwrap();
+        // Persist a torn TOP pointing outside the arena.
+        view.ntstore_u64(stack.root + TOP, 0xDEAD_0000u64, site!("tstack.test.tear"))
+            .unwrap();
+        let img = session.pool().crash_image().unwrap();
+        let pool = Arc::new(Pool::from_crash_image(&img).unwrap());
+        let s2 = recovery_session(pool);
+        let rec = TreiberStack::recover(&s2).unwrap();
+        let v2 = s2.view(ThreadId(0));
+        assert!(rec.elements(&v2).unwrap().is_empty());
+        // Post-recovery pushes work: the cursor was rewound, not wedged.
+        assert_eq!(rec.push(&v2, 1).unwrap(), OpResult::Done);
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared helpers for the suite's unit and crash-image tests.
+
+use std::sync::Arc;
+
+use pmrace_pmem::{Pool, PoolOpts};
+use pmrace_runtime::{Session, SessionConfig};
+
+/// A session over a fresh small pool, default config.
+pub fn fresh_session() -> Arc<Session> {
+    Session::new(
+        Arc::new(Pool::new(PoolOpts::small())),
+        SessionConfig::default(),
+    )
+}
+
+/// A session over a recovered pool (e.g. built from a crash image),
+/// default config — mirrors how post-failure validation drives recovery.
+pub fn recovery_session(pool: Arc<Pool>) -> Arc<Session> {
+    Session::new(pool, SessionConfig::default())
+}

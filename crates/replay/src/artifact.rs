@@ -170,6 +170,10 @@ pub enum ScheduleSpec {
         load_sites: Vec<String>,
         /// Signalling store-site labels.
         store_sites: Vec<String>,
+        /// CAS-site labels whose failed attempts are stalled as retry
+        /// decision points. Absent in pre-lock-free artifacts; parsing
+        /// defaults to empty so the original corpus keeps loading.
+        cas_sites: Vec<String>,
         /// Strategy RNG seed.
         rng_seed: u64,
         /// Realized initial skips per load-site label.
@@ -250,6 +254,7 @@ impl Repro {
                 off: plan.off,
                 load_sites: plan.load_sites.clone(),
                 store_sites: plan.store_sites.clone(),
+                cas_sites: plan.cas_sites.clone(),
                 rng_seed: *rng_seed,
                 skips: skips.clone(),
                 events: events
@@ -310,6 +315,7 @@ impl Repro {
                 off,
                 load_sites,
                 store_sites,
+                cas_sites,
                 rng_seed,
                 skips,
                 events,
@@ -319,6 +325,7 @@ impl Repro {
                 kv_num("off", *off),
                 str_arr("load_sites", load_sites),
                 str_arr("store_sites", store_sites),
+                str_arr("cas_sites", cas_sites),
                 kv_hex("rng_seed", *rng_seed),
                 (
                     "skips".to_owned(),
@@ -486,6 +493,13 @@ impl Repro {
                     off: req_num(sched, "off")?,
                     load_sites: req_str_arr(sched, "load_sites")?,
                     store_sites: req_str_arr(sched, "store_sites")?,
+                    // Optional: artifacts recorded before CAS-retry-aware
+                    // scheduling existed carry no cas_sites field.
+                    cas_sites: if sched.get("cas_sites").is_some() {
+                        req_str_arr(sched, "cas_sites")?
+                    } else {
+                        Vec::new()
+                    },
                     rng_seed: req_hex(sched, "rng_seed")?,
                     skips,
                     events,
@@ -593,6 +607,7 @@ mod tests {
                 off: 640,
                 load_sites: vec!["clht_lb_res.c:417".to_owned()],
                 store_sites: vec!["clht_lb_res.c:785".to_owned()],
+                cas_sites: vec!["clht_lb_res.c:700".to_owned()],
                 // Above 2^53: would corrupt as a JSON number.
                 rng_seed: 0xDEAD_BEEF_CAFE_F00D,
                 skips: vec![("clht_lb_res.c:417".to_owned(), 3)],
@@ -619,6 +634,32 @@ mod tests {
         let text = repro.to_json();
         let back = Repro::from_json(&text).unwrap();
         assert_eq!(back, repro);
+    }
+
+    #[test]
+    fn artifacts_without_cas_sites_still_parse() {
+        // The original corpus predates CAS-retry-aware scheduling; its
+        // pmrace schedules have no cas_sites field and must load as empty.
+        let rendered = {
+            let mut s = sample();
+            if let ScheduleSpec::Pmrace { cas_sites, .. } = &mut s.schedule {
+                cas_sites.clear();
+            }
+            s.to_json()
+        };
+        let mut lines: Vec<&str> = rendered.lines().collect();
+        let i = lines
+            .iter()
+            .position(|l| l.contains("cas_sites"))
+            .expect("pmrace schedules serialize cas_sites");
+        lines.remove(i); // empty arrays render inline: `"cas_sites": [],`
+        let text = lines.join("\n");
+        assert!(!text.contains("cas_sites"), "field must be gone: {text}");
+        let back = Repro::from_json(&text).unwrap();
+        match back.schedule {
+            ScheduleSpec::Pmrace { cas_sites, .. } => assert!(cas_sites.is_empty()),
+            other => panic!("expected pmrace schedule, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The regression corpus: recipes that re-trigger each of the paper's 14
-//! Table 2 bugs, record them as repro artifacts, and validate the
-//! artifacts by replaying them.
+//! Table 2 bugs plus the six bugs planted in the lock-free suite
+//! (Treiber stack, Harris list, Michael–Scott queue; ids 15–20), record
+//! them as repro artifacts, and validate the artifacts by replaying them.
 //!
 //! A [`Recipe`] is a *deterministic variant* of what the fuzzer does when
 //! it finds the bug organically: a workload known to reach the buggy
@@ -98,10 +99,10 @@ impl Select {
     }
 }
 
-/// One Table 2 bug: how to trigger, recognize, and record it.
+/// One corpus bug: how to trigger, recognize, and record it.
 #[derive(Debug, Clone, Copy)]
 pub struct Recipe {
-    /// Table 2 bug number.
+    /// Corpus bug number (1–14 = Table 2, 15–20 = lock-free suite).
     pub bug_id: u32,
     /// Target system.
     pub target: &'static str,
@@ -223,7 +224,71 @@ fn memkv_churn_seed() -> Seed {
     Seed::from_flat(&ops, 4)
 }
 
-/// The recipes for the 14 unique Table 2 bugs, in table order.
+/// The lock-free suite targets split driver roles by thread id: thread 0
+/// consumes (pop/dequeue/get/delete), every other thread produces
+/// (push/enqueue/insert). These builders hand each role its own op list
+/// so the planted bugs are inter-thread by construction.
+fn lockfree_seed(consumer: Vec<Op>, producer_rounds: u64) -> Seed {
+    let producer = |salt: u64| -> Vec<Op> {
+        (0..producer_rounds)
+            .map(|i| Op::Insert {
+                key: ((i + salt) % 3) + 1,
+                value: i + 1,
+            })
+            .collect()
+    };
+    Seed::new(vec![consumer, producer(0), producer(1), producer(2)])
+}
+
+/// Treiber stack: three pushers on hot keys, one popper (with the odd
+/// peek) racing the unflushed `TOP` and payloads.
+fn lockfree_stack_seed() -> Seed {
+    let consumer = (0..24u64)
+        .map(|i| {
+            if i % 6 == 5 {
+                Op::Get { key: 1 }
+            } else {
+                Op::Delete { key: 1 }
+            }
+        })
+        .collect();
+    lockfree_seed(consumer, 16)
+}
+
+/// Harris list: three inserters traversing (and helping) while thread 0
+/// alternates lookups (racy payload reads) and deletions (unfenced
+/// marks).
+fn lockfree_list_seed() -> Seed {
+    let consumer = (0..24u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                Op::Get { key: (i % 3) + 1 }
+            } else {
+                Op::Delete { key: (i % 3) + 1 }
+            }
+        })
+        .collect();
+    lockfree_seed(consumer, 16)
+}
+
+/// Michael–Scott queue: three enqueuers racing each other through the
+/// two-CAS window (the helping path needs ≥2 producers) while thread 0
+/// dequeues.
+fn lockfree_queue_seed() -> Seed {
+    let consumer = (0..24u64)
+        .map(|i| {
+            if i % 6 == 5 {
+                Op::Get { key: 1 }
+            } else {
+                Op::Delete { key: 1 }
+            }
+        })
+        .collect();
+    lockfree_seed(consumer, 16)
+}
+
+/// The recipes for the 14 unique Table 2 bugs, in table order, followed
+/// by the six planted lock-free-suite bugs (15–20).
 #[must_use]
 pub fn recipes() -> Vec<Recipe> {
     let s3 = Duration::from_secs(3);
@@ -422,6 +487,113 @@ pub fn recipes() -> Vec<Recipe> {
             deadline: s3,
             seed: memkv_churn_seed,
         },
+        // 15–20: the lock-free persistent data-structure suite. All six
+        // are PM inter-thread inconsistencies planted around CAS
+        // publication (see `crates/lockfree`).
+        Recipe {
+            // Treiber stack: pop reads the never-flushed TOP published by
+            // a pusher's CAS and durably logs the popped source node.
+            bug_id: 15,
+            target: "treiber-stack",
+            select: Select::Triple {
+                kind: BugKind::Inter,
+                write: "tstack.c:63",
+                read: "tstack.c:74",
+                effect: "tstack.c:89",
+            },
+            plan: Some(("tstack.c:74", "tstack.c:63")),
+            rounds: 16,
+            threads: 4,
+            deadline: s3,
+            seed: lockfree_stack_seed,
+        },
+        Recipe {
+            // Treiber stack: the node payload is a plain store behind the
+            // durably-linked node; pop logs the read value.
+            bug_id: 16,
+            target: "treiber-stack",
+            select: Select::Triple {
+                kind: BugKind::Inter,
+                write: "tstack.c:52",
+                read: "tstack.c:86",
+                effect: "tstack.c:91",
+            },
+            plan: Some(("tstack.c:86", "tstack.c:52")),
+            rounds: 16,
+            threads: 4,
+            deadline: s3,
+            seed: lockfree_stack_seed,
+        },
+        Recipe {
+            // Harris list: unflushed payload behind the durable link,
+            // observed by a lookup that durably logs what it found.
+            bug_id: 17,
+            target: "harris-list",
+            select: Select::Triple {
+                kind: BugKind::Inter,
+                write: "hlist.c:49",
+                read: "hlist.c:103",
+                effect: "hlist.c:105",
+            },
+            plan: Some(("hlist.c:103", "hlist.c:49")),
+            rounds: 16,
+            threads: 4,
+            deadline: s3,
+            seed: lockfree_list_seed,
+        },
+        Recipe {
+            // Harris list: the logical-deletion mark is clwb'd but never
+            // fenced; a helping traversal reads it and durably logs the
+            // unlink it completed.
+            bug_id: 18,
+            target: "harris-list",
+            select: Select::Triple {
+                kind: BugKind::Inter,
+                write: "hlist.c:88",
+                read: "hlist.c:65",
+                effect: "hlist.c:70",
+            },
+            plan: Some(("hlist.c:65", "hlist.c:88")),
+            rounds: 16,
+            threads: 4,
+            deadline: s3,
+            seed: lockfree_list_seed,
+        },
+        Recipe {
+            // MS queue: the linking CAS on tail.next is never flushed; a
+            // helping producer swings TAIL over the half-linked node and
+            // durably logs the repair.
+            bug_id: 19,
+            target: "ms-queue",
+            select: Select::Triple {
+                kind: BugKind::Inter,
+                write: "msq.c:62",
+                read: "msq.c:59",
+                effect: "msq.c:72",
+            },
+            plan: Some(("msq.c:59", "msq.c:62")),
+            rounds: 16,
+            threads: 4,
+            deadline: s3,
+            seed: lockfree_queue_seed,
+        },
+        Recipe {
+            // MS queue: unflushed payload behind the link; the consumer
+            // durably logs the dequeued value.
+            bug_id: 20,
+            target: "ms-queue",
+            select: Select::Triple {
+                kind: BugKind::Inter,
+                write: "msq.c:52",
+                read: "msq.c:90",
+                effect: "msq.c:95",
+            },
+            plan: Some(("msq.c:90", "msq.c:52")),
+            rounds: 16,
+            threads: 4,
+            deadline: s3,
+            seed: lockfree_queue_seed,
+        },
     ]
 }
 
@@ -438,7 +610,8 @@ pub struct BuiltRepro {
     pub rounds_used: u64,
 }
 
-/// Build (or rebuild) the full 14-bug corpus in `dir`.
+/// Build (or rebuild) the full 20-bug corpus in `dir` (the 14 Table 2
+/// bugs plus the six planted lock-free-suite bugs).
 ///
 /// Each recipe runs until a round both *fires* the bug and produces a
 /// capture that *replays* (validated before storing) — so everything this
@@ -463,6 +636,10 @@ pub fn build_corpus(dir: &Path) -> Result<Vec<BuiltRepro>, RtError> {
 ///
 /// [`RtError::Io`] when the bug does not fire (validated) in the budget.
 pub fn build_recipe(recipe: &Recipe, store: &ReproStore) -> Result<BuiltRepro, RtError> {
+    // Recipes span both suites; make sure every target they name can
+    // resolve through the registry.
+    pmrace_targets::register_builtins();
+    pmrace_lockfree::register_lockfree();
     let spec = target_spec(recipe.target)
         .ok_or_else(|| RtError::Io(format!("unknown target '{}'", recipe.target)))?;
     let seed = (recipe.seed)();
@@ -536,6 +713,7 @@ pub fn build_recipe(recipe: &Recipe, store: &ReproStore) -> Result<BuiltRepro, R
                             off: plan.off,
                             load_sites: labels_of(&plan.load_sites),
                             store_sites: labels_of(&plan.store_sites),
+                            cas_sites: labels_of(&plan.cas_sites),
                         },
                         rng_seed: round,
                         skips,
@@ -623,6 +801,10 @@ fn forced_plan(recon: &CampaignResult, read_marker: &str, write_marker: &str) ->
             .filter(|(s, _)| site_label(*s).contains(write_marker))
             .map(|(s, _)| s.id())
             .collect(),
+        // Every CAS observed on the granule becomes a retry decision
+        // point: stalling failed attempts widens the racy window the plan
+        // is trying to hit.
+        cas_sites: entry.cas_sites.iter().map(|(s, _)| s.id()).collect(),
     })
 }
 
@@ -677,11 +859,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn recipes_cover_all_14_table2_bugs() {
+    fn recipes_cover_table2_and_the_lockfree_suite() {
+        pmrace_targets::register_builtins();
+        pmrace_lockfree::register_lockfree();
         let r = recipes();
-        assert_eq!(r.len(), 14);
+        assert_eq!(r.len(), 20, "14 Table 2 bugs + 6 lock-free suite bugs");
         let ids: Vec<u32> = r.iter().map(|x| x.bug_id).collect();
-        assert_eq!(ids, (1..=14).collect::<Vec<u32>>());
+        assert_eq!(ids, (1..=20).collect::<Vec<u32>>());
         for recipe in &r {
             assert!(
                 target_spec(recipe.target).is_some(),

@@ -108,6 +108,7 @@ pub fn replay(repro: &Repro, opts: &ReplayOptions) -> Result<ReplayOutcome, RtEr
     // registry so checked-in repros and plugin-target repros replay
     // through one path.
     pmrace_targets::register_builtins();
+    pmrace_lockfree::register_lockfree();
     let spec = pmrace_api::resolve_target_or_err(&repro.target)?;
     let seed =
         Seed::parse(&repro.seed_text).map_err(|e| RtError::Io(format!("repro seed: {e}")))?;
@@ -231,6 +232,7 @@ fn build_strategy(
             off,
             load_sites,
             store_sites,
+            cas_sites,
             rng_seed,
             skips,
             events,
@@ -256,6 +258,12 @@ fn build_strategy(
                 off: granule_off,
                 load_sites: resolve_sites(load_sites)?,
                 store_sites: resolve_sites(store_sites)?,
+                // Lenient: a CAS site the recon run happened not to reach
+                // only weakens retry stalling; it must not fail the replay.
+                cas_sites: cas_sites
+                    .iter()
+                    .filter_map(|label| site_by_label(label).map(|s| s.id()))
+                    .collect(),
             };
             let pinned: HashMap<u32, u32> = skips
                 .iter()
@@ -410,6 +418,7 @@ mod tests {
             off: 64,
             load_sites: vec!["replay-test.nonexistent:1".to_owned()],
             store_sites: vec!["replay-test.nonexistent:2".to_owned()],
+            cas_sites: Vec::new(),
             rng_seed: 1,
             skips: Vec::new(),
             events: Vec::new(),

@@ -91,6 +91,18 @@ impl Default for SessionConfig {
     }
 }
 
+/// How a load reached PM: a plain load instruction (the scheduler can
+/// inject `cond_wait` before it) or the read half of a compare-and-swap
+/// (not gateable before the fact, but a *retry* decision point after a
+/// failed attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LoadKind {
+    /// A plain load instruction.
+    Plain,
+    /// The read half of a `cas_u64`.
+    Cas,
+}
+
 /// Per-granule access statistics backing the scheduler's priority queue of
 /// shared PM accesses (§4.2.2). A granule sees a handful of distinct sites
 /// and threads, so linear-scanned vectors beat hash maps on the hot path.
@@ -98,6 +110,7 @@ impl Default for SessionConfig {
 struct AccessStats {
     loads: Vec<(Site, u32)>,
     stores: Vec<(Site, u32)>,
+    cas: Vec<(Site, u32)>,
     threads: Vec<ThreadId>,
 }
 
@@ -127,6 +140,9 @@ pub struct SharedAccessEntry {
     pub load_sites: Vec<(Site, u32)>,
     /// Store sites with execution counts.
     pub store_sites: Vec<(Site, u32)>,
+    /// CAS sites with execution counts (the read-modify-write instructions
+    /// whose failed attempts are retry decision points).
+    pub cas_sites: Vec<(Site, u32)>,
     /// Total accesses (priority key; hot shared data first).
     pub total: u32,
     /// Distinct threads that touched the granule.
@@ -421,10 +437,11 @@ impl Session {
     /// Load hook: update coverage/stats, mint candidates, return the taint
     /// the loaded value carries.
     ///
-    /// `gateable` is false for the load half of read-modify-write
-    /// instructions (CAS): they still mint candidates and coverage, but the
-    /// scheduler cannot inject `cond_wait` before them, so they must not
-    /// enter the priority queue as sync points.
+    /// `kind` is [`LoadKind::Cas`] for the load half of read-modify-write
+    /// instructions: they still mint candidates and coverage, but the
+    /// scheduler cannot inject `cond_wait` *before* them, so they are
+    /// tallied separately (`AccessStats::cas`) and surface in the priority
+    /// queue as CAS-retry decision points rather than gateable load sites.
     pub(crate) fn on_load(
         &self,
         off: u64,
@@ -432,7 +449,7 @@ impl Session {
         site: Site,
         tid: ThreadId,
         info: &LoadInfo,
-        gateable: bool,
+        kind: LoadKind,
     ) -> TaintSet {
         let persistency = if info.unpersisted {
             Persistency::Unpersisted
@@ -453,24 +470,25 @@ impl Session {
             if !sh.taint.is_empty() {
                 taint.union_with(&sh.taint);
             }
-            if gateable {
-                AccessStats::bump(&mut sh.stats.loads, site);
+            match kind {
+                LoadKind::Plain => AccessStats::bump(&mut sh.stats.loads, site),
+                LoadKind::Cas => AccessStats::bump(&mut sh.stats.cas, site),
             }
             sh.stats.note_thread(tid);
         }
         if info.unpersisted {
-            let kind = if info.writer == tid {
+            let cand_kind = if info.writer == tid {
                 CandidateKind::Intra
             } else {
                 CandidateKind::Inter
             };
-            let key = (info.tag.0, site.id(), kind);
+            let key = (info.tag.0, site.id(), cand_kind);
             let mut reports = self.reports.lock();
             let id = match reports.candidate_index.get(&key) {
                 Some(&id) => id,
                 None => {
                     telemetry::add(
-                        match kind {
+                        match cand_kind {
                             CandidateKind::Inter => telemetry::Counter::CheckerCandidatesInter,
                             CandidateKind::Intra => telemetry::Counter::CheckerCandidatesIntra,
                         },
@@ -480,7 +498,7 @@ impl Session {
                     reports.candidate_index.insert(key, id);
                     reports.candidates.push(Candidate {
                         id,
-                        kind,
+                        kind: cand_kind,
                         write_site: Site::from_id(info.tag.0),
                         write_tid: info.writer,
                         read_site: site,
@@ -811,21 +829,28 @@ impl Session {
                     .shadow
                     .iter()
                     .filter(|(_, sh)| {
+                        // A granule with CAS traffic but no plain loads is
+                        // still schedulable: failed attempts are retry
+                        // decision points the strategy can stall on.
                         sh.stats.threads.len() >= 2
-                            && !sh.stats.loads.is_empty()
                             && !sh.stats.stores.is_empty()
+                            && (!sh.stats.loads.is_empty() || !sh.stats.cas.is_empty())
                     })
                     .map(|(&g, sh)| {
                         let mut load_sites = sh.stats.loads.clone();
                         let mut store_sites = sh.stats.stores.clone();
+                        let mut cas_sites = sh.stats.cas.clone();
                         load_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
                         store_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
+                        cas_sites.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s.id()));
                         let total = sh.stats.loads.iter().map(|&(_, c)| c).sum::<u32>()
-                            + sh.stats.stores.iter().map(|&(_, c)| c).sum::<u32>();
+                            + sh.stats.stores.iter().map(|&(_, c)| c).sum::<u32>()
+                            + sh.stats.cas.iter().map(|&(_, c)| c).sum::<u32>();
                         SharedAccessEntry {
                             off: g * 8,
                             load_sites,
                             store_sites,
+                            cas_sites,
                             total,
                             threads: sh.stats.threads.len(),
                         }

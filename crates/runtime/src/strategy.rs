@@ -69,6 +69,20 @@ pub trait InterleaveStrategy: Send + Sync {
         let _ = ctx;
     }
 
+    /// Called after a `cas_u64` that did **not** swap, with the number of
+    /// consecutive failures this thread has accumulated at this site
+    /// (`attempt` starts at 1 and resets on success or site change). A
+    /// failed CAS is the natural yield point of a lock-free retry loop: the
+    /// thread has just observed the word and is about to re-read it, so a
+    /// scheduler can interpose another thread's store *between* the CAS read
+    /// and the retry — the interleaving family lock-based targets never
+    /// exhibit. Implementations must bound how long they stall here
+    /// (`attempt` grows without limit during a retry storm) and must poll
+    /// `ctx.cancelled` in any wait loop.
+    fn on_cas_fail(&self, ctx: &AccessCtx<'_>, attempt: u32) {
+        let _ = (ctx, attempt);
+    }
+
     /// Called when a driver thread finished its operation sequence.
     /// Schedulers use this to track how many threads are still live (the
     /// "all threads block" detection of Fig. 6 is over live threads).
@@ -114,6 +128,7 @@ mod tests {
         s.before_load(&ctx);
         s.before_store(&ctx);
         s.after_store(&ctx);
+        s.on_cas_fail(&ctx, 1);
         s.campaign_end();
         assert!(format!("{ctx:?}").contains("off"));
     }

@@ -1,10 +1,12 @@
 //! [`PmView`]: the instrumented PM access layer target systems program
 //! against. Every method is one hooked instruction of the paper's LLVM pass.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use pmrace_pmem::{SiteTag, ThreadId};
 
+use crate::session::LoadKind;
 use crate::strategy::AccessCtx;
 use crate::taint::{TBytes, TaintSet, TU64};
 use crate::{RtError, Session, Site};
@@ -19,11 +21,26 @@ use crate::{RtError, Session, Site};
 pub struct PmView {
     session: Arc<Session>,
     tid: ThreadId,
+    /// Site id of this thread's most recent *failed* CAS ([`NO_CAS_SITE`]
+    /// when the last attempt succeeded or none ran yet). Together with
+    /// `cas_fail_streak` this measures consecutive-retry depth, reported to
+    /// the strategy's `on_cas_fail` hook so it can distinguish a first
+    /// failure (prime interposition point) from a retry storm (back off).
+    cas_fail_site: AtomicU32,
+    cas_fail_streak: AtomicU32,
 }
+
+/// Sentinel for `cas_fail_site`: no failed CAS outstanding.
+const NO_CAS_SITE: u32 = u32::MAX;
 
 impl PmView {
     pub(crate) fn new(session: Arc<Session>, tid: ThreadId) -> Self {
-        PmView { session, tid }
+        PmView {
+            session,
+            tid,
+            cas_fail_site: AtomicU32::new(NO_CAS_SITE),
+            cas_fail_streak: AtomicU32::new(0),
+        }
     }
 
     /// This view's thread id.
@@ -92,9 +109,9 @@ impl PmView {
                 .before_load(&self.ctx(off.value(), 8, site, &cancelled));
         }
         let (val, info) = self.session.pool().load_u64(off.value())?;
-        let mut taint = self
-            .session
-            .on_load(off.value(), 8, site, self.tid, &info, true);
+        let mut taint =
+            self.session
+                .on_load(off.value(), 8, site, self.tid, &info, LoadKind::Plain);
         taint.union_with(off.taint());
         Ok(TU64::with_taint(val, taint))
     }
@@ -120,9 +137,9 @@ impl PmView {
         }
         let mut buf = vec![0u8; len];
         let info = self.session.pool().load(off.value(), &mut buf)?;
-        let mut taint = self
-            .session
-            .on_load(off.value(), len, site, self.tid, &info, true);
+        let mut taint =
+            self.session
+                .on_load(off.value(), len, site, self.tid, &info, LoadKind::Plain);
         taint.union_with(off.taint());
         Ok(TBytes::with_taint(buf, taint))
     }
@@ -284,9 +301,11 @@ impl PmView {
         )?;
         let mut taint = self
             .session
-            .on_load(off.value(), 8, site, self.tid, &info, false);
+            .on_load(off.value(), 8, site, self.tid, &info, LoadKind::Cas);
         taint.union_with(off.taint());
         if swapped {
+            self.cas_fail_site.store(NO_CAS_SITE, Ordering::Relaxed);
+            self.cas_fail_streak.store(0, Ordering::Relaxed);
             self.session.on_store(
                 off.value(),
                 8,
@@ -299,6 +318,22 @@ impl PmView {
             );
             if let Some(s) = &strategy {
                 s.after_store(&ctx);
+            }
+        } else {
+            // A failed CAS is the retry decision point of a lock-free loop:
+            // count consecutive failures at this site and let the strategy
+            // interpose another thread's store before the retry.
+            let attempt = if self.cas_fail_site.load(Ordering::Relaxed) == site.id() {
+                self.cas_fail_streak
+                    .load(Ordering::Relaxed)
+                    .saturating_add(1)
+            } else {
+                self.cas_fail_site.store(site.id(), Ordering::Relaxed);
+                1
+            };
+            self.cas_fail_streak.store(attempt, Ordering::Relaxed);
+            if let Some(s) = &strategy {
+                s.on_cas_fail(&ctx, attempt);
             }
         }
         Ok((swapped, TU64::with_taint(observed, taint)))
@@ -583,6 +618,70 @@ mod tests {
         assert_eq!(shared[0].off, 64);
         assert!(shared[0].total > shared[1].total);
         assert_eq!(shared[0].threads, 2);
+    }
+
+    #[test]
+    fn cas_only_granules_surface_with_cas_sites() {
+        let s = session();
+        let a = s.view(ThreadId(0));
+        let b = s.view(ThreadId(1));
+        // Two threads race a CAS word with no plain loads at all: the
+        // granule must still enter the shared-access summary, carried by
+        // its CAS sites.
+        let (ok, _) = a.cas_u64(64u64, 0, 1, site!("cas.a")).unwrap();
+        assert!(ok);
+        let (ok2, _) = b.cas_u64(64u64, 0, 2, site!("cas.b")).unwrap();
+        assert!(!ok2);
+        let shared = s.session().shared_accesses();
+        assert_eq!(shared.len(), 1);
+        let e = &shared[0];
+        assert_eq!(e.off, 64);
+        assert!(e.load_sites.is_empty());
+        assert!(!e.cas_sites.is_empty());
+        assert!(!e.store_sites.is_empty());
+        assert_eq!(e.threads, 2);
+        // total counts the CAS attempts too.
+        assert_eq!(e.total, 3); // 2 cas reads + 1 store
+    }
+
+    #[derive(Debug, Default)]
+    struct CasFailProbe {
+        seen: parking_lot::Mutex<Vec<(String, u32)>>,
+    }
+
+    impl crate::strategy::InterleaveStrategy for CasFailProbe {
+        fn name(&self) -> &'static str {
+            "cas-fail-probe"
+        }
+
+        fn on_cas_fail(&self, ctx: &AccessCtx<'_>, attempt: u32) {
+            self.seen
+                .lock()
+                .push((crate::site_label(ctx.site).to_string(), attempt));
+        }
+    }
+
+    #[test]
+    fn failed_cas_fires_hook_with_consecutive_attempt_counts() {
+        let s = session();
+        let probe = Arc::new(CasFailProbe::default());
+        s.set_strategy(Arc::clone(&probe) as Arc<dyn crate::strategy::InterleaveStrategy>);
+        let v = s.view(ThreadId(0));
+        v.ntstore_u64(64u64, 9, site!("cas.seed")).unwrap();
+        // Three consecutive failures at one site, then a success, then a
+        // fresh failure: the streak must ramp 1,2,3 and reset to 1.
+        for _ in 0..3 {
+            let (ok, _) = v.cas_u64(64u64, 0, 1, site!("cas.retry")).unwrap();
+            assert!(!ok);
+        }
+        let (ok, _) = v.cas_u64(64u64, 9, 1, site!("cas.retry")).unwrap();
+        assert!(ok);
+        let (ok, _) = v.cas_u64(64u64, 0, 2, site!("cas.retry")).unwrap();
+        assert!(!ok);
+        let seen = probe.seen.lock();
+        let attempts: Vec<u32> = seen.iter().map(|(_, a)| *a).collect();
+        assert_eq!(attempts, vec![1, 2, 3, 1]);
+        assert!(seen.iter().all(|(l, _)| l == "cas.retry"));
     }
 
     trait SessionExt {

@@ -60,7 +60,8 @@ impl Default for SyncTuning {
 }
 
 /// The interleaving to force: one shared address plus its load (sync-point)
-/// and store (signaller) instructions.
+/// and store (signaller) instructions, and the CAS instructions whose failed
+/// attempts double as retry decision points.
 #[derive(Debug, Clone)]
 pub struct SyncPlan {
     /// Target granule byte offset.
@@ -69,6 +70,10 @@ pub struct SyncPlan {
     pub load_sites: HashSet<u32>,
     /// Site ids of stores that signal.
     pub store_sites: HashSet<u32>,
+    /// Site ids of CAS instructions: a *failed* attempt at one of these is
+    /// stalled like a sync-point load, interposing the signalling store
+    /// between the CAS read and its retry.
+    pub cas_sites: HashSet<u32>,
 }
 
 impl From<&QueueEntry> for SyncPlan {
@@ -77,9 +82,22 @@ impl From<&QueueEntry> for SyncPlan {
             off: e.off,
             load_sites: e.load_sites.iter().map(|s| s.id()).collect(),
             store_sites: e.store_sites.iter().map(|s| s.id()).collect(),
+            cas_sites: e.cas_sites.iter().map(|s| s.id()).collect(),
         }
     }
 }
+
+/// Failed-CAS attempts past this streak are a retry storm: the scheduler
+/// stops interposing and lets the loop resolve naturally, so forced
+/// interleavings cannot livelock a heavily contended CAS word. Hardcoded
+/// (not a [`SyncTuning`] knob) because tuning is serialized into every
+/// repro artifact and this bound is part of the engagement *semantics*,
+/// not campaign timing.
+const CAS_STORM_BOUND: u32 = 8;
+
+/// Upper bound of `cond_wait` engagements per CAS site per campaign; after
+/// this many interpositions further failures pass through untouched.
+const CAS_ENGAGE_CAP: u32 = 4;
 
 /// The PM-aware conditional-wait strategy.
 #[derive(Debug)]
@@ -104,6 +122,9 @@ pub struct PmraceStrategy {
     /// The skips the campaign *started* with (learned + realized jitter),
     /// frozen at construction so record/replay can pin them later.
     initial_skips: Vec<(u32, u32)>,
+    /// `cond_wait` engagements per CAS site this campaign (bounded by
+    /// [`CAS_ENGAGE_CAP`]).
+    cas_engaged: Mutex<HashMap<u32, u32>>,
     rng: Mutex<StdRng>,
     waits: AtomicUsize,
     signals: AtomicUsize,
@@ -196,6 +217,7 @@ impl PmraceStrategy {
             privileged: Mutex::new(None),
             skips: Mutex::new(skips),
             initial_skips,
+            cas_engaged: Mutex::new(HashMap::new()),
             rng: Mutex::new(rng),
             waits: AtomicUsize::new(0),
             signals: AtomicUsize::new(0),
@@ -340,6 +362,30 @@ impl InterleaveStrategy for PmraceStrategy {
         }
     }
 
+    fn on_cas_fail(&self, ctx: &AccessCtx<'_>, attempt: u32) {
+        if attempt > CAS_STORM_BOUND || !self.matches_addr(ctx.off) {
+            return;
+        }
+        let site = ctx.site.id();
+        if !self.plan.cas_sites.contains(&site) && !self.plan.load_sites.contains(&site) {
+            return;
+        }
+        {
+            let mut engaged = self.cas_engaged.lock();
+            let n = engaged.entry(site).or_insert(0);
+            if *n >= CAS_ENGAGE_CAP {
+                return;
+            }
+            *n += 1;
+        }
+        // The thread has just observed the word and is about to retry: park
+        // it on the condition so the planned store lands *between* the CAS
+        // read and the retry — the interleaving a lock-free publish race
+        // needs. cond_wait's skip accounting, privileged drafting and
+        // disable path all apply as for plain sync-point loads.
+        self.cond_wait(ctx);
+    }
+
     fn thread_done(&self, tid: ThreadId) {
         self.active.fetch_sub(1, Ordering::AcqRel);
         // A finished privileged thread frees the slot: the remaining
@@ -363,6 +409,7 @@ mod tests {
             off,
             load_sites: [load.id()].into(),
             store_sites: [store.id()].into(),
+            cas_sites: HashSet::new(),
         }
     }
 
@@ -550,11 +597,78 @@ mod tests {
             off: 640,
             load_sites: vec![site!("ql")],
             store_sites: vec![site!("qs")],
+            cas_sites: vec![site!("qc")],
             priority: 3,
         };
         let p = SyncPlan::from(&e);
         assert_eq!(p.off, 640);
         assert_eq!(p.load_sites.len(), 1);
         assert_eq!(p.store_sites.len(), 1);
+        assert_eq!(p.cas_sites.len(), 1);
+    }
+
+    fn cas_plan(off: u64, cas: Site, store: Site) -> SyncPlan {
+        SyncPlan {
+            off,
+            load_sites: HashSet::new(),
+            store_sites: [store.id()].into(),
+            cas_sites: [cas.id()].into(),
+        }
+    }
+
+    #[test]
+    fn failed_cas_blocks_until_writer_signals() {
+        let (c, s) = (site!("cas-a"), site!("store-cas-a"));
+        let strat = Arc::new(PmraceStrategy::new(
+            cas_plan(64, c, s),
+            2,
+            Arc::new(SkipStore::new()),
+            fast_tuning(),
+            7,
+        ));
+        let strat2 = Arc::clone(&strat);
+        let retrier = std::thread::spawn(move || {
+            let cancelled = || false;
+            let start = Instant::now();
+            strat2.on_cas_fail(&ctx(64, c, 1, &cancelled), 1);
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let cancelled = || false;
+        strat.after_store(&ctx(64, s, 0, &cancelled));
+        let waited = retrier.join().unwrap();
+        assert!(
+            waited >= Duration::from_millis(5),
+            "failed CAS returned early: {waited:?}"
+        );
+        assert_eq!(strat.waits_entered(), 1);
+    }
+
+    #[test]
+    fn cas_retry_storms_and_engagement_caps_bound_the_stall() {
+        let (c, s) = (site!("cas-b"), site!("store-cas-b"));
+        let strat = PmraceStrategy::new(
+            cas_plan(64, c, s),
+            2,
+            Arc::new(SkipStore::new()),
+            fast_tuning(),
+            7,
+        );
+        let cancelled = || false;
+        // Signal first so every engaged wait falls straight through; the
+        // engagement *count* is what this test measures.
+        strat.after_store(&ctx(64, s, 0, &cancelled));
+        // Deep-retry storm: attempts past the bound never engage.
+        strat.on_cas_fail(&ctx(64, c, 1, &cancelled), CAS_STORM_BOUND + 1);
+        assert_eq!(strat.waits_entered(), 0);
+        // Bounded engagement: at most CAS_ENGAGE_CAP waits per site.
+        for _ in 0..(CAS_ENGAGE_CAP + 3) {
+            strat.on_cas_fail(&ctx(64, c, 1, &cancelled), 1);
+        }
+        assert_eq!(strat.waits_entered(), CAS_ENGAGE_CAP as usize);
+        // Unplanned site or address: never engages.
+        strat.on_cas_fail(&ctx(128, c, 1, &cancelled), 1);
+        strat.on_cas_fail(&ctx(64, s, 1, &cancelled), 1);
+        assert_eq!(strat.waits_entered(), CAS_ENGAGE_CAP as usize);
     }
 }

@@ -22,6 +22,9 @@ pub struct QueueEntry {
     pub load_sites: Vec<Site>,
     /// Store instructions observed at this address (the signallers).
     pub store_sites: Vec<Site>,
+    /// CAS instructions observed at this address (retry decision points:
+    /// a failed attempt lets the scheduler stall the retry loop).
+    pub cas_sites: Vec<Site>,
     /// Priority: total access count across campaigns.
     pub priority: u32,
 }
@@ -48,6 +51,7 @@ impl AccessQueue {
                 off: e.off,
                 load_sites: Vec::new(),
                 store_sites: Vec::new(),
+                cas_sites: Vec::new(),
                 priority: 0,
             });
             entry.priority = entry.priority.saturating_add(e.total);
@@ -59,6 +63,11 @@ impl AccessQueue {
             for &(s, _) in &e.store_sites {
                 if !entry.store_sites.contains(&s) {
                     entry.store_sites.push(s);
+                }
+            }
+            for &(s, _) in &e.cas_sites {
+                if !entry.cas_sites.contains(&s) {
+                    entry.cas_sites.push(s);
                 }
             }
         }
@@ -115,6 +124,7 @@ mod tests {
             off,
             load_sites: vec![(load, total / 2)],
             store_sites: vec![(store, total / 2)],
+            cas_sites: Vec::new(),
             total,
             threads: 2,
         }

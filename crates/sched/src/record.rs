@@ -136,6 +136,14 @@ impl InterleaveStrategy for RecordingStrategy {
         self.inner.after_store(ctx);
     }
 
+    fn on_cas_fail(&self, ctx: &AccessCtx<'_>, attempt: u32) {
+        // Forward only: the failed attempt was already logged as a store
+        // event by `before_store`, and replay re-enforces that release
+        // order. Recording a second event here would desynchronize the
+        // replay turnstile.
+        self.inner.on_cas_fail(ctx, attempt);
+    }
+
     fn thread_done(&self, tid: ThreadId) {
         self.inner.thread_done(tid);
     }
@@ -175,6 +183,7 @@ mod tests {
             off: 64,
             load_sites: HashSet::from([l.id()]),
             store_sites: HashSet::from([s.id()]),
+            cas_sites: HashSet::new(),
         };
         let tuning = SyncTuning {
             reader_poll: Duration::from_micros(100),

@@ -37,8 +37,6 @@ pub mod memkv;
 pub mod pclht;
 pub mod util;
 
-use std::sync::Once;
-
 pub use pmrace_api::{Op, OpResult, Target, TargetCtor, TargetSpec};
 
 /// Specs of all five built-in systems, in Table 1 order.
@@ -56,13 +54,13 @@ fn builtin_specs() -> [TargetSpec; 5] {
 /// registry (in Table 1 order). Idempotent and thread-safe: call it from
 /// any entry point that resolves targets by name; repeat calls are free.
 pub fn register_builtins() {
-    static ONCE: Once = Once::new();
-    ONCE.call_once(|| {
-        for spec in builtin_specs() {
-            pmrace_api::register_target(spec)
-                .expect("built-in target names are unique and registered once");
-        }
-    });
+    for spec in builtin_specs() {
+        // `ensure_registered` is atomic per spec under the registry lock,
+        // so concurrent first calls from racing fleet workers are safe
+        // without a caller-side `Once`.
+        pmrace_api::ensure_registered(spec)
+            .expect("built-in target names are unique across suites");
+    }
 }
 
 /// Specs of all five evaluated systems, in Table 1 order.

@@ -71,6 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(s, _)| pmrace_runtime::site_label(*s).contains("785"))
             .map(|(s, _)| s.id())
             .collect(),
+        // The table-pointer swap is a plain store, not a CAS publication.
+        cas_sites: Default::default(),
     };
     for round in 0..10u64 {
         let strategy = Arc::new(PmraceStrategy::new(

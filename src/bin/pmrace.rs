@@ -23,8 +23,11 @@
 //! Each worker draws from its own deterministic RNG stream, so seeded runs
 //! stay replayable; with `--progress`, multi-worker runs print a per-worker
 //! execs/s split. `fuzz --list-targets` prints every
-//! target registered with the process-global registry (the built-ins plus
-//! any runtime-registered plugins; `list` shows just the paper's five). `--telemetry DIR` turns the
+//! target registered with the process-global registry (the built-ins, the
+//! lock-free suite, plus any runtime-registered plugins; `list` shows just
+//! the paper's five) along with each target's seed-grammar summary: key
+//! universe, hot-key prefix, value/step bounds, and the relative op
+//! weights the mutator draws from. `--telemetry DIR` turns the
 //! observability layer on and writes `telemetry.json` + `trace.jsonl` into
 //! DIR when the run finishes (render them with `repro stats DIR`;
 //! schema in `docs/OBSERVABILITY.md`), and `--progress SECS` prints a
@@ -55,10 +58,32 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// One-line seed-grammar summary for `fuzz --list-targets`: the bounds
+/// the mutator draws keys/values from plus the relative op weights.
+fn grammar_summary(hints: &pmrace::SeedHints) -> String {
+    let w = &hints.weights;
+    format!(
+        "keys 1..={} (hot {}) values <{} steps <{} | weights: insert {} get {} update {} \
+         delete {} incr {} decr {}",
+        hints.key_range,
+        hints.hot_keys,
+        hints.max_value,
+        hints.max_step,
+        w.insert,
+        w.get,
+        w.update,
+        w.delete,
+        w.incr,
+        w.decr,
+    )
+}
+
 fn main() {
     // Targets resolve by name through the process-global registry; make
-    // the five built-ins available before anything looks one up.
+    // the five built-ins and the lock-free suite available before
+    // anything looks one up.
     pmrace::register_builtins();
+    pmrace::register_lockfree();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -68,11 +93,12 @@ fn main() {
             }
         }
         Some("fuzz") if args.iter().any(|a| a == "--list-targets") => {
-            // Everything currently registered — built-ins plus whatever
-            // plugin targets this process registered at runtime.
+            // Everything currently registered — built-ins, the lock-free
+            // suite, plus whatever plugin targets this process registered
+            // at runtime — with each target's op grammar.
             println!("registered targets (registration order):");
             for spec in pmrace::api::all_targets() {
-                println!("  {}", spec.name);
+                println!("  {:<16} {}", spec.name, grammar_summary(&spec.hints));
             }
         }
         Some("fuzz") => {

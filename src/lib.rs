@@ -25,6 +25,9 @@
 //!   scheduler and the delay-injection baseline);
 //! - [`targets`] — the five evaluated PM systems, re-implemented with the
 //!   paper's bugs seeded;
+//! - [`lockfree`] — the lock-free persistent data-structure suite
+//!   (Treiber stack, Harris-style list, Michael–Scott queue) with
+//!   CAS-publication bugs planted and an exactly-once recovery audit;
 //! - [`core`] — the fuzzer (operation mutator, three-tier exploration,
 //!   post-failure validation, bug ledger);
 //! - [`replay`] — deterministic record/replay (schedule capture, repro
@@ -71,6 +74,7 @@
 
 pub use pmrace_api as api;
 pub use pmrace_core as core;
+pub use pmrace_lockfree as lockfree;
 pub use pmrace_pmem as pmem;
 pub use pmrace_replay as replay;
 pub use pmrace_runtime as runtime;
@@ -83,6 +87,7 @@ pub use pmrace_api::{
     TargetCtor, TargetSpec,
 };
 pub use pmrace_core::{FuzzConfig, FuzzReport, Fuzzer, Ledger, OpMutator, Seed, StrategyKind};
+pub use pmrace_lockfree::{lockfree_specs, register_lockfree};
 pub use pmrace_pmem::{Pool, PoolOpts};
 pub use pmrace_runtime::{PmView, Session, SessionConfig};
 pub use pmrace_targets::{all_targets, register_builtins, target_spec};

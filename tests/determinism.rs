@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use pmrace::{FuzzConfig, Fuzzer, StrategyKind};
 
-fn deterministic_cfg(rng_seed: u64) -> FuzzConfig {
-    let mut cfg = FuzzConfig::new("P-CLHT");
+fn deterministic_cfg_for(target: &str, rng_seed: u64) -> FuzzConfig {
+    let mut cfg = FuzzConfig::new(target);
     cfg.strategy = StrategyKind::Systematic;
     cfg.workers = 1;
     cfg.threads = 2;
@@ -23,6 +23,10 @@ fn deterministic_cfg(rng_seed: u64) -> FuzzConfig {
     cfg.campaign_deadline = Duration::from_millis(300);
     cfg.rng_seed = rng_seed;
     cfg
+}
+
+fn deterministic_cfg(rng_seed: u64) -> FuzzConfig {
+    deterministic_cfg_for("P-CLHT", rng_seed)
 }
 
 fn bug_set(rng_seed: u64) -> BTreeSet<(String, String, String)> {
@@ -41,6 +45,28 @@ fn identical_seeds_find_identical_bug_triples() {
     assert_eq!(
         first, second,
         "two identically-seeded single-worker runs diverged"
+    );
+}
+
+/// The contract must also hold for targets whose control flow is CAS-retry
+/// loops rather than locks: the scheduler's retry decision points consume
+/// deterministic RNG streams, so a lock-free target's bug set is equally
+/// a pure function of the seed.
+#[test]
+fn identical_seeds_find_identical_lockfree_bug_triples() {
+    pmrace::register_lockfree();
+    let run = || -> BTreeSet<(String, String, String)> {
+        let report = Fuzzer::new(deterministic_cfg_for("treiber-stack", 7))
+            .unwrap()
+            .run()
+            .unwrap();
+        report.bug_triples.into_iter().collect()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "two identically-seeded single-worker treiber-stack runs diverged"
     );
 }
 

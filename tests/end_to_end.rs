@@ -38,6 +38,8 @@ fn forced_plan(
             .filter(|(s, _)| site_label(*s).contains(write_marker))
             .map(|(s, _)| s.id())
             .collect(),
+        // These targets publish via plain stores; no CAS retry to stall.
+        cas_sites: Default::default(),
     })
 }
 

@@ -1,9 +1,10 @@
 //! The replay regression gate: every checked-in repro artifact in
 //! `repros/` must still re-trigger its recorded bug.
 //!
-//! The corpus covers the paper's 14 Table 2 bugs (built and delta-debug
-//! minimized by `repro corpus repros/ --minimize`). A failure here means a
-//! change broke either a detector (the bug no longer fires), a target (the
+//! The corpus covers the paper's 14 Table 2 bugs plus the 6 lock-free
+//! suite bugs (built and delta-debug minimized by
+//! `repro corpus repros/ --minimize`). A failure here means a change
+//! broke either a detector (the bug no longer fires), a target (the
 //! seeded bug is gone), or the replayer itself — all regressions.
 
 use pmrace::replay::{replay_corpus, ReplayOptions};
@@ -13,14 +14,21 @@ fn corpus_dir() -> std::path::PathBuf {
 }
 
 #[test]
-fn checked_in_corpus_covers_the_14_table2_bugs() {
+fn checked_in_corpus_covers_table2_and_the_lockfree_suite() {
     let results = replay_corpus(&corpus_dir(), &ReplayOptions::default()).unwrap();
     assert_eq!(
         results.len(),
-        14,
-        "expected one artifact per Table 2 bug, found {}",
+        20,
+        "expected one artifact per corpus bug (14 Table 2 + 6 lock-free), found {}",
         results.len()
     );
+    // Every lock-free structure contributes artifacts.
+    for target in ["tstack", "hlist", "msq"] {
+        assert!(
+            results.iter().any(|r| r.key.contains(target)),
+            "no {target} artifact in the corpus"
+        );
+    }
     // The four finding classes are all represented.
     for prefix in ["Inter:", "Intra:", "Sync:", "Candidate:", "Hang"] {
         assert!(
