@@ -29,6 +29,67 @@
 //! `pmrace_targets::register_builtins()`; a plugin target just calls
 //! [`register_target`] with its own [`TargetSpec`] and is immediately
 //! fuzzable, validatable and replayable by name.
+//!
+//! # Example: a complete out-of-tree target
+//!
+//! The smallest target that exercises the whole contract — a single
+//! persistent cell every key maps to. The tail of the example is exactly
+//! what the campaign driver does with a resolved spec each campaign:
+//! build the pool the spec asks for, open a session, construct the
+//! target, hand per-thread views to drivers. (For a target with planted
+//! bugs and a recovery path, see `examples/mpsc_queue/` in the repo
+//! root.)
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use pmrace_api::{ensure_registered, resolve_target, Op, OpResult, Target, TargetSpec};
+//! use pmrace_pmem::{Pool, PoolOpts, ThreadId};
+//! use pmrace_runtime::{site, PmView, RtError, Session, SessionConfig};
+//!
+//! struct OneCell;
+//!
+//! impl Target for OneCell {
+//!     fn name(&self) -> &'static str {
+//!         "one-cell"
+//!     }
+//!
+//!     fn exec(&self, view: &PmView, op: &Op) -> Result<OpResult, RtError> {
+//!         const CELL: u64 = 64;
+//!         match *op {
+//!             Op::Insert { value, .. } | Op::Update { value, .. } => {
+//!                 view.store_u64(CELL, value, site!("one_cell.set"))?;
+//!                 view.persist(CELL, 8, site!("one_cell.set.flush"))?;
+//!                 Ok(OpResult::Done)
+//!             }
+//!             Op::Get { .. } => Ok(match view.load_u64(CELL, site!("one_cell.get"))?.value() {
+//!                 0 => OpResult::Missing,
+//!                 v => OpResult::Found(v),
+//!             }),
+//!             _ => Ok(OpResult::Missing),
+//!         }
+//!     }
+//! }
+//!
+//! fn build(_session: &Arc<Session>) -> Result<Arc<dyn Target>, RtError> {
+//!     Ok(Arc::new(OneCell))
+//! }
+//!
+//! // `TargetSpec` is all `fn` pointers, so specs can live in statics.
+//! static SPEC: TargetSpec = TargetSpec::new("one-cell", build, build, PoolOpts::small);
+//!
+//! ensure_registered(SPEC).expect("name is free");
+//! let spec = resolve_target("one-cell").expect("registered above");
+//!
+//! // What the campaign driver does with a resolved spec:
+//! let pool = Arc::new(Pool::new((spec.pool)()));
+//! let session = Session::new(pool, SessionConfig::default());
+//! let target = (spec.init)(&session)?;
+//! let view = session.view(ThreadId(0));
+//! target.exec(&view, &Op::Insert { key: 7, value: 41 })?;
+//! assert_eq!(target.exec(&view, &Op::Get { key: 7 })?, OpResult::Found(41));
+//! # Ok::<(), RtError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -254,6 +315,27 @@ impl SeedHints {
 
     /// Clamp degenerate values (zero ranges or weights) to the smallest
     /// sane grammar so a sloppy plugin spec cannot panic the mutator.
+    ///
+    /// ```
+    /// use pmrace_api::SeedHints;
+    ///
+    /// // A queue-ish grammar: few keys, all of them hot.
+    /// let hints = SeedHints {
+    ///     key_range: 8,
+    ///     hot_keys: 8,
+    ///     ..SeedHints::DEFAULT
+    /// };
+    /// assert_eq!(hints.weights.total(), 100); // weights kept from DEFAULT
+    ///
+    /// // Degenerate specs are clamped, never panicked on:
+    /// let fixed = SeedHints {
+    ///     key_range: 0,
+    ///     hot_keys: 99,
+    ///     ..SeedHints::DEFAULT
+    /// }
+    /// .normalized();
+    /// assert_eq!((fixed.key_range, fixed.hot_keys), (1, 1));
+    /// ```
     #[must_use]
     pub fn normalized(mut self) -> SeedHints {
         self.key_range = self.key_range.max(1);

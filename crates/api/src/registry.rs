@@ -54,6 +54,28 @@ impl std::error::Error for DuplicateTarget {}
 /// Rejects a spec whose name is already registered (re-registering the
 /// same workload is almost always a harness bug; make registration
 /// idempotent on the caller's side, e.g. with [`std::sync::Once`]).
+///
+/// ```
+/// use pmrace_api::{register_target, resolve_target, ensure_registered, TargetSpec};
+/// use pmrace_pmem::PoolOpts;
+/// use pmrace_runtime::RtError;
+///
+/// static SPEC: TargetSpec = TargetSpec::new(
+///     "registry-doc-example",
+///     |_| Err(RtError::Halted),
+///     |_| Err(RtError::Halted),
+///     PoolOpts::small,
+/// );
+///
+/// register_target(SPEC).unwrap();
+/// assert!(resolve_target("registry-doc-example").is_some());
+///
+/// // Names are unique: a second plain registration is rejected...
+/// assert!(register_target(SPEC).is_err());
+/// // ...but re-registering the *same* spec through the idempotent form
+/// // succeeds silently (safe for racing fleet workers).
+/// assert!(ensure_registered(SPEC).is_ok());
+/// ```
 pub fn register_target(spec: TargetSpec) -> Result<(), DuplicateTarget> {
     let mut reg = registry().write();
     if reg.iter().any(|s| s.name == spec.name) {

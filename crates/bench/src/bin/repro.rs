@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--out-dir DIR] [--check-against FILE]
-//!       <experiments...>
+//!       [--tolerance X] <experiments...>
 //! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10
 //!              eadr hotpath all
 //!     With --check-against, exit 1 unless the hotpath run produces every
 //!     cell named in FILE (the CI schema guard for BENCH_hotpath.json).
+//!     Adding --tolerance X also enforces a one-sided perf band: exit 1 if
+//!     any measured cell falls below the committed ops/sec divided by X
+//!     (X > 1; generous values absorb CI noise, regressions still trip it).
 //!
 //! repro replay [--steer|--free] [--attempts N] [--telemetry-out DIR]
 //!              <artifact.json|corpus-dir>...
@@ -48,6 +51,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--seed",
     "--out-dir",
     "--check-against",
+    "--tolerance",
 ];
 
 fn positionals(args: &[String]) -> Vec<String> {
@@ -408,6 +412,49 @@ fn main() {
                     missing.join(", ")
                 );
                 std::process::exit(1);
+            }
+            // Perf-regression band: each measured cell must reach at least
+            // `committed / tolerance` ops/sec. One-sided on purpose —
+            // getting faster is never a failure — and keyed on the full
+            // (name, threads, lines) coordinate.
+            if let Some(tol) = flag_value(&args, "--tolerance") {
+                let tol: f64 = match tol.parse() {
+                    Ok(t) if t >= 1.0 => t,
+                    _ => {
+                        eprintln!("[repro] --tolerance must be a number >= 1.0, got {tol}");
+                        std::process::exit(2);
+                    }
+                };
+                let mut regressed = 0usize;
+                for (name, threads, lines, committed_ops) in hotpath::cell_values_in_json(&text) {
+                    let Some(cell) = cells.iter().find(|c| {
+                        c.name == name
+                            && c.threads == threads
+                            && (if c.disjoint {
+                                "disjoint"
+                            } else {
+                                "overlapping"
+                            }) == lines
+                    }) else {
+                        continue;
+                    };
+                    let floor = committed_ops / tol;
+                    if cell.ops_per_sec() < floor {
+                        eprintln!(
+                            "[repro] PERF REGRESSION {name} ({threads}T {lines}): \
+                             {:.0} ops/sec < floor {floor:.0} (committed {committed_ops:.0} / {tol})",
+                            cell.ops_per_sec()
+                        );
+                        regressed += 1;
+                    }
+                }
+                if regressed > 0 {
+                    eprintln!(
+                        "[repro] {regressed} hotpath cells regressed past the tolerance band"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("[repro] hotpath throughput within {tol}x of {committed}");
             }
         }
         if quick {

@@ -185,6 +185,10 @@ pub fn run_campaign(
                 let tid = ThreadId(t as u32);
                 let view = session.view(tid);
                 for op in ops {
+                    // An op boundary is forward progress even when the op
+                    // made no store (bounded retry loops giving up): keep
+                    // the livelock streak scoped to a single blocked op.
+                    view.spin_reset();
                     match target.exec(&view, op) {
                         Ok(_) => {}
                         Err(RtError::Timeout | RtError::Halted) => {
@@ -196,6 +200,11 @@ pub fn run_campaign(
                         }
                     }
                 }
+                // Drain this thread's batched shadow/coverage before the
+                // scheduler learns the thread is gone — post-join accessors
+                // would flush anyway, but detection-bearing state must not
+                // outlive the thread that staged it.
+                view.flush();
                 session.thread_done(tid);
                 live_workers.fetch_sub(1, Ordering::AcqRel);
             });

@@ -155,6 +155,7 @@ fn recovery_session(pool: Arc<Pool>) -> Arc<Session> {
             max_crash_images: 0,
             whitelist: Whitelist::empty(),
             trace_depth: 0,
+            ..SessionConfig::default()
         },
     )
 }

@@ -87,6 +87,22 @@ pub(crate) fn granule_of(off: u64) -> u64 {
     off / GRANULE as u64
 }
 
+/// Fibonacci multiplicative hash of a granule index.
+///
+/// Granule indices produced by real workloads are strongly structured —
+/// line-aligned allocations make them multiples of
+/// [`GRANULES_PER_LINE`](GRANULE), so low bits carry almost no entropy and
+/// `g % N` table indexing degenerates. Multiplying by `⌊2⁶⁴/φ⌋` spreads
+/// those patterns uniformly over the *high* bits; callers take however many
+/// top bits they need: `granule_hash(g) >> (64 - BITS)`. The instrumentation
+/// runtime uses this for its direct-mapped granule-metadata cache and its
+/// taint-presence filter.
+#[must_use]
+#[inline]
+pub fn granule_hash(g: u64) -> u64 {
+    g.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Granule indices overlapped by `[off, off+len)`.
 #[allow(clippy::reversed_empty_ranges)]
 pub(crate) fn granules(off: u64, len: usize) -> std::ops::RangeInclusive<u64> {

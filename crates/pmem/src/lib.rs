@@ -57,7 +57,7 @@ mod snapshot;
 
 pub use alloc::{AllocStats, PmAllocator, TxAllocHandle};
 pub use error::PmemError;
-pub use image::{GranuleMeta, PersistState, CACHE_LINE, GRANULE};
+pub use image::{granule_hash, GranuleMeta, PersistState, CACHE_LINE, GRANULE};
 pub use pool::{InitCost, LoadInfo, Pool, PoolOpts, RestoreMode, StoreInfo};
 pub use snapshot::{CrashImage, PoolSnapshot};
 

@@ -102,6 +102,20 @@ impl PoolOpts {
     }
 
     /// Switch to the eADR failure model (persistent CPU caches).
+    ///
+    /// ```
+    /// use pmrace_pmem::{Pool, PoolOpts, SiteTag, ThreadId};
+    ///
+    /// let pool = Pool::new(PoolOpts::small().eadr());
+    /// pool.store_u64(64, 7, ThreadId(0), SiteTag(0)).unwrap();
+    ///
+    /// // No clwb/sfence, yet the store is already durable: a crash image
+    /// // taken right now keeps it.
+    /// assert!(!pool.load_u64(64).unwrap().1.unpersisted);
+    /// let img = pool.crash_image().unwrap();
+    /// let recovered = Pool::from_crash_image(&img).unwrap();
+    /// assert_eq!(recovered.load_u64(64).unwrap().0, 7);
+    /// ```
     #[must_use]
     pub fn eadr(mut self) -> Self {
         self.eadr = true;
@@ -1009,6 +1023,22 @@ impl Pool {
 
     /// Full checkpoint of pool state (both images + metadata), used by the
     /// fuzzer's in-memory checkpoints (§5).
+    ///
+    /// ```
+    /// use pmrace_pmem::{Pool, PoolOpts, SiteTag, ThreadId};
+    ///
+    /// let pool = Pool::new(PoolOpts::small());
+    /// let t0 = ThreadId(0);
+    /// pool.store_u64(64, 1, t0, SiteTag(0)).unwrap();
+    /// let snap = pool.snapshot();
+    ///
+    /// pool.store_u64(64, 2, t0, SiteTag(0)).unwrap();
+    /// assert_eq!(pool.load_u64(64).unwrap().0, 2);
+    ///
+    /// // Restore rewinds both images and the per-line persistency state.
+    /// pool.restore(&snap).unwrap();
+    /// assert_eq!(pool.load_u64(64).unwrap().0, 1);
+    /// ```
     #[must_use]
     pub fn snapshot(&self) -> PoolSnapshot {
         let guards = self.lock_all();

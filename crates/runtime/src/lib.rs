@@ -43,6 +43,7 @@ pub mod trace;
 pub mod view;
 pub mod whitelist;
 
+mod batch;
 mod error;
 mod fx;
 mod site;

@@ -21,9 +21,23 @@
 //!   crash-image budget) stay behind a single mutex — they are rare events,
 //!   and a single lock keeps candidate ids dense and dedup exact.
 //!
-//! Lock order: `reports` may be held while calling into the pool or
-//! snapshotting the trace; stripes are leaf locks and are never held across
-//! any other acquisition.
+//! On top of that decomposition, all *feedback/diagnostic* updates
+//! (coverage, access stats, trace, counters) are epoch-batched in each
+//! view's `ThreadBuffer` (the private `batch` module) and only drain into
+//! the shared structures at sync points; detection state (taint,
+//! candidates, reports) stays write-through so nothing observable changes.
+//! See the `batch` module docs for the full argument.
+//!
+//! Lock order: a view's thread buffer is outermost (borrowed for the whole
+//! hook — it is view-owned and lock-free, see [`PmView`]); `reports` may be
+//! held while calling into the pool or snapshotting the trace; stripes and
+//! trace rings are leaf locks and are never held across any other
+//! acquisition.
+//!
+//! Because buffers are view-owned, session accessors report only state
+//! published up to each thread's last sync point ([`PmView::flush`] forces
+//! one). Campaign code drops or flushes views before reading session-wide
+//! statistics; detection state is write-through and needs no flush.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -34,8 +48,9 @@ use parking_lot::{Mutex, RwLock};
 use pmrace_pmem::{LoadInfo, PersistState, Pool, ThreadId};
 use pmrace_telemetry as telemetry;
 
+use crate::batch::{self, Slot, TaintFilter, ThreadBuffer};
 use crate::checker::{AccessEvent, Checker};
-use crate::coverage::{CoverageMap, Persistency};
+use crate::coverage::CoverageMap;
 use crate::fx::FxHashMap;
 use crate::report::{
     Candidate, CandidateKind, EffectKind, Findings, InconsistencyRecord, SyncUpdateRecord,
@@ -77,6 +92,14 @@ pub struct SessionConfig {
     /// Depth of the PM access-trace rings attached to bug reports
     /// (0 disables tracing).
     pub trace_depth: usize,
+    /// Consecutive [`PmView::spin_yield`] calls that may observe a frozen
+    /// session-wide mutation counter before the spinner declares a livelock
+    /// and latches the hang flag. Catches leaked-lock hang bugs in
+    /// milliseconds instead of burning the whole `deadline` (which remains
+    /// the wall-clock backstop). `0` disables early detection.
+    ///
+    /// [`PmView::spin_yield`]: crate::PmView::spin_yield
+    pub livelock_spins: u32,
 }
 
 impl Default for SessionConfig {
@@ -87,6 +110,7 @@ impl Default for SessionConfig {
             max_crash_images: 64,
             whitelist: Whitelist::default_rules(),
             trace_depth: 128,
+            livelock_spins: 4096,
         }
     }
 }
@@ -115,11 +139,13 @@ struct AccessStats {
 }
 
 impl AccessStats {
-    fn bump(sites: &mut Vec<(Site, u32)>, site: Site) {
+    /// Fold `n` batched hits of `site` in (the epoch-flush form of the old
+    /// per-access bump).
+    fn bump_n(sites: &mut Vec<(Site, u32)>, site: Site, n: u32) {
         if let Some(e) = sites.iter_mut().find(|e| e.0 == site) {
-            e.1 += 1;
+            e.1 += n;
         } else {
-            sites.push((site, 1));
+            sites.push((site, n));
         }
     }
 
@@ -245,7 +271,21 @@ pub struct Session {
     /// Deadline-expired latch; also strided-sample state for [`Session::check`].
     hang: AtomicBool,
     check_ctr: AtomicU32,
+    /// Mutation counter: bumped once per store (plain, non-temporal, or the
+    /// store half of a successful CAS). [`PmView::spin_yield`] samples it to
+    /// tell a contended-but-live lock from a leaked one — a spin loop that
+    /// keeps seeing the same value is making no one any progress.
+    ///
+    /// [`PmView::spin_yield`]: crate::PmView::spin_yield
+    progress: AtomicU64,
     pm_events: [EventCell; EVENT_CELLS],
+    /// Monotone may-be-tainted granule filter gating the stripe lock on the
+    /// store/load hot paths.
+    taint_filter: TaintFilter,
+    /// Bumped by [`Session::set_strategy`]; views cache the strategy `Arc`
+    /// per buffer and refresh when the generation moves (starts at 1 so a
+    /// fresh buffer's generation 0 always misses).
+    strategy_gen: AtomicU64,
 }
 
 impl std::fmt::Debug for Session {
@@ -282,7 +322,10 @@ impl Session {
             halted: AtomicBool::new(false),
             hang: AtomicBool::new(false),
             check_ctr: AtomicU32::new(0),
+            progress: AtomicU64::new(0),
             pm_events: Default::default(),
+            taint_filter: TaintFilter::new(),
+            strategy_gen: AtomicU64::new(1),
         })
     }
 
@@ -304,6 +347,12 @@ impl Session {
         self.passive_strategy
             .store(strategy.is_passive(), Ordering::Relaxed);
         *slot = strategy;
+        self.strategy_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Current strategy generation (see the `strategy_gen` field).
+    pub(crate) fn strategy_generation(&self) -> u64 {
+        self.strategy_gen.load(Ordering::Acquire)
     }
 
     /// `true` while the installed strategy is passive (no hooks); views use
@@ -332,7 +381,9 @@ impl Session {
         self.annotations.read().clone()
     }
 
-    /// Create the instrumented access handle for a target thread.
+    /// Create the instrumented access handle for a target thread. The view
+    /// owns its metadata buffer; dropping it (or [`PmView::flush`])
+    /// publishes any still-batched statistics to this session.
     #[must_use]
     pub fn view(self: &Arc<Self>, tid: ThreadId) -> PmView {
         PmView::new(Arc::clone(self), tid)
@@ -354,7 +405,7 @@ impl Session {
     /// access — so intermediate calls skip it. Hang detection still fires
     /// within `CHECK_STRIDE` accesses of the deadline, which is microseconds
     /// in any spin loop.
-    const CHECK_STRIDE: u32 = 32;
+    pub(crate) const CHECK_STRIDE: u32 = 32;
 
     /// Deadline/halt check; flags the campaign as hung when the deadline
     /// passes.
@@ -369,19 +420,38 @@ impl Session {
     /// [`RtError::Timeout`] past the deadline, [`RtError::Halted`] after
     /// [`Session::halt`].
     pub fn check(&self) -> Result<(), RtError> {
+        let n = self.check_ctr.fetch_add(1, Ordering::Relaxed);
+        self.check_sampled(n & (Self::CHECK_STRIDE - 1) == 0)
+    }
+
+    /// [`Session::check`] with the stride decision made by the caller.
+    /// Views keep their own plain (non-atomic) counter so concurrent
+    /// threads never contend on one shared cache line for the
+    /// clock-sampling stride (a fresh counter samples the clock on its
+    /// first call, like a fresh session).
+    pub(crate) fn check_sampled(&self, sample_clock: bool) -> Result<(), RtError> {
         if self.halted.load(Ordering::Relaxed) {
             return Err(RtError::Halted);
         }
         if self.hang.load(Ordering::Relaxed) {
             return Err(RtError::Timeout);
         }
-        if self.check_ctr.fetch_add(1, Ordering::Relaxed) & (Self::CHECK_STRIDE - 1) == 0
-            && self.start.elapsed() >= self.cfg.deadline
-        {
+        if sample_clock && self.start.elapsed() >= self.cfg.deadline {
             self.hang.store(true, Ordering::Relaxed);
             return Err(RtError::Timeout);
         }
         Ok(())
+    }
+
+    /// Current mutation count (see the `progress` field).
+    pub(crate) fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Latches the hang flag so every thread's next check fails with
+    /// [`RtError::Timeout`] — the spin-loop livelock detector's exit.
+    pub(crate) fn latch_hang(&self) {
+        self.hang.store(true, Ordering::Relaxed);
     }
 
     /// Time since session creation.
@@ -391,7 +461,9 @@ impl Session {
     }
 
     /// Total PM events (loads, stores, flushes, fences) instrumented so far;
-    /// feeds the fuzzer's accesses/sec throughput meter.
+    /// feeds the fuzzer's accesses/sec throughput meter. Counts events
+    /// published up to each view's last sync point — drop or
+    /// [`PmView::flush`] the views first for an exact count.
     #[must_use]
     pub fn pm_accesses(&self) -> u64 {
         self.pm_events
@@ -400,11 +472,116 @@ impl Session {
             .sum()
     }
 
+    /// Drain one thread buffer: granule slots (in first-touch order), then
+    /// the staged trace, PM event count, and telemetry deltas.
+    pub(crate) fn flush_buffer(&self, buf: &mut ThreadBuffer) {
+        if !buf.used.is_empty() {
+            let tid = buf.tid;
+            for k in 0..buf.used.len() {
+                let idx = buf.used[k] as usize;
+                if buf.slots[idx].in_epoch {
+                    self.flush_slot(tid, &mut buf.slots[idx]);
+                }
+                buf.slots[idx].enrolled = false;
+            }
+            buf.used.clear();
+        }
+        buf.trace.flush_into(buf.tid, &self.trace);
+        if buf.pm_events > 0 {
+            self.pm_events[buf.tid.0 as usize % EVENT_CELLS]
+                .0
+                .fetch_add(buf.pm_events, Ordering::Relaxed);
+            buf.pm_events = 0;
+        }
+        buf.tel.flush();
+    }
+
+    /// Publish one granule's batched state if its slot is dirty (the
+    /// CAS-point flush: a successful CAS publishes *that* granule, without
+    /// taxing the whole buffer inside retry loops).
+    pub(crate) fn flush_granule(&self, buf: &mut ThreadBuffer, g: u64) {
+        let base = batch::set_base(g);
+        for idx in [base, base + 1] {
+            if buf.slots[idx].granule == g && buf.slots[idx].in_epoch {
+                let tid = buf.tid;
+                self.flush_slot(tid, &mut buf.slots[idx]);
+                return;
+            }
+        }
+    }
+
+    /// Drain one granule slot into the stripe map and coverage map.
+    fn flush_slot(&self, tid: ThreadId, slot: &mut Slot) {
+        let g = slot.granule;
+        if slot.cov_first != batch::NO_COV {
+            // Consecutive same-thread accesses never complete an alias pair
+            // and the last-access table holds one entry per granule, so
+            // replaying only the epoch's first and last events produces the
+            // exact pair set of the unbatched access stream.
+            let (site, p) = batch::unpack_cov(slot.cov_first);
+            self.coverage.record_access(g, site, tid, p);
+            if slot.cov_last != slot.cov_first {
+                let (site, p) = batch::unpack_cov(slot.cov_last);
+                self.coverage.record_access(g, site, tid, p);
+            }
+            slot.cov_first = batch::NO_COV;
+            slot.cov_last = batch::NO_COV;
+        }
+        if !(slot.loads.is_empty() && slot.stores.is_empty() && slot.cas.is_empty()) {
+            let mut stripe = self.stripes[stripe_of(g)].lock();
+            let sh = stripe.shadow.entry(g).or_default();
+            for &(site, n) in &slot.loads {
+                AccessStats::bump_n(&mut sh.stats.loads, site, n);
+            }
+            for &(site, n) in &slot.stores {
+                AccessStats::bump_n(&mut sh.stats.stores, site, n);
+            }
+            for &(site, n) in &slot.cas {
+                AccessStats::bump_n(&mut sh.stats.cas, site, n);
+            }
+            sh.stats.note_thread(tid);
+            drop(stripe);
+            slot.loads.clear();
+            slot.stores.clear();
+            slot.cas.clear();
+        }
+        slot.in_epoch = false;
+    }
+
+    /// The granule slot for `g`, enrolling it in this epoch's `used` list.
+    /// On a miss in both ways of `g`'s set, a victim way is chosen (an idle
+    /// way if one exists, else round-robin among the live ways) and its
+    /// batched state flushed before the slot is re-keyed.
     #[inline]
-    fn pm_event(&self, tid: ThreadId) {
-        self.pm_events[tid.0 as usize % EVENT_CELLS]
-            .0
-            .fetch_add(1, Ordering::Relaxed);
+    fn touch_slot<'b>(&self, buf: &'b mut ThreadBuffer, g: u64) -> &'b mut Slot {
+        let base = batch::set_base(g);
+        let idx = if buf.slots[base].granule == g {
+            base
+        } else if buf.slots[base + 1].granule == g {
+            base + 1
+        } else {
+            let victim = if !buf.slots[base].in_epoch {
+                base
+            } else if !buf.slots[base + 1].in_epoch {
+                base + 1
+            } else {
+                let v = base + usize::from(buf.victim_flip);
+                buf.victim_flip = !buf.victim_flip;
+                v
+            };
+            if buf.slots[victim].in_epoch {
+                let tid = buf.tid;
+                self.flush_slot(tid, &mut buf.slots[victim]);
+            }
+            buf.slots[victim].granule = g;
+            victim
+        };
+        if !buf.slots[idx].enrolled {
+            buf.slots[idx].enrolled = true;
+            buf.used.push(idx as u16);
+        }
+        buf.slots[idx].in_epoch = true;
+        &mut buf.slots[idx]
     }
 
     pub(crate) fn strategy(&self) -> Arc<dyn InterleaveStrategy> {
@@ -442,8 +619,10 @@ impl Session {
     /// scheduler cannot inject `cond_wait` *before* them, so they are
     /// tallied separately (`AccessStats::cas`) and surface in the priority
     /// queue as CAS-retry decision points rather than gateable load sites.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_load(
         &self,
+        buf: &mut ThreadBuffer,
         off: u64,
         len: usize,
         site: Site,
@@ -451,30 +630,35 @@ impl Session {
         info: &LoadInfo,
         kind: LoadKind,
     ) -> TaintSet {
-        let persistency = if info.unpersisted {
-            Persistency::Unpersisted
-        } else {
-            Persistency::Persisted
-        };
-        self.pm_event(tid);
+        buf.pm_events += 1;
         if telemetry::enabled() {
-            telemetry::add(telemetry::Counter::PmLoads, 1);
-            telemetry::metrics::site_access(site.id());
+            buf.tel.loads += 1;
+            buf.tel.site_hit(site.id());
         }
-        self.trace.push(tid, TraceKind::Load, site, off, len);
+        buf.trace.push(TraceKind::Load, site, off, len as u32);
+        let packed = batch::pack_cov(site, info.unpersisted);
         let mut taint = TaintSet::empty();
         for g in granules(off, len) {
-            self.coverage.record_access(g, site, tid, persistency);
-            let mut stripe = self.stripes[stripe_of(g)].lock();
-            let sh = stripe.shadow.entry(g).or_default();
-            if !sh.taint.is_empty() {
-                taint.union_with(&sh.taint);
+            let slot = self.touch_slot(buf, g);
+            if slot.cov_first == batch::NO_COV {
+                slot.cov_first = packed;
             }
+            slot.cov_last = packed;
             match kind {
-                LoadKind::Plain => AccessStats::bump(&mut sh.stats.loads, site),
-                LoadKind::Cas => AccessStats::bump(&mut sh.stats.cas, site),
+                LoadKind::Plain => batch::bump_site(&mut slot.loads, site),
+                LoadKind::Cas => batch::bump_site(&mut slot.cas, site),
             }
-            sh.stats.note_thread(tid);
+            // Shadow taint stays write-through (detection semantics); the
+            // monotone filter skips the stripe lock when the granule has
+            // never been tainted — the overwhelmingly common case.
+            if self.taint_filter.maybe_tainted(g) {
+                let stripe = self.stripes[stripe_of(g)].lock();
+                if let Some(sh) = stripe.shadow.get(&g) {
+                    if !sh.taint.is_empty() {
+                        taint.union_with(&sh.taint);
+                    }
+                }
+            }
         }
         if info.unpersisted {
             let cand_kind = if info.writer == tid {
@@ -531,6 +715,7 @@ impl Session {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_store(
         &self,
+        buf: &mut ThreadBuffer,
         off: u64,
         len: usize,
         site: Site,
@@ -540,25 +725,20 @@ impl Session {
         non_temporal: bool,
         state_before: PersistState,
     ) {
-        let persistency = if non_temporal {
-            Persistency::Persisted
-        } else {
-            Persistency::Unpersisted
-        };
-        self.pm_event(tid);
+        buf.pm_events += 1;
+        // Mutation heartbeat for the spin-loop livelock detector. Stores are
+        // orders of magnitude rarer than loads, so one relaxed bump here does
+        // not show up in the hot-path matrix.
+        self.progress.fetch_add(1, Ordering::Relaxed);
         if telemetry::enabled() {
-            telemetry::add(
-                if non_temporal {
-                    telemetry::Counter::PmNtStores
-                } else {
-                    telemetry::Counter::PmStores
-                },
-                1,
-            );
-            telemetry::metrics::site_access(site.id());
+            if non_temporal {
+                buf.tel.ntstores += 1;
+            } else {
+                buf.tel.stores += 1;
+            }
+            buf.tel.site_hit(site.id());
         }
-        self.trace.push(
-            tid,
+        buf.trace.push(
             if non_temporal {
                 TraceKind::NtStore
             } else {
@@ -566,20 +746,33 @@ impl Session {
             },
             site,
             off,
-            len,
+            len as u32,
         );
+        // A non-temporal store lands persisted.
+        let packed = batch::pack_cov(site, !non_temporal);
         for g in granules(off, len) {
-            self.coverage.record_access(g, site, tid, persistency);
-            let mut stripe = self.stripes[stripe_of(g)].lock();
-            let sh = stripe.shadow.entry(g).or_default();
-            AccessStats::bump(&mut sh.stats.stores, site);
-            sh.stats.note_thread(tid);
+            let slot = self.touch_slot(buf, g);
+            if slot.cov_first == batch::NO_COV {
+                slot.cov_first = packed;
+            }
+            slot.cov_last = packed;
+            batch::bump_site(&mut slot.stores, site);
+            // Shadow taint stays write-through. Setting taint marks the
+            // granule in the monotone filter; clearing only needs the
+            // stripe when the filter says the granule may hold stale taint.
             if value_taint.is_empty() {
-                if !sh.taint.is_empty() {
-                    sh.taint = TaintSet::empty();
+                if self.taint_filter.maybe_tainted(g) {
+                    let mut stripe = self.stripes[stripe_of(g)].lock();
+                    if let Some(sh) = stripe.shadow.get_mut(&g) {
+                        if !sh.taint.is_empty() {
+                            sh.taint = TaintSet::empty();
+                        }
+                    }
                 }
             } else {
-                sh.taint = value_taint.clone();
+                self.taint_filter.mark(g);
+                let mut stripe = self.stripes[stripe_of(g)].lock();
+                stripe.shadow.entry(g).or_default().taint = value_taint.clone();
             }
         }
 
@@ -624,6 +817,9 @@ impl Session {
             return;
         }
 
+        // A detection snapshots the trace rings; publish this thread's
+        // staged events first so the report shows the access just made.
+        buf.trace.flush_into(tid, &self.trace);
         let mut reports = self.reports.lock();
         let mut new_records: Vec<InconsistencyRecord> = Vec::new();
         for (label, kind) in effect_labels {
@@ -724,10 +920,17 @@ impl Session {
 
     /// External durable side effect (reply to a client, disk write) based on
     /// possibly-tainted data.
-    pub(crate) fn on_extern_output(&self, taint: &TaintSet, site: Site, _tid: ThreadId) {
+    pub(crate) fn on_extern_output(
+        &self,
+        buf: &mut ThreadBuffer,
+        taint: &TaintSet,
+        site: Site,
+        tid: ThreadId,
+    ) {
         if taint.is_empty() {
             return;
         }
+        buf.trace.flush_into(tid, &self.trace);
         let mut reports = self.reports.lock();
         let mut new_records = Vec::new();
         for label in taint.iter() {
@@ -758,31 +961,49 @@ impl Session {
         reports.inconsistencies.extend(new_records);
     }
 
-    pub(crate) fn on_clwb(&self, off: u64, len: usize, site: Site, tid: ThreadId) {
-        self.pm_event(tid);
+    pub(crate) fn on_clwb(
+        &self,
+        buf: &mut ThreadBuffer,
+        off: u64,
+        len: usize,
+        site: Site,
+        tid: ThreadId,
+    ) {
+        // A flush is an epoch boundary: publish this thread's batched
+        // metadata before recording the flush itself.
+        self.flush_buffer(buf);
+        buf.pm_events += 1;
         if telemetry::enabled() {
-            telemetry::add(telemetry::Counter::PmFlushes, 1);
-            telemetry::metrics::site_access(site.id());
+            buf.tel.flushes += 1;
+            buf.tel.site_hit(site.id());
         }
-        self.trace.push(tid, TraceKind::Clwb, site, off, len);
-        let state_before = self.range_state(off, len);
-        self.run_checkers(|c, out| {
-            c.on_clwb(
-                &AccessEvent {
-                    off,
-                    len,
-                    site,
-                    tid,
-                    state_before,
-                },
-                out,
-            );
-        });
+        buf.trace.push(TraceKind::Clwb, site, off, len as u32);
+        if self.has_checkers.load(Ordering::Relaxed) {
+            // The range walk over granule metadata is only for checkers
+            // (e.g. redundant-flush); skip it entirely when none is armed.
+            let state_before = self.range_state(off, len);
+            self.run_checkers(|c, out| {
+                c.on_clwb(
+                    &AccessEvent {
+                        off,
+                        len,
+                        site,
+                        tid,
+                        state_before,
+                    },
+                    out,
+                );
+            });
+        }
     }
 
-    pub(crate) fn on_sfence(&self, tid: ThreadId) {
-        self.pm_event(tid);
-        telemetry::add(telemetry::Counter::PmFences, 1);
+    pub(crate) fn on_sfence(&self, buf: &mut ThreadBuffer, tid: ThreadId) {
+        // Like clwb: the fence ends the epoch.
+        self.flush_buffer(buf);
+        buf.pm_events += 1;
+        if telemetry::enabled() {
+            buf.tel.fences += 1;
+        }
         self.run_checkers(|c, out| c.on_sfence(tid, out));
     }
 
@@ -980,6 +1201,7 @@ mod tests {
         view.load_u64(0, site).unwrap();
         view.clwb(0, 8, site).unwrap();
         view.sfence().unwrap();
+        drop(view); // publishes the final epoch (sfence already did here)
         assert_eq!(s.pm_accesses(), 4);
     }
 }

@@ -146,6 +146,17 @@ impl TraceRing {
     }
 }
 
+/// One thread-locally staged event (no seq/tid yet — both are assigned in
+/// bulk when the owning [`ThreadBuffer`](crate::batch::ThreadBuffer) drains
+/// through [`TraceBuffers::push_batch`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LocalTraceEvent {
+    pub(crate) kind: TraceKind,
+    pub(crate) site: Site,
+    pub(crate) off: u64,
+    pub(crate) len: u32,
+}
+
 /// Number of per-thread rings; thread ids are small dense integers assigned
 /// per campaign, so `tid % TRACE_RINGS` keeps concurrent threads disjoint.
 const TRACE_RINGS: usize = 16;
@@ -199,6 +210,39 @@ impl TraceBuffers {
                 off,
                 len,
             });
+    }
+
+    /// Append one thread's staged events (oldest first across
+    /// `head ++ tail`) with a single sequence-block reservation and one
+    /// ring lock. `dropped` events that fell out of the bounded local
+    /// buffer consume the leading sequence numbers of the block, so
+    /// [`TraceBuffers::recorded`] counts every event exactly once.
+    pub(crate) fn push_batch(
+        &self,
+        tid: ThreadId,
+        dropped: u64,
+        head: &[LocalTraceEvent],
+        tail: &[LocalTraceEvent],
+    ) {
+        if self.depth == 0 {
+            return;
+        }
+        let n = dropped + (head.len() + tail.len()) as u64;
+        if n == 0 {
+            return;
+        }
+        let seq0 = self.seq.fetch_add(n, Ordering::Relaxed) + dropped;
+        let mut ring = self.rings[tid.0 as usize % TRACE_RINGS].lock();
+        for (i, ev) in head.iter().chain(tail).enumerate() {
+            ring.push_event(TraceEvent {
+                seq: seq0 + i as u64,
+                tid,
+                kind: ev.kind,
+                site: ev.site,
+                off: ev.off,
+                len: ev.len as usize,
+            });
+        }
     }
 
     /// Merge all rings and return the most recent `n` events, oldest first.

@@ -1,13 +1,14 @@
 //! [`PmView`]: the instrumented PM access layer target systems program
 //! against. Every method is one hooked instruction of the paper's LLVM pass.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use pmrace_pmem::{SiteTag, ThreadId};
 
+use crate::batch::ThreadBuffer;
 use crate::session::LoadKind;
-use crate::strategy::AccessCtx;
+use crate::strategy::{AccessCtx, InterleaveStrategy};
 use crate::taint::{TBytes, TaintSet, TU64};
 use crate::{RtError, Session, Site};
 
@@ -17,17 +18,40 @@ use crate::{RtError, Session, Site};
 /// [`Session::view`]. All PM traffic of a target must flow through a view;
 /// direct [`Pool`](pmrace_pmem::Pool) access would be invisible to the
 /// checkers (like code the pass failed to instrument).
+///
+/// A view is `Send` but deliberately **not** `Sync`: it is one thread's
+/// handle, and its metadata buffer lives behind an uncontended [`RefCell`]
+/// instead of a lock — the single biggest saving on the access hot path.
+/// Move a view into its thread (campaign workers do exactly this); share
+/// the [`Session`] when several threads need handles, and give each its
+/// own view.
 #[derive(Debug)]
 pub struct PmView {
     session: Arc<Session>,
     tid: ThreadId,
+    /// This thread's write-combining buffer (see [`crate::batch`]). The
+    /// view owns it outright: hooks borrow it for the duration of the
+    /// access with no atomic instruction, and [`PmView::flush`]/`Drop`
+    /// publish it to the shared session state at epoch boundaries.
+    buf: RefCell<ThreadBuffer>,
+    /// Per-view deadline-check stride counter — each view samples the
+    /// clock on its own stride ([`Session::check`] keeps a shared atomic
+    /// one for host code without a view).
+    check_ctr: Cell<u32>,
     /// Site id of this thread's most recent *failed* CAS ([`NO_CAS_SITE`]
     /// when the last attempt succeeded or none ran yet). Together with
     /// `cas_fail_streak` this measures consecutive-retry depth, reported to
     /// the strategy's `on_cas_fail` hook so it can distinguish a first
     /// failure (prime interposition point) from a retry storm (back off).
-    cas_fail_site: AtomicU32,
-    cas_fail_streak: AtomicU32,
+    cas_fail_site: Cell<u32>,
+    cas_fail_streak: Cell<u32>,
+    /// Session mutation count last observed by [`PmView::spin_yield`], with
+    /// the number of consecutive yields that saw it unchanged. A streak of
+    /// `livelock_spins` no-progress yields means every thread is stuck
+    /// behind a lock nobody will release (a leaked-lock hang bug): latch the
+    /// hang early instead of spinning out the wall-clock deadline.
+    spin_progress: Cell<u64>,
+    spin_streak: Cell<u32>,
 }
 
 /// Sentinel for `cas_fail_site`: no failed CAS outstanding.
@@ -35,12 +59,42 @@ const NO_CAS_SITE: u32 = u32::MAX;
 
 impl PmView {
     pub(crate) fn new(session: Arc<Session>, tid: ThreadId) -> Self {
+        let trace_depth = session.config().trace_depth;
         PmView {
             session,
             tid,
-            cas_fail_site: AtomicU32::new(NO_CAS_SITE),
-            cas_fail_streak: AtomicU32::new(0),
+            buf: RefCell::new(ThreadBuffer::new(tid, trace_depth)),
+            check_ctr: Cell::new(0),
+            cas_fail_site: Cell::new(NO_CAS_SITE),
+            cas_fail_streak: Cell::new(0),
+            spin_progress: Cell::new(0),
+            spin_streak: Cell::new(0),
         }
+    }
+
+    /// The installed strategy, through this buffer's generation-checked
+    /// cache: refreshed only when [`Session::set_strategy`] bumps the
+    /// generation, so the access hot path never takes the strategy RwLock.
+    fn cached_strategy<'b>(&self, buf: &'b mut ThreadBuffer) -> &'b dyn InterleaveStrategy {
+        let gen = self.session.strategy_generation();
+        if buf.strategy_gen != gen {
+            buf.strategy = Some(self.session.strategy());
+            buf.strategy_gen = gen;
+        }
+        buf.strategy.as_deref().expect("strategy cached")
+    }
+
+    /// Publish this thread's batched instrumentation metadata (coverage,
+    /// access statistics, trace, counters) to the shared session state —
+    /// an explicit epoch boundary. Called automatically at CAS/`clwb`/
+    /// `sfence` sync points and on drop; call it directly before reading
+    /// session-wide statistics ([`Session::coverage_counts`],
+    /// [`Session::shared_accesses`], ...) while this view is still live,
+    /// or before hand-rolled cross-thread joins if you need another thread
+    /// to observe this one's statistics mid-run.
+    pub fn flush(&self) {
+        let mut buf = self.buf.borrow_mut();
+        self.session.flush_buffer(&mut buf);
     }
 
     /// This view's thread id.
@@ -61,18 +115,64 @@ impl PmView {
     ///
     /// [`RtError::Timeout`] or [`RtError::Halted`].
     pub fn check(&self) -> Result<(), RtError> {
-        self.session.check()
+        let n = self.check_ctr.get();
+        self.check_ctr.set(n.wrapping_add(1));
+        self.session
+            .check_sampled(n & (Session::CHECK_STRIDE - 1) == 0)
     }
 
-    /// Cooperative spin-wait step: deadline check + thread yield.
+    /// Cooperative spin-wait step: deadline check, livelock detection,
+    /// thread yield.
+    ///
+    /// Besides the sampled deadline check this watches the session's
+    /// mutation counter: when `livelock_spins` consecutive yields observe no
+    /// store anywhere in the session, the lock this thread is spinning on is
+    /// never going to be released (a leaked-lock hang bug) and the hang flag
+    /// is latched immediately rather than after the full wall-clock
+    /// deadline. The bug report is identical either way — only the time to
+    /// reach it changes.
+    ///
+    /// The streak is meant to accumulate inside a *single* blocked
+    /// operation; drivers call [`PmView::spin_reset`] between operations so
+    /// bounded retry loops that give up (e.g. a consumer re-polling an
+    /// empty lock-free stack) are not mistaken for a hang.
     ///
     /// # Errors
     ///
     /// [`RtError::Timeout`] or [`RtError::Halted`].
     pub fn spin_yield(&self) -> Result<(), RtError> {
         self.check()?;
+        let limit = self.session.config().livelock_spins;
+        if limit != 0 {
+            let p = self.session.progress();
+            if p != self.spin_progress.get() {
+                self.spin_progress.set(p);
+                self.spin_streak.set(0);
+            } else {
+                let n = self.spin_streak.get().saturating_add(1);
+                self.spin_streak.set(n);
+                if n >= limit {
+                    self.session.latch_hang();
+                    return Err(RtError::Timeout);
+                }
+            }
+        }
         std::thread::yield_now();
         Ok(())
+    }
+
+    /// Declare spin-loop forward progress that is not a PM store: reset
+    /// this view's livelock streak.
+    ///
+    /// A true livelock keeps one thread inside one spin loop forever, so
+    /// the campaign driver calls this between target operations. Without
+    /// the reset, a *bounded* retry loop that legitimately gives up
+    /// (returns "empty"/"contended" after N yields) would accumulate
+    /// streak across consecutive store-free operations — e.g. a consumer
+    /// thread draining an already-empty lock-free stack after the
+    /// producers finished — and false-trigger the hang latch.
+    pub fn spin_reset(&self) {
+        self.spin_streak.set(0);
     }
 
     fn ctx<'a>(
@@ -102,16 +202,22 @@ impl PmView {
     pub fn load_u64(&self, off: impl Into<TU64>, site: Site) -> Result<TU64, RtError> {
         self.check()?;
         let off = off.into();
+        let mut buf = self.buf.borrow_mut();
         if !self.session.strategy_passive() {
             let cancelled = || self.session.cancelled();
-            self.session
-                .strategy()
+            self.cached_strategy(&mut buf)
                 .before_load(&self.ctx(off.value(), 8, site, &cancelled));
         }
         let (val, info) = self.session.pool().load_u64(off.value())?;
-        let mut taint =
-            self.session
-                .on_load(off.value(), 8, site, self.tid, &info, LoadKind::Plain);
+        let mut taint = self.session.on_load(
+            &mut buf,
+            off.value(),
+            8,
+            site,
+            self.tid,
+            &info,
+            LoadKind::Plain,
+        );
         taint.union_with(off.taint());
         Ok(TU64::with_taint(val, taint))
     }
@@ -129,19 +235,29 @@ impl PmView {
     ) -> Result<TBytes, RtError> {
         self.check()?;
         let off = off.into();
+        let mut buf = self.buf.borrow_mut();
         if !self.session.strategy_passive() {
             let cancelled = || self.session.cancelled();
-            self.session
-                .strategy()
-                .before_load(&self.ctx(off.value(), len, site, &cancelled));
+            self.cached_strategy(&mut buf).before_load(&self.ctx(
+                off.value(),
+                len,
+                site,
+                &cancelled,
+            ));
         }
-        let mut buf = vec![0u8; len];
-        let info = self.session.pool().load(off.value(), &mut buf)?;
-        let mut taint =
-            self.session
-                .on_load(off.value(), len, site, self.tid, &info, LoadKind::Plain);
+        let mut bytes = vec![0u8; len];
+        let info = self.session.pool().load(off.value(), &mut bytes)?;
+        let mut taint = self.session.on_load(
+            &mut buf,
+            off.value(),
+            len,
+            site,
+            self.tid,
+            &info,
+            LoadKind::Plain,
+        );
         taint.union_with(off.taint());
-        Ok(TBytes::with_taint(buf, taint))
+        Ok(TBytes::with_taint(bytes, taint))
     }
 
     fn store_common(
@@ -155,13 +271,10 @@ impl PmView {
         self.check()?;
         let cancelled = || self.session.cancelled();
         let ctx = self.ctx(off.value(), bytes.len(), site, &cancelled);
-        let strategy = if self.session.strategy_passive() {
-            None
-        } else {
-            Some(self.session.strategy())
-        };
-        if let Some(s) = &strategy {
-            s.before_store(&ctx);
+        let mut buf = self.buf.borrow_mut();
+        let active = !self.session.strategy_passive();
+        if active {
+            self.cached_strategy(&mut buf).before_store(&ctx);
         }
         let tag = SiteTag(site.id());
         // The store itself reports the range's prior persistency state, so
@@ -176,6 +289,7 @@ impl PmView {
                 .store(off.value(), bytes, self.tid, tag)?
         };
         self.session.on_store(
+            &mut buf,
             off.value(),
             bytes.len(),
             site,
@@ -186,8 +300,8 @@ impl PmView {
             info.state_before,
         );
         // Fires cond_signal and stalls the writer *before* its flush (§4.2.2).
-        if let Some(s) = &strategy {
-            s.after_store(&ctx);
+        if active {
+            self.cached_strategy(&mut buf).after_store(&ctx);
         }
         Ok(())
     }
@@ -282,15 +396,18 @@ impl PmView {
         let new = new.into();
         let cancelled = || self.session.cancelled();
         let ctx = self.ctx(off.value(), 8, site, &cancelled);
-        let strategy = if self.session.strategy_passive() {
-            None
-        } else {
-            Some(self.session.strategy())
-        };
-        if let Some(s) = &strategy {
-            s.before_store(&ctx);
+        let mut buf = self.buf.borrow_mut();
+        // A CAS is a sync point: publish this granule's batched metadata so
+        // cross-thread statistics see it at the decision point (a full
+        // buffer flush here would tax lock-free retry loops).
+        self.session.flush_granule(&mut buf, off.value() / 8);
+        let active = !self.session.strategy_passive();
+        if active {
+            self.cached_strategy(&mut buf).before_store(&ctx);
         }
-        pmrace_telemetry::add(pmrace_telemetry::Counter::PmCas, 1);
+        if pmrace_telemetry::enabled() {
+            buf.tel.cas += 1;
+        }
         let state_before = self.session.range_state(off.value(), 8);
         let (swapped, observed, info) = self.session.pool().cas_u64(
             off.value(),
@@ -299,14 +416,21 @@ impl PmView {
             self.tid,
             SiteTag(site.id()),
         )?;
-        let mut taint = self
-            .session
-            .on_load(off.value(), 8, site, self.tid, &info, LoadKind::Cas);
+        let mut taint = self.session.on_load(
+            &mut buf,
+            off.value(),
+            8,
+            site,
+            self.tid,
+            &info,
+            LoadKind::Cas,
+        );
         taint.union_with(off.taint());
         if swapped {
-            self.cas_fail_site.store(NO_CAS_SITE, Ordering::Relaxed);
-            self.cas_fail_streak.store(0, Ordering::Relaxed);
+            self.cas_fail_site.set(NO_CAS_SITE);
+            self.cas_fail_streak.set(0);
             self.session.on_store(
+                &mut buf,
                 off.value(),
                 8,
                 site,
@@ -316,24 +440,22 @@ impl PmView {
                 false,
                 state_before,
             );
-            if let Some(s) = &strategy {
-                s.after_store(&ctx);
+            if active {
+                self.cached_strategy(&mut buf).after_store(&ctx);
             }
         } else {
             // A failed CAS is the retry decision point of a lock-free loop:
             // count consecutive failures at this site and let the strategy
             // interpose another thread's store before the retry.
-            let attempt = if self.cas_fail_site.load(Ordering::Relaxed) == site.id() {
-                self.cas_fail_streak
-                    .load(Ordering::Relaxed)
-                    .saturating_add(1)
+            let attempt = if self.cas_fail_site.get() == site.id() {
+                self.cas_fail_streak.get().saturating_add(1)
             } else {
-                self.cas_fail_site.store(site.id(), Ordering::Relaxed);
+                self.cas_fail_site.set(site.id());
                 1
             };
-            self.cas_fail_streak.store(attempt, Ordering::Relaxed);
-            if let Some(s) = &strategy {
-                s.on_cas_fail(&ctx, attempt);
+            self.cas_fail_streak.set(attempt);
+            if active {
+                self.cached_strategy(&mut buf).on_cas_fail(&ctx, attempt);
             }
         }
         Ok((swapped, TU64::with_taint(observed, taint)))
@@ -347,7 +469,9 @@ impl PmView {
     pub fn clwb(&self, off: impl Into<TU64>, len: usize, site: Site) -> Result<(), RtError> {
         self.check()?;
         let off = off.into();
-        self.session.on_clwb(off.value(), len, site, self.tid);
+        let mut buf = self.buf.borrow_mut();
+        self.session
+            .on_clwb(&mut buf, off.value(), len, site, self.tid);
         self.session.pool().clwb(off.value(), len, self.tid)?;
         Ok(())
     }
@@ -359,7 +483,8 @@ impl PmView {
     /// Deadline/halt errors and PM substrate errors.
     pub fn sfence(&self) -> Result<(), RtError> {
         self.check()?;
-        self.session.on_sfence(self.tid);
+        let mut buf = self.buf.borrow_mut();
+        self.session.on_sfence(&mut buf, self.tid);
         self.session.pool().sfence(self.tid)?;
         Ok(())
     }
@@ -383,7 +508,17 @@ impl PmView {
     /// Declare that `data` left the program (client reply, disk write): an
     /// external durable side effect if tainted.
     pub fn output(&self, data: &TBytes, site: Site) {
-        self.session.on_extern_output(data.taint(), site, self.tid);
+        let mut buf = self.buf.borrow_mut();
+        self.session
+            .on_extern_output(&mut buf, data.taint(), site, self.tid);
+    }
+}
+
+impl Drop for PmView {
+    /// Dropping a view ends its final epoch: whatever the thread batched
+    /// since the last sync point is published to the session.
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -613,6 +748,9 @@ mod tests {
         }
         a.store_u64(128u64, 1, site!("cold-w")).unwrap();
         let _ = b.load_u64(128u64, site!("cold-r")).unwrap();
+        // Accessors no longer force-drain live views; end the epochs first.
+        a.flush();
+        b.flush();
         let shared = s.session().shared_accesses();
         assert_eq!(shared.len(), 2);
         assert_eq!(shared[0].off, 64);
@@ -632,6 +770,8 @@ mod tests {
         assert!(ok);
         let (ok2, _) = b.cas_u64(64u64, 0, 2, site!("cas.b")).unwrap();
         assert!(!ok2);
+        a.flush();
+        b.flush();
         let shared = s.session().shared_accesses();
         assert_eq!(shared.len(), 1);
         let e = &shared[0];
@@ -709,5 +849,39 @@ mod tests {
             RtError::Timeout
         );
         assert_eq!(v.spin_yield().unwrap_err(), RtError::Timeout);
+    }
+
+    #[test]
+    fn livelock_spin_latches_hang_long_before_the_deadline() {
+        // A leaked lock: the word stays 1 forever, so every CAS fails and no
+        // store happens anywhere in the session. The spinner must give up
+        // after `livelock_spins` no-progress yields — not after the (here
+        // deliberately enormous) wall-clock deadline.
+        let pool = Arc::new(Pool::new(PoolOpts::with_size(1 << 16)));
+        let s = Session::new(
+            pool,
+            SessionConfig {
+                deadline: std::time::Duration::from_secs(3600),
+                livelock_spins: 64,
+                ..SessionConfig::default()
+            },
+        );
+        let v = s.view(ThreadId(0));
+        v.store_u64(64u64, 1, site!("lock.leak")).unwrap();
+        let started = std::time::Instant::now();
+        let err = loop {
+            let (ok, _) = v.cas_u64(64u64, 0, 1, site!("lock.acquire")).unwrap();
+            assert!(!ok, "nobody releases this lock");
+            if let Err(e) = v.spin_yield() {
+                break e;
+            }
+        };
+        assert_eq!(err, RtError::Timeout);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(60),
+            "livelock detection must not wait for the deadline"
+        );
+        drop(v);
+        assert!(s.finish().hang, "early latch must still report a hang");
     }
 }

@@ -6,11 +6,11 @@
 //! into reading non-persisted data.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use pmrace_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,19 +21,27 @@ use pmrace_runtime::strategy::{AccessCtx, InterleaveStrategy};
 use crate::{QueueEntry, SkipStore};
 
 /// Timing and hang-detection knobs of the Fig. 6 algorithm.
+///
+/// Waiting is event-driven (a condition variable wakes parked threads on
+/// signal/draft/disable), so `reader_poll` no longer burns CPU as a sleep
+/// interval; it survives as the *budget unit*: the draft budget is
+/// `reader_poll × all_block_iters` and the disable budget is
+/// `reader_poll × disable_iters` of wall time, keeping the knob values (and
+/// every serialized repro artifact carrying them) meaning the same thing
+/// they always did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyncTuning {
-    /// Poll interval inside `cond_wait` (the paper's `usleep(100)`).
+    /// Budget unit of `cond_wait` (the paper's `usleep(100)` interval).
     pub reader_poll: Duration,
     /// How long the writer stalls after `cond_signal` (the paper's
     /// `writerWaiting`, set to the typical total execution time of the
     /// original program).
     pub writer_wait: Duration,
-    /// Poll iterations after which, if *all* worker threads are blocked, a
-    /// privileged thread is drafted (pitfall 2).
+    /// `reader_poll` units after which, if *all* live worker threads are
+    /// blocked, a privileged thread is drafted (pitfall 2).
     pub all_block_iters: u32,
-    /// Poll iterations after which a still-blocked thread disables the sync
-    /// point and learns a skip for future campaigns (pitfall 3).
+    /// `reader_poll` units after which a still-blocked thread disables the
+    /// sync point and learns a skip for future campaigns (pitfall 3).
     pub disable_iters: u32,
     /// Random extra initial skips (0..=jitter) added per sync point each
     /// campaign, so repeated executions of the same plan block threads at
@@ -99,24 +107,42 @@ const CAS_STORM_BOUND: u32 = 8;
 /// this many interpositions further failures pass through untouched.
 const CAS_ENGAGE_CAP: u32 = 4;
 
+/// Upper bound on one condvar park inside `cond_wait`: parked threads wake
+/// at least this often to re-check campaign cancellation.
+const CANCEL_POLL: Duration = Duration::from_millis(1);
+
+/// Shared Fig. 6 wait state, guarded by one mutex + condvar so signal,
+/// draft, and disable wake parked readers *immediately* instead of being
+/// discovered by a sleep-poll loop.
+#[derive(Debug)]
+struct HubState {
+    /// The condition `m`: set by the first matching store's `cond_signal`.
+    signalled: bool,
+    /// `sync.is_enabled` — cleared by the pitfall-3 disable path.
+    enabled: bool,
+    /// Thread granted bypass when all live threads block (pitfall 2).
+    privileged: Option<ThreadId>,
+    /// Threads currently parked in `cond_wait`.
+    blocked: Vec<ThreadId>,
+    /// Driver threads still executing (the all-block detection is over
+    /// live threads; finished threads cannot signal anyone).
+    active: usize,
+}
+
+#[derive(Debug)]
+struct WaitHub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
 /// The PM-aware conditional-wait strategy.
 #[derive(Debug)]
 pub struct PmraceStrategy {
     plan: SyncPlan,
     tuning: SyncTuning,
-    num_threads: usize,
     skip_store: Arc<SkipStore>,
-    /// The condition variable `m` of Fig. 6.
-    m: AtomicBool,
-    /// `sync.is_enabled`.
-    sync_enabled: AtomicBool,
-    /// Threads currently blocked in `cond_wait`.
-    blocked: AtomicUsize,
-    /// Driver threads still executing (the all-block detection is over
-    /// live threads; finished threads cannot signal anyone).
-    active: AtomicUsize,
-    /// Thread granted bypass when all threads block (pitfall 2).
-    privileged: Mutex<Option<ThreadId>>,
+    /// Condition, enable flag, privilege, and blocked-set, event-driven.
+    hub: WaitHub,
     /// Remaining skips per load site this campaign (pitfall 3).
     skips: Mutex<HashMap<u32, u32>>,
     /// The skips the campaign *started* with (learned + realized jitter),
@@ -208,13 +234,17 @@ impl PmraceStrategy {
         PmraceStrategy {
             plan,
             tuning,
-            num_threads,
             skip_store,
-            m: AtomicBool::new(false),
-            sync_enabled: AtomicBool::new(true),
-            blocked: AtomicUsize::new(0),
-            active: AtomicUsize::new(num_threads),
-            privileged: Mutex::new(None),
+            hub: WaitHub {
+                state: Mutex::new(HubState {
+                    signalled: false,
+                    enabled: true,
+                    privileged: None,
+                    blocked: Vec::new(),
+                    active: num_threads,
+                }),
+                cv: Condvar::new(),
+            },
             skips: Mutex::new(skips),
             initial_skips,
             cas_engaged: Mutex::new(HashMap::new()),
@@ -250,17 +280,39 @@ impl PmraceStrategy {
         self.signals.load(Ordering::Relaxed)
     }
 
+    /// `false` once the pitfall-3 path disabled this campaign's sync point.
+    #[must_use]
+    pub fn sync_point_enabled(&self) -> bool {
+        self.hub.state.lock().enabled
+    }
+
+    /// Draft a privileged thread among the currently *blocked* ones —
+    /// drafting among all `num_threads` could pick a finished thread, and a
+    /// privilege granted to a thread that never runs again is silently lost
+    /// (its `thread_done` already ran), leaving every parked reader to burn
+    /// the full disable budget.
+    fn draft_privileged(&self, st: &mut HubState) {
+        let mut candidates = st.blocked.clone();
+        candidates.sort_unstable_by_key(|t| t.0);
+        let i = self.rng.lock().random_range(0..candidates.len());
+        st.privileged = Some(candidates[i]);
+        telemetry::add(telemetry::Counter::PlanPrivilegedDrafts, 1);
+    }
+
     fn matches_addr(&self, off: u64) -> bool {
         off / 8 == self.plan.off / 8
     }
 
     /// `cond_wait` (Fig. 6 lines 3–24).
     fn cond_wait(&self, ctx: &AccessCtx<'_>) {
-        if !self.sync_enabled.load(Ordering::Acquire) {
-            return;
-        }
-        if *self.privileged.lock() == Some(ctx.tid) {
-            return; // t->bypass_sync
+        {
+            let st = self.hub.state.lock();
+            if !st.enabled {
+                return;
+            }
+            if st.privileged == Some(ctx.tid) {
+                return; // t->bypass_sync
+            }
         }
         {
             let mut skips = self.skips.lock();
@@ -274,74 +326,75 @@ impl PmraceStrategy {
         }
         self.waits.fetch_add(1, Ordering::Relaxed);
         telemetry::add(telemetry::Counter::PlanWaits, 1);
-        let blocked = BlockGuard::enter(&self.blocked);
-        let mut iters: u32 = 0;
-        while !self.m.load(Ordering::Acquire) {
+        let start = Instant::now();
+        let draft_after = self.tuning.reader_poll * self.tuning.all_block_iters;
+        let disable_after = self.tuning.reader_poll * self.tuning.disable_iters;
+        let mut st = self.hub.state.lock();
+        st.blocked.push(ctx.tid);
+        loop {
+            if st.signalled || !st.enabled || st.privileged == Some(ctx.tid) {
+                break;
+            }
             if (ctx.cancelled)() {
                 break;
             }
-            std::thread::sleep(self.tuning.reader_poll);
-            iters += 1;
-            let live = self.active.load(Ordering::Acquire).max(1);
-            if iters >= self.tuning.all_block_iters && blocked.count() >= live {
-                // All live threads block: draft a privileged thread
-                // (line 13–16). Drafting among the *blocked* threads keeps
-                // the guarantee that someone escapes.
-                let mut priv_tid = self.privileged.lock();
-                if priv_tid.is_none() {
-                    let pick = self.rng.lock().random_range(0..self.num_threads as u32);
-                    *priv_tid = Some(ThreadId(pick));
-                    telemetry::add(telemetry::Counter::PlanPrivilegedDrafts, 1);
-                }
-                if *priv_tid == Some(ctx.tid) {
-                    break;
-                }
-            }
-            if iters >= self.tuning.disable_iters {
+            let waited = start.elapsed();
+            if waited >= disable_after {
                 // Some threads block with no signaller in sight: disable the
                 // sync point and remember to skip it next campaign (line 10,
                 // lines 6/21).
-                self.sync_enabled.store(false, Ordering::Release);
+                st.enabled = false;
                 self.skip_store.bump(self.plan.off, ctx.site.id());
                 telemetry::add(telemetry::Counter::PlanSyncDisabled, 1);
+                self.hub.cv.notify_all();
                 break;
             }
+            if waited >= draft_after
+                && st.privileged.is_none()
+                && st.blocked.len() >= st.active.max(1)
+            {
+                // All live threads block: draft a privileged thread
+                // (lines 13–16); the loop condition releases it on the next
+                // turn, and `notify_all` wakes it if it is parked.
+                self.draft_privileged(&mut st);
+                self.hub.cv.notify_all();
+                continue;
+            }
+            // Park until a signal/draft/disable wakes us, re-checking
+            // cancellation and the budget boundaries at least every
+            // `CANCEL_POLL`.
+            let next_deadline = if waited < draft_after {
+                draft_after
+            } else {
+                disable_after
+            };
+            let slice = (next_deadline - waited).min(CANCEL_POLL);
+            self.hub.cv.wait_for(&mut st, slice);
         }
+        let me = ctx.tid;
+        st.blocked.retain(|&t| t != me);
     }
 
     /// `cond_signal` (Fig. 6 lines 26–30).
     fn cond_signal(&self, _ctx: &AccessCtx<'_>) {
-        if !self.sync_enabled.load(Ordering::Acquire) {
-            return;
-        }
-        if !self.m.swap(true, Ordering::AcqRel) {
+        let first = {
+            let mut st = self.hub.state.lock();
+            if !st.enabled {
+                return;
+            }
+            let first = !st.signalled;
+            st.signalled = true;
+            first
+        };
+        if first {
+            self.hub.cv.notify_all();
             self.signals.fetch_add(1, Ordering::Relaxed);
             telemetry::add(telemetry::Counter::PlanAlternationsFired, 1);
             // Stall the writer so readers run their sync-point loads before
-            // this store is flushed.
+            // this store is flushed (the stall happens outside the hub lock:
+            // the woken readers need it to leave `cond_wait`).
             std::thread::sleep(self.tuning.writer_wait);
         }
-    }
-}
-
-struct BlockGuard<'a> {
-    counter: &'a AtomicUsize,
-}
-
-impl<'a> BlockGuard<'a> {
-    fn enter(counter: &'a AtomicUsize) -> Self {
-        counter.fetch_add(1, Ordering::AcqRel);
-        BlockGuard { counter }
-    }
-
-    fn count(&self) -> usize {
-        self.counter.load(Ordering::Acquire)
-    }
-}
-
-impl Drop for BlockGuard<'_> {
-    fn drop(&mut self) {
-        self.counter.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -387,14 +440,21 @@ impl InterleaveStrategy for PmraceStrategy {
     }
 
     fn thread_done(&self, tid: ThreadId) {
-        self.active.fetch_sub(1, Ordering::AcqRel);
-        // A finished privileged thread frees the slot: the remaining
-        // blocked threads draft a new one, chaining execution until some
-        // thread reaches the signalling store.
-        let mut priv_tid = self.privileged.lock();
-        if *priv_tid == Some(tid) {
-            *priv_tid = None;
+        let mut st = self.hub.state.lock();
+        st.active = st.active.saturating_sub(1);
+        // A finished privileged thread frees the slot.
+        if st.privileged == Some(tid) {
+            st.privileged = None;
         }
+        // If every remaining live thread is already parked, nobody is left
+        // to signal: draft a replacement *now*, chaining execution until
+        // some thread reaches the signalling store, instead of letting the
+        // parked readers burn their whole disable budget.
+        if st.privileged.is_none() && !st.blocked.is_empty() && st.blocked.len() >= st.active.max(1)
+        {
+            self.draft_privileged(&mut st);
+        }
+        self.hub.cv.notify_all();
     }
 }
 
@@ -520,7 +580,7 @@ mod tests {
             assert!(waited < Duration::from_secs(2), "thread stuck: {waited:?}");
         }
         // The non-privileged thread disabled the sync point and learned a skip.
-        assert!(!strat.sync_enabled.load(Ordering::Acquire) || !skips.is_empty());
+        assert!(!strat.sync_point_enabled() || !skips.is_empty());
     }
 
     #[test]

@@ -5,16 +5,18 @@
 //! crates cannot be fetched. This shim provides the exact subset of the
 //! `parking_lot` 0.12 API the workspace uses: non-poisoning `Mutex` /
 //! `RwLock` with guard-returning `lock()` / `read()` / `write()` and
-//! `into_inner()`. Poisoned std locks are transparently recovered (parking
-//! lot has no poisoning), which matches how the workspace treats panics in
-//! worker threads: the data is still consumed afterwards.
+//! `into_inner()`, plus a `Condvar` usable with `Mutex` guards. Poisoned std
+//! locks are transparently recovered (parking lot has no poisoning), which
+//! matches how the workspace treats panics in worker threads: the data is
+//! still consumed afterwards.
 
 #![forbid(unsafe_code)]
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, LockResult, PoisonError};
+use std::time::Duration;
 
-/// Re-export of the std guard; `parking_lot` users never name it explicitly.
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 /// Shared-read guard.
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
 /// Exclusive-write guard.
@@ -22,6 +24,34 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
 fn recover<G>(r: LockResult<G>) -> G {
     r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII guard of [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait_for`] can take the
+/// guard by `&mut` (the `parking_lot` signature) while std's condvar
+/// consumes and returns it; the slot is only ever empty *during* a wait,
+/// when the caller cannot observe it.
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard is live")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard is live")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
 }
 
 /// A mutual-exclusion lock without poisoning.
@@ -43,14 +73,14 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        recover(self.0.lock())
+        MutexGuard(Some(recover(self.0.lock())))
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -58,6 +88,62 @@ impl<T: ?Sized> Mutex<T> {
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         recover(self.0.get_mut())
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    #[must_use]
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable for use with [`Mutex`] guards.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Wakes one thread blocked on this condvar.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all threads blocked on this condvar.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases `guard` and blocks until notified, reacquiring
+    /// the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.0.take().expect("guard is live");
+        guard.0 = Some(recover(self.0.wait(g)));
+    }
+
+    /// Like [`Condvar::wait`] but gives up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.0.take().expect("guard is live");
+        let (g, res) = match self.0.wait_timeout(g, timeout) {
+            Ok(pair) => pair,
+            Err(e) => e.into_inner(),
+        };
+        guard.0 = Some(g);
+        WaitTimeoutResult(res.timed_out())
     }
 }
 
@@ -92,6 +178,7 @@ impl<T: ?Sized> RwLock<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn mutex_roundtrip() {
@@ -106,5 +193,34 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+        assert!(!*g, "guard is usable again after the wait");
+    }
+
+    #[test]
+    fn condvar_notify_wakes_waiter() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let their = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*their;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 }

@@ -267,6 +267,22 @@ pub fn site_access(site: u32) {
     }
 }
 
+/// Count `n` accesses at instrumentation site `site` in one atomic add —
+/// the bulk form of [`site_access`] for callers that batch per-thread
+/// deltas and flush them at epoch boundaries. No-op when disabled.
+#[inline]
+pub fn site_access_n(site: u32, n: u64) {
+    if n == 0 || !enabled() {
+        return;
+    }
+    match SITE_HEAT.get(site as usize) {
+        Some(cell) => {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+        None => add(Counter::SiteHeatDropped, n),
+    }
+}
+
 /// The `n` hottest sites as `(site_id, access_count)`, hottest first.
 /// Site ids resolve to labels through the runtime's site registry; this
 /// crate deliberately stores only the ids.

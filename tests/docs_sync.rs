@@ -1,0 +1,84 @@
+//! Docs-vs-code sync guards: the user-facing docs enumerate things the
+//! code registers (target names, telemetry metric names). These tests
+//! fail when someone adds or renames a target or a metric without
+//! updating the corresponding doc — string-level checks, deliberately
+//! dumb, so they cannot silently drift the way prose can.
+
+use std::fs;
+use std::path::Path;
+
+fn repo_file(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Every registered builtin target (both suites) appears, backticked, in
+/// README.md's "Bundled targets" table.
+#[test]
+fn readme_bundled_targets_table_lists_every_registered_target() {
+    pmrace::register_builtins();
+    pmrace::register_lockfree();
+    let readme = repo_file("README.md");
+    let table = readme
+        .split("## Bundled targets")
+        .nth(1)
+        .expect("README.md must keep a '## Bundled targets' section")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    let missing: Vec<String> = pmrace::all_targets()
+        .iter()
+        .map(|spec| spec.name.to_owned())
+        .filter(|name| !table.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "registered targets missing from README.md's Bundled targets table \
+         (add a row with the name in backticks): {missing:?}"
+    );
+}
+
+/// Every telemetry counter, gauge, and histogram name appears verbatim in
+/// docs/OBSERVABILITY.md's catalog.
+#[test]
+fn observability_doc_lists_every_metric_name() {
+    let doc = repo_file("docs/OBSERVABILITY.md");
+    let mut missing = Vec::new();
+    for c in pmrace::telemetry::Counter::ALL {
+        if !doc.contains(c.name()) {
+            missing.push(format!("counter {}", c.name()));
+        }
+    }
+    for g in pmrace::telemetry::Gauge::ALL {
+        if !doc.contains(g.name()) {
+            missing.push(format!("gauge {}", g.name()));
+        }
+    }
+    for h in pmrace::telemetry::Histogram::ALL {
+        if !doc.contains(h.name()) {
+            missing.push(format!("histogram {}", h.name()));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "metric names missing from docs/OBSERVABILITY.md: {missing:?}"
+    );
+}
+
+/// The docs README links must point at files that exist; a moved doc
+/// breaks the trailhead silently otherwise.
+#[test]
+fn readme_links_performance_and_architecture_docs() {
+    let readme = repo_file("README.md");
+    for doc in [
+        "docs/ARCHITECTURE.md",
+        "docs/PERFORMANCE.md",
+        "docs/OBSERVABILITY.md",
+    ] {
+        assert!(readme.contains(doc), "README.md must link {doc}");
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(doc).exists(),
+            "{doc} referenced but missing"
+        );
+    }
+}
