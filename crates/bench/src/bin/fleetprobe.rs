@@ -1,0 +1,65 @@
+//! Standalone fleet-scaling probe: runs exactly the `fleet_execs` bench
+//! cell (same config as `hotpath.rs`) for a list of worker counts in one
+//! process, so scaling regressions can be bisected without re-running the
+//! whole matrix.
+//!
+//! Usage: `fleetprobe <workers>[,<workers>...] [secs] [deadline_ms] [threads]`
+
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workers_list: Vec<usize> = args
+        .get(1)
+        .map(|v| v.split(',').filter_map(|w| w.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1]);
+    let secs: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
+    let deadline_ms: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(400);
+    let threads: usize = args.get(4).and_then(|v| v.parse().ok()).unwrap_or(2);
+
+    pmrace_targets::register_builtins();
+    if std::env::var("FLEETPROBE_WARMUP").is_ok() {
+        // Emulate the hotpath matrix context: the validate cells run
+        // P-CLHT campaigns before the fleet cells, registering that
+        // target's instruction sites first and shifting FAST-FAIR's ids.
+        let mut cfg = pmrace_core::FuzzConfig::new("P-CLHT");
+        cfg.workers = 1;
+        cfg.threads = 2;
+        cfg.max_campaigns = 50;
+        cfg.wall_budget = Duration::from_secs(1);
+        let _ = pmrace_core::Fuzzer::new(cfg).expect("P-CLHT").run();
+    }
+    if std::env::var("FLEETPROBE_SHIFT_SITES").is_ok() {
+        // Simulate the hotpath matrix context, where the instrumentation
+        // cells register their sites before the fleet cells run: shifting
+        // the target's site ids shifts coverage hashes and plan selection.
+        let _ = pmrace_runtime::site!("probe-shift-0");
+        let _ = pmrace_runtime::site!("probe-shift-1");
+        let _ = pmrace_runtime::site!("probe-shift-2");
+        let _ = pmrace_runtime::site!("probe-shift-3");
+        let _ = pmrace_runtime::site!("probe-shift-4");
+        let _ = pmrace_runtime::site!("probe-shift-5");
+        let _ = pmrace_runtime::site!("probe-shift-6");
+        let _ = pmrace_runtime::site!("probe-shift-7");
+    }
+    for workers in workers_list {
+        let mut cfg = pmrace_core::FuzzConfig::new("FAST-FAIR");
+        cfg.workers = workers;
+        cfg.threads = threads;
+        cfg.max_campaigns = usize::MAX;
+        cfg.wall_budget = Duration::from_secs(secs);
+        cfg.campaign_deadline = Duration::from_millis(deadline_ms);
+        cfg.rng_seed = 0xF1EE7 ^ workers as u64;
+        if let Ok(dir) = std::env::var("FLEETPROBE_TELEMETRY") {
+            cfg.telemetry_dir = Some(format!("{dir}/w{workers}").into());
+        }
+        let report = pmrace_core::Fuzzer::new(cfg)
+            .expect("FAST-FAIR is registered")
+            .run()
+            .expect("fleet probe run");
+        println!(
+            "workers={} campaigns={} execs_per_sec={:.1} accesses_per_sec={:.0}",
+            workers, report.campaigns, report.execs_per_sec, report.accesses_per_sec
+        );
+    }
+}

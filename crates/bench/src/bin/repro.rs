@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--out-dir DIR] [--check-against FILE]
-//!       [--tolerance X] <experiments...>
+//!       [--tolerance X] [--min-fleet-scaling X] <experiments...>
 //! experiments: table1 table2 table3 table4 table5 table6 fig8 fig9 fig10
 //!              eadr hotpath all
 //!     With --check-against, exit 1 unless the hotpath run produces every
@@ -11,6 +11,9 @@
 //!     Adding --tolerance X also enforces a one-sided perf band: exit 1 if
 //!     any measured cell falls below the committed ops/sec divided by X
 //!     (X > 1; generous values absorb CI noise, regressions still trip it).
+//!     Adding --min-fleet-scaling X enforces that FILE's committed
+//!     4-worker fleet_execs cell runs at >= X times its 1-worker cell, so
+//!     a regenerated trajectory that lost its fleet scaling cannot land.
 //!
 //! repro replay [--steer|--free] [--attempts N] [--telemetry-out DIR]
 //!              <artifact.json|corpus-dir>...
@@ -52,6 +55,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--out-dir",
     "--check-against",
     "--tolerance",
+    "--min-fleet-scaling",
 ];
 
 fn positionals(args: &[String]) -> Vec<String> {
@@ -455,6 +459,54 @@ fn main() {
                     std::process::exit(1);
                 }
                 eprintln!("[repro] hotpath throughput within {tol}x of {committed}");
+            }
+            // Fleet-scaling gate: the committed trajectory must show the
+            // 4-worker fleet_execs cell at >= X times the 1-worker cell.
+            // Evaluated against the committed file, not this run — quick
+            // fleet cells are sub-second and too noisy to gate on, while
+            // the committed JSON comes from full 8-second windows. The
+            // fresh ratio is printed alongside for the curious.
+            if let Some(min) = flag_value(&args, "--min-fleet-scaling") {
+                let min: f64 = match min.parse() {
+                    Ok(m) if m >= 1.0 => m,
+                    _ => {
+                        eprintln!("[repro] --min-fleet-scaling must be a number >= 1.0, got {min}");
+                        std::process::exit(2);
+                    }
+                };
+                let fresh = |threads: usize| {
+                    cells
+                        .iter()
+                        .find(|c| c.name == "fleet_execs" && c.threads == threads)
+                        .map(hotpath::HotpathCell::ops_per_sec)
+                };
+                if let (Some(one), Some(four)) = (fresh(1), fresh(4)) {
+                    if one > 0.0 {
+                        eprintln!("[repro] fleet scaling this run: 4w/1w = {:.2}x", four / one);
+                    }
+                }
+                match hotpath::fleet_scaling_in_json(&text, 4, 1) {
+                    Some(ratio) if ratio >= min => {
+                        eprintln!(
+                            "[repro] fleet scaling committed in {committed}: \
+                             4w/1w = {ratio:.2}x (>= {min}x required)"
+                        );
+                    }
+                    Some(ratio) => {
+                        eprintln!(
+                            "[repro] FLEET SCALING REGRESSION: {committed} commits \
+                             4w/1w = {ratio:.2}x, below the required {min}x"
+                        );
+                        std::process::exit(1);
+                    }
+                    None => {
+                        eprintln!(
+                            "[repro] {committed} lacks fleet_execs cells at 1 and 4 \
+                             workers; cannot enforce --min-fleet-scaling"
+                        );
+                        std::process::exit(1);
+                    }
+                }
             }
         }
         if quick {

@@ -144,6 +144,75 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
     let instr_iters = 200_000 / scale;
     let cov_iters = 2_000_000 / scale;
 
+    // Fleet scaling: whole-fuzzer aggregate execs/sec (campaigns/sec) at
+    // increasing worker counts, on a fixed wall budget. Campaigns are
+    // scheduler-sleep-bound (the Fig. 6 scheduler parks threads in µs–ms
+    // waits), so a fleet overlaps those sleeps productively even on a
+    // single CPU; this cell is the tracked scaling curve the shared
+    // frontier / sharded ledger / validation pipeline must keep steep.
+    //
+    // These cells run FIRST, before any microbench cell registers its
+    // `site!()`s: instruction-site ids are process-global and handed out
+    // first-come-first-served, so earlier cells shift the ids — and with
+    // them coverage hashes and exploration-plan selection — of everything
+    // that runs after them. Fleet cells at the top see the same site ids a
+    // standalone fuzzing run sees, which is the environment the committed
+    // scaling curve must reproduce. (Measured cost of getting this wrong:
+    // running the fleet cells after the instrumentation cells collapsed
+    // the 4-worker/1-worker ratio from ~2.6x to ~1.5x purely through a
+    // different plan mix.)
+    pmrace_targets::register_builtins();
+    let budget = Duration::from_millis(if quick { 700 } else { 8_000 });
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut cfg = pmrace_core::FuzzConfig::new("FAST-FAIR");
+        cfg.workers = workers;
+        cfg.threads = 2;
+        cfg.max_campaigns = usize::MAX;
+        cfg.wall_budget = budget;
+        cfg.campaign_deadline = Duration::from_millis(400);
+        cfg.rng_seed = 0xF1EE7 ^ workers as u64;
+        let report = pmrace_core::Fuzzer::new(cfg)
+            .expect("FAST-FAIR is registered")
+            .run()
+            .expect("fleet bench run");
+        cells.push(HotpathCell {
+            name: "fleet_execs".to_owned(),
+            threads: workers,
+            disjoint: true,
+            ops: report.campaigns as u64,
+            elapsed: report.elapsed,
+        });
+    }
+
+    // CAS-retry hot path: whole-fuzzer campaigns/sec against a lock-free
+    // target whose control flow is CAS-retry loops rather than locks.
+    // Every failed CAS attempt is a scheduler decision point
+    // (`on_cas_fail` bounded-storm gating), so this cell tracks the
+    // end-to-end cost of retry-aware scheduling as driver threads grow —
+    // the companion curve to `fleet_execs` for the lock-free suite. Runs
+    // up here with the fleet cells for the same site-id pinning reason.
+    pmrace_lockfree::register_lockfree();
+    for &threads in &[2usize, 4] {
+        let mut cfg = pmrace_core::FuzzConfig::new("treiber-stack");
+        cfg.workers = 2;
+        cfg.threads = threads;
+        cfg.max_campaigns = usize::MAX;
+        cfg.wall_budget = budget;
+        cfg.campaign_deadline = Duration::from_millis(400);
+        cfg.rng_seed = 0xCA5 ^ threads as u64;
+        let report = pmrace_core::Fuzzer::new(cfg)
+            .expect("treiber-stack is registered")
+            .run()
+            .expect("cas-retry bench run");
+        cells.push(HotpathCell {
+            name: "cas_retry_execs".to_owned(),
+            threads,
+            disjoint: true,
+            ops: report.campaigns as u64,
+            elapsed: report.elapsed,
+        });
+    }
+
     for &threads in &[1usize, 4, 8] {
         for &disjoint in &[true, false] {
             // Raw pool stores: the pmem shard layer alone.
@@ -197,9 +266,17 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
             }));
 
             // Batched instrumented stores: the campaign-realistic epoch
-            // shape — a run of stores, then a persist (clwb+sfence) that
-            // drains the per-thread shadow/coverage buffers. Shows how much
-            // of the per-access tax epoch batching amortizes away.
+            // shape — runs of stores with node-level locality (8 consecutive
+            // stores per line, the "fill a node, persist the node" pattern
+            // every PM index exhibits), then a persist (clwb+sfence) that
+            // drains the per-thread shadow/coverage buffers. Repeated
+            // same-line stores hit the thread's granule slot cache, so the
+            // cell shows how much of the per-access tax epoch batching
+            // amortizes away. An earlier version walked a *different* line
+            // on every store: zero intra-epoch locality, nothing for the
+            // write-combining buffer to combine, so it measured
+            // `instr_store_u64` plus pure drain overhead and came out
+            // *slower* than the unbatched cell it was meant to beat.
             let session = Session::new(
                 Arc::new(Pool::new(PoolOpts::with_size(POOL_SIZE))),
                 SessionConfig {
@@ -219,11 +296,44 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
                     instr_iters,
                     move |t| session_ref.view(ThreadId(t as u32)),
                     move |view, t, i| {
-                        let off = target_off(t, i, disjoint);
+                        let off = target_off(t, i / 8, disjoint);
                         view.store_u64(off, i, s_batch).unwrap();
                         if i % 64 == 63 {
                             view.persist(off, 8, s_flush).unwrap();
                         }
+                    },
+                )
+            }));
+
+            // Write-through floor: a persist after *every* store, so each
+            // store is its own epoch and batching never gets a run to
+            // combine. Together with `instr_store_u64` (no sync point for
+            // the whole cell — the no-drain ceiling) this brackets the
+            // batched cell: batched must land between flush_each (floor)
+            // and plain stores (ceiling), and its distance from each is the
+            // honest measure of what epoch batching buys.
+            let session = Session::new(
+                Arc::new(Pool::new(PoolOpts::with_size(POOL_SIZE))),
+                SessionConfig {
+                    capture_crash_images: false,
+                    deadline: Duration::from_secs(600),
+                    ..SessionConfig::default()
+                },
+            );
+            let s_wt = site!("hotpath.store.flush_each");
+            let s_wt_flush = site!("hotpath.flush.flush_each");
+            let session_ref = &session;
+            cells.push(median3(|| {
+                contend_setup(
+                    "instr_store_flush_each",
+                    threads,
+                    disjoint,
+                    instr_iters / 4,
+                    move |t| session_ref.view(ThreadId(t as u32)),
+                    move |view, t, i| {
+                        let off = target_off(t, i / 8, disjoint);
+                        view.store_u64(off, i, s_wt).unwrap();
+                        view.persist(off, 8, s_wt_flush).unwrap();
                     },
                 )
             }));
@@ -358,8 +468,12 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
         elapsed: start.elapsed(),
     });
 
-    // Memoized validation: the first call is a cache miss (one full
-    // recovery execution); every further call is a verdict-cache hit.
+    // Memoized validation: the verdict-cache hit path. The first call —
+    // the cache miss that runs one full recovery execution — is paid
+    // *before* the clock starts: a single multi-millisecond miss would
+    // dominate the quick-mode cell (10k iterations) while vanishing in
+    // the full cell (200k), making the two incomparable and the CI
+    // tolerance band meaningless for this cell.
     let vpool = cp.restore();
     let image = std::sync::Arc::new(vpool.crash_image().expect("crash image"));
     let rec = SyncUpdateRecord {
@@ -373,6 +487,7 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
         crash_image: Some(Arc::clone(&image)),
     };
     let val_iters = 200_000 / scale;
+    std::hint::black_box(validate_sync(&spec, &rec));
     let start = Instant::now();
     for _ in 0..val_iters {
         std::hint::black_box(validate_sync(&spec, &rec));
@@ -385,62 +500,6 @@ pub fn run_matrix(quick: bool) -> Vec<HotpathCell> {
         elapsed: start.elapsed(),
     });
 
-    // Fleet scaling: whole-fuzzer aggregate execs/sec (campaigns/sec) at
-    // increasing worker counts, on a fixed wall budget. Campaigns are
-    // scheduler-sleep-bound (the Fig. 6 scheduler parks threads in µs–ms
-    // waits), so a fleet overlaps those sleeps productively even on a
-    // single CPU; this cell is the tracked scaling curve the shared
-    // frontier / sharded ledger must keep near-linear.
-    pmrace_targets::register_builtins();
-    let budget = Duration::from_millis(if quick { 700 } else { 4_000 });
-    for &workers in &[1usize, 2, 4, 8] {
-        let mut cfg = pmrace_core::FuzzConfig::new("FAST-FAIR");
-        cfg.workers = workers;
-        cfg.threads = 2;
-        cfg.max_campaigns = usize::MAX;
-        cfg.wall_budget = budget;
-        cfg.campaign_deadline = Duration::from_millis(400);
-        cfg.rng_seed = 0xF1EE7 ^ workers as u64;
-        let report = pmrace_core::Fuzzer::new(cfg)
-            .expect("FAST-FAIR is registered")
-            .run()
-            .expect("fleet bench run");
-        cells.push(HotpathCell {
-            name: "fleet_execs".to_owned(),
-            threads: workers,
-            disjoint: true,
-            ops: report.campaigns as u64,
-            elapsed: report.elapsed,
-        });
-    }
-
-    // CAS-retry hot path: whole-fuzzer campaigns/sec against a lock-free
-    // target whose control flow is CAS-retry loops rather than locks.
-    // Every failed CAS attempt is a scheduler decision point
-    // (`on_cas_fail` bounded-storm gating), so this cell tracks the
-    // end-to-end cost of retry-aware scheduling as driver threads grow —
-    // the companion curve to `fleet_execs` for the lock-free suite.
-    pmrace_lockfree::register_lockfree();
-    for &threads in &[2usize, 4] {
-        let mut cfg = pmrace_core::FuzzConfig::new("treiber-stack");
-        cfg.workers = 2;
-        cfg.threads = threads;
-        cfg.max_campaigns = usize::MAX;
-        cfg.wall_budget = budget;
-        cfg.campaign_deadline = Duration::from_millis(400);
-        cfg.rng_seed = 0xCA5 ^ threads as u64;
-        let report = pmrace_core::Fuzzer::new(cfg)
-            .expect("treiber-stack is registered")
-            .run()
-            .expect("cas-retry bench run");
-        cells.push(HotpathCell {
-            name: "cas_retry_execs".to_owned(),
-            threads,
-            disjoint: true,
-            ops: report.campaigns as u64,
-            elapsed: report.elapsed,
-        });
-    }
     cells
 }
 
@@ -489,6 +548,23 @@ pub fn cell_values_in_json(text: &str) -> Vec<(String, usize, String, f64)> {
         }
     }
     rows
+}
+
+/// Aggregate `fleet_execs` scaling ratio between two worker counts in a
+/// `BENCH_hotpath.json` document: `ops_per_sec(hi) / ops_per_sec(lo)`.
+/// `None` when either cell is absent (or the low cell is zero). The
+/// `--min-fleet-scaling` CI gate evaluates this on the *committed* file, so
+/// a regenerated trajectory that lost its fleet scaling cannot land.
+#[must_use]
+pub fn fleet_scaling_in_json(text: &str, hi: usize, lo: usize) -> Option<f64> {
+    let rows = cell_values_in_json(text);
+    let cell = |threads: usize| {
+        rows.iter()
+            .find(|(name, t, _, _)| name == "fleet_execs" && *t == threads)
+            .map(|r| r.3)
+    };
+    let (hi, lo) = (cell(hi)?, cell(lo)?);
+    (lo > 0.0).then(|| hi / lo)
 }
 
 /// Renders the matrix as an aligned text table.
@@ -562,6 +638,7 @@ mod tests {
         let names = cell_names_in_json(&json);
         for required in [
             "instr_store_batched",
+            "instr_store_flush_each",
             "granule_cache_hit",
             "checkpoint_restore_fresh",
             "checkpoint_restore_delta",
@@ -577,6 +654,15 @@ mod tests {
         assert_eq!(
             fleet.iter().map(|c| c.threads).collect::<Vec<_>>(),
             [1, 2, 4, 8]
+        );
+        // The fleet cells must stay FIRST in the matrix: site ids are
+        // process-global and first-come-first-served, so any cell running
+        // before them would shift the fuzzer's coverage hashes and plan
+        // mix away from what a standalone run sees.
+        assert_eq!(
+            cells.first().map(|c| c.name.as_str()),
+            Some("fleet_execs"),
+            "fleet cells must run before any site!()-registering microbench"
         );
         // One CAS-retry cell per driver-thread count.
         let cas: Vec<_> = cells
@@ -612,6 +698,23 @@ mod tests {
         assert!((rows[0].3 - 10_000.0).abs() < 1.0);
         assert_eq!(rows[1].2, "disjoint");
         assert!(cell_values_in_json("{}").is_empty());
+    }
+
+    #[test]
+    fn fleet_scaling_ratio_reads_committed_cells() {
+        let fleet = |threads: usize, ops: u64| HotpathCell {
+            name: "fleet_execs".to_owned(),
+            threads,
+            disjoint: true,
+            ops,
+            elapsed: Duration::from_secs(1),
+        };
+        let json = to_json(&[fleet(1, 300), fleet(4, 840)]);
+        let ratio = fleet_scaling_in_json(&json, 4, 1).unwrap();
+        assert!((ratio - 2.8).abs() < 1e-6, "got {ratio}");
+        // Missing cells (or an unrelated document) yield None, not a panic.
+        assert!(fleet_scaling_in_json(&json, 8, 1).is_none());
+        assert!(fleet_scaling_in_json("{}", 4, 1).is_none());
     }
 
     #[test]

@@ -1,9 +1,21 @@
 //! One fuzz campaign: one execution of the target with a seed under an
 //! interleaving strategy, checkers armed.
+//!
+//! Driver threads are *pooled per exec thread* (`DriverPool`): at fleet
+//! rates the two `thread::spawn`/join pairs per campaign cost more than a
+//! checkpoint restore, so each OS thread that runs campaigns keeps its
+//! drivers alive across campaigns and feeds them per-campaign jobs over
+//! channels. The pool is thread-local, so concurrent exec workers never
+//! share drivers and the per-campaign dispatch order (thread 0 first) is
+//! as deterministic as the scoped-spawn order it replaces.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
 
 use pmrace_api::TargetSpec;
 use pmrace_pmem::{Pool, ThreadId};
@@ -78,8 +90,10 @@ impl Default for CampaignConfig {
 pub struct CampaignResult {
     /// Checker findings (candidates, inconsistencies, sync updates, hang).
     pub findings: Findings,
-    /// Session coverage (merge into the global map for feedback).
-    pub coverage: CoverageMap,
+    /// Session coverage (merge into the global map for feedback). Handed
+    /// off by reference count — the session is finished, so the map is
+    /// immutable and the explorer merges from the original allocation.
+    pub coverage: Arc<CoverageMap>,
     /// Shared-access statistics feeding the priority queue.
     pub shared: Vec<SharedAccessEntry>,
     /// Sync-var annotations the target registered.
@@ -91,6 +105,74 @@ pub struct CampaignResult {
     /// Instrumented PM events (loads/stores/flushes/fences) the campaign
     /// executed; feeds the fuzzer's accesses/sec throughput meter.
     pub pm_accesses: u64,
+}
+
+/// One dispatched unit of driver work.
+type DriverJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Countdown the dispatching thread blocks on until every driver job of
+/// the campaign finished; a panicking job parks its payload here so
+/// [`run_campaign`] can resume the unwind on the dispatcher (matching the
+/// scoped-spawn semantics the pool replaced).
+struct JobBarrier {
+    state: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    done: Condvar,
+}
+
+/// A persistent driver thread: jobs in via channel, exits on hangup.
+struct DriverSlot {
+    tx: mpsc::Sender<DriverJob>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Lazily-grown pool of persistent driver threads (see the module docs).
+#[derive(Default)]
+struct DriverPool {
+    slots: Vec<DriverSlot>,
+}
+
+impl DriverPool {
+    fn ensure(&mut self, n: usize) {
+        while self.slots.len() < n {
+            let (tx, rx) = mpsc::channel::<DriverJob>();
+            let handle = std::thread::Builder::new()
+                .name(format!("pmrace-driver-{}", self.slots.len()))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn pooled driver thread");
+            self.slots.push(DriverSlot {
+                tx,
+                handle: Some(handle),
+            });
+        }
+    }
+}
+
+impl Drop for DriverPool {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            // Hang up the channel first so the drained driver exits...
+            let (dead, _) = mpsc::channel::<DriverJob>();
+            drop(std::mem::replace(&mut slot.tx, dead));
+        }
+        for slot in &mut self.slots {
+            // ...then reap it (jobs signalled their barrier already, so
+            // nothing here can block behind an unfinished campaign).
+            if let Some(handle) = slot.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// One driver pool per campaign-running OS thread (exec workers,
+    /// validation recovery runs, tests). Dropped — drivers hung up and
+    /// reaped — when the owning thread exits.
+    static DRIVERS: RefCell<DriverPool> = RefCell::new(DriverPool::default());
 }
 
 /// Execute one campaign of `seed` against a fresh instance of `spec`.
@@ -156,35 +238,46 @@ pub fn run_campaign(
         session.set_strategy(strategy);
     }
 
-    let op_errors = AtomicUsize::new(0);
-    let live_workers = AtomicUsize::new(seed.threads().len().min(cfg.threads));
-    std::thread::scope(|scope| {
-        if cfg.eviction_interval_us > 0 {
-            // Cache-eviction agitator: persists random dirty granules at
-            // the configured rate, modeling hardware write-back that is
-            // not under the program's control. Exits when the last driver
-            // thread finishes.
-            let session = &session;
-            let live_workers = &live_workers;
-            let interval = Duration::from_micros(cfg.eviction_interval_us);
-            scope.spawn(move || {
-                use rand::SeedableRng;
-                let mut rng = rand::rngs::StdRng::seed_from_u64(0xE71C);
-                while live_workers.load(Ordering::Acquire) > 0 && !session.cancelled() {
-                    let _ = session.pool().evict_random(&mut rng);
-                    std::thread::sleep(interval);
-                }
-            });
-        }
+    let driver_count = seed.threads().len().min(cfg.threads);
+    let op_errors = Arc::new(AtomicUsize::new(0));
+    let live_workers = Arc::new(AtomicUsize::new(driver_count));
+    let barrier = Arc::new(JobBarrier {
+        state: Mutex::new((driver_count, None)),
+        done: Condvar::new(),
+    });
+    let agitator = (cfg.eviction_interval_us > 0).then(|| {
+        // Cache-eviction agitator: persists random dirty granules at
+        // the configured rate, modeling hardware write-back that is
+        // not under the program's control. Exits when the last driver
+        // thread finishes. Rare config, so it still gets a fresh thread
+        // instead of a pool slot.
+        let session = Arc::clone(&session);
+        let live_workers = Arc::clone(&live_workers);
+        let interval = Duration::from_micros(cfg.eviction_interval_us);
+        std::thread::spawn(move || {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xE71C);
+            while live_workers.load(Ordering::Acquire) > 0 && !session.cancelled() {
+                let _ = session.pool().evict_random(&mut rng);
+                std::thread::sleep(interval);
+            }
+        })
+    });
+    DRIVERS.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.ensure(driver_count);
         for (t, ops) in seed.threads().iter().enumerate().take(cfg.threads) {
-            let session = &session;
-            let target = &target;
-            let op_errors = &op_errors;
-            let live_workers = &live_workers;
-            scope.spawn(move || {
+            let session = Arc::clone(&session);
+            let target = Arc::clone(&target);
+            let ops = ops.clone();
+            let op_errors = Arc::clone(&op_errors);
+            let live_on_panic = Arc::clone(&live_workers);
+            let live_workers = Arc::clone(&live_workers);
+            let barrier = Arc::clone(&barrier);
+            let body = move || {
                 let tid = ThreadId(t as u32);
                 let view = session.view(tid);
-                for op in ops {
+                for op in &ops {
                     // An op boundary is forward progress even when the op
                     // made no store (bounded retry loops giving up): keep
                     // the livelock streak scoped to a single blocked op.
@@ -207,11 +300,42 @@ pub fn run_campaign(
                 view.flush();
                 session.thread_done(tid);
                 live_workers.fetch_sub(1, Ordering::AcqRel);
+            };
+            let job: DriverJob = Box::new(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+                let mut state = barrier.state.lock();
+                state.0 -= 1;
+                if let Err(payload) = outcome {
+                    // The body never reached its own decrement: release the
+                    // agitator's liveness count here too.
+                    live_on_panic.fetch_sub(1, Ordering::AcqRel);
+                    state.1 = Some(payload);
+                }
+                if state.0 == 0 {
+                    barrier.done.notify_all();
+                }
             });
+            pool.slots[t]
+                .tx
+                .send(job)
+                .expect("pooled driver thread hung up");
         }
     });
+    {
+        let mut state = barrier.state.lock();
+        while state.0 > 0 {
+            barrier.done.wait(&mut state);
+        }
+        if let Some(payload) = state.1.take() {
+            drop(state);
+            std::panic::resume_unwind(payload);
+        }
+    }
+    if let Some(handle) = agitator {
+        let _ = handle.join();
+    }
 
-    let coverage = session.coverage_snapshot();
+    let coverage = session.coverage_handle();
     let shared = session.shared_accesses();
     let annotations = session.annotations();
     let pm_accesses = session.pm_accesses();

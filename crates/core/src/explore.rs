@@ -123,10 +123,13 @@ pub struct Explorer {
     plan: Option<SyncPlan>,
     execs_on_plan: usize,
     plans_on_seed: usize,
-    /// Coverage frontier novelty is judged against. Owned (fresh map) for a
-    /// standalone explorer; in a fleet every worker shares one map, so
-    /// "new coverage" means new *fleet-wide* — wait-free atomic merges, no
-    /// lock (see [`CoverageMap::merge_from`]).
+    /// Coverage frontier novelty is judged against. Always worker-local:
+    /// campaign maps merge into it every exec, and in a fleet it syncs with
+    /// the shared [`FleetLink::frontier`] on *epoch boundaries* (every
+    /// `FRONTIER_EPOCH` execs, or immediately when this worker found new
+    /// coverage) rather than per exec — the sibling workers' bits still
+    /// arrive, just batched, so the shared map is touched O(1/epoch) times
+    /// instead of twice per campaign.
     coverage: Arc<CoverageMap>,
     /// Cross-worker seed pool this explorer publishes to / imports from.
     fleet: Option<FleetLink>,
@@ -136,6 +139,13 @@ pub struct Explorer {
     stalled_seeds: usize,
     populate_done: bool,
 }
+
+/// Execs between frontier epoch syncs: how stale a worker's view of the
+/// sibling workers' coverage may get before the next publish/pull. Novelty
+/// judged against a ≤16-exec-stale frontier occasionally re-admits a seed a
+/// sibling already found — a few redundant corpus entries, dedup'd at the
+/// next sync — in exchange for taking the shared map off the per-exec path.
+const FRONTIER_EPOCH: usize = 16;
 
 /// An explorer's membership in a fleet: the shared pool, its worker index,
 /// and the import cursor (last pool epoch this explorer has seen).
@@ -148,6 +158,10 @@ struct FleetLink {
     /// drawing from the mixed corpus, so cross-worker discoveries propagate
     /// within one seed cycle.
     stolen: Option<Seed>,
+    /// The fleet-wide coverage frontier, synced on epoch boundaries.
+    frontier: Arc<CoverageMap>,
+    /// Execs since the last frontier publish/pull.
+    execs_since_sync: usize,
 }
 
 impl std::fmt::Debug for Explorer {
@@ -170,14 +184,17 @@ impl Explorer {
         Self::build(spec, cfg, rng_seed, Arc::new(CoverageMap::new()), None)
     }
 
-    /// Create a fleet-member explorer: coverage novelty is judged against
-    /// the shared `frontier` (so "new" means new fleet-wide, and the merge
-    /// is wait-free — no lock), and coverage-improving seeds are exchanged
-    /// through `pool`, publishing to stripe `worker` and importing from the
-    /// sibling stripes. The RNG stream is untouched by fleet membership:
-    /// imports change *which* seeds get evolved, never how this worker's
-    /// `StdRng` draws, and a single-worker fleet has no sibling stripes, so
-    /// `workers=1` runs are byte-identical to a standalone explorer.
+    /// Create a fleet-member explorer: campaign coverage merges into a
+    /// worker-local map every exec and syncs with the shared `frontier` on
+    /// epoch boundaries (`FRONTIER_EPOCH` execs, or immediately on new
+    /// coverage), so "new" means new fleet-wide up to one epoch of
+    /// staleness; coverage-improving seeds are exchanged through `pool`,
+    /// publishing to stripe `worker` and importing from the sibling
+    /// stripes. The RNG stream is untouched by fleet membership: imports
+    /// change *which* seeds get evolved, never how this worker's `StdRng`
+    /// draws, and a single-worker fleet has no sibling stripes and is the
+    /// frontier's only contributor, so `workers=1` runs are byte-identical
+    /// to a standalone explorer.
     ///
     /// # Errors
     ///
@@ -195,8 +212,28 @@ impl Explorer {
             worker,
             cursor: 0,
             stolen: None,
+            frontier,
+            execs_since_sync: 0,
         };
-        Self::build(spec, cfg, rng_seed, frontier, Some(link))
+        Self::build(
+            spec,
+            cfg,
+            rng_seed,
+            Arc::new(CoverageMap::new()),
+            Some(link),
+        )
+    }
+
+    /// Publish this worker's coverage to the fleet frontier and pull the
+    /// siblings' accumulated bits back. Called on epoch boundaries during
+    /// [`step`](Self::step) and once more by the fleet driver before the
+    /// worker retires, so the frontier ends complete.
+    pub fn sync_frontier(&mut self) {
+        if let Some(link) = &mut self.fleet {
+            link.frontier.merge_from(&self.coverage);
+            self.coverage.merge_from(&link.frontier);
+            link.execs_since_sync = 0;
+        }
     }
 
     fn build(
@@ -519,6 +556,19 @@ impl Explorer {
             );
         }
         let (new_alias, new_branch) = self.coverage.merge_from(&result.coverage);
+        let sync_now = match &mut self.fleet {
+            Some(link) => {
+                link.execs_since_sync += 1;
+                // Novelty goes out immediately (siblings should stop
+                // chasing it); otherwise the shared map is only touched
+                // once an epoch.
+                new_alias + new_branch > 0 || link.execs_since_sync >= FRONTIER_EPOCH
+            }
+            None => false,
+        };
+        if sync_now {
+            self.sync_frontier();
+        }
         if new_alias + new_branch > 0 {
             self.stalled_seeds = 0;
             if !self.corpus.contains(&self.seed) {

@@ -410,6 +410,57 @@ mod tests {
     }
 
     #[test]
+    fn deferred_validation_verdicts_match_inline() {
+        // The pipeline's contract: an IngestPlan minted on the exec thread
+        // and validated + finished on a *different* thread (the validator
+        // pool) must yield the same verdicts and the same minted bugs as
+        // the inline path, given the same campaign result.
+        let spec = target_spec("P-CLHT").unwrap();
+        let ops: Vec<Op> = (1..=130u64)
+            .map(|k| Op::Insert { key: k, value: k })
+            .collect();
+        let cfg = CampaignConfig {
+            threads: 1,
+            deadline: Duration::from_secs(5),
+            ..CampaignConfig::default()
+        };
+        let seed = Seed::from_flat(&ops, 1);
+        let res = run_campaign(&spec, &seed, &cfg, None, None).unwrap();
+
+        let inline = SharedLedger::new(spec);
+        let mut plan = inline
+            .begin_ingest(&res, Duration::ZERO)
+            .expect("fresh findings");
+        plan.validate(&res);
+        let inline_delta = inline.finish_ingest(plan, &res, None);
+
+        let deferred = SharedLedger::new(spec);
+        let plan = deferred
+            .begin_ingest(&res, Duration::ZERO)
+            .expect("fresh findings");
+        let deferred_delta = std::thread::scope(|scope| {
+            let (deferred, res) = (&deferred, &res);
+            scope
+                .spawn(move || {
+                    let mut plan = plan;
+                    plan.validate(res);
+                    deferred.finish_ingest(plan, res, None)
+                })
+                .join()
+                .expect("validator thread")
+        });
+
+        assert_eq!(
+            inline_delta.new_bugs.len(),
+            deferred_delta.new_bugs.len(),
+            "deferred validation must mint the same bugs"
+        );
+        let (a, b) = (inline.into_ledger(), deferred.into_ledger());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.bug_triples(), b.bug_triples(), "verdict triples drifted");
+    }
+
+    #[test]
     fn fast_path_counts_hangs() {
         let spec = target_spec("clevel").unwrap();
         let cfg = CampaignConfig {

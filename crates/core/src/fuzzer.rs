@@ -16,11 +16,12 @@ use pmrace_runtime::RtError;
 use pmrace_sched::SyncTuning;
 use pmrace_telemetry as telemetry;
 
-use crate::bugs::{DetectionStats, IngestDelta, UniqueBug};
+use crate::bugs::{DetectionStats, IngestDelta, IngestPlan, UniqueBug};
 use crate::campaign::{CampaignConfig, StrategyKind};
 use crate::corpus::CorpusDir;
 use crate::explore::{ExploreConfig, Explorer, StepOutcome};
 use crate::fleet::{SharedCorpus, SharedLedger};
+use crate::pipeline::{HandoffQueue, ValidationJob};
 
 /// Callback the fuzzer fires when a campaign contributes *new* unique
 /// findings, with the step's full outcome (seed, captured schedule) and the
@@ -105,6 +106,15 @@ pub struct FuzzConfig {
     /// Print a human-readable progress line to stderr at this interval
     /// (also turns the telemetry registry on).
     pub progress_interval: Option<Duration>,
+    /// Run the validation pipeline even with a single worker. Multi-worker
+    /// fleets always pipeline (exec workers hand completed campaigns to a
+    /// validator pool instead of running recovery sessions inline); a
+    /// single worker defaults to the inline path, whose campaign-by-
+    /// campaign ordering is the determinism baseline. Forcing the pipeline
+    /// at one worker keeps the bug set byte-identical — one validator
+    /// draining a FIFO queue applies verdicts in exactly submission order —
+    /// and exists so tests can prove that equivalence.
+    pub force_pipeline: bool,
 }
 
 impl FuzzConfig {
@@ -133,6 +143,7 @@ impl FuzzConfig {
             record: None,
             telemetry_dir: None,
             progress_interval: None,
+            force_pipeline: false,
         }
     }
 }
@@ -289,6 +300,19 @@ impl Fuzzer {
         let corpus_error = Mutex::new(None::<String>);
         let record = self.cfg.record.clone();
         let reporter_stop = std::sync::atomic::AtomicBool::new(false);
+        // Pipelined execution (off at one worker unless forced): exec
+        // workers run phase 1 of ingestion (striped signature dedup, so
+        // first-seen ordering is fixed at campaign completion) and hand the
+        // plan + outcome to a validator pool over this bounded queue;
+        // validators run the recovery sessions and apply verdicts. The
+        // queue is small on purpose — when validators fall behind, exec
+        // workers validate inline rather than queueing unboundedly.
+        let pipeline: Option<Arc<HandoffQueue<ValidationJob>>> = (worker_count > 1
+            || self.cfg.force_pipeline)
+            .then(|| Arc::new(HandoffQueue::new(worker_count * 2)));
+        // Single-worker determinism mode: hand jobs across threads but wait
+        // for each before the next campaign (see `HandoffQueue::wait_idle`).
+        let sync_handoff = worker_count == 1;
 
         // Per-worker timeline buffers, merged (and time-sorted) after the
         // scope joins — the workers never contend on a timeline lock.
@@ -302,6 +326,34 @@ impl Fuzzer {
                 let campaigns = &campaigns;
                 scope.spawn(move || progress_loop(start, every, stop, campaigns))
             });
+            // Validator pool: one validator absorbs the validation load of
+            // about four exec workers (validation is a few percent of
+            // campaign CPU); exactly one validator when forced at a single
+            // worker, so verdicts land in FIFO submission order and the
+            // run stays byte-identical to the inline path.
+            let mut validators = Vec::new();
+            if let Some(queue) = &pipeline {
+                for _ in 0..worker_count.div_ceil(4) {
+                    let queue = Arc::clone(queue);
+                    let ledger = &ledger;
+                    let record = &record;
+                    validators.push(scope.spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            telemetry::metrics::gauge_set(
+                                telemetry::Gauge::ValidateQueueDepth,
+                                queue.depth() as u64,
+                            );
+                            telemetry::metrics::record_duration(
+                                telemetry::Histogram::PipelineQueueNs,
+                                job.enqueued_at.elapsed(),
+                            );
+                            let ValidationJob { plan, out, .. } = job;
+                            validate_and_finish(ledger, plan, &out, record.as_ref());
+                            queue.job_done();
+                        }
+                    }));
+                }
+            }
             let mut workers = Vec::new();
             for w in 0..worker_count {
                 let ledger = &ledger;
@@ -313,6 +365,7 @@ impl Fuzzer {
                 let corpus_save_errors = &corpus_save_errors;
                 let corpus_error = &corpus_error;
                 let record = &record;
+                let pipeline = &pipeline;
                 let mut cfg = self.explore_config();
                 cfg.initial_corpus = loaded_corpus.clone();
                 let corpus_dir = &corpus_dir;
@@ -322,6 +375,7 @@ impl Fuzzer {
                 let wall_budget = self.cfg.wall_budget;
                 workers.push(scope.spawn(move || {
                     let mut local_timeline = Vec::<CoverageSample>::new();
+                    let frontier_view = Arc::clone(&frontier);
                     let mut explorer =
                         match Explorer::with_fleet(spec, cfg, rng_seed, frontier, pool, w) {
                             Ok(e) => e,
@@ -334,6 +388,9 @@ impl Fuzzer {
                         if campaigns.load(Ordering::Relaxed) >= max_campaigns
                             || start.elapsed() >= wall_budget
                         {
+                            // Flush the last (possibly partial) frontier
+                            // epoch so the fleet totals end complete.
+                            explorer.sync_frontier();
                             return local_timeline;
                         }
                         match explorer.step() {
@@ -342,11 +399,13 @@ impl Fuzzer {
                                 pm_accesses.fetch_add(out.result.pm_accesses, Ordering::Relaxed);
                                 telemetry::metrics::worker_exec(w);
                                 let elapsed = start.elapsed();
-                                // The explorer merged this campaign into the
-                                // shared frontier already (wait-free); the
-                                // counters here are a racy-but-monotone
-                                // snapshot for the sample and gauges.
-                                let (alias, branches) = explorer.coverage_counts();
+                                // The explorer publishes novelty to the
+                                // shared frontier immediately and batches
+                                // no-news merges on epoch boundaries; the
+                                // frontier counters are a racy-but-monotone
+                                // fleet-wide snapshot for the sample and
+                                // gauges.
+                                let (alias, branches) = frontier_view.counts();
                                 telemetry::metrics::gauge_set(
                                     telemetry::Gauge::CovAliasPairs,
                                     alias as u64,
@@ -357,25 +416,10 @@ impl Fuzzer {
                                 );
                                 if out.new_alias + out.new_branch > 0 {
                                     telemetry::add(telemetry::Counter::FleetFrontierHits, 1);
-                                }
-                                // Three-phase ingest: dedup under signature
-                                // stripes (all-duplicate campaigns never
-                                // touch the global ledger lock), recovery
-                                // executions (the expensive part) outside
-                                // every lock so workers validate
-                                // concurrently, verdicts applied under the
-                                // inner lock.
-                                if let Some(mut plan) = ledger.begin_ingest(&out.result, elapsed) {
-                                    plan.validate(&out.result);
-                                    let delta =
-                                        ledger.finish_ingest(plan, &out.result, Some(&out.seed));
-                                    if !delta.is_empty() {
-                                        if let Some(sink) = record {
-                                            sink.call(&out, &delta);
-                                        }
-                                    }
-                                }
-                                if out.new_alias + out.new_branch > 0 {
+                                    // Corpus persistence stays on the exec
+                                    // thread: save failures must be
+                                    // attributed before the outcome moves
+                                    // into a validation job.
                                     if let Some(corpus) = &corpus_dir {
                                         if let Err(e) = corpus.save(&out.seed) {
                                             corpus_save_errors.fetch_add(1, Ordering::Relaxed);
@@ -394,9 +438,77 @@ impl Fuzzer {
                                     alias_pairs: alias,
                                     branches,
                                 });
+                                // Three-phase ingest: dedup under signature
+                                // stripes on the exec thread (all-duplicate
+                                // campaigns never touch the global ledger
+                                // lock), then recovery executions and
+                                // verdict application — the expensive part —
+                                // handed to the validator pool; inline only
+                                // when the pipeline is down or its queue is
+                                // full (backpressure).
+                                if let Some(plan) = ledger.begin_ingest(&out.result, elapsed) {
+                                    match pipeline {
+                                        Some(queue) => {
+                                            let job = ValidationJob {
+                                                plan,
+                                                out,
+                                                enqueued_at: Instant::now(),
+                                            };
+                                            match queue.push(job) {
+                                                Ok(()) => {
+                                                    telemetry::add(
+                                                        telemetry::Counter::PipelineDeferred,
+                                                        1,
+                                                    );
+                                                    telemetry::metrics::gauge_set(
+                                                        telemetry::Gauge::ValidateQueueDepth,
+                                                        queue.depth() as u64,
+                                                    );
+                                                    if sync_handoff {
+                                                        // Forced pipeline at
+                                                        // one worker: don't
+                                                        // overlap validation
+                                                        // with the next
+                                                        // campaign, so the
+                                                        // run stays byte-
+                                                        // identical to the
+                                                        // inline path.
+                                                        queue.wait_idle();
+                                                    }
+                                                }
+                                                Err(job) => {
+                                                    telemetry::add(
+                                                        telemetry::Counter::PipelineBackpressure,
+                                                        1,
+                                                    );
+                                                    telemetry::add(
+                                                        telemetry::Counter::PipelineInline,
+                                                        1,
+                                                    );
+                                                    validate_and_finish(
+                                                        ledger,
+                                                        job.plan,
+                                                        &job.out,
+                                                        record.as_ref(),
+                                                    );
+                                                }
+                                            }
+                                        }
+                                        None => {
+                                            telemetry::add(telemetry::Counter::PipelineInline, 1);
+                                            validate_and_finish(
+                                                ledger,
+                                                plan,
+                                                &out,
+                                                record.as_ref(),
+                                            );
+                                        }
+                                    }
+                                }
                             }
                             Err(e) => {
                                 *first_err.lock() = Some(e);
+                                explorer.sync_frontier();
                                 return local_timeline;
                             }
                         }
@@ -407,6 +519,16 @@ impl Fuzzer {
                 if let Ok(local) = h.join() {
                     timeline.extend(local);
                 }
+            }
+            // Exec workers are done: close the hand-off queue so the
+            // validator pool drains every pending job and exits, *then*
+            // tear down the ledger — the drain guarantees no in-flight
+            // verdict is lost at budget exhaustion.
+            if let Some(queue) = &pipeline {
+                queue.close();
+            }
+            for h in validators {
+                let _ = h.join();
             }
             reporter_stop.store(true, Ordering::Release);
             if let Some(h) = reporter {
@@ -457,6 +579,26 @@ impl Fuzzer {
                 .map_err(|e| RtError::Io(format!("telemetry dir {}: {e}", dir.display())))?;
         }
         Ok(report)
+    }
+}
+
+/// Phases 2+3 of campaign ingestion: run the recovery-session validations
+/// the plan calls for (no locks held), fold verdicts into the ledger, and
+/// fire the record sink on fresh findings. Shared by the validator pool
+/// and the inline fallback paths, so both produce identical ledger state
+/// for a given submission order.
+fn validate_and_finish(
+    ledger: &SharedLedger,
+    mut plan: IngestPlan,
+    out: &StepOutcome,
+    record: Option<&RecordSink>,
+) {
+    plan.validate(&out.result);
+    let delta = ledger.finish_ingest(plan, &out.result, Some(&out.seed));
+    if !delta.is_empty() {
+        if let Some(sink) = record {
+            sink.call(out, &delta);
+        }
     }
 }
 
@@ -623,6 +765,43 @@ mod tests {
         let report = Fuzzer::new(cfg).unwrap().run().unwrap();
         assert!(report.corpus_save_errors >= 1, "{report:?}");
         assert!(report.corpus_error.is_some());
+    }
+
+    #[test]
+    fn forced_pipeline_is_byte_identical_to_inline_at_one_worker() {
+        register();
+        // Single-threaded campaigns are fully deterministic (no natural
+        // races to discover), so any divergence between the two runs can
+        // only come from the validation pipeline itself. 300 ops crosses
+        // P-CLHT's resize threshold, which mints a real validated bug —
+        // the comparison covers Bug and ValidatedFp verdicts, not just
+        // empty ledgers.
+        let run = |force_pipeline: bool| {
+            let mut cfg = FuzzConfig::new("P-CLHT");
+            cfg.max_campaigns = 8;
+            cfg.workers = 1;
+            cfg.threads = 1;
+            cfg.ops_per_thread = 300;
+            cfg.wall_budget = Duration::from_secs(60);
+            cfg.campaign_deadline = Duration::from_secs(2);
+            cfg.rng_seed = 0xD15C;
+            cfg.force_pipeline = force_pipeline;
+            Fuzzer::new(cfg).unwrap().run().unwrap()
+        };
+        let inline = run(false);
+        let piped = run(true);
+        // One worker + one validator draining a FIFO queue must reproduce
+        // the inline path exactly: same campaigns, same coverage, same
+        // verdicts in the same order.
+        assert_eq!(inline.campaigns, piped.campaigns);
+        assert_eq!(inline.bug_triples, piped.bug_triples, "bug triples drifted");
+        assert_eq!(inline.stats, piped.stats, "detection stats drifted");
+        assert_eq!(inline.alias_pairs, piped.alias_pairs);
+        assert_eq!(inline.branches, piped.branches);
+        assert!(
+            !piped.bug_triples.is_empty(),
+            "the run must mint a validated bug for the comparison to bite"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod explore;
 pub mod fleet;
 pub mod fuzzer;
 pub mod mutator;
+pub mod pipeline;
 pub mod report_io;
 pub mod schedule;
 pub mod seed;

@@ -31,6 +31,7 @@ use pmrace_telemetry as telemetry;
 
 use crate::coverage::Persistency;
 use crate::strategy::InterleaveStrategy;
+use crate::taint::TaintSet;
 use crate::trace::{LocalTraceEvent, TraceBuffers, TraceKind};
 use crate::Site;
 
@@ -94,10 +95,51 @@ pub(crate) fn unpack_cov(packed: u32) -> (Site, Persistency) {
 /// same rationale as the session's `AccessStats`.
 #[inline]
 pub(crate) fn bump_site(sites: &mut Vec<(Site, u32)>, site: Site) {
+    bump_site_n(sites, site, 1);
+}
+
+/// [`bump_site`] by `n` at once — the CAS-retry fast path batches whole
+/// retry storms into one bump.
+#[inline]
+pub(crate) fn bump_site_n(sites: &mut Vec<(Site, u32)>, site: Site, n: u32) {
     if let Some(e) = sites.iter_mut().find(|e| e.0 == site) {
-        e.1 += 1;
+        e.1 += n;
     } else {
-        sites.push((site, 1));
+        sites.push((site, n));
+    }
+}
+
+/// Memo of this thread's most recent *failed* CAS, the key to the
+/// CAS-retry fast path in `PmView::cas_u64`. While the session-wide store
+/// counter still reads `progress`, no PM store has landed anywhere in the
+/// session, so the word provably still holds `observed` (with the same
+/// shadow taint) and an identical retry would fail exactly like the last
+/// attempt — it can be answered from this memo without touching the pool
+/// or re-running the instrumentation hooks. `pending` counts answered
+/// retries not yet folded into the granule's slot statistics
+/// (`Session::fold_cas_repeats`).
+#[derive(Debug)]
+pub(crate) struct CasFailCache {
+    pub(crate) valid: bool,
+    pub(crate) off: u64,
+    pub(crate) site: u32,
+    pub(crate) observed: u64,
+    pub(crate) taint: TaintSet,
+    pub(crate) progress: u64,
+    pub(crate) pending: u32,
+}
+
+impl CasFailCache {
+    fn new() -> Self {
+        CasFailCache {
+            valid: false,
+            off: 0,
+            site: 0,
+            observed: 0,
+            taint: TaintSet::empty(),
+            progress: 0,
+            pending: 0,
+        }
     }
 }
 
@@ -269,6 +311,8 @@ pub(crate) struct ThreadBuffer {
     pub(crate) trace: LocalTrace,
     pub(crate) pm_events: u64,
     pub(crate) tel: TelDeltas,
+    /// Last-failed-CAS memo (see [`CasFailCache`]).
+    pub(crate) cas_cache: CasFailCache,
     /// Generation of the cached strategy (0 = never fetched; the session
     /// generation starts at 1, so the first access always refreshes).
     pub(crate) strategy_gen: u64,
@@ -295,6 +339,7 @@ impl ThreadBuffer {
             trace: LocalTrace::new(trace_depth),
             pm_events: 0,
             tel: TelDeltas::default(),
+            cas_cache: CasFailCache::new(),
             strategy_gen: 0,
             strategy: None,
         }

@@ -253,7 +253,10 @@ pub struct Session {
     pool: Arc<Pool>,
     cfg: SessionConfig,
     start: Instant,
-    coverage: CoverageMap,
+    /// Behind an `Arc` so a finished campaign can hand the map off to the
+    /// explorer's frontier merge without cloning it (~272 KiB per
+    /// campaign at fleet rates) — see [`Session::coverage_handle`].
+    coverage: Arc<CoverageMap>,
     trace: TraceBuffers,
     stripes: Box<[Mutex<Stripe>]>,
     reports: Mutex<Reports>,
@@ -307,7 +310,7 @@ impl Session {
             pool,
             cfg,
             start: Instant::now(),
-            coverage: CoverageMap::new(),
+            coverage: Arc::new(CoverageMap::new()),
             trace: TraceBuffers::new(trace_depth),
             stripes: (0..STRIPES)
                 .map(|_| Mutex::new(Stripe::default()))
@@ -472,9 +475,34 @@ impl Session {
             .sum()
     }
 
+    /// `true` when at least one checker is armed (the CAS-retry fast path
+    /// must stand down: checkers observe every access event).
+    pub(crate) fn checkers_armed(&self) -> bool {
+        self.has_checkers.load(Ordering::Relaxed)
+    }
+
+    /// Publish the CAS-retry fast path's batched repeat count (see
+    /// `PmView::cas_u64`): memo-answered retries are indistinguishable from
+    /// full-path failures in the granule access statistics, so fold them
+    /// into the granule's slot as one bulk bump. Coverage needs no update —
+    /// repeats are consecutive same-thread accesses to one granule, and the
+    /// epoch's `cov_last` already holds the identical packed event.
+    pub(crate) fn fold_cas_repeats(&self, buf: &mut ThreadBuffer) {
+        if buf.cas_cache.pending == 0 {
+            return;
+        }
+        let g = buf.cas_cache.off / 8;
+        let site = Site::from_id(buf.cas_cache.site);
+        let n = buf.cas_cache.pending;
+        buf.cas_cache.pending = 0;
+        let slot = self.touch_slot(buf, g);
+        batch::bump_site_n(&mut slot.cas, site, n);
+    }
+
     /// Drain one thread buffer: granule slots (in first-touch order), then
     /// the staged trace, PM event count, and telemetry deltas.
     pub(crate) fn flush_buffer(&self, buf: &mut ThreadBuffer) {
+        self.fold_cas_repeats(buf);
         if !buf.used.is_empty() {
             let tid = buf.tid;
             for k in 0..buf.used.len() {
@@ -1035,7 +1063,17 @@ impl Session {
     /// Clone the session coverage map (for merging into a global map).
     #[must_use]
     pub fn coverage_snapshot(&self) -> CoverageMap {
-        self.coverage.clone()
+        (*self.coverage).clone()
+    }
+
+    /// Hand off the session coverage map by reference count — the zero-copy
+    /// alternative to [`Session::coverage_snapshot`] for a *finished*
+    /// campaign: once the views are gone nothing mutates the map, so the
+    /// explorer can merge straight from the shared allocation instead of
+    /// paying a ~272 KiB clone per campaign.
+    #[must_use]
+    pub fn coverage_handle(&self) -> Arc<CoverageMap> {
+        Arc::clone(&self.coverage)
     }
 
     /// Shared-PM-access summary for the scheduler's priority queue: granules

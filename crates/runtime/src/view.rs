@@ -57,6 +57,32 @@ pub struct PmView {
 /// Sentinel for `cas_fail_site`: no failed CAS outstanding.
 const NO_CAS_SITE: u32 = u32::MAX;
 
+/// After this many consecutive no-progress yields, [`PmView::spin_yield`]
+/// stops burning CPU on `yield_now` and parks the thread in short sleeps:
+/// the wait is already far past a scheduler quantum, so another yield
+/// cannot make the lock holder run any sooner, but a spinning thread
+/// *does* steal cycles from it (the 1-worker fleet profile showed most of
+/// a campaign's CPU going to instrumented CAS/yield storms inside the
+/// scheduler's deliberate writer stalls).
+const SPIN_PARK_AFTER: u32 = 128;
+
+/// Nominal parked-sleep quantum (the OS rounds it up by timer slack, so
+/// the realized quantum is somewhat longer on a default Linux config).
+/// Sized so a spinner parked across the scheduler's 2 ms writer stall
+/// makes ~17 sleep syscalls rather than 50: each `nanosleep` costs a few
+/// µs of kernel time, and under the fleet that overhead was a measurable
+/// slice of per-campaign CPU. The coarser wakeup adds at most one quantum
+/// of latency after the stalled writer finally stores, which is noise next
+/// to the 2 ms stall itself.
+const SPIN_PARK_QUANTUM: std::time::Duration = std::time::Duration::from_micros(120);
+
+/// Livelock-streak credit per parked sleep: one park covers roughly this
+/// many yield-loop iterations of frozen wall-clock time, so the hang latch
+/// fires on about the same schedule whether the spinner yields or parks
+/// (`livelock_spins` keeps one meaning: frozen spin-iterations until the
+/// session is declared hung).
+const SPIN_PARK_CREDIT: u32 = 192;
+
 impl PmView {
     pub(crate) fn new(session: Arc<Session>, tid: ThreadId) -> Self {
         let trace_depth = session.config().trace_depth;
@@ -149,11 +175,24 @@ impl PmView {
                 self.spin_progress.set(p);
                 self.spin_streak.set(0);
             } else {
-                let n = self.spin_streak.get().saturating_add(1);
+                // Parked sleeps advance the streak by their yield-loop
+                // equivalent so the latch deadline stays in wall-clock
+                // terms (a parked spinner must not take ~50× longer to
+                // notice a genuine leaked-lock hang).
+                let step = if self.spin_streak.get() >= SPIN_PARK_AFTER {
+                    SPIN_PARK_CREDIT
+                } else {
+                    1
+                };
+                let n = self.spin_streak.get().saturating_add(step);
                 self.spin_streak.set(n);
                 if n >= limit {
                     self.session.latch_hang();
                     return Err(RtError::Timeout);
+                }
+                if n >= SPIN_PARK_AFTER {
+                    std::thread::sleep(SPIN_PARK_QUANTUM);
+                    return Ok(());
                 }
             }
         }
@@ -397,18 +436,76 @@ impl PmView {
         let cancelled = || self.session.cancelled();
         let ctx = self.ctx(off.value(), 8, site, &cancelled);
         let mut buf = self.buf.borrow_mut();
+        let active = !self.session.strategy_passive();
+        // Fast path: an identical retry of the CAS that just failed. While
+        // the session-wide store counter is unchanged, *no* PM store has
+        // landed anywhere, so the word provably still holds the observed
+        // value (and the same shadow taint) and the retry would fail
+        // exactly like the last attempt. Answer it from the per-thread
+        // memo: no pool access, no granule flush, no candidate or coverage
+        // hooks (the first failure already minted and recorded everything
+        // a repeat could — candidates dedup by (writer-tag, site, kind)
+        // and consecutive same-thread accesses to one granule never
+        // complete an alias pair). The repeat count is batched into the
+        // granule statistics at the next sync point. Strategy hooks still
+        // fire per attempt: retry storms are the scheduler's CAS decision
+        // points. Checkers disable the memo — they observe every event.
+        let mut hooked = false;
+        if buf.cas_cache.valid
+            && buf.cas_cache.off == off.value()
+            && buf.cas_cache.site == site.id()
+            && self.cas_fail_site.get() == site.id()
+            && expected != buf.cas_cache.observed
+            && !self.session.checkers_armed()
+            && self.session.progress() == buf.cas_cache.progress
+        {
+            if active {
+                self.cached_strategy(&mut buf).before_store(&ctx);
+                hooked = true;
+            }
+            // The hook may have blocked while another thread stored (e.g.
+            // released the word this thread is spinning on): only answer
+            // from the memo if the session is still frozen.
+            if self.session.progress() == buf.cas_cache.progress {
+                buf.pm_events += 1;
+                if pmrace_telemetry::enabled() {
+                    buf.tel.cas += 1;
+                    // The full path counts the CAS read through `on_load`;
+                    // mirror that here so `pm.loads + pm.stores + ...`
+                    // stays consistent with the session's PM event count.
+                    buf.tel.loads += 1;
+                }
+                buf.cas_cache.pending += 1;
+                let attempt = self.cas_fail_streak.get().saturating_add(1);
+                self.cas_fail_streak.set(attempt);
+                if active {
+                    self.cached_strategy(&mut buf).on_cas_fail(&ctx, attempt);
+                }
+                let mut taint = buf.cas_cache.taint.clone();
+                taint.union_with(off.taint());
+                return Ok((false, TU64::with_taint(buf.cas_cache.observed, taint)));
+            }
+        }
+        // Full path. Fold batched repeats first so the granule flush below
+        // publishes an exact slot, and invalidate the memo — it is about
+        // to be superseded (or the CAS succeeds and it must die).
+        self.session.fold_cas_repeats(&mut buf);
+        buf.cas_cache.valid = false;
         // A CAS is a sync point: publish this granule's batched metadata so
         // cross-thread statistics see it at the decision point (a full
         // buffer flush here would tax lock-free retry loops).
         self.session.flush_granule(&mut buf, off.value() / 8);
-        let active = !self.session.strategy_passive();
-        if active {
+        if active && !hooked {
             self.cached_strategy(&mut buf).before_store(&ctx);
         }
         if pmrace_telemetry::enabled() {
             buf.tel.cas += 1;
         }
         let state_before = self.session.range_state(off.value(), 8);
+        // Snapshot the store counter *before* the CAS reads the word: a
+        // store racing this window can only spuriously invalidate the
+        // memo, never validate a stale one.
+        let progress_before = self.session.progress();
         let (swapped, observed, info) = self.session.pool().cas_u64(
             off.value(),
             expected,
@@ -425,8 +522,8 @@ impl PmView {
             &info,
             LoadKind::Cas,
         );
-        taint.union_with(off.taint());
         if swapped {
+            taint.union_with(off.taint());
             self.cas_fail_site.set(NO_CAS_SITE);
             self.cas_fail_streak.set(0);
             self.session.on_store(
@@ -457,6 +554,17 @@ impl PmView {
             if active {
                 self.cached_strategy(&mut buf).on_cas_fail(&ctx, attempt);
             }
+            // Arm the memo for the retry that is almost certainly coming
+            // (taint is cached *without* the address taint, which is
+            // re-unioned per attempt).
+            buf.cas_cache.valid = true;
+            buf.cas_cache.off = off.value();
+            buf.cas_cache.site = site.id();
+            buf.cas_cache.observed = observed;
+            buf.cas_cache.taint = taint.clone();
+            buf.cas_cache.progress = progress_before;
+            buf.cas_cache.pending = 0;
+            taint.union_with(off.taint());
         }
         Ok((swapped, TU64::with_taint(observed, taint)))
     }

@@ -79,6 +79,9 @@ metric_enum! {
     FleetSteals => "fleet.steals",
     FleetSharedSeeds => "fleet.shared_seeds",
     FleetFrontierHits => "fleet.frontier_hits",
+    PipelineDeferred => "pipeline.deferred",
+    PipelineInline => "pipeline.inline",
+    PipelineBackpressure => "pipeline.backpressure",
     RecordCaptures => "record.captures",
     ReplayAttempts => "replay.attempts",
     ReplayMatches => "replay.matches",
@@ -94,6 +97,7 @@ metric_enum! {
     CovBranches => "cov.branches",
     FuzzWorkers => "fuzz.workers",
     QueueDepth => "plan.queue_depth",
+    ValidateQueueDepth => "validate.queue_depth",
 }
 
 metric_enum! {
@@ -106,6 +110,7 @@ metric_enum! {
     CampaignNs => "exec.campaign_ns",
     RestoreDirtyLines => "restore.dirty_lines",
     CrashImageOverlayBytes => "crash_image.overlay_bytes",
+    PipelineQueueNs => "pipeline.queue_ns",
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();

@@ -20,6 +20,10 @@
 //! findings are absorbed without a global lock, and campaigns are
 //! scheduler-sleep-bound, so aggregate execs/sec scales near-linearly even
 //! on a single CPU (`repro hotpath`'s `fleet_execs` cells track the curve).
+//! `--workers` defaults to the machine's available parallelism (capped at
+//! 8); pass `--workers 1` for fully deterministic runs — a single worker
+//! executes one campaign at a time with inline validation, so the same
+//! seed always reproduces the same bugs byte for byte.
 //! Each worker draws from its own deterministic RNG stream, so seeded runs
 //! stay replayable; with `--progress`, multi-worker runs print a per-worker
 //! execs/s split. `fuzz --list-targets` prints every
@@ -56,6 +60,17 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Default `--workers`: the machine's available parallelism, capped at 8 —
+/// the largest fleet the tracked `fleet_execs` scaling curve covers, and
+/// past the knee of the curve even on a single CPU (campaigns are
+/// scheduler-sleep-bound, so worker counts beyond the core count still
+/// overlap productively). `--workers 1` is the escape hatch when
+/// bit-for-bit deterministic, replayable runs matter more than throughput:
+/// a single worker drains one campaign at a time and validates inline.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().clamp(1, 8))
 }
 
 /// One-line seed-grammar summary for `fuzz --list-targets`: the bounds
@@ -118,7 +133,7 @@ fn main() {
             }
             cfg.workers = flag_value(&args, "--workers")
                 .and_then(|v| v.parse().ok())
-                .unwrap_or(4);
+                .unwrap_or_else(default_workers);
             if let Some(t) = flag_value(&args, "--threads").and_then(|v| v.parse().ok()) {
                 cfg.threads = t;
             }
